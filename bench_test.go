@@ -1,0 +1,311 @@
+// Benchmark harness: one testing.B benchmark per table and figure in the
+// paper's evaluation, plus ablations for the load-bearing design choices
+// (SMI phase jitter across nodes, fabric incast congestion, SMM timer
+// deferral). Each benchmark regenerates its experiment at reduced
+// ("quick") scale per iteration and reports the experiment's headline
+// quantity as a custom metric; run the full-scale regeneration with
+// cmd/smibench.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Table2 -benchtime=1x
+package smistudy_test
+
+import (
+	"testing"
+
+	"smistudy"
+	"smistudy/internal/cluster"
+	"smistudy/internal/experiments"
+	"smistudy/internal/kernel"
+	"smistudy/internal/mpi"
+	"smistudy/internal/nas"
+	"smistudy/internal/netsim"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func quickCfg() experiments.Config {
+	return experiments.Config{Quick: true, Runs: 1, Seed: 1}
+}
+
+// BenchmarkTable1BT regenerates Table 1 (BT under SMM 0/1/2) at quick
+// scale and reports the worst long-SMM impact observed.
+func BenchmarkTable1BT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table1(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, row := range t.Rows {
+			if p := row.One.PctLong(); p > worst {
+				worst = p
+			}
+		}
+		b.ReportMetric(worst, "worst-long-impact-%")
+	}
+}
+
+// BenchmarkTable2EP regenerates Table 2 (EP under SMM 0/1/2).
+func BenchmarkTable2EP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table2(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Rows[0].One.PctLong(), "1node-long-impact-%")
+	}
+}
+
+// BenchmarkTable3FT regenerates Table 3 (FT under SMM 0/1/2).
+func BenchmarkTable3FT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table3(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last.Four.PctLong(), "long-impact-%")
+	}
+}
+
+// BenchmarkTable4EPHTT regenerates Table 4 (HTT effect on EP).
+func BenchmarkTable4EPHTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table4(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(row.On.SMM2-row.Off.SMM2, "htt-long-delta-s")
+	}
+}
+
+// BenchmarkTable5FTHTT regenerates Table 5 (HTT effect on FT).
+func BenchmarkTable5FTHTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table5(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(row.On.SMM2-row.Off.SMM2, "htt-long-delta-s")
+	}
+}
+
+// BenchmarkFigure1Convolve regenerates Figure 1 (Convolve vs SMI
+// interval and CPU count) and reports the 50ms-vs-1500ms blowup.
+func BenchmarkFigure1Convolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure1Convolve(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var at50, at1500 float64
+		for _, p := range f.Points {
+			if p.Behavior == smistudy.CacheFriendly && p.CPUs == 4 {
+				switch p.IntervalMS {
+				case 50:
+					at50 = p.Seconds
+				case 1500:
+					at1500 = p.Seconds
+				}
+			}
+		}
+		b.ReportMetric(at50/at1500, "50ms-blowup-x")
+	}
+}
+
+// BenchmarkFigure2UnixBench regenerates Figure 2 (UnixBench score vs SMI
+// interval) and reports the score loss at 100ms intervals.
+func BenchmarkFigure2UnixBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure2UnixBench(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var at100, at1600 float64
+		for _, p := range f.Points {
+			if p.CPUs == 4 {
+				switch p.IntervalMS {
+				case 100:
+					at100 = p.Score
+				case 1600:
+					at1600 = p.Score
+				}
+			}
+		}
+		b.ReportMetric((1-at100/at1600)*100, "100ms-score-loss-%")
+	}
+}
+
+// --- ablations -------------------------------------------------------------
+
+// runEPCluster runs EP.A on a 8-node cluster with a tweakable parameter
+// set and returns the runtime in seconds.
+func runEPCluster(seed int64, mutate func(*cluster.Params)) float64 {
+	e := sim.New(seed)
+	par := cluster.Wyeast(8, false, smm.SMMLong)
+	if mutate != nil {
+		mutate(&par)
+	}
+	cl := cluster.MustNew(e, par)
+	cl.StartSMI()
+	w := mpi.MustNewWorld(cl, 1, mpi.DefaultParams())
+	res, err := nas.Run(w, nas.Spec{Bench: nas.EP, Class: nas.ClassA})
+	if err != nil {
+		panic(err)
+	}
+	return res.Time.Seconds()
+}
+
+// BenchmarkAblationPhaseJitter compares desynchronized SMI phases across
+// nodes (the default; matches reality) against lock-step SMIs. Lock-step
+// noise is mostly absorbed — every node stalls together — so jitter is
+// what makes multi-node amplification appear.
+func BenchmarkAblationPhaseJitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		jittered := runEPCluster(1, nil)
+		lockstep := runEPCluster(1, func(p *cluster.Params) {
+			p.Node.SMI.PhaseJitter = false
+		})
+		b.ReportMetric(jittered/lockstep, "jitter-vs-lockstep-x")
+	}
+}
+
+// BenchmarkAblationCongestion compares FT with and without the fabric's
+// incast-congestion model: without it the all-to-all pattern scales far
+// too well compared to the paper's gigabit cluster.
+func BenchmarkAblationCongestion(b *testing.B) {
+	runFT := func(beta float64) float64 {
+		e := sim.New(1)
+		par := cluster.Wyeast(4, false, smm.SMMNone)
+		par.Fabric.CongestionBeta = beta
+		cl := cluster.MustNew(e, par)
+		w := mpi.MustNewWorld(cl, 4, mpi.DefaultParams())
+		res, err := nas.Run(w, nas.Spec{Bench: nas.FT, Class: nas.ClassA})
+		if err != nil {
+			panic(err)
+		}
+		return res.Time.Seconds()
+	}
+	for i := 0; i < b.N; i++ {
+		with := runFT(netsim.GigabitEthernet().CongestionBeta)
+		without := runFT(0)
+		b.ReportMetric(with/without, "congestion-slowdown-x")
+	}
+}
+
+// BenchmarkAblationRendezvousCost compares the per-logical-CPU SMM
+// rendezvous cost on vs off: it is the mechanism by which enabling HTT
+// lengthens every SMI.
+func BenchmarkAblationRendezvousCost(b *testing.B) {
+	residency := func(perCPU sim.Time) float64 {
+		e := sim.New(1)
+		par := cluster.Wyeast(1, true, smm.SMMLong)
+		par.Node.PerCPURendezvous = perCPU
+		cl := cluster.MustNew(e, par)
+		cl.StartSMI()
+		e.RunUntil(20 * sim.Second)
+		return cl.Nodes[0].SMM.Stats().TotalResidency.Seconds()
+	}
+	for i := 0; i < b.N; i++ {
+		with := residency(400 * sim.Microsecond)
+		without := residency(0)
+		b.ReportMetric(with/without, "rendezvous-residency-x")
+	}
+}
+
+// BenchmarkEngineEvents measures raw engine throughput: how many
+// schedule+dispatch cycles per second the simulator core sustains.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := sim.New(1)
+	b.ResetTimer()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+}
+
+// BenchmarkMPIAlltoall measures the simulator cost of a 16-rank
+// all-to-all, the hottest communication pattern in the FT study.
+func BenchmarkMPIAlltoall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.New(1)
+		cl := cluster.MustNew(e, cluster.Wyeast(4, false, smm.SMMNone))
+		w := mpi.MustNewWorld(cl, 4, mpi.DefaultParams())
+		w.Run(nas.Profile(nas.FT), func(r *mpi.Rank, t *kernel.Task) {
+			for iter := 0; iter < 5; iter++ {
+				r.Alltoall(t, 64<<10)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEagerLimit compares the MPI eager/rendezvous
+// threshold's effect on FT: forcing every message through rendezvous
+// adds two fabric round trips per transfer.
+func BenchmarkAblationEagerLimit(b *testing.B) {
+	runFT := func(eager int) float64 {
+		e := sim.New(1)
+		cl := cluster.MustNew(e, cluster.Wyeast(4, false, smm.SMMNone))
+		par := mpi.DefaultParams()
+		par.EagerLimit = eager
+		w := mpi.MustNewWorld(cl, 1, par)
+		res, err := nas.Run(w, nas.Spec{Bench: nas.FT, Class: nas.ClassA})
+		if err != nil {
+			panic(err)
+		}
+		return res.Time.Seconds()
+	}
+	for i := 0; i < b.N; i++ {
+		rendezvousOnly := runFT(0)
+		def := runFT(mpi.DefaultParams().EagerLimit)
+		b.ReportMetric(rendezvousOnly/def, "rendezvous-only-x")
+	}
+}
+
+// BenchmarkExtensionRIM reports the throughput cost of a
+// HyperSentry-class integrity agent (25 MB at 1/s, whole-measurement).
+func BenchmarkExtensionRIM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := smistudy.RunRIM(smistudy.RIMOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SlowdownPct, "rim-slowdown-%")
+	}
+}
+
+// BenchmarkExtensionEnergy reports the extra energy long SMIs cost for
+// fixed work.
+func BenchmarkExtensionEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := smistudy.MeasureEnergy(smistudy.SMM2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EnergyIncreasePct, "extra-energy-%")
+	}
+}
+
+// BenchmarkDetectorAccuracy reports the spin-loop detector's match rate
+// against ground truth under 1/s long SMIs.
+func BenchmarkDetectorAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := smistudy.DetectSMIs(smistudy.DetectOptions{
+			Level: smistudy.SMM2, SMIIntervalMS: 1000, Duration: 10 * sim.Second,
+		})
+		total := rep.Matched + rep.Missed
+		if total == 0 {
+			b.Fatal("no ground-truth episodes")
+		}
+		b.ReportMetric(float64(rep.Matched)/float64(total)*100, "detect-rate-%")
+	}
+}

@@ -1,0 +1,131 @@
+// Command mpibench measures the simulated cluster's communication
+// characteristics OSU-microbenchmark-style: point-to-point latency and
+// bandwidth versus message size, and collective (allreduce, alltoall,
+// barrier) latency versus rank count — with or without SMI injection, so
+// the fabric and MPI models can be inspected directly.
+//
+// Usage:
+//
+//	mpibench                       # quiet fabric
+//	mpibench -smm 2 -interval 500  # with long SMIs every 500ms
+//	mpibench -nodes 8 -rpn 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/metrics"
+	"smistudy/internal/mpi"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+var prof = cpu.Profile{CPI: 1}
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	rpn := flag.Int("rpn", 1, "ranks per node")
+	level := flag.Int("smm", 0, "SMM level: 0 none, 1 short, 2 long")
+	interval := flag.Int("interval", 1000, "SMI interval in ms")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *level < 0 || *level > 2 {
+		fmt.Fprintln(os.Stderr, "mpibench: -smm must be 0, 1 or 2")
+		os.Exit(2)
+	}
+	smi := smm.DriverConfig{
+		Level:         smm.Level(*level),
+		PeriodJiffies: uint64(*interval),
+		PhaseJitter:   true,
+	}
+
+	fmt.Printf("simulated fabric, %d nodes × %d ranks, %v\n\n", *nodes, *rpn, smi.Level)
+	pingpong(*nodes, *rpn, smi, *seed)
+	collectives(*nodes, *rpn, smi, *seed)
+}
+
+// newWorld builds a fresh world (each measurement gets its own engine).
+func newWorld(nodes, rpn int, smi smm.DriverConfig, seed int64) *mpi.World {
+	e := sim.New(seed)
+	par := cluster.Wyeast(nodes, false, smm.SMMNone)
+	par.Node.SMI = smi
+	cl := cluster.MustNew(e, par)
+	cl.StartSMI()
+	return mpi.MustNewWorld(cl, rpn, mpi.DefaultParams())
+}
+
+// pingpong measures rank0↔rank1 latency and bandwidth per message size.
+func pingpong(nodes, rpn int, smi smm.DriverConfig, seed int64) {
+	tab := metrics.NewTable("size (B)", "latency (us)", "bandwidth (MB/s)")
+	for _, size := range []int{8, 256, 4 << 10, 64 << 10, 1 << 20, 4 << 20} {
+		iters := 50
+		if size >= 1<<20 {
+			iters = 10
+		}
+		w := newWorld(nodes, rpn, smi, seed)
+		var rtt sim.Time
+		w.Run(prof, func(r *mpi.Rank, tk *kernel.Task) {
+			switch r.ID() {
+			case 0:
+				start := tk.Gettime()
+				for i := 0; i < iters; i++ {
+					r.Send(tk, 1, 1, size)
+					r.Recv(tk, 1, 2)
+				}
+				rtt = (tk.Gettime() - start) / sim.Time(iters)
+			case 1:
+				for i := 0; i < iters; i++ {
+					r.Recv(tk, 0, 1)
+					r.Send(tk, 0, 2, size)
+				}
+			}
+		})
+		lat := float64(rtt) / 2 / float64(sim.Microsecond)
+		bw := float64(size) / (float64(rtt) / 2 / float64(sim.Second)) / 1e6
+		tab.AddRow(size, lat, bw)
+	}
+	fmt.Println("ping-pong (rank 0 ↔ rank 1):")
+	fmt.Println(tab.String())
+}
+
+// collectives measures barrier/allreduce/alltoall latency at the job's
+// full size.
+func collectives(nodes, rpn int, smi smm.DriverConfig, seed int64) {
+	tab := metrics.NewTable("collective", "payload (B)", "mean latency (us)")
+	type op struct {
+		name  string
+		bytes int
+		fn    func(r *mpi.Rank, tk *kernel.Task, bytes int)
+	}
+	ops := []op{
+		{"Barrier", 0, func(r *mpi.Rank, tk *kernel.Task, _ int) { r.Barrier(tk) }},
+		{"Allreduce", 8, func(r *mpi.Rank, tk *kernel.Task, b int) { r.Allreduce(tk, b) }},
+		{"Allreduce", 64 << 10, func(r *mpi.Rank, tk *kernel.Task, b int) { r.Allreduce(tk, b) }},
+		{"Alltoall", 1 << 10, func(r *mpi.Rank, tk *kernel.Task, b int) { r.Alltoall(tk, b) }},
+		{"Alltoall", 256 << 10, func(r *mpi.Rank, tk *kernel.Task, b int) { r.Alltoall(tk, b) }},
+		{"Allgather", 4 << 10, func(r *mpi.Rank, tk *kernel.Task, b int) { r.Allgather(tk, b) }},
+	}
+	for _, o := range ops {
+		const iters = 20
+		w := newWorld(nodes, rpn, smi, seed)
+		var mean sim.Time
+		w.Run(prof, func(r *mpi.Rank, tk *kernel.Task) {
+			start := tk.Gettime()
+			for i := 0; i < iters; i++ {
+				o.fn(r, tk, o.bytes)
+			}
+			if r.ID() == 0 {
+				mean = (tk.Gettime() - start) / iters
+			}
+		})
+		tab.AddRow(o.name, o.bytes, float64(mean)/float64(sim.Microsecond))
+	}
+	fmt.Printf("collectives (%d ranks):\n", nodes*rpn)
+	fmt.Println(tab.String())
+}

@@ -1,0 +1,177 @@
+// Command smibench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	smibench -table 1          # Table 1 (BT, SMM 0/1/2)
+//	smibench -table 4          # Table 4 (HTT × EP)
+//	smibench -figure 1         # Figure 1 (Convolve)
+//	smibench -figure 2         # Figure 2 (UnixBench)
+//	smibench -all              # everything
+//	smibench -all -quick       # reduced grids, 1 run per cell
+//	smibench -figure 1 -csv    # raw points as CSV
+//
+// Every run is deterministic for a given -seed; -runs overrides the
+// paper's per-cell averaging (6 for MPI tables, 3 for figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smistudy"
+	"smistudy/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate paper table 1-5")
+	figure := flag.Int("figure", 0, "regenerate paper figure 1-2")
+	ext := flag.String("ext", "", "extension experiment: rim, energy, drift, profiler, nasx, amplify, model or all")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	quick := flag.Bool("quick", false, "reduced grids (smoke-test scale)")
+	runs := flag.Int("runs", 0, "runs per cell (0 = paper defaults)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	csv := flag.Bool("csv", false, "emit raw CSV instead of rendered output (figures)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of rendered output")
+	compare := flag.Int("compare", 0, "regenerate table 1-3 and diff against the paper's published values")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Runs: *runs, Seed: *seed}
+
+	if !*all && *table == 0 && *figure == 0 && *ext == "" && *compare == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smibench:", err)
+			os.Exit(1)
+		}
+	}
+	emit := func(v interface{ Render() string }) {
+		if *jsonOut {
+			out, err := experiments.ToJSON(v)
+			run(err)
+			fmt.Println(out)
+			return
+		}
+		fmt.Println(v.Render())
+	}
+
+	tables := map[int]bool{}
+	figures := map[int]bool{}
+	if *all {
+		for i := 1; i <= 5; i++ {
+			tables[i] = true
+		}
+		figures[1] = true
+		figures[2] = true
+	}
+	if *table != 0 {
+		tables[*table] = true
+	}
+	if *figure != 0 {
+		figures[*figure] = true
+	}
+
+	for i := 1; i <= 5; i++ {
+		if !tables[i] {
+			continue
+		}
+		switch i {
+		case 1:
+			t, err := experiments.Table1(cfg)
+			run(err)
+			emit(t)
+		case 2:
+			t, err := experiments.Table2(cfg)
+			run(err)
+			emit(t)
+		case 3:
+			t, err := experiments.Table3(cfg)
+			run(err)
+			emit(t)
+		case 4:
+			t, err := experiments.Table4(cfg)
+			run(err)
+			emit(t)
+		case 5:
+			t, err := experiments.Table5(cfg)
+			run(err)
+			emit(t)
+		default:
+			run(fmt.Errorf("no table %d in the paper", i))
+		}
+	}
+	if tables[0] || *table > 5 || *table < 0 {
+		run(fmt.Errorf("no table %d in the paper", *table))
+	}
+
+	if figures[1] {
+		f, err := experiments.Figure1Convolve(cfg)
+		run(err)
+		if *jsonOut {
+			out, err := experiments.ToJSON(f)
+			run(err)
+			fmt.Println(out)
+		} else if *csv {
+			fmt.Print(f.CSV())
+		} else {
+			fmt.Println(f.Left(smistudy.CacheUnfriendly))
+			fmt.Println(f.Right(smistudy.CacheUnfriendly))
+			fmt.Println(f.Left(smistudy.CacheFriendly))
+			fmt.Println(f.Right(smistudy.CacheFriendly))
+		}
+	}
+	if figures[2] {
+		f, err := experiments.Figure2UnixBench(cfg)
+		run(err)
+		switch {
+		case *jsonOut:
+			out, err := experiments.ToJSON(f)
+			run(err)
+			fmt.Println(out)
+		case *csv:
+			fmt.Print(f.CSV())
+		default:
+			fmt.Println(f.Render())
+		}
+	}
+	if *figure > 2 || *figure < 0 {
+		run(fmt.Errorf("no figure %d in the paper", *figure))
+	}
+
+	if *compare != 0 {
+		out, err := experiments.Compare(cfg, *compare)
+		run(err)
+		fmt.Println(out)
+	}
+
+	exts := map[string]func(experiments.Config) (string, error){
+		"rim":      experiments.RIMTradeoff,
+		"energy":   experiments.EnergyStudy,
+		"drift":    experiments.DriftStudy,
+		"profiler": experiments.ProfilerStudy,
+		"nasx":     experiments.ExtendedNAS,
+		"amplify":  experiments.AmplificationStudy,
+		"model":    experiments.ModelStudy,
+	}
+	switch *ext {
+	case "":
+	case "all":
+		for _, name := range []string{"rim", "energy", "drift", "profiler", "nasx", "amplify", "model"} {
+			out, err := exts[name](cfg)
+			run(err)
+			fmt.Println(out)
+		}
+	default:
+		fn, ok := exts[*ext]
+		if !ok {
+			run(fmt.Errorf("unknown extension %q (want rim, energy, drift, profiler, nasx, amplify, model or all)", *ext))
+		}
+		out, err := fn(cfg)
+		run(err)
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,97 @@
+// Command smisim runs a single simulated experiment configuration — one
+// cell of the study — and prints its result. It is the ad-hoc driver for
+// exploring configurations the paper did not tabulate.
+//
+// Usage:
+//
+//	smisim -workload nas -bench FT -class B -nodes 8 -rpn 4 -smm 2 -htt
+//	smisim -workload convolve -cache unfriendly -cpus 6 -interval 150
+//	smisim -workload unixbench -cpus 8 -interval 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smistudy"
+	"smistudy/internal/sim"
+)
+
+func main() {
+	workload := flag.String("workload", "nas", "nas, convolve or unixbench")
+	bench := flag.String("bench", "EP", "NAS benchmark: EP, BT, FT")
+	class := flag.String("class", "A", "NAS class: S, A, B, C")
+	nodes := flag.Int("nodes", 1, "cluster nodes")
+	rpn := flag.Int("rpn", 1, "MPI ranks per node")
+	htt := flag.Bool("htt", false, "enable hyper-threading")
+	smmLevel := flag.Int("smm", 0, "SMM level: 0 none, 1 short, 2 long")
+	cacheB := flag.String("cache", "friendly", "convolve cache behavior: friendly, unfriendly")
+	cpus := flag.Int("cpus", 4, "online logical CPUs (convolve/unixbench)")
+	interval := flag.Int("interval", 0, "SMI interval ms (convolve/unixbench; 0 = off)")
+	runs := flag.Int("runs", 1, "runs to average")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smisim:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch *workload {
+	case "nas":
+		levels := []smistudy.SMMLevel{smistudy.SMM0, smistudy.SMM1, smistudy.SMM2}
+		if *smmLevel < 0 || *smmLevel > 2 {
+			fail(fmt.Errorf("smm level %d", *smmLevel))
+		}
+		res, err := smistudy.RunNAS(smistudy.NASOptions{
+			Bench:        smistudy.Benchmark(*bench),
+			Class:        smistudy.Class((*class)[0]),
+			Nodes:        *nodes,
+			RanksPerNode: *rpn,
+			HTT:          *htt,
+			SMM:          levels[*smmLevel],
+			Runs:         *runs,
+			Seed:         *seed,
+		})
+		fail(err)
+		fmt.Printf("%s.%s  ranks=%d nodes=%d rpn=%d htt=%v smm=%v\n",
+			*bench, *class, res.Ranks, *nodes, *rpn, *htt, levels[*smmLevel])
+		fmt.Printf("  time   = %.2fs (mean of %d)\n", res.Seconds(), len(res.Times))
+		fmt.Printf("  mops   = %.1f\n", res.MOPs)
+		fmt.Printf("  smm    = %v mean per-node residency\n", res.Residency)
+		fmt.Printf("  verify = %v\n", res.Verified)
+
+	case "convolve":
+		beh := smistudy.CacheFriendly
+		if *cacheB == "unfriendly" {
+			beh = smistudy.CacheUnfriendly
+		}
+		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
+			Behavior: beh, CPUs: *cpus, SMIIntervalMS: *interval,
+			Runs: *runs, Seed: *seed,
+		})
+		fail(err)
+		fmt.Printf("convolve %v  cpus=%d interval=%dms threads=%d\n", beh, *cpus, *interval, res.Threads)
+		fmt.Printf("  time = %.3fs ± %.3fs (mean of %d)\n",
+			res.MeanTime.Seconds(), res.StdDev.Seconds(), len(res.Times))
+
+	case "unixbench":
+		res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
+			CPUs: *cpus, SMIIntervalMS: *interval, Level: smistudy.SMM2,
+			Seed: *seed, Duration: 2 * sim.Second,
+		})
+		fail(err)
+		fmt.Printf("unixbench  cpus=%d interval=%dms\n", *cpus, *interval)
+		for _, ts := range res.Tests {
+			fmt.Printf("  %-30s single %12.1f %-6s multi(%d) %12.1f\n",
+				ts.Name, ts.SingleRate, ts.Unit, ts.MultiCopies, ts.MultiRate)
+		}
+		fmt.Printf("  total index score: %.1f\n", res.Score)
+
+	default:
+		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+}

@@ -1,0 +1,58 @@
+package smistudy_test
+
+import (
+	"fmt"
+
+	"smistudy"
+	"smistudy/internal/sim"
+)
+
+// Measure what one-per-second long SMIs do to an MPI job.
+func ExampleRunNAS() {
+	base, _ := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 1, RanksPerNode: 1, SMM: smistudy.SMM0,
+	})
+	noisy, _ := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 1, RanksPerNode: 1, SMM: smistudy.SMM2,
+	})
+	fmt.Printf("base %.1fs, with long SMIs %.1fs\n", base.Seconds(), noisy.Seconds())
+	// Output: base 23.1s, with long SMIs 25.6s
+}
+
+// Detect SMIs from inside the machine, hwlat-style.
+func ExampleDetectSMIs() {
+	rep := smistudy.DetectSMIs(smistudy.DetectOptions{
+		Level:         smistudy.SMM2,
+		SMIIntervalMS: 1000,
+		Duration:      5 * sim.Second,
+	})
+	fmt.Printf("matched %d, missed %d, false positives %d\n",
+		rep.Matched, rep.Missed, rep.FalsePositives)
+	// Output: matched 4, missed 0, false positives 0
+}
+
+// Quantify how much CPU time a profiler would silently misreport.
+func ExampleAttributeNAS() {
+	a := smistudy.AttributeNAS(1)
+	fmt.Printf("%d tasks, stolen time > 0: %v\n", len(a.Tasks), a.TotalStolen > 0)
+	// Output: 4 tasks, stolen time > 0: true
+}
+
+// Run the paper's cache-unfriendly Convolve configuration.
+func ExampleRunConvolve() {
+	res, _ := smistudy.RunConvolve(smistudy.ConvolveOptions{
+		Behavior: smistudy.CacheUnfriendly, CPUs: 4, Passes: 2,
+	})
+	fmt.Printf("threads: %d (one per megapixel block)\n", res.Threads)
+	// Output: threads: 16 (one per megapixel block)
+}
+
+// Measure an integrity-check agent's interference.
+func ExampleRunRIM() {
+	res, _ := smistudy.RunRIM(smistudy.RIMOptions{MegaBytes: 25})
+	fmt.Printf("checks completed: %v, app slowed: %v\n",
+		res.Checks > 0, res.NoisyTime > res.BaseTime)
+	// Output: checks completed: true, app slowed: true
+}

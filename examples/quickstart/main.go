@@ -1,0 +1,35 @@
+// Quickstart: measure what a one-per-second long SMI schedule does to an
+// MPI job, in three calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smistudy"
+)
+
+func main() {
+	base, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 4, RanksPerNode: 1, SMM: smistudy.SMM0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	noisy, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 4, RanksPerNode: 1, SMM: smistudy.SMM2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("EP class A on 4 nodes, 1 rank each\n")
+	fmt.Printf("  without SMIs:            %6.2f s\n", base.Seconds())
+	fmt.Printf("  with 100-110ms SMIs @1/s: %5.2f s\n", noisy.Seconds())
+	fmt.Printf("  slowdown:                %6.1f %%\n",
+		(noisy.Seconds()/base.Seconds()-1)*100)
+	fmt.Printf("  per-node SMM residency:  %v\n", noisy.Residency)
+}

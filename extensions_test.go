@@ -1,0 +1,135 @@
+package smistudy_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"smistudy"
+	"smistudy/internal/sim"
+)
+
+func TestRunRIMWholeChecks(t *testing.T) {
+	res, err := smistudy.RunRIM(smistudy.RIMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowdownPct < 5 || res.SlowdownPct > 20 {
+		t.Fatalf("RIM slowdown %.1f%%, want ≈10%% (100ms checks at 1/s)", res.SlowdownPct)
+	}
+	if res.Checks < 3 {
+		t.Fatalf("checks = %d", res.Checks)
+	}
+	if res.WorstStall < 100*sim.Millisecond {
+		t.Fatalf("worst stall %v, want ≥100ms for 25MB whole checks", res.WorstStall)
+	}
+}
+
+func TestRunRIMChunkedBoundsStalls(t *testing.T) {
+	whole, err := smistudy.RunRIM(smistudy.RIMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := smistudy.RunRIM(smistudy.RIMOptions{ChunkKB: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked.WorstStall >= whole.WorstStall/10 {
+		t.Fatalf("chunking: worst stall %v vs whole %v", chunked.WorstStall, whole.WorstStall)
+	}
+	if chunked.CheckLatency <= whole.CheckLatency {
+		t.Fatal("chunked checks should take longer end-to-end")
+	}
+}
+
+func TestRunRIMValidation(t *testing.T) {
+	if _, err := smistudy.RunRIM(smistudy.RIMOptions{ChunkKB: -1}); err == nil {
+		t.Fatal("negative chunk accepted")
+	}
+}
+
+func TestMeasureEnergy(t *testing.T) {
+	res, err := smistudy.MeasureEnergy(smistudy.SMM2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyIncreasePct <= 0 {
+		t.Fatalf("long SMIs should raise energy for equal work: %+v", res)
+	}
+	if res.NoisyTime <= res.QuietTime {
+		t.Fatal("long SMIs should lengthen the run")
+	}
+	short, err := smistudy.MeasureEnergy(smistudy.SMM1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.EnergyIncreasePct >= res.EnergyIncreasePct {
+		t.Fatalf("short SMIs (%.2f%%) should cost less energy than long (%.2f%%)",
+			short.EnergyIncreasePct, res.EnergyIncreasePct)
+	}
+}
+
+func TestMeasureClockDrift(t *testing.T) {
+	res, err := smistudy.MeasureClockDrift(smistudy.SMM2, 1000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drift <= 0 {
+		t.Fatal("no drift under long SMIs")
+	}
+	if res.TickTime+res.Drift != res.Elapsed {
+		t.Fatal("drift arithmetic inconsistent")
+	}
+	// ~105ms lost per ~1.1s → ≈95,000 ppm.
+	if res.PPM < 50_000 || res.PPM > 150_000 {
+		t.Fatalf("drift = %.0f ppm, want ≈95k", res.PPM)
+	}
+	quiet, err := smistudy.MeasureClockDrift(smistudy.SMM0, 1000, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Drift != 0 {
+		t.Fatal("drift without SMIs")
+	}
+}
+
+func TestProfileWorkloadModes(t *testing.T) {
+	drop := smistudy.ProfileWorkload(smistudy.ProfilerDropInSMM, 1)
+	if drop.Lost == 0 {
+		t.Fatal("drop mode lost no samples under long SMIs")
+	}
+	deferRep := smistudy.ProfileWorkload(smistudy.ProfilerDeferToExit, 1)
+	if deferRep.Deferred == 0 {
+		t.Fatal("defer mode deferred no samples")
+	}
+	if len(drop.Tasks) != 2 || len(deferRep.Tasks) != 2 {
+		t.Fatal("profiles missing tasks")
+	}
+}
+
+func TestTraceWorkload(t *testing.T) {
+	data, err := smistudy.TraceWorkload(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	labels := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			labels[ev["name"].(string)] = true
+		}
+	}
+	if !labels["smm"] {
+		t.Error("trace missing SMM episodes")
+	}
+	for i := 0; i < 4; i++ {
+		if !labels[fmt.Sprintf("task%d", i)] {
+			t.Errorf("trace missing task%d", i)
+		}
+	}
+}

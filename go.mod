@@ -1,0 +1,3 @@
+module smistudy
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package analytic provides closed-form performance models for SMI
+// noise, against which the simulator is validated (and vice versa).
+//
+// Two classical regimes bracket the paper's observations:
+//
+//   - Serial / embarrassingly parallel work: SMM residency simply
+//     inflates runtime by its duty cycle (plus an end-of-run quantization
+//     term when runtimes are comparable to the SMI period).
+//   - Bulk-synchronous (BSP) work: every superstep ends at the *slowest*
+//     node, so each node's independent noise adds until supersteps are
+//     long enough to absorb whole SMIs. This is the Ferreira-style
+//     amplification that drives Tables 1–3's scaling columns.
+package analytic
+
+import (
+	"math"
+
+	"smistudy/internal/sim"
+)
+
+// Schedule describes periodic SMI injection on one node: an SMI of mean
+// duration D every (P + D) of wall time (the driver re-arms after each
+// handler returns).
+type Schedule struct {
+	Period   sim.Time // driver period (x jiffies)
+	Duration sim.Time // mean SMM residency per SMI
+}
+
+// DutyCycle is the fraction of wall time the node spends in SMM.
+func (s Schedule) DutyCycle() float64 {
+	cycle := s.Period + s.Duration
+	if cycle <= 0 {
+		return 0
+	}
+	return float64(s.Duration) / float64(cycle)
+}
+
+// SerialSlowdown predicts the runtime of `base` of work on one node
+// under the schedule: t = base / (1 - duty).
+func (s Schedule) SerialSlowdown(base sim.Time) sim.Time {
+	d := s.DutyCycle()
+	if d >= 1 {
+		return sim.Forever
+	}
+	return sim.Time(float64(base) / (1 - d))
+}
+
+// ExpectedSlowdownPct is the percentage form of SerialSlowdown.
+func (s Schedule) ExpectedSlowdownPct() float64 {
+	d := s.DutyCycle()
+	if d >= 1 {
+		return math.Inf(1)
+	}
+	return d / (1 - d) * 100
+}
+
+// BSP models a bulk-synchronous application: n nodes alternately compute
+// for `Step` and synchronize (every node waits for the slowest).
+type BSP struct {
+	Nodes int
+	Step  sim.Time // compute time per superstep per node (noise-free)
+	Steps int
+}
+
+// BaseTime is the noise-free runtime (communication excluded).
+func (b BSP) BaseTime() sim.Time { return sim.Time(b.Steps) * b.Step }
+
+// UpperBound predicts the noisy runtime assuming every node's SMIs
+// extend every superstep independently (no overlap absorption):
+//
+//	t = Step / (1 − n·duty)   while n·duty < 1
+//
+// Beyond n·duty ≥ 1 the bound saturates to Forever (the simulator still
+// progresses, because real SMIs on different nodes overlap).
+func (b BSP) UpperBound(s Schedule) sim.Time {
+	agg := float64(b.Nodes) * s.DutyCycle()
+	if agg >= 1 {
+		return sim.Forever
+	}
+	per := float64(b.Step) / (1 - agg)
+	return sim.Time(per * float64(b.Steps))
+}
+
+// ExpectedTime predicts the noisy runtime with a discrete per-superstep
+// model: each node suffers N_i SMIs inside a stretched superstep of
+// length t, where N_i = ⌊m⌋ + Bernoulli(m−⌊m⌋) and m = t/(P+D); the
+// superstep ends with the slowest node, so its extension is
+// D·E[max_i N_i] = D·(⌊m⌋ + 1 − (1−frac)^n). The fixed point
+//
+//	t = Step + D·(⌊m⌋ + 1 − (1−frac)^n),  m = t/(P+D)
+//
+// captures both limits: short supersteps are hit by at most one SMI
+// somewhere (amplification → n), long supersteps absorb concurrent
+// stalls (amplification → 1).
+func (b BSP) ExpectedTime(s Schedule) sim.Time {
+	cycle := float64(s.Period + s.Duration)
+	if cycle <= 0 {
+		return b.BaseTime()
+	}
+	t := float64(b.Step)
+	for i := 0; i < 200; i++ {
+		m := t / cycle
+		frac := m - math.Floor(m)
+		emax := math.Floor(m) + 1 - math.Pow(1-frac, float64(b.Nodes))
+		next := float64(b.Step) + float64(s.Duration)*emax
+		if math.Abs(next-t) < 1e-6*t {
+			t = next
+			break
+		}
+		t = next
+	}
+	return sim.Time(t * float64(b.Steps))
+}
+
+// Amplification reports the discrete model's noise amplification factor:
+// (noisy − base) / (per-node residency over the noisy runtime). It is at
+// most Nodes (every node's residency charged to everyone) and approaches
+// 1 as Step grows (absorption of concurrent stalls).
+func (b BSP) Amplification(s Schedule) float64 {
+	noisy := b.ExpectedTime(s)
+	base := b.BaseTime()
+	residency := float64(noisy) * s.DutyCycle()
+	if residency <= 0 {
+		return 0
+	}
+	amp := float64(noisy-base) / residency
+	if amp > float64(b.Nodes) {
+		amp = float64(b.Nodes)
+	}
+	return amp
+}
+
+// QuantizationPenalty estimates the extra relative cost when the total
+// runtime is short: the run cannot end mid-SMI, so expected extra delay
+// is up to half an SMI duration. Returns the expected extra fraction for
+// a run of length t.
+func (s Schedule) QuantizationPenalty(t sim.Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(s.Duration) / 2 / float64(t)
+}

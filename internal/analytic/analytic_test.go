@@ -1,0 +1,188 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/mpi"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func longSMI() Schedule {
+	return Schedule{Period: sim.Second, Duration: 105 * sim.Millisecond}
+}
+
+func TestDutyCycle(t *testing.T) {
+	s := longSMI()
+	want := 0.105 / 1.105
+	if math.Abs(s.DutyCycle()-want) > 1e-12 {
+		t.Fatalf("duty = %v, want %v", s.DutyCycle(), want)
+	}
+	if (Schedule{}).DutyCycle() != 0 {
+		t.Fatal("empty schedule should have zero duty")
+	}
+}
+
+func TestSerialSlowdownFormula(t *testing.T) {
+	s := longSMI()
+	// duty/(1-duty) = 0.105/1.0 = 10.5%.
+	if p := s.ExpectedSlowdownPct(); math.Abs(p-10.5) > 0.01 {
+		t.Fatalf("expected slowdown %v%%, want 10.5%%", p)
+	}
+	if s.SerialSlowdown(10*sim.Second) <= 10*sim.Second {
+		t.Fatal("slowdown not applied")
+	}
+	sat := Schedule{Period: 0, Duration: sim.Second}
+	if sat.SerialSlowdown(sim.Second) != sim.Forever {
+		t.Fatal("100% duty should never finish")
+	}
+	if !math.IsInf(sat.ExpectedSlowdownPct(), 1) {
+		t.Fatal("100% duty pct should be +Inf")
+	}
+}
+
+// The analytic serial prediction must match the simulator within 2% for
+// a single-node compute-bound run.
+func TestSerialModelMatchesSimulator(t *testing.T) {
+	e := sim.New(1)
+	par := cluster.Wyeast(1, false, smm.SMMLong)
+	// Fixed-duration SMIs to match the deterministic model.
+	par.Node.SMI.DurMin = 105 * sim.Millisecond
+	par.Node.SMI.DurMax = 105 * sim.Millisecond
+	par.Node.PerCPURendezvous = 0
+	cl := cluster.MustNew(e, par)
+	cl.StartSMI()
+	var measured sim.Time
+	base := 30 * sim.Second
+	ops := base.Seconds() * 2.27e9
+	cl.Nodes[0].Kernel.Spawn("w", cpu.Profile{CPI: 1}, func(tk *kernel.Task) {
+		tk.Compute(ops)
+		measured = tk.Gettime()
+		e.Stop()
+	})
+	e.Run()
+	predicted := longSMI().SerialSlowdown(base)
+	err := math.Abs(float64(measured-predicted)) / float64(predicted)
+	if err > 0.02 {
+		t.Fatalf("simulator %v vs analytic %v (%.1f%% apart)", measured, predicted, err*100)
+	}
+}
+
+func TestBSPModelBasics(t *testing.T) {
+	b := BSP{Nodes: 4, Step: 100 * sim.Millisecond, Steps: 50}
+	if b.BaseTime() != 5*sim.Second {
+		t.Fatal("base time wrong")
+	}
+	s := longSMI()
+	noisy := b.ExpectedTime(s)
+	if noisy <= b.BaseTime() {
+		t.Fatal("noise should lengthen BSP runs")
+	}
+	if noisy > b.UpperBound(s) {
+		t.Fatalf("discrete model %v above independent-extension bound %v", noisy, b.UpperBound(s))
+	}
+	// Saturated upper bound.
+	big := BSP{Nodes: 16, Step: sim.Millisecond, Steps: 10}
+	if big.UpperBound(s) != sim.Forever {
+		t.Fatal("16×9.5% duty should saturate the upper bound")
+	}
+	if big.ExpectedTime(s) == sim.Forever {
+		t.Fatal("discrete model must stay finite")
+	}
+}
+
+func TestBSPAmplificationLimits(t *testing.T) {
+	s := longSMI()
+	// Very short supersteps: amplification approaches the node count.
+	short := BSP{Nodes: 8, Step: 5 * sim.Millisecond, Steps: 1000}
+	// Very long supersteps: amplification approaches 1 (absorption).
+	long := BSP{Nodes: 8, Step: 100 * sim.Second, Steps: 1}
+	aShort := short.Amplification(s)
+	aLong := long.Amplification(s)
+	if aShort <= aLong {
+		t.Fatalf("short supersteps should amplify more: %.2f vs %.2f", aShort, aLong)
+	}
+	if aShort < 4 {
+		t.Fatalf("short-step amplification %.2f, want near 8", aShort)
+	}
+	if aLong > 1.3 {
+		t.Fatalf("long-step amplification %.2f, want near 1", aLong)
+	}
+}
+
+// The discrete BSP prediction must track the simulator for a synthetic
+// barrier-synchronized workload (mean over seeds, fixed SMI durations).
+func TestBSPModelMatchesSimulator(t *testing.T) {
+	nodes := 4
+	step := 200 * sim.Millisecond
+	steps := 40
+	stepOps := step.Seconds() * 2.27e9
+
+	var sum float64
+	seeds := []int64{1, 2, 3, 5, 8}
+	for _, seed := range seeds {
+		e := sim.New(seed)
+		par := cluster.Wyeast(nodes, false, smm.SMMLong)
+		par.Node.SMI.DurMin = 105 * sim.Millisecond
+		par.Node.SMI.DurMax = 105 * sim.Millisecond
+		par.Node.PerCPURendezvous = 0
+		cl := cluster.MustNew(e, par)
+		cl.StartSMI()
+		w := mpi.MustNewWorld(cl, 1, mpi.DefaultParams())
+		measured := w.Run(cpu.Profile{CPI: 1}, func(r *mpi.Rank, tk *kernel.Task) {
+			for i := 0; i < steps; i++ {
+				tk.Compute(stepOps)
+				r.Barrier(tk)
+			}
+		})
+		sum += measured.Seconds()
+	}
+	mean := sum / float64(len(seeds))
+
+	model := BSP{Nodes: nodes, Step: step, Steps: steps}
+	base := model.BaseTime().Seconds()
+	predicted := model.ExpectedTime(longSMI()).Seconds()
+	upper := model.UpperBound(longSMI()).Seconds()
+
+	if mean <= base {
+		t.Fatalf("mean measured %.2fs below noise-free base %.2fs", mean, base)
+	}
+	if mean > upper*1.05 {
+		t.Fatalf("mean measured %.2fs exceeds independent-extension bound %.2fs", mean, upper)
+	}
+	// The discrete model should predict the measured extra within 50%
+	// either way (phase clustering across finite seeds is noisy).
+	extraMeasured := mean - base
+	extraPredicted := predicted - base
+	ratio := extraMeasured / extraPredicted
+	if ratio < 0.5 || ratio > 1.5 {
+		t.Fatalf("measured extra %.2fs vs discrete model %.2fs (ratio %.2f)",
+			extraMeasured, extraPredicted, ratio)
+	}
+}
+
+func TestQuantizationPenalty(t *testing.T) {
+	s := longSMI()
+	if s.QuantizationPenalty(0) != 0 {
+		t.Fatal("zero-length run should have no penalty")
+	}
+	// A 1-second run can lose up to half an SMI: ~5.25%.
+	p := s.QuantizationPenalty(sim.Second)
+	if math.Abs(p-0.0525) > 1e-9 {
+		t.Fatalf("penalty %v, want 0.0525", p)
+	}
+}
+
+func TestZeroScheduleIsIdentity(t *testing.T) {
+	b := BSP{Nodes: 4, Step: sim.Second, Steps: 10}
+	if b.ExpectedTime(Schedule{}) != b.BaseTime() {
+		t.Fatal("no injection should leave runtime at base")
+	}
+	if b.Amplification(Schedule{}) != 0 {
+		t.Fatal("no injection should have zero amplification")
+	}
+}

@@ -1,0 +1,57 @@
+// Package clock provides the virtual time sources of a simulated node.
+//
+// Three clocks matter for SMI studies:
+//
+//   - The TSC keeps counting through System Management Mode. This is what
+//     the Blackbox SMI driver uses to measure SMI latency, and what
+//     hwlat-style detectors use to spot invisible gaps.
+//   - CLOCK_MONOTONIC (wall time) also keeps advancing through SMM, which
+//     is why SMM residency shows up as inflated application run time.
+//   - Jiffies are the kernel's tick counter; on the paper's systems one
+//     jiffy is one millisecond. The SMI driver's period is expressed in
+//     jiffies.
+package clock
+
+import "smistudy/internal/sim"
+
+// Node is the set of clocks on one simulated machine.
+type Node struct {
+	eng   *sim.Engine
+	hz    float64  // TSC frequency, cycles/second
+	jiffy sim.Time // duration of one jiffy
+}
+
+// New returns the clocks for a node whose TSC runs at hz cycles/second
+// with the given jiffy length.
+func New(eng *sim.Engine, hz float64, jiffy sim.Time) *Node {
+	if hz <= 0 {
+		panic("clock: non-positive TSC frequency")
+	}
+	if jiffy <= 0 {
+		panic("clock: non-positive jiffy")
+	}
+	return &Node{eng: eng, hz: hz, jiffy: jiffy}
+}
+
+// TSC reads the time-stamp counter (cycles since boot). It never stops,
+// not even in SMM.
+func (n *Node) TSC() uint64 {
+	return uint64(float64(n.eng.Now()) / float64(sim.Second) * n.hz)
+}
+
+// Monotonic reads CLOCK_MONOTONIC.
+func (n *Node) Monotonic() sim.Time { return n.eng.Now() }
+
+// Jiffies reads the kernel tick counter.
+func (n *Node) Jiffies() uint64 { return uint64(n.eng.Now() / n.jiffy) }
+
+// Jiffy reports the duration of one jiffy.
+func (n *Node) Jiffy() sim.Time { return n.jiffy }
+
+// Hz reports the TSC frequency.
+func (n *Node) Hz() float64 { return n.hz }
+
+// CyclesToTime converts a TSC cycle count to a duration.
+func (n *Node) CyclesToTime(cycles uint64) sim.Time {
+	return sim.Time(float64(cycles) / n.hz * float64(sim.Second))
+}

@@ -1,0 +1,52 @@
+package clock
+
+import (
+	"testing"
+
+	"smistudy/internal/sim"
+)
+
+func TestClocks(t *testing.T) {
+	e := sim.New(1)
+	c := New(e, 2.27e9, sim.Millisecond)
+	e.At(1*sim.Second, func() {
+		if got := c.TSC(); got != 2270000000 {
+			t.Errorf("TSC at 1s = %d, want 2.27e9", got)
+		}
+		if c.Monotonic() != sim.Second {
+			t.Errorf("Monotonic = %v", c.Monotonic())
+		}
+		if c.Jiffies() != 1000 {
+			t.Errorf("Jiffies = %d, want 1000", c.Jiffies())
+		}
+	})
+	e.Run()
+	if c.Jiffy() != sim.Millisecond || c.Hz() != 2.27e9 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestCyclesToTime(t *testing.T) {
+	e := sim.New(1)
+	c := New(e, 1e9, sim.Millisecond)
+	if got := c.CyclesToTime(1e6); got != sim.Millisecond {
+		t.Errorf("CyclesToTime(1e6) = %v, want 1ms", got)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	e := sim.New(1)
+	for _, f := range []func(){
+		func() { New(e, 0, sim.Millisecond) },
+		func() { New(e, 1e9, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid clock config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

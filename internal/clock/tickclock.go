@@ -1,0 +1,59 @@
+package clock
+
+import "smistudy/internal/sim"
+
+// StallSource reports cumulative all-core stall (SMM residency) —
+// cpu.Model satisfies it.
+type StallSource interface {
+	// Sync brings counters up to the current instant.
+	Sync()
+	// TotalStallTime is cumulative all-core stall since boot.
+	TotalStallTime() sim.Time
+}
+
+// TickClock is a tick-counted wall clock, as kept by kernels whose
+// timekeeping advances on timer interrupts (the CentOS-5-era kernels on
+// the paper's cluster). Timer interrupts cannot fire in System
+// Management Mode, so every SMI silently steals ticks: the tick clock
+// falls behind real time by exactly the SMM residency. This is the
+// "time scaling discrepancy" the prior study observed — NTP fights it,
+// interval measurements shrink, and timestamps across nodes diverge.
+type TickClock struct {
+	node *Node
+	src  StallSource
+}
+
+// NewTickClock builds a tick clock over the node's jiffy timer, losing
+// ticks whenever src reports stall.
+func (n *Node) NewTickClock(src StallSource) *TickClock {
+	return &TickClock{node: n, src: src}
+}
+
+// Time reads the tick-counted wall clock.
+func (tc *TickClock) Time() sim.Time {
+	tc.src.Sync()
+	return tc.node.Monotonic() - tc.src.TotalStallTime()
+}
+
+// Jiffies reads the tick counter (whole jiffies of tick time).
+func (tc *TickClock) Jiffies() uint64 {
+	return uint64(tc.Time() / tc.node.jiffy)
+}
+
+// Drift reports how far the tick clock lags true time (equals SMM
+// residency: the ticks lost).
+func (tc *TickClock) Drift() sim.Time {
+	tc.src.Sync()
+	return tc.src.TotalStallTime()
+}
+
+// DriftPPM reports the drift as parts-per-million of elapsed true time
+// — directly comparable to oscillator error budgets (NTP copes with
+// ~500 ppm; one 105 ms SMI per second is ~105,000 ppm).
+func (tc *TickClock) DriftPPM() float64 {
+	now := tc.node.Monotonic()
+	if now == 0 {
+		return 0
+	}
+	return float64(tc.Drift()) / float64(now) * 1e6
+}

@@ -1,0 +1,58 @@
+package clock
+
+import (
+	"testing"
+
+	"smistudy/internal/cpu"
+	"smistudy/internal/sim"
+)
+
+func tickSetup(t *testing.T) (*sim.Engine, *cpu.Model, *TickClock) {
+	t.Helper()
+	e := sim.New(1)
+	m := cpu.MustNew(e, cpu.Params{PhysCores: 2, BaseHz: 1e9, SMTEfficiency: 1})
+	n := New(e, 1e9, sim.Millisecond)
+	return e, m, n.NewTickClock(m)
+}
+
+func TestTickClockTracksQuietTime(t *testing.T) {
+	e, _, tc := tickSetup(t)
+	e.At(5*sim.Second, func() {
+		if tc.Time() != 5*sim.Second {
+			t.Errorf("tick time = %v, want 5s", tc.Time())
+		}
+		if tc.Drift() != 0 || tc.DriftPPM() != 0 {
+			t.Error("drift on a quiet machine")
+		}
+		if tc.Jiffies() != 5000 {
+			t.Errorf("jiffies = %d", tc.Jiffies())
+		}
+	})
+	e.Run()
+}
+
+func TestTickClockLosesSMMTime(t *testing.T) {
+	e, m, tc := tickSetup(t)
+	e.At(1*sim.Second, m.Stall)
+	e.At(1*sim.Second+200*sim.Millisecond, m.Unstall)
+	e.At(2*sim.Second, func() {
+		if got := tc.Drift(); got != 200*sim.Millisecond {
+			t.Errorf("drift = %v, want 200ms", got)
+		}
+		if got := tc.Time(); got != 2*sim.Second-200*sim.Millisecond {
+			t.Errorf("tick time = %v, want 1.8s", got)
+		}
+		// 200ms over 2s = 100,000 ppm.
+		if ppm := tc.DriftPPM(); ppm < 99_000 || ppm > 101_000 {
+			t.Errorf("drift ppm = %v, want ≈100000", ppm)
+		}
+	})
+	e.Run()
+}
+
+func TestDriftPPMAtBoot(t *testing.T) {
+	_, _, tc := tickSetup(t)
+	if tc.DriftPPM() != 0 {
+		t.Fatal("drift ppm at t=0 should be 0")
+	}
+}

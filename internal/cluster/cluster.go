@@ -1,0 +1,170 @@
+// Package cluster assembles complete simulated machines — processor,
+// clocks, kernel, SMM machinery — and wires any number of them to an
+// interconnect fabric. It provides presets for the two platforms in the
+// paper: the 16-node "Wyeast" Xeon E5520 cluster used for the MPI study
+// and the Dell PowerEdge R410 (Xeon E5620) used for the multithreaded
+// study.
+package cluster
+
+import (
+	"fmt"
+
+	"smistudy/internal/clock"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/netsim"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// NodeParams configures one node.
+type NodeParams struct {
+	CPU    cpu.Params
+	TSCHz  float64
+	Jiffy  sim.Time
+	Kernel kernel.Params
+	SMI    smm.DriverConfig
+	// PerCPURendezvous is the extra SMM residency per online logical
+	// CPU per SMI (context save/restore rendezvous cost).
+	PerCPURendezvous sim.Time
+}
+
+// Params configures a whole cluster.
+type Params struct {
+	Nodes  int
+	Node   NodeParams
+	Fabric netsim.Params
+}
+
+// Node is one assembled machine.
+type Node struct {
+	Index  int
+	CPU    *cpu.Model
+	Clock  *clock.Node
+	Kernel *kernel.Kernel
+	SMM    *smm.Controller
+	SMI    *smm.Driver
+}
+
+// Cluster is a set of nodes over a fabric, sharing one engine.
+type Cluster struct {
+	Eng    *sim.Engine
+	Nodes  []*Node
+	Fabric *netsim.Fabric
+}
+
+// New assembles a cluster on engine e.
+func New(e *sim.Engine, par Params) (*Cluster, error) {
+	if par.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: %d nodes", par.Nodes)
+	}
+	fabric, err := netsim.New(e, par.Nodes, par.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Eng: e, Fabric: fabric}
+	for i := 0; i < par.Nodes; i++ {
+		cpum, err := cpu.New(e, par.Node.CPU)
+		if err != nil {
+			return nil, err
+		}
+		clk := clock.New(e, par.Node.TSCHz, par.Node.Jiffy)
+		kern := kernel.New(e, cpum, clk, par.Node.Kernel)
+		ctrl := smm.NewController(e, cpum, clk)
+		ctrl.SetPerCPURendezvous(par.Node.PerCPURendezvous)
+		drv := smm.NewDriver(e, ctrl, clk, par.Node.SMI)
+		c.Nodes = append(c.Nodes, &Node{
+			Index: i, CPU: cpum, Clock: clk, Kernel: kern, SMM: ctrl, SMI: drv,
+		})
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(e *sim.Engine, par Params) *Cluster {
+	c, err := New(e, par)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// StartSMI arms the SMI driver on every node.
+func (c *Cluster) StartSMI() {
+	for _, n := range c.Nodes {
+		n.SMI.Start()
+	}
+}
+
+// StopSMI disarms every node's SMI driver.
+func (c *Cluster) StopSMI() {
+	for _, n := range c.Nodes {
+		n.SMI.Stop()
+	}
+}
+
+// TotalSMMResidency sums SMM residency over all nodes.
+func (c *Cluster) TotalSMMResidency() sim.Time {
+	var total sim.Time
+	for _, n := range c.Nodes {
+		total += n.SMM.Stats().TotalResidency
+	}
+	return total
+}
+
+// Wyeast returns the parameters of the paper's MPI-study cluster: nodes
+// with a quad-core Xeon E5520 at 2.27 GHz (HTT configurable), CentOS-era
+// kernel costs, gigabit fabric, and the requested SMI configuration. The
+// paper's driver fires one SMI per second (period 1000 jiffies, 1 ms
+// jiffy).
+func Wyeast(nodes int, htt bool, level smm.Level) Params {
+	return Params{
+		Nodes: nodes,
+		Node: NodeParams{
+			CPU: cpu.Params{
+				PhysCores:     4,
+				HTT:           htt,
+				BaseHz:        2.27e9,
+				MissPenalty:   180,
+				MemBandwidth:  4.2e8, // ~27 GB/s ÷ 64 B lines
+				SMTEfficiency: 0.9,
+			},
+			TSCHz:  2.27e9,
+			Jiffy:  sim.Millisecond,
+			Kernel: kernel.DefaultParams(),
+			SMI: smm.DriverConfig{
+				Level:         level,
+				PeriodJiffies: 1000,
+				PhaseJitter:   true,
+			},
+			PerCPURendezvous: 400 * sim.Microsecond,
+		},
+		Fabric: netsim.GigabitEthernet(),
+	}
+}
+
+// R410 returns the parameters of the paper's multithreaded-study machine:
+// a Dell PowerEdge R410 with a quad-core Xeon E5620 at 2.4 GHz with HTT,
+// running a tickless Fedora kernel. SMI level and period are provided by
+// the experiment (the Convolve/UnixBench studies sweep the period).
+func R410(smi smm.DriverConfig) Params {
+	return Params{
+		Nodes: 1,
+		Node: NodeParams{
+			CPU: cpu.Params{
+				PhysCores:     4,
+				HTT:           true,
+				BaseHz:        2.4e9,
+				MissPenalty:   180,
+				MemBandwidth:  3.0e8, // ~19 GB/s of 64 B lines
+				SMTEfficiency: 0.9,
+			},
+			TSCHz:            2.4e9,
+			Jiffy:            sim.Millisecond,
+			Kernel:           kernel.DefaultParams(),
+			SMI:              smi,
+			PerCPURendezvous: 400 * sim.Microsecond,
+		},
+		Fabric: netsim.GigabitEthernet(),
+	}
+}

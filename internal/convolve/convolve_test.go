@@ -1,0 +1,273 @@
+package convolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smistudy/internal/cache"
+	"smistudy/internal/cluster"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// --- real convolution ----------------------------------------------------
+
+func identityKernel(n int) *Matrix {
+	q := NewMatrix(n, n)
+	q.Set(n/2, n/2, 1)
+	return q
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomMatrix(rng, 16, 20)
+	r, err := Convolve(p, identityKernel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			if r.At(i, j) != p.At(i, j) {
+				t.Fatalf("identity convolution changed (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestConvolveBoxBlur(t *testing.T) {
+	// All-ones 3x3 kernel over an all-ones image: interior sums are 9,
+	// corners 4, edges 6.
+	p := NewMatrix(5, 5)
+	q := NewMatrix(3, 3)
+	for i := range p.Data {
+		p.Data[i] = 1
+	}
+	for i := range q.Data {
+		q.Data[i] = 1
+	}
+	r, err := Convolve(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(2, 2) != 9 {
+		t.Errorf("interior = %v, want 9", r.At(2, 2))
+	}
+	if r.At(0, 0) != 4 {
+		t.Errorf("corner = %v, want 4", r.At(0, 0))
+	}
+	if r.At(0, 2) != 6 {
+		t.Errorf("edge = %v, want 6", r.At(0, 2))
+	}
+}
+
+func TestConvolveKernelValidation(t *testing.T) {
+	p := NewMatrix(4, 4)
+	if _, err := Convolve(p, NewMatrix(2, 3)); err == nil {
+		t.Error("non-square kernel accepted")
+	}
+	if _, err := Convolve(p, NewMatrix(4, 4)); err == nil {
+		t.Error("even kernel accepted")
+	}
+	if _, err := ConvolveParallel(p, identityKernel(3), 0, 2); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	prop := func(seed int64, blockSize8, threads8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomMatrix(rng, 13, 17)
+		q := randomMatrix(rng, 5, 5)
+		serial, err := Convolve(p, q)
+		if err != nil {
+			return false
+		}
+		par, err := ConvolveParallel(p, q, int(blockSize8%7)+1, int(threads8%9))
+		if err != nil {
+			return false
+		}
+		for i := range serial.Data {
+			if math.Abs(serial.Data[i]-par.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- configurations ------------------------------------------------------
+
+func TestPaperConfigGeometry(t *testing.T) {
+	cf := CacheFriendly()
+	cu := CacheUnfriendly()
+	if mp := cf.ImageW * cf.ImageH; mp < 450_000 || mp > 550_000 {
+		t.Errorf("CF image = %d px, want ≈0.5 MP", mp)
+	}
+	if mp := cu.ImageW * cu.ImageH; mp != 16*1024*1024 {
+		t.Errorf("CU image = %d px, want 16 MP", mp)
+	}
+	if cu.Blocks() != 16 {
+		t.Errorf("CU blocks = %d, want 16 (1 MP subimages)", cu.Blocks())
+	}
+	if cf.Blocks() != 176*176 {
+		t.Errorf("CF blocks = %d, want %d", cf.Blocks(), 176*176)
+	}
+	if cf.KernelSize != 61 || cu.KernelSize != 3 {
+		t.Error("kernel sizes do not match the paper")
+	}
+	if cf.MaxThreads != 24 || cu.MaxThreads != 24 {
+		t.Error("paper limits threads to 24")
+	}
+}
+
+func TestMissRatesMatchCachegrind(t *testing.T) {
+	h := cache.R410Node()
+	cf := CacheFriendly().MeasuredMissRate(h)
+	cu := CacheUnfriendly().MeasuredMissRate(h)
+	if cf > 0.02 {
+		t.Errorf("CF measured miss rate = %.3f, want ≈0.01 or below", cf)
+	}
+	if cu < 0.55 || cu > 0.85 {
+		t.Errorf("CU measured miss rate = %.3f, want ≈0.70", cu)
+	}
+}
+
+func TestProfileDerivation(t *testing.T) {
+	h := cache.R410Node()
+	cu := CacheUnfriendly().Profile(h)
+	if cu.MemMissRate <= cu.MissRate {
+		t.Error("CU bandwidth traffic should exceed stalling misses (prefetch)")
+	}
+	if cu.MissRateShared < cu.MissRate {
+		t.Error("shared miss rate below solo")
+	}
+	cf := CacheFriendly().Profile(h)
+	if cf.MissRate >= cu.MissRate {
+		t.Error("CF should stall less than CU")
+	}
+}
+
+// --- simulator workload --------------------------------------------------
+
+func runOn(t *testing.T, cfg Config, cpus int, smi smm.DriverConfig, seed int64) Result {
+	t.Helper()
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.R410(smi))
+	if err := cl.Nodes[0].Kernel.OnlineCPUs(cpus); err != nil {
+		t.Fatal(err)
+	}
+	cl.StartSMI()
+	return RunSim(cl, cfg)
+}
+
+func fastCF() Config {
+	c := CacheFriendly()
+	c.Passes = 5
+	return c
+}
+
+func fastCU() Config {
+	c := CacheUnfriendly()
+	c.Passes = 5
+	return c
+}
+
+func TestRunSimCompletes(t *testing.T) {
+	res := runOn(t, fastCF(), 4, smm.DriverConfig{}, 1)
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if len(res.PassTimes) != 5 {
+		t.Fatalf("pass times = %d, want 5", len(res.PassTimes))
+	}
+	if res.Threads != 24 {
+		t.Fatalf("threads = %d, want 24", res.Threads)
+	}
+	if res.MeanPass() <= 0 {
+		t.Fatal("mean pass non-positive")
+	}
+}
+
+func TestCUUsesOneThreadPerBlock(t *testing.T) {
+	res := runOn(t, fastCU(), 4, smm.DriverConfig{}, 1)
+	if res.Threads != 16 {
+		t.Fatalf("CU threads = %d, want 16 (one per megapixel block)", res.Threads)
+	}
+}
+
+func TestMoreCPUsFaster(t *testing.T) {
+	one := runOn(t, fastCF(), 1, smm.DriverConfig{}, 1).Elapsed
+	four := runOn(t, fastCF(), 4, smm.DriverConfig{}, 1).Elapsed
+	if four >= one {
+		t.Fatalf("4 CPUs (%v) not faster than 1 (%v)", four, one)
+	}
+	r := float64(one) / float64(four)
+	if r < 3 {
+		t.Fatalf("CF speedup 1→4 CPUs = %.2f, want ≈4", r)
+	}
+}
+
+func TestCUBandwidthBoundNoHTTBenefit(t *testing.T) {
+	four := runOn(t, fastCU(), 4, smm.DriverConfig{}, 1).Elapsed
+	eight := runOn(t, fastCU(), 8, smm.DriverConfig{}, 1).Elapsed
+	gain := float64(four)/float64(eight) - 1
+	if gain > 0.15 {
+		t.Fatalf("CU gained %.0f%% from HTT; paper says it did not benefit greatly", gain*100)
+	}
+}
+
+func TestCFLittleHTTBenefit(t *testing.T) {
+	four := runOn(t, fastCF(), 4, smm.DriverConfig{}, 1).Elapsed
+	eight := runOn(t, fastCF(), 8, smm.DriverConfig{}, 1).Elapsed
+	gain := float64(four)/float64(eight) - 1
+	if gain > 0.25 {
+		t.Fatalf("CF gained %.0f%% from HTT; paper reports minimal benefit", gain*100)
+	}
+	if gain < -0.1 {
+		t.Fatalf("CF slowed down %.0f%% with HTT", -gain*100)
+	}
+}
+
+func TestFrequentLongSMIsHurt(t *testing.T) {
+	quiet := runOn(t, fastCF(), 4, smm.DriverConfig{}, 1).Elapsed
+	noisy := runOn(t, fastCF(), 4, smm.DriverConfig{
+		Level: smm.SMMLong, PeriodJiffies: 200, PhaseJitter: true,
+	}, 1).Elapsed
+	slowdown := float64(noisy)/float64(quiet) - 1
+	// The driver re-arms after each handler: cycle ≈ 105+200 ms →
+	// ≈34% duty cycle → ≈50% slowdown.
+	if slowdown < 0.35 {
+		t.Fatalf("long SMIs at 200ms cost only %.0f%%, want ≈50%%", slowdown*100)
+	}
+}
+
+func TestInfrequentSMIsNegligible(t *testing.T) {
+	quiet := runOn(t, fastCF(), 4, smm.DriverConfig{}, 1).Elapsed
+	rare := runOn(t, fastCF(), 4, smm.DriverConfig{
+		Level: smm.SMMLong, PeriodJiffies: 1500, PhaseJitter: true,
+	}, 1).Elapsed
+	slowdown := float64(rare)/float64(quiet) - 1
+	if slowdown > 0.15 {
+		t.Fatalf("1500ms-interval SMIs cost %.0f%%, paper shows minimal impact beyond 600ms", slowdown*100)
+	}
+}
+
+func TestBlockOps(t *testing.T) {
+	c := Config{SubW: 4, SubH: 4, KernelSize: 3}
+	if got := c.BlockOps(); got != 4*4*9*2 {
+		t.Fatalf("BlockOps = %v", got)
+	}
+}

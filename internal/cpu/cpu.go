@@ -1,0 +1,650 @@
+// Package cpu models a multicore, optionally hyper-threaded processor
+// executing compute-bound thread work under piecewise-constant rates.
+//
+// The model tracks, for every runnable thread, an outstanding compute job
+// (a number of abstract operations). Threads are assigned to online
+// logical CPUs the way Linux spreads load: across physical cores first,
+// hyper-threaded siblings second. Each thread then progresses at a rate
+// determined by its workload profile (CPI, cache miss rate), sibling
+// contention for issue slots, the node's memory-bandwidth ceiling, and —
+// crucially for this study — whether the processor is currently stalled in
+// System Management Mode (rate zero for every logical CPU).
+//
+// Whenever anything changes (job arrives or finishes, SMI begins or ends,
+// a CPU is onlined or offlined) the model integrates progress since the
+// last change and recomputes rates, scheduling a completion event for the
+// next job to finish. This gives exact piecewise-linear progress without
+// per-timeslice events.
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smistudy/internal/sim"
+)
+
+// Params configures a node's processor.
+type Params struct {
+	PhysCores int     // number of physical cores
+	HTT       bool    // expose two logical CPUs per physical core
+	BaseHz    float64 // core clock in cycles/second
+
+	// MissPenalty is the average stall, in cycles, per cache miss.
+	MissPenalty float64
+	// MemBandwidth is the node-wide ceiling on cache misses per second
+	// (models DRAM bandwidth saturation). Zero means unlimited.
+	MemBandwidth float64
+	// SMTEfficiency derates issue throughput when both hyper-threaded
+	// siblings are busy (front-end sharing losses). 1 means ideal
+	// slot-filling; Nehalem-class parts are around 0.9.
+	SMTEfficiency float64
+}
+
+// Validate reports whether the parameters describe a usable processor.
+func (p Params) Validate() error {
+	if p.PhysCores <= 0 {
+		return fmt.Errorf("cpu: PhysCores = %d, need > 0", p.PhysCores)
+	}
+	if p.BaseHz <= 0 {
+		return fmt.Errorf("cpu: BaseHz = %v, need > 0", p.BaseHz)
+	}
+	if p.MissPenalty < 0 {
+		return fmt.Errorf("cpu: negative MissPenalty")
+	}
+	if p.SMTEfficiency <= 0 || p.SMTEfficiency > 1 {
+		return fmt.Errorf("cpu: SMTEfficiency = %v, need (0,1]", p.SMTEfficiency)
+	}
+	return nil
+}
+
+// Profile describes how a thread's instruction stream behaves on the core.
+type Profile struct {
+	// CPI is the cycles per operation when all references hit cache.
+	CPI float64
+	// MissRate is the rate of *stalling* cache misses per operation
+	// with the thread alone on its physical core (misses the prefetcher
+	// and out-of-order engine cannot hide).
+	MissRate float64
+	// MissRateShared is the stalling miss rate when the thread shares
+	// its physical core's cache with a hyper-threaded sibling. Must be
+	// ≥ MissRate; zero means "same as MissRate".
+	MissRateShared float64
+	// MemMissRate is the total memory traffic per operation (cache
+	// lines fetched, stalling or prefetched) counted against the node's
+	// memory-bandwidth ceiling. Zero means "same as the stalling rate".
+	MemMissRate float64
+}
+
+func (p Profile) sharedMiss() float64 {
+	if p.MissRateShared > p.MissRate {
+		return p.MissRateShared
+	}
+	return p.MissRate
+}
+
+// soloOpsPerCycle returns ops/cycle for the profile running alone, with
+// the given miss rate. It doubles as the thread's issue-slot demand: one
+// op occupies one issue slot, so a thread at u ops/cycle leaves (1-u) of
+// the core's slots — latency stalls, dependency bubbles, cache misses —
+// for a hyper-threaded sibling to fill.
+func soloOpsPerCycle(cpi, miss, penalty float64) float64 {
+	return 1 / (cpi + miss*penalty)
+}
+
+// Logical is one schedulable CPU as seen by the OS.
+type Logical struct {
+	ID     int // 0..n-1, Linux-style: IDs [0,phys) are sibling 0, [phys,2*phys) sibling 1
+	Phys   int
+	Sib    int // 0 or 1
+	online bool
+
+	threads []*Thread // runnable threads currently assigned here
+	busy    sim.Time  // accumulated busy time (≥1 thread assigned, not stalled)
+}
+
+// Online reports whether the logical CPU is schedulable.
+func (l *Logical) Online() bool { return l.online }
+
+// Thread is a schedulable entity with compute demand.
+type Thread struct {
+	id    int
+	name  string
+	prof  Profile
+	model *Model
+	pin   int // logical CPU the thread is pinned to, -1 if unpinned
+
+	job     *job
+	cpu     *Logical // current assignment, nil if none
+	rate    float64  // current ops/sec
+	osShare float64  // current share of a CPU as the OS accounts it
+
+	// Accounting. OSTime is what the simulated kernel would charge the
+	// thread (it cannot see SMM stalls); TrueTime is time the thread
+	// actually made progress. The difference is SMM misattribution.
+	osTime   sim.Time
+	trueTime sim.Time
+	done     float64 // total ops completed
+}
+
+type job struct {
+	remaining float64
+	total     float64
+	onDone    func()
+}
+
+// Model is the processor of one node.
+type Model struct {
+	eng      *sim.Engine
+	par      Params
+	logical  []*Logical
+	threads  map[*Thread]struct{}
+	runnable []*Thread
+
+	stalled    bool
+	stallDepth int
+	stallTime  sim.Time // accumulated all-core stall
+
+	lastUpdate sim.Time
+	completion *sim.Event
+	nextTID    int
+}
+
+// New builds a processor model attached to engine e. With HTT enabled the
+// model exposes 2×PhysCores logical CPUs, numbered like Linux: CPU i and
+// CPU i+PhysCores are siblings on physical core i. All CPUs start online.
+func New(e *sim.Engine, par Params) (*Model, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		eng:     e,
+		par:     par,
+		threads: make(map[*Thread]struct{}),
+	}
+	n := par.PhysCores
+	if par.HTT {
+		n *= 2
+	}
+	for i := 0; i < n; i++ {
+		m.logical = append(m.logical, &Logical{
+			ID:     i,
+			Phys:   i % par.PhysCores,
+			Sib:    i / par.PhysCores,
+			online: true,
+		})
+	}
+	m.lastUpdate = e.Now()
+	return m, nil
+}
+
+// MustNew is New but panics on invalid parameters.
+func MustNew(e *sim.Engine, par Params) *Model {
+	m, err := New(e, par)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the processor configuration.
+func (m *Model) Params() Params { return m.par }
+
+// NumLogical reports the number of logical CPUs (online or not).
+func (m *Model) NumLogical() int { return len(m.logical) }
+
+// NumOnline reports the number of online logical CPUs.
+func (m *Model) NumOnline() int {
+	n := 0
+	for _, l := range m.logical {
+		if l.online {
+			n++
+		}
+	}
+	return n
+}
+
+// Logical returns logical CPU id.
+func (m *Model) Logical(id int) *Logical { return m.logical[id] }
+
+// SetOnline onlines or offlines a logical CPU, like writing to
+// /sys/devices/system/cpu/cpuN/online. Offlining a CPU migrates its
+// threads elsewhere at the next reschedule.
+func (m *Model) SetOnline(id int, online bool) error {
+	if id < 0 || id >= len(m.logical) {
+		return fmt.Errorf("cpu: no logical cpu %d", id)
+	}
+	if m.logical[id].online == online {
+		return nil
+	}
+	m.reconfigure(func() { m.logical[id].online = online })
+	return nil
+}
+
+// OnlineFirst onlines exactly n logical CPUs in the order the paper's
+// methodology does: physical cores first (all siblings offlined), then
+// hyper-threaded siblings. Returns an error if n is out of range.
+func (m *Model) OnlineFirst(n int) error {
+	if n < 1 || n > len(m.logical) {
+		return fmt.Errorf("cpu: cannot online %d of %d CPUs", n, len(m.logical))
+	}
+	order := m.schedOrder()
+	m.reconfigure(func() {
+		for i, l := range order {
+			l.online = i < n
+		}
+	})
+	return nil
+}
+
+// schedOrder returns all logical CPUs sorted sibling-0 cores first, so
+// assignment spreads across physical cores before doubling up.
+func (m *Model) schedOrder() []*Logical {
+	order := make([]*Logical, len(m.logical))
+	copy(order, m.logical)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Sib != order[j].Sib {
+			return order[i].Sib < order[j].Sib
+		}
+		return order[i].Phys < order[j].Phys
+	})
+	return order
+}
+
+// NewThread registers a thread with the given workload profile.
+func (m *Model) NewThread(name string, prof Profile) *Thread {
+	m.nextTID++
+	t := &Thread{id: m.nextTID, name: name, prof: prof, model: m, pin: -1}
+	m.threads[t] = struct{}{}
+	return t
+}
+
+// Pin restricts a thread to one logical CPU (sched_setaffinity with a
+// single-CPU mask). If the CPU is offline when scheduling happens, the
+// thread falls back to normal placement, like Linux does when an
+// affinity mask becomes empty.
+func (m *Model) Pin(t *Thread, logicalID int) error {
+	if logicalID < 0 || logicalID >= len(m.logical) {
+		return fmt.Errorf("cpu: no logical cpu %d", logicalID)
+	}
+	m.reconfigure(func() { t.pin = logicalID })
+	return nil
+}
+
+// Unpin removes a thread's affinity restriction.
+func (m *Model) Unpin(t *Thread) {
+	m.reconfigure(func() { t.pin = -1 })
+}
+
+// Remove unregisters a thread. Any outstanding job is abandoned.
+func (m *Model) Remove(t *Thread) {
+	m.reconfigure(func() {
+		t.job = nil
+		delete(m.threads, t)
+	})
+}
+
+// SetProfile changes a thread's workload profile (takes effect at once).
+func (m *Model) SetProfile(t *Thread, prof Profile) {
+	m.reconfigure(func() { t.prof = prof })
+}
+
+// StartCompute enqueues ops operations for thread t; onDone fires (as an
+// engine event) when they complete. A thread can have one job at a time.
+func (m *Model) StartCompute(t *Thread, ops float64, onDone func()) {
+	if t.job != nil {
+		panic(fmt.Sprintf("cpu: thread %q already computing", t.name))
+	}
+	if ops <= 0 {
+		// Degenerate job: complete immediately (still via event for
+		// deterministic ordering).
+		m.eng.At(m.eng.Now(), onDone)
+		return
+	}
+	m.reconfigure(func() {
+		t.job = &job{remaining: ops, total: ops, onDone: onDone}
+	})
+}
+
+// Compute runs ops operations on t, blocking the calling process until
+// the work completes.
+func (t *Thread) Compute(p *sim.Proc, ops float64) {
+	wake, wait := p.Wait()
+	t.model.StartCompute(t, ops, func() { wake(nil) })
+	wait()
+}
+
+// Stall freezes every logical CPU (System Management Mode entry). Nested
+// stalls are reference-counted; the processor resumes when every Stall has
+// been matched by an Unstall.
+func (m *Model) Stall() {
+	m.reconfigure(func() {
+		m.stallDepth++
+		m.stalled = true
+	})
+}
+
+// Unstall releases one Stall.
+func (m *Model) Unstall() {
+	m.reconfigure(func() {
+		if m.stallDepth > 0 {
+			m.stallDepth--
+		}
+		m.stalled = m.stallDepth > 0
+	})
+}
+
+// Stalled reports whether the processor is currently in SMM.
+func (m *Model) Stalled() bool { return m.stalled }
+
+// TotalStallTime reports accumulated all-core stall time.
+func (m *Model) TotalStallTime() sim.Time { return m.stallTime }
+
+// OSTime reports the CPU time the kernel would account to t (including
+// invisible SMM residency).
+func (t *Thread) OSTime() sim.Time { return t.osTime }
+
+// TrueTime reports the CPU time during which t actually progressed.
+func (t *Thread) TrueTime() sim.Time { return t.trueTime }
+
+// OpsDone reports the total operations t has completed.
+func (t *Thread) OpsDone() float64 { return t.done }
+
+// Name reports the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Busy reports logical CPU l's accumulated non-idle, non-stalled time.
+func (l *Logical) Busy() sim.Time { return l.busy }
+
+// Threads returns the runnable threads currently assigned to l (valid
+// until the next reschedule; callers that need an up-to-date view should
+// call Model.Sync first).
+func (l *Logical) Threads() []*Thread {
+	out := make([]*Thread, len(l.threads))
+	copy(out, l.threads)
+	return out
+}
+
+// reconfigure integrates progress up to now, applies mutate, recomputes
+// assignments and rates, completes finished jobs, and schedules the next
+// completion event.
+func (m *Model) reconfigure(mutate func()) {
+	m.advance()
+	if mutate != nil {
+		mutate()
+	}
+	m.finishJobs()
+	m.assign()
+	m.rates()
+	m.scheduleCompletion()
+}
+
+// advance integrates job progress and accounting from lastUpdate to now.
+func (m *Model) advance() {
+	now := m.eng.Now()
+	dt := now - m.lastUpdate
+	m.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	fdt := float64(dt) / float64(sim.Second)
+	if m.stalled {
+		m.stallTime += dt
+	}
+	for _, t := range m.runnable {
+		if t.job == nil || t.cpu == nil {
+			continue
+		}
+		t.job.remaining -= t.rate * fdt
+		t.done += t.rate * fdt
+		// The kernel charges the thread for its schedule share of the
+		// wall time, SMM included; true time only accrues when the
+		// thread can actually execute.
+		t.osTime += sim.Time(float64(dt) * t.osShare)
+		if !m.stalled {
+			t.trueTime += sim.Time(float64(dt) * t.osShare)
+		}
+	}
+	if !m.stalled {
+		for _, l := range m.logical {
+			if l.online && len(l.threads) > 0 {
+				l.busy += dt
+			}
+		}
+	}
+}
+
+// finishJobs completes jobs whose remaining work reached zero. Threads
+// are visited in id order so completion callbacks fire deterministically.
+func (m *Model) finishJobs() {
+	var finished []*Thread
+	for t := range m.threads {
+		if t.job != nil && t.job.remaining <= completionSlack(t.job.total) {
+			finished = append(finished, t)
+		}
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	for _, t := range finished {
+		done := t.job.onDone
+		t.job = nil
+		if done != nil {
+			m.eng.At(m.eng.Now(), done)
+		}
+	}
+}
+
+// completionSlack is the op tolerance under which a job counts as done,
+// absorbing float rounding from rate integration.
+func completionSlack(total float64) float64 {
+	s := total * 1e-12
+	if s < 1e-6 {
+		s = 1e-6
+	}
+	return s
+}
+
+// assign distributes runnable threads over online logical CPUs,
+// physical-cores-first, round-robin.
+func (m *Model) assign() {
+	var online []*Logical
+	for _, l := range m.schedOrder() {
+		l.threads = l.threads[:0]
+		if l.online {
+			online = append(online, l)
+		}
+	}
+	m.runnable = m.runnable[:0]
+	for t := range m.threads {
+		t.cpu = nil
+		t.rate = 0
+		t.osShare = 0
+		if t.job != nil {
+			m.runnable = append(m.runnable, t)
+		}
+	}
+	sort.Slice(m.runnable, func(i, j int) bool { return m.runnable[i].id < m.runnable[j].id })
+	if len(online) == 0 {
+		return
+	}
+	// Pinned threads first: they go exactly where their mask says (if
+	// that CPU is online).
+	var unpinned []*Thread
+	for _, t := range m.runnable {
+		if t.pin >= 0 && m.logical[t.pin].online {
+			l := m.logical[t.pin]
+			l.threads = append(l.threads, t)
+			t.cpu = l
+			continue
+		}
+		unpinned = append(unpinned, t)
+	}
+	// Everyone else to the least-loaded online CPU, physical cores
+	// first (ties resolve in sched order, keeping placement stable and
+	// deterministic).
+	for _, t := range unpinned {
+		best := online[0]
+		for _, l := range online[1:] {
+			if len(l.threads) < len(best.threads) {
+				best = l
+			}
+		}
+		best.threads = append(best.threads, t)
+		t.cpu = best
+	}
+}
+
+// rates computes each runnable thread's ops/sec under the current
+// assignment, sibling contention, bandwidth ceiling, and stall state.
+func (m *Model) rates() {
+	if m.stalled {
+		for _, t := range m.runnable {
+			t.rate = 0
+			if t.cpu != nil {
+				t.osShare = 1 / float64(len(t.cpu.threads))
+			}
+		}
+		return
+	}
+	// Pass 1: issue-slot shares per physical core.
+	for _, t := range m.runnable {
+		if t.cpu == nil {
+			continue
+		}
+		l := t.cpu
+		sib := m.sibling(l)
+		sibBusy := sib != nil && sib.online && len(sib.threads) > 0
+		miss := t.prof.MissRate
+		if sibBusy {
+			miss = t.prof.sharedMiss()
+		}
+		n := float64(len(l.threads))
+		t.osShare = 1 / n
+		if !sibBusy {
+			// Whole core to this logical CPU; timeslice among threads.
+			t.rate = m.par.BaseHz * soloOpsPerCycle(t.prof.CPI, miss, m.par.MissPenalty) / n
+			continue
+		}
+		// Both siblings busy: this thread's issue-slot demand and the
+		// sibling's average demand compete. A thread keeps its own
+		// slots minus half of the overlap, derated by SMT front-end
+		// efficiency, and cannot exceed its solo rate.
+		u := soloOpsPerCycle(t.prof.CPI, miss, m.par.MissPenalty)
+		us := m.avgOpsPerCycle(sib)
+		opsPerCycle := m.par.SMTEfficiency * u * (1 - us/2)
+		if opsPerCycle > u {
+			opsPerCycle = u
+		}
+		t.rate = m.par.BaseHz * opsPerCycle / n
+	}
+	// Pass 2: memory bandwidth ceiling.
+	if m.par.MemBandwidth > 0 {
+		demand := 0.0
+		for _, t := range m.runnable {
+			demand += t.rate * m.effMiss(t)
+		}
+		if demand > m.par.MemBandwidth {
+			scale := m.par.MemBandwidth / demand
+			for _, t := range m.runnable {
+				if m.effMiss(t) > 1e-6 {
+					t.rate *= scale
+				}
+			}
+		}
+	}
+}
+
+// effMiss is the thread's memory-traffic rate per op for bandwidth
+// accounting: MemMissRate when set, otherwise the stalling miss rate
+// under the current cache-sharing state.
+func (m *Model) effMiss(t *Thread) float64 {
+	if t.prof.MemMissRate > 0 {
+		return t.prof.MemMissRate
+	}
+	if t.cpu == nil {
+		return t.prof.MissRate
+	}
+	sib := m.sibling(t.cpu)
+	if sib != nil && sib.online && len(sib.threads) > 0 {
+		return t.prof.sharedMiss()
+	}
+	return t.prof.MissRate
+}
+
+// avgOpsPerCycle is the average issue-slot demand of the threads on
+// logical CPU l (each runs 1/n of the time, so the time-averaged demand
+// is the mean).
+func (m *Model) avgOpsPerCycle(l *Logical) float64 {
+	if len(l.threads) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range l.threads {
+		sum += soloOpsPerCycle(t.prof.CPI, t.prof.sharedMiss(), m.par.MissPenalty)
+	}
+	return sum / float64(len(l.threads))
+}
+
+func (m *Model) sibling(l *Logical) *Logical {
+	if !m.par.HTT {
+		return nil
+	}
+	if l.Sib == 0 {
+		return m.logical[l.ID+m.par.PhysCores]
+	}
+	return m.logical[l.ID-m.par.PhysCores]
+}
+
+// scheduleCompletion arms an event for the earliest job completion.
+func (m *Model) scheduleCompletion() {
+	if m.completion != nil {
+		m.eng.Cancel(m.completion)
+		m.completion = nil
+	}
+	best := sim.Forever
+	for _, t := range m.runnable {
+		if t.job == nil || t.rate <= 0 {
+			continue
+		}
+		sec := t.job.remaining / t.rate
+		at := m.eng.Now() + sim.Time(math.Ceil(sec*float64(sim.Second)))
+		if at <= m.eng.Now() {
+			at = m.eng.Now() + 1
+		}
+		if at < best {
+			best = at
+		}
+	}
+	if best != sim.Forever {
+		m.completion = m.eng.At(best, func() {
+			m.completion = nil
+			m.reconfigure(nil)
+		})
+	}
+}
+
+// Sync integrates progress and accounting up to the current instant so
+// counters (Busy, TotalStallTime, per-thread times) are exact when read
+// between events.
+func (m *Model) Sync() { m.reconfigure(nil) }
+
+// Utilization reports the mean busy fraction of online logical CPUs over
+// the elapsed simulation time (0 if no time has passed).
+func (m *Model) Utilization() float64 {
+	now := m.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, l := range m.logical {
+		if l.online {
+			sum += float64(l.busy) / float64(now)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,532 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smistudy/internal/sim"
+)
+
+// testParams is a simple 4-core HTT processor at 1 GHz.
+func testParams() Params {
+	return Params{
+		PhysCores:     4,
+		HTT:           true,
+		BaseHz:        1e9,
+		MissPenalty:   100,
+		SMTEfficiency: 0.9,
+	}
+}
+
+// cpuProfile is a pure compute workload: 1 cycle/op, no misses.
+var cpuProfile = Profile{CPI: 1}
+
+func TestValidate(t *testing.T) {
+	cases := []Params{
+		{},
+		{PhysCores: 1},
+		{PhysCores: 1, BaseHz: 1e9, MissPenalty: -1, SMTEfficiency: 1},
+		{PhysCores: 1, BaseHz: 1e9, SMTEfficiency: 0},
+		{PhysCores: 1, BaseHz: 1e9, SMTEfficiency: 1.5},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if err := testParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestSingleThreadComputeTime(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	var doneAt sim.Time
+	m.StartCompute(th, 1e9, func() { doneAt = e.Now() }) // 1e9 ops at 1e9 ops/s = 1s
+	e.Run()
+	if math.Abs(doneAt.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("1e9 ops at 1GHz took %v, want 1s", doneAt)
+	}
+	if math.Abs(th.OpsDone()-1e9) > 1 {
+		t.Fatalf("ops done = %v, want 1e9", th.OpsDone())
+	}
+}
+
+func TestMissPenaltySlowsThread(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", Profile{CPI: 1, MissRate: 0.01})
+	var doneAt sim.Time
+	m.StartCompute(th, 1e9, func() { doneAt = e.Now() })
+	e.Run()
+	// Effective CPI = 1 + 0.01*100 = 2 → 2 s.
+	if math.Abs(doneAt.Seconds()-2.0) > 1e-6 {
+		t.Fatalf("missy thread took %v, want 2s", doneAt)
+	}
+}
+
+func TestThreadsSpreadAcrossPhysicalCoresFirst(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	// 4 threads on 4 phys × 2 logical: each should get its own physical
+	// core, i.e. run at full solo speed.
+	var finished []sim.Time
+	for i := 0; i < 4; i++ {
+		th := m.NewThread("t", cpuProfile)
+		m.StartCompute(th, 1e9, func() { finished = append(finished, e.Now()) })
+	}
+	e.Run()
+	for _, at := range finished {
+		if math.Abs(at.Seconds()-1.0) > 1e-6 {
+			t.Fatalf("thread finished at %v, want 1s (no sibling contention with 4 threads)", at)
+		}
+	}
+}
+
+func TestHTTContentionForComputeBound(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	// 8 compute-bound threads on 4 phys cores: siblings share issue
+	// slots. For CPI=1, no-miss threads, b=1, each sibling gets
+	// eff*b*(1-b/2) = 0.9*0.5 = 0.45 ops/cycle → ~2.22s.
+	var finished []sim.Time
+	for i := 0; i < 8; i++ {
+		th := m.NewThread("t", cpuProfile)
+		m.StartCompute(th, 1e9, func() { finished = append(finished, e.Now()) })
+	}
+	e.Run()
+	if len(finished) != 8 {
+		t.Fatalf("finished %d of 8", len(finished))
+	}
+	want := 1 / 0.45
+	for _, at := range finished {
+		if math.Abs(at.Seconds()-want) > 1e-3 {
+			t.Fatalf("HTT-contended thread took %v, want %.3fs", at, want)
+		}
+	}
+}
+
+func TestHTTBenefitsStallHeavyThreads(t *testing.T) {
+	// Total throughput of 2 miss-heavy threads on one physical core
+	// should exceed 1.2× a single such thread (stall cycles filled),
+	// while compute-bound pairs gain nothing.
+	run := func(prof Profile, threads int) float64 {
+		e := sim.New(1)
+		m := MustNew(e, Params{PhysCores: 1, HTT: true, BaseHz: 1e9, MissPenalty: 100, SMTEfficiency: 0.9})
+		var last sim.Time
+		for i := 0; i < threads; i++ {
+			th := m.NewThread("t", prof)
+			m.StartCompute(th, 1e8, func() { last = e.Now() })
+		}
+		e.Run()
+		return float64(threads) * 1e8 / last.Seconds() // aggregate ops/s
+	}
+	missy := Profile{CPI: 1, MissRate: 0.02} // b = 1/3
+	soloTP := run(missy, 1)
+	pairTP := run(missy, 2)
+	if pairTP < 1.2*soloTP {
+		t.Errorf("stall-heavy pair throughput %.3g not > 1.2× solo %.3g", pairTP, soloTP)
+	}
+	soloC := run(cpuProfile, 1)
+	pairC := run(cpuProfile, 2)
+	if pairC > 1.0*soloC {
+		t.Errorf("compute-bound pair throughput %.3g should not exceed solo %.3g", pairC, soloC)
+	}
+}
+
+func TestMemoryBandwidthCeiling(t *testing.T) {
+	par := testParams()
+	par.HTT = false
+	par.MemBandwidth = 1e6 // 1M misses/s
+	e := sim.New(1)
+	m := MustNew(e, par)
+	// One thread with 1% misses at ~0.5e9 ops/s would demand 5e6
+	// misses/s > 1e6 cap → rate capped at 1e8 ops/s.
+	th := m.NewThread("t", Profile{CPI: 1, MissRate: 0.01})
+	var doneAt sim.Time
+	m.StartCompute(th, 1e8, func() { doneAt = e.Now() })
+	e.Run()
+	if math.Abs(doneAt.Seconds()-1.0) > 1e-3 {
+		t.Fatalf("bandwidth-capped thread took %v, want ~1s", doneAt)
+	}
+}
+
+func TestBandwidthDoesNotThrottleCacheFriendly(t *testing.T) {
+	par := testParams()
+	par.HTT = false
+	par.MemBandwidth = 1e6
+	e := sim.New(1)
+	m := MustNew(e, par)
+	hog := m.NewThread("hog", Profile{CPI: 1, MissRate: 0.05})
+	friendly := m.NewThread("cf", Profile{CPI: 1})
+	var cfDone sim.Time
+	m.StartCompute(hog, 1e9, func() {})
+	m.StartCompute(friendly, 1e9, func() { cfDone = e.Now() })
+	e.Run()
+	if math.Abs(cfDone.Seconds()-1.0) > 1e-3 {
+		t.Fatalf("cache-friendly thread throttled by hog: %v, want 1s", cfDone)
+	}
+}
+
+func TestStallFreezesProgress(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	var doneAt sim.Time
+	m.StartCompute(th, 1e9, func() { doneAt = e.Now() })
+	// Stall for 100ms starting at 500ms.
+	e.At(500*sim.Millisecond, func() { m.Stall() })
+	e.At(600*sim.Millisecond, func() { m.Unstall() })
+	e.Run()
+	if math.Abs(doneAt.Seconds()-1.1) > 1e-6 {
+		t.Fatalf("stalled thread finished at %v, want 1.1s", doneAt)
+	}
+	if m.TotalStallTime() != 100*sim.Millisecond {
+		t.Fatalf("stall time = %v, want 100ms", m.TotalStallTime())
+	}
+}
+
+func TestNestedStalls(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	var doneAt sim.Time
+	m.StartCompute(th, 1e9, func() { doneAt = e.Now() })
+	e.At(100*sim.Millisecond, func() { m.Stall() })
+	e.At(150*sim.Millisecond, func() { m.Stall() })
+	e.At(200*sim.Millisecond, func() { m.Unstall() })
+	if m.Stalled() {
+		t.Fatal("stalled before run")
+	}
+	e.At(300*sim.Millisecond, func() { m.Unstall() })
+	e.Run()
+	if math.Abs(doneAt.Seconds()-1.2) > 1e-6 {
+		t.Fatalf("nested-stall thread finished at %v, want 1.2s", doneAt)
+	}
+}
+
+func TestSMMTimeMisattribution(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	m.StartCompute(th, 1e9, func() {})
+	e.At(500*sim.Millisecond, func() { m.Stall() })
+	e.At(600*sim.Millisecond, func() { m.Unstall() })
+	e.Run()
+	// The kernel charges the full 1.1s to the thread; only 1.0s is real.
+	if math.Abs(th.OSTime().Seconds()-1.1) > 1e-6 {
+		t.Fatalf("OS-accounted time = %v, want 1.1s", th.OSTime())
+	}
+	if math.Abs(th.TrueTime().Seconds()-1.0) > 1e-6 {
+		t.Fatalf("true time = %v, want 1.0s", th.TrueTime())
+	}
+}
+
+func TestOfflineCPUsMigrateLoad(t *testing.T) {
+	e := sim.New(1)
+	par := testParams()
+	par.HTT = false
+	m := MustNew(e, par)
+	// 4 threads on 4 cores, then offline 2 cores at t=0.5s: remaining
+	// work timeshares 2 cores → finishes at 0.5 + 0.5*2 = 1.5s.
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		th := m.NewThread("t", cpuProfile)
+		m.StartCompute(th, 1e9, func() { last = e.Now() })
+	}
+	e.At(500*sim.Millisecond, func() {
+		if err := m.SetOnline(2, false); err != nil {
+			t.Error(err)
+		}
+		if err := m.SetOnline(3, false); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	if math.Abs(last.Seconds()-1.5) > 1e-3 {
+		t.Fatalf("after offlining, last thread at %v, want 1.5s", last)
+	}
+	if m.NumOnline() != 2 {
+		t.Fatalf("online = %d, want 2", m.NumOnline())
+	}
+}
+
+func TestOnlineFirstOrdering(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	if err := m.OnlineFirst(3); err != nil {
+		t.Fatal(err)
+	}
+	// Expect logical CPUs 0,1,2 (sibling 0 of phys 0,1,2) online.
+	for i := 0; i < 8; i++ {
+		want := i < 3
+		if m.Logical(i).Online() != want {
+			t.Errorf("cpu %d online = %v, want %v", i, m.Logical(i).Online(), want)
+		}
+	}
+	// 6 CPUs: 4 physical + 2 siblings.
+	if err := m.OnlineFirst(6); err != nil {
+		t.Fatal(err)
+	}
+	online := 0
+	for i := 0; i < 8; i++ {
+		if m.Logical(i).Online() {
+			online++
+		}
+	}
+	if online != 6 {
+		t.Fatalf("online = %d, want 6", online)
+	}
+	if !m.Logical(4).Online() || !m.Logical(5).Online() {
+		t.Error("siblings of phys 0 and 1 should be the 5th and 6th CPUs")
+	}
+	if err := m.OnlineFirst(0); err == nil {
+		t.Error("OnlineFirst(0) should fail")
+	}
+	if err := m.OnlineFirst(9); err == nil {
+		t.Error("OnlineFirst(9) should fail")
+	}
+}
+
+func TestNoOnlineCPUStarves(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	done := false
+	m.StartCompute(th, 1e9, func() { done = true })
+	if err := m.OnlineFirst(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetOnline(0, false); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(10 * sim.Second)
+	if done {
+		t.Fatal("thread made progress with zero online CPUs")
+	}
+	if err := m.SetOnline(0, true); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !done {
+		t.Fatal("thread never completed after re-onlining")
+	}
+}
+
+func TestZeroOpsCompletesImmediately(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	done := false
+	m.StartCompute(th, 0, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("zero-op job never completed")
+	}
+}
+
+func TestDoubleComputePanics(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	m.StartCompute(th, 1e9, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("second StartCompute did not panic")
+		}
+	}()
+	m.StartCompute(th, 1e9, nil)
+}
+
+func TestComputeBlocksProcess(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	var after sim.Time
+	e.Go("worker", func(p *sim.Proc) {
+		th.Compute(p, 5e8)
+		after = p.Now()
+	})
+	e.Run()
+	if math.Abs(after.Seconds()-0.5) > 1e-6 {
+		t.Fatalf("Compute returned at %v, want 0.5s", after)
+	}
+}
+
+func TestRemoveAbandonsJob(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	fired := false
+	m.StartCompute(th, 1e9, func() { fired = true })
+	e.At(100*sim.Millisecond, func() { m.Remove(th) })
+	e.Run()
+	if fired {
+		t.Fatal("abandoned job completed")
+	}
+}
+
+// Property: work is conserved — a thread asked for N ops reports N ops
+// done on completion, regardless of stalls and contention.
+func TestWorkConservationProperty(t *testing.T) {
+	prop := func(seed int64, nThreads, nStalls uint8) bool {
+		e := sim.New(seed)
+		m := MustNew(e, testParams())
+		k := int(nThreads%12) + 1
+		asked := make([]float64, k)
+		threads := make([]*Thread, k)
+		for i := 0; i < k; i++ {
+			ops := float64(e.Rand().Int63n(1e8) + 1e6)
+			asked[i] = ops
+			threads[i] = m.NewThread("t", Profile{CPI: 1, MissRate: e.Rand().Float64() * 0.01})
+			m.StartCompute(threads[i], ops, nil)
+		}
+		for s := 0; s < int(nStalls%5); s++ {
+			at := sim.Time(e.Rand().Int63n(int64(sim.Second)))
+			d := sim.Time(e.Rand().Int63n(int64(100 * sim.Millisecond)))
+			e.At(at, m.Stall)
+			e.At(at+d, m.Unstall)
+		}
+		e.Run()
+		for i, th := range threads {
+			if math.Abs(th.OpsDone()-asked[i]) > asked[i]*1e-9+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	e := sim.New(1)
+	par := testParams()
+	par.HTT = false
+	m := MustNew(e, par)
+	th := m.NewThread("t", cpuProfile)
+	m.StartCompute(th, 1e9, nil)
+	e.Run()
+	// 1 thread busy 1s on 1 of 4 cores.
+	if u := m.Utilization(); math.Abs(u-0.25) > 1e-6 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestLogicalTopology(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	if m.NumLogical() != 8 {
+		t.Fatalf("logical = %d, want 8", m.NumLogical())
+	}
+	for i := 0; i < 8; i++ {
+		l := m.Logical(i)
+		if l.Phys != i%4 || l.Sib != i/4 {
+			t.Errorf("cpu %d: phys=%d sib=%d", i, l.Phys, l.Sib)
+		}
+		sib := m.sibling(l)
+		if sib.Phys != l.Phys || sib == l {
+			t.Errorf("cpu %d sibling wrong", i)
+		}
+	}
+	if err := m.SetOnline(99, false); err == nil {
+		t.Error("SetOnline(99) should fail")
+	}
+}
+
+func TestPinnedThreadStaysPut(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	// Two threads pinned to the same logical CPU timeshare it even
+	// though seven other CPUs are idle: each takes 2s for 1e9 ops.
+	var finished []sim.Time
+	for i := 0; i < 2; i++ {
+		th := m.NewThread("pinned", cpuProfile)
+		if err := m.Pin(th, 3); err != nil {
+			t.Fatal(err)
+		}
+		m.StartCompute(th, 1e9, func() { finished = append(finished, e.Now()) })
+	}
+	e.Run()
+	for _, at := range finished {
+		if math.Abs(at.Seconds()-2.0) > 1e-3 {
+			t.Fatalf("pinned pair finished at %v, want 2s (shared one CPU)", at)
+		}
+	}
+}
+
+func TestPinInvalidCPU(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	if err := m.Pin(th, 99); err == nil {
+		t.Fatal("bogus pin accepted")
+	}
+}
+
+func TestPinOfflineFallsBack(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	if err := m.Pin(th, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetOnline(2, false); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	m.StartCompute(th, 1e9, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("thread starved when its pinned CPU went offline")
+	}
+}
+
+func TestUnpinRebalances(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	a := m.NewThread("a", cpuProfile)
+	b := m.NewThread("b", cpuProfile)
+	if err := m.Pin(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pin(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doneA, doneB sim.Time
+	m.StartCompute(a, 1e9, func() { doneA = e.Now() })
+	m.StartCompute(b, 1e9, func() { doneB = e.Now() })
+	// Free b at 0.5s: both should speed up to full rate.
+	e.At(500*sim.Millisecond, func() { m.Unpin(b) })
+	e.Run()
+	if math.Abs(doneA.Seconds()-1.25) > 1e-3 || math.Abs(doneB.Seconds()-1.25) > 1e-3 {
+		t.Fatalf("after unpin: a=%v b=%v, want 1.25s each", doneA, doneB)
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	// One thread pinned to CPU 0 plus 3 unpinned on 4 physical cores:
+	// the unpinned ones must avoid CPU 0 and all finish at solo speed.
+	p := m.NewThread("p", cpuProfile)
+	if err := m.Pin(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.StartCompute(p, 1e9, nil)
+	var finished []sim.Time
+	for i := 0; i < 3; i++ {
+		th := m.NewThread("u", cpuProfile)
+		m.StartCompute(th, 1e9, func() { finished = append(finished, e.Now()) })
+	}
+	e.Run()
+	for _, at := range finished {
+		if math.Abs(at.Seconds()-1.0) > 1e-3 {
+			t.Fatalf("unpinned thread at %v, want 1s (own physical core)", at)
+		}
+	}
+}

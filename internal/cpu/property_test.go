@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smistudy/internal/sim"
+)
+
+// Property: aggregate throughput never exceeds the machine peak
+// (BaseHz × physical cores for CPI-1 workloads), under any mix of
+// threads, hotplug and stalls.
+func TestThroughputCeilingProperty(t *testing.T) {
+	prop := func(seed int64, nThreads, events uint8) bool {
+		e := sim.New(seed)
+		par := testParams()
+		m := MustNew(e, par)
+		rng := rand.New(rand.NewSource(seed))
+		k := int(nThreads%16) + 1
+		total := 0.0
+		for i := 0; i < k; i++ {
+			ops := float64(rng.Int63n(5e8) + 1e7)
+			total += ops
+			th := m.NewThread("t", Profile{CPI: 1})
+			m.StartCompute(th, ops, nil)
+		}
+		// Random hotplug churn.
+		for i := 0; i < int(events%6); i++ {
+			at := sim.Time(rng.Int63n(int64(sim.Second)))
+			n := rng.Intn(par.PhysCores*2) + 1
+			e.At(at, func() { _ = m.OnlineFirst(n) })
+		}
+		e.Run()
+		elapsed := e.Now().Seconds()
+		if elapsed <= 0 {
+			return total == 0
+		}
+		peak := par.BaseHz * float64(par.PhysCores)
+		return total/elapsed <= peak*1.0001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OS-accounted time ≥ true time always, and they are equal
+// when no stalls occur.
+func TestAccountingOrderingProperty(t *testing.T) {
+	prop := func(seed int64, withStall bool) bool {
+		e := sim.New(seed)
+		m := MustNew(e, testParams())
+		rng := rand.New(rand.NewSource(seed))
+		var threads []*Thread
+		for i := 0; i < 6; i++ {
+			th := m.NewThread("t", Profile{CPI: 1, MissRate: rng.Float64() * 0.005})
+			threads = append(threads, th)
+			m.StartCompute(th, float64(rng.Int63n(2e8)+1e6), nil)
+		}
+		if withStall {
+			e.At(sim.Time(rng.Int63n(int64(100*sim.Millisecond))), m.Stall)
+			e.After(0, func() {}) // keep queue alive
+			e.At(200*sim.Millisecond, m.Unstall)
+		}
+		e.Run()
+		for _, th := range threads {
+			if th.OSTime() < th.TrueTime() {
+				return false
+			}
+			if !withStall && th.OSTime() != th.TrueTime() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: utilization stays in [0,1] under arbitrary load and hotplug.
+func TestUtilizationBoundsProperty(t *testing.T) {
+	prop := func(seed int64, n8 uint8) bool {
+		e := sim.New(seed)
+		m := MustNew(e, testParams())
+		for i := 0; i < int(n8%24); i++ {
+			th := m.NewThread("t", Profile{CPI: 1})
+			m.StartCompute(th, float64(e.Rand().Int63n(1e8)+1), nil)
+		}
+		e.At(sim.Time(e.Rand().Int63n(int64(sim.Second))), func() {
+			_ = m.OnlineFirst(int(e.Rand().Int63n(8)) + 1)
+		})
+		e.Run()
+		u := m.Utilization()
+		return u >= 0 && u <= 1.0001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sibling symmetry: two identical threads pinned to sibling CPUs must
+// run at identical rates (finish together).
+func TestSiblingSymmetry(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	var at [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		th := m.NewThread("t", Profile{CPI: 1, MissRate: 0.003, MissRateShared: 0.005})
+		if err := m.Pin(th, i*4); err != nil { // CPU 0 and its sibling CPU 4
+			t.Fatal(err)
+		}
+		m.StartCompute(th, 1e8, func() { at[i] = e.Now() })
+	}
+	e.Run()
+	if at[0] != at[1] {
+		t.Fatalf("siblings finished at %v and %v", at[0], at[1])
+	}
+}
+
+// SMT sharing must never make a thread faster than running solo.
+func TestSharingNeverBeatsSoloProperty(t *testing.T) {
+	prop := func(seed int64, cpi10, miss1000 uint16) bool {
+		cpi := 1 + float64(cpi10%40)/10
+		miss := float64(miss1000%30) / 1000
+		prof := Profile{CPI: cpi, MissRate: miss}
+		run := func(threads int) sim.Time {
+			e := sim.New(seed)
+			m := MustNew(e, Params{PhysCores: 1, HTT: true, BaseHz: 1e9, MissPenalty: 100, SMTEfficiency: 0.9})
+			var last sim.Time
+			for i := 0; i < threads; i++ {
+				th := m.NewThread("t", prof)
+				m.StartCompute(th, 1e7, func() { last = e.Now() })
+			}
+			e.Run()
+			return last
+		}
+		solo := run(1)
+		pair := run(2)
+		// Each of the pair must take at least as long as solo.
+		return pair >= solo
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package energy models node power draw, reproducing the prior work's
+// finding (Delgado & Karavanic, IISWC'13) that SMM residency increases
+// energy consumption: during an SMI every core spins at full power in
+// the handler while doing no application work, so energy per unit of
+// useful work rises with SMM residency.
+//
+// The meter integrates exactly (no sampling): the cpu model already
+// accounts per-logical-CPU busy time and node stall time, so energy is
+// a closed-form function of those counters at any instant.
+package energy
+
+import (
+	"smistudy/internal/cpu"
+	"smistudy/internal/sim"
+)
+
+// PowerModel is a node's power parameters, in watts.
+type PowerModel struct {
+	// Idle is the node's floor draw (fans, DRAM refresh, uncore).
+	Idle float64
+	// ActivePerCore is the extra draw of one busy logical CPU.
+	ActivePerCore float64
+	// SMMPerCore is the extra draw of one online logical CPU while the
+	// node is in SMM. Handlers poll and spin: this is close to (often
+	// above) ActivePerCore, which is why SMM burns energy without
+	// doing work.
+	SMMPerCore float64
+}
+
+// NehalemServer resembles the paper's Xeon E5520/E5620 boxes: ~150 W
+// idle, ~12 W per busy logical CPU, ~14 W per CPU in SMM.
+func NehalemServer() PowerModel {
+	return PowerModel{Idle: 150, ActivePerCore: 12, SMMPerCore: 14}
+}
+
+// Meter measures one node's energy.
+type Meter struct {
+	eng    *sim.Engine
+	cpu    *cpu.Model
+	model  PowerModel
+	start  sim.Time
+	busy0  sim.Time
+	stall0 sim.Time
+}
+
+// NewMeter attaches a meter to a node's processor at the current time;
+// only activity after attachment is billed.
+func NewMeter(eng *sim.Engine, c *cpu.Model, model PowerModel) *Meter {
+	m := &Meter{eng: eng, cpu: c, model: model, start: eng.Now()}
+	c.Sync()
+	m.busy0 = totalBusy(c)
+	m.stall0 = c.TotalStallTime()
+	return m
+}
+
+func totalBusy(c *cpu.Model) sim.Time {
+	var busy sim.Time
+	for i := 0; i < c.NumLogical(); i++ {
+		busy += c.Logical(i).Busy()
+	}
+	return busy
+}
+
+// Reading is a point-in-time energy report.
+type Reading struct {
+	Elapsed sim.Time
+	// Joules consumed since the meter attached.
+	Joules float64
+	// BusyJoules/SMMJoules/IdleJoules decompose the total.
+	BusyJoules float64
+	SMMJoules  float64
+	IdleJoules float64
+	// MeanWatts is Joules/Elapsed.
+	MeanWatts float64
+}
+
+// Read reports energy consumed since the meter attached.
+func (m *Meter) Read() Reading {
+	m.cpu.Sync()
+	elapsed := m.eng.Now() - m.start
+	busy := totalBusy(m.cpu) - m.busy0
+	online := m.cpu.NumOnline()
+	stall := m.cpu.TotalStallTime() - m.stall0
+	r := Reading{Elapsed: elapsed}
+	r.IdleJoules = m.model.Idle * elapsed.Seconds()
+	r.BusyJoules = m.model.ActivePerCore * busy.Seconds()
+	r.SMMJoules = m.model.SMMPerCore * float64(online) * stall.Seconds()
+	r.Joules = r.IdleJoules + r.BusyJoules + r.SMMJoules
+	if elapsed > 0 {
+		r.MeanWatts = r.Joules / elapsed.Seconds()
+	}
+	return r
+}
+
+// EnergyPerWork reports joules per unit of completed work — the metric
+// the prior study shows SMIs inflate. work is any throughput count
+// (operations, loop iterations, benchmark units).
+func (m *Meter) EnergyPerWork(work float64) float64 {
+	if work <= 0 {
+		return 0
+	}
+	return m.Read().Joules / work
+}

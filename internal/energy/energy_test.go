@@ -1,0 +1,135 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/cpu"
+	"smistudy/internal/sim"
+)
+
+func node(seed int64) (*sim.Engine, *cpu.Model) {
+	e := sim.New(seed)
+	m := cpu.MustNew(e, cpu.Params{
+		PhysCores: 4, HTT: false, BaseHz: 1e9, MissPenalty: 100, SMTEfficiency: 0.9,
+	})
+	return e, m
+}
+
+func TestIdleEnergy(t *testing.T) {
+	e, m := node(1)
+	meter := NewMeter(e, m, PowerModel{Idle: 100, ActivePerCore: 10, SMMPerCore: 12})
+	e.At(10*sim.Second, func() {
+		r := meter.Read()
+		if math.Abs(r.Joules-1000) > 1e-6 {
+			t.Errorf("idle 10s at 100W = %vJ, want 1000", r.Joules)
+		}
+		if r.BusyJoules != 0 || r.SMMJoules != 0 {
+			t.Error("idle node billed active/SMM energy")
+		}
+		if math.Abs(r.MeanWatts-100) > 1e-9 {
+			t.Errorf("mean watts = %v", r.MeanWatts)
+		}
+	})
+	e.Run()
+}
+
+func TestBusyEnergy(t *testing.T) {
+	e, m := node(1)
+	meter := NewMeter(e, m, PowerModel{Idle: 100, ActivePerCore: 10, SMMPerCore: 12})
+	th := m.NewThread("t", cpu.Profile{CPI: 1})
+	m.StartCompute(th, 1e9, nil) // busy 1 core for 1s
+	e.At(2*sim.Second, func() {
+		r := meter.Read()
+		want := 100.0*2 + 10.0*1 // idle + one core-second
+		if math.Abs(r.Joules-want) > 1e-6 {
+			t.Errorf("energy = %vJ, want %v", r.Joules, want)
+		}
+	})
+	e.Run()
+}
+
+func TestSMMEnergy(t *testing.T) {
+	e, m := node(1)
+	meter := NewMeter(e, m, PowerModel{Idle: 100, ActivePerCore: 10, SMMPerCore: 12})
+	e.At(sim.Second, m.Stall)
+	e.At(2*sim.Second, m.Unstall)
+	e.At(3*sim.Second, func() {
+		r := meter.Read()
+		// 1s of SMM at 4 online CPUs × 12W.
+		if math.Abs(r.SMMJoules-48) > 1e-6 {
+			t.Errorf("SMM energy = %vJ, want 48", r.SMMJoules)
+		}
+	})
+	e.Run()
+}
+
+// Reproduces the prior work's headline: the same work costs more energy
+// under SMIs.
+func TestSMIsRaiseEnergyPerWork(t *testing.T) {
+	run := func(withSMIs bool) float64 {
+		e, m := node(1)
+		meter := NewMeter(e, m, NehalemServer())
+		const work = 4e9
+		done := false
+		for i := 0; i < 4; i++ {
+			th := m.NewThread("t", cpu.Profile{CPI: 1})
+			m.StartCompute(th, work/4, func() { done = true })
+		}
+		if withSMIs {
+			// 100ms stall every second.
+			var arm func(at sim.Time)
+			arm = func(at sim.Time) {
+				e.At(at, func() {
+					if done {
+						return
+					}
+					m.Stall()
+					e.After(100*sim.Millisecond, m.Unstall)
+					arm(at + sim.Second)
+				})
+			}
+			arm(500 * sim.Millisecond)
+		}
+		e.Run()
+		return meter.EnergyPerWork(work)
+	}
+	quiet := run(false)
+	noisy := run(true)
+	if noisy <= quiet {
+		t.Fatalf("energy per op with SMIs (%.3g J) not above quiet (%.3g J)", noisy, quiet)
+	}
+}
+
+func TestMeterAttachMidRun(t *testing.T) {
+	e, m := node(1)
+	th := m.NewThread("t", cpu.Profile{CPI: 1})
+	m.StartCompute(th, 5e9, nil)
+	var meter *Meter
+	e.At(2*sim.Second, func() {
+		meter = NewMeter(e, m, PowerModel{Idle: 0, ActivePerCore: 10, SMMPerCore: 0})
+	})
+	e.At(3*sim.Second, func() {
+		r := meter.Read()
+		// Only 1 core-second after attachment.
+		if math.Abs(r.Joules-10) > 1e-6 {
+			t.Errorf("mid-run meter billed %vJ, want 10", r.Joules)
+		}
+	})
+	e.Run()
+}
+
+func TestEnergyPerWorkZero(t *testing.T) {
+	e, m := node(1)
+	meter := NewMeter(e, m, NehalemServer())
+	if meter.EnergyPerWork(0) != 0 {
+		t.Fatal("zero work should yield zero")
+	}
+}
+
+func TestNehalemPreset(t *testing.T) {
+	p := NehalemServer()
+	if p.Idle <= 0 || p.ActivePerCore <= 0 || p.SMMPerCore < p.ActivePerCore {
+		t.Fatalf("implausible preset: %+v", p)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"smistudy/internal/metrics"
+	"smistudy/internal/paperdata"
+)
+
+// Compare regenerates Table 1, 2 or 3 and joins it against the paper's
+// published values, reporting per-cell deltas — the quantitative core of
+// EXPERIMENTS.md, as a query.
+func Compare(cfg Config, table int) (string, error) {
+	var (
+		t   NASTable
+		err error
+	)
+	switch table {
+	case 1:
+		t, err = Table1(cfg)
+	case 2:
+		t, err = Table2(cfg)
+	case 3:
+		t, err = Table3(cfg)
+	default:
+		return "", fmt.Errorf("experiments: Compare supports tables 1-3, got %d", table)
+	}
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Comparison against the paper's Table %d (long-SMM impact):\n\n", table)
+	tab := metrics.NewTable("class", "nodes", "rpn",
+		"paper SMM0", "ours SMM0", "base err %",
+		"paper long %", "ours long %")
+	var baseErr, matched metrics.Stream
+	for _, row := range t.Rows {
+		for _, half := range []struct {
+			rpn int
+			tr  *Triple
+		}{{1, row.One}, {4, row.Four}} {
+			if half.tr == nil {
+				continue
+			}
+			p := paperdata.Find(string(t.Bench), byte(row.Class), row.Nodes, half.rpn)
+			if p == nil {
+				continue
+			}
+			be := metrics.PercentChange(p.SMM0, half.tr.SMM0)
+			tab.AddRow(string(row.Class), row.Nodes, half.rpn,
+				p.SMM0, half.tr.SMM0, be,
+				p.PctLong(), half.tr.PctLong())
+			baseErr.Add(math.Abs(be))
+			if sameSign(p.PctLong(), half.tr.PctLong()) {
+				matched.Add(1)
+			} else {
+				matched.Add(0)
+			}
+		}
+	}
+	b.WriteString(tab.String())
+	fmt.Fprintf(&b, "\nmean |baseline error| = %.1f%%; long-SMM impact direction agrees in %.0f%% of cells\n",
+		baseErr.Mean(), matched.Mean()*100)
+	return b.String(), nil
+}
+
+func sameSign(a, b float64) bool {
+	// Treat anything within ±2% as "no effect" so near-zero cells on
+	// both sides count as agreement.
+	const eps = 2.0
+	if math.Abs(a) < eps && math.Abs(b) < eps {
+		return true
+	}
+	return a*b > 0
+}

@@ -1,0 +1,481 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation: Tables 1–3 (BT/EP/FT under no/short/long SMM), Tables 4–5
+// (the HTT effect on EP/FT), Figure 1 (Convolve vs SMI interval and CPU
+// configuration) and Figure 2 (UnixBench score vs SMI interval). Each
+// generator returns structured data plus renderers that print the same
+// rows and series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smistudy"
+	"smistudy/internal/metrics"
+	"smistudy/internal/sim"
+)
+
+// Config scopes a regeneration run.
+type Config struct {
+	// Runs per cell (the paper averages six MPI runs, three Convolve
+	// runs). Zero selects the paper's counts.
+	Runs int
+	// Seed bases the deterministic seeds.
+	Seed int64
+	// Quick shrinks grids (class A only, fewer sweep points) for smoke
+	// tests and benchmarks.
+	Quick bool
+}
+
+func (c Config) runs(def int) int {
+	if c.Runs > 0 {
+		return c.Runs
+	}
+	if c.Quick {
+		return 1
+	}
+	return def
+}
+
+func (c Config) seed() int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return 1
+}
+
+// Triple holds one cell's three SMM levels, in seconds.
+type Triple struct {
+	SMM0, SMM1, SMM2 float64
+}
+
+// DeltaShort reports SMM1−SMM0.
+func (t Triple) DeltaShort() float64 { return t.SMM1 - t.SMM0 }
+
+// PctShort reports the short-SMM percent change.
+func (t Triple) PctShort() float64 { return metrics.PercentChange(t.SMM0, t.SMM1) }
+
+// DeltaLong reports SMM2−SMM0.
+func (t Triple) DeltaLong() float64 { return t.SMM2 - t.SMM0 }
+
+// PctLong reports the long-SMM percent change.
+func (t Triple) PctLong() float64 { return metrics.PercentChange(t.SMM0, t.SMM2) }
+
+// NASRow is one (class, node-count) row of Tables 1–3.
+type NASRow struct {
+	Class smistudy.Class
+	Nodes int
+	// One and Four are the 1-rank-per-node and 4-ranks-per-node halves;
+	// a nil half was not measured (the paper leaves FT.C × {1,2} nodes
+	// × 1 rank blank).
+	One, Four *Triple
+}
+
+// NASTable is a regenerated Table 1, 2 or 3.
+type NASTable struct {
+	Number int
+	Title  string
+	Bench  smistudy.Benchmark
+	Rows   []NASRow
+}
+
+// nasGrid runs the full SMM sweep for one benchmark/class/nodes/rpn cell.
+func nasCell(cfg Config, b smistudy.Benchmark, cl smistudy.Class, nodes, rpn int, htt bool) (Triple, error) {
+	var tr Triple
+	for _, lv := range []smistudy.SMMLevel{smistudy.SMM0, smistudy.SMM1, smistudy.SMM2} {
+		res, err := smistudy.RunNAS(smistudy.NASOptions{
+			Bench: b, Class: cl, Nodes: nodes, RanksPerNode: rpn,
+			HTT: htt, SMM: lv, Runs: cfg.runs(6), Seed: cfg.seed(),
+		})
+		if err != nil {
+			return tr, err
+		}
+		switch lv {
+		case smistudy.SMM0:
+			tr.SMM0 = res.Seconds()
+		case smistudy.SMM1:
+			tr.SMM1 = res.Seconds()
+		default:
+			tr.SMM2 = res.Seconds()
+		}
+	}
+	return tr, nil
+}
+
+func (c Config) classes() []smistudy.Class {
+	if c.Quick {
+		return []smistudy.Class{smistudy.ClassA}
+	}
+	return []smistudy.Class{smistudy.ClassA, smistudy.ClassB, smistudy.ClassC}
+}
+
+// Table1 regenerates Table 1: BT with no/short/long SMM intervals over
+// square rank counts.
+func Table1(cfg Config) (NASTable, error) {
+	t := NASTable{Number: 1, Bench: smistudy.BT,
+		Title: "Table 1: BT Benchmark with no (0), short (1) and long (2) SMM intervals"}
+	nodes := []int{1, 4, 16}
+	if cfg.Quick {
+		nodes = []int{1, 4}
+	}
+	for _, class := range cfg.classes() {
+		for _, n := range nodes {
+			row := NASRow{Class: class, Nodes: n}
+			one, err := nasCell(cfg, smistudy.BT, class, n, 1, false)
+			if err != nil {
+				return t, err
+			}
+			row.One = &one
+			four, err := nasCell(cfg, smistudy.BT, class, n, 4, false)
+			if err != nil {
+				return t, err
+			}
+			row.Four = &four
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Table2 regenerates Table 2: EP with no/short/long SMM intervals.
+func Table2(cfg Config) (NASTable, error) {
+	return nasPow2Table(cfg, 2, smistudy.EP,
+		"Table 2: EP Benchmark with no (0), short (1) and long (2) SMM intervals", nil)
+}
+
+// Table3 regenerates Table 3: FT with no/short/long SMM intervals. The
+// paper leaves FT.C on 1 and 2 nodes × 1 rank/node unmeasured; those
+// halves are nil here too.
+func Table3(cfg Config) (NASTable, error) {
+	skipOne := func(class smistudy.Class, nodes int) bool {
+		return class == smistudy.ClassC && nodes <= 2
+	}
+	return nasPow2Table(cfg, 3, smistudy.FT,
+		"Table 3: FT Benchmark with no (0), short (1) and long (2) SMM intervals", skipOne)
+}
+
+func nasPow2Table(cfg Config, number int, b smistudy.Benchmark, title string, skipOne func(smistudy.Class, int) bool) (NASTable, error) {
+	t := NASTable{Number: number, Bench: b, Title: title}
+	nodes := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		nodes = []int{1, 4}
+	}
+	for _, class := range cfg.classes() {
+		for _, n := range nodes {
+			row := NASRow{Class: class, Nodes: n}
+			if skipOne == nil || !skipOne(class, n) {
+				one, err := nasCell(cfg, b, class, n, 1, false)
+				if err != nil {
+					return t, err
+				}
+				row.One = &one
+			}
+			four, err := nasCell(cfg, b, class, n, 4, false)
+			if err != nil {
+				return t, err
+			}
+			row.Four = &four
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t NASTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", t.Title)
+	for _, half := range []struct {
+		name string
+		get  func(NASRow) *Triple
+	}{
+		{"1 MPI rank per node", func(r NASRow) *Triple { return r.One }},
+		{"4 MPI ranks per node", func(r NASRow) *Triple { return r.Four }},
+	} {
+		fmt.Fprintf(&b, "  [%s]\n", half.name)
+		tab := metrics.NewTable("class", "nodes", "SMM0", "SMM1", "d1", "%1", "SMM2", "d2", "%2")
+		for _, row := range t.Rows {
+			tr := half.get(row)
+			if tr == nil {
+				tab.AddRow(string(row.Class), row.Nodes, "-", "-", "-", "-", "-", "-", "-")
+				continue
+			}
+			tab.AddRow(string(row.Class), row.Nodes,
+				tr.SMM0, tr.SMM1, tr.DeltaShort(), tr.PctShort(),
+				tr.SMM2, tr.DeltaLong(), tr.PctLong())
+		}
+		b.WriteString(indent(tab.String(), "  "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HTTRow is one row of Tables 4–5: ht=0 vs ht=1 per SMM level.
+type HTTRow struct {
+	Class smistudy.Class
+	Nodes int
+	// Off and On are the ht=0 and ht=1 triples.
+	Off, On Triple
+}
+
+// HTTTable is a regenerated Table 4 or 5.
+type HTTTable struct {
+	Number int
+	Title  string
+	Bench  smistudy.Benchmark
+	Rows   []HTTRow
+}
+
+// Table4 regenerates Table 4: the effect of HTT on EP with 4 ranks/node.
+func Table4(cfg Config) (HTTTable, error) {
+	return httTable(cfg, 4, smistudy.EP, "Table 4: Effect of HTT on EP with 4 MPI ranks per node")
+}
+
+// Table5 regenerates Table 5: the effect of HTT on FT with 4 ranks/node.
+func Table5(cfg Config) (HTTTable, error) {
+	return httTable(cfg, 5, smistudy.FT, "Table 5: Effect of HTT on FT with 4 MPI Ranks Per Node")
+}
+
+func httTable(cfg Config, number int, b smistudy.Benchmark, title string) (HTTTable, error) {
+	t := HTTTable{Number: number, Bench: b, Title: title}
+	nodes := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		nodes = []int{1, 4}
+	}
+	for _, class := range cfg.classes() {
+		for _, n := range nodes {
+			row := HTTRow{Class: class, Nodes: n}
+			off, err := nasCell(cfg, b, class, n, 4, false)
+			if err != nil {
+				return t, err
+			}
+			on, err := nasCell(cfg, b, class, n, 4, true)
+			if err != nil {
+				return t, err
+			}
+			row.Off, row.On = off, on
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t HTTTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", t.Title)
+	tab := metrics.NewTable("class", "nodes",
+		"SMM0 ht=0", "ht=1", "d",
+		"SMM1 ht=0", "ht=1", "d",
+		"SMM2 ht=0", "ht=1", "d", "%")
+	for _, row := range t.Rows {
+		d0 := row.On.SMM0 - row.Off.SMM0
+		d1 := row.On.SMM1 - row.Off.SMM1
+		d2 := row.On.SMM2 - row.Off.SMM2
+		tab.AddRow(string(row.Class), row.Nodes,
+			row.Off.SMM0, row.On.SMM0, d0,
+			row.Off.SMM1, row.On.SMM1, d1,
+			row.Off.SMM2, row.On.SMM2, d2,
+			metrics.PercentChange(row.Off.SMM2, row.On.SMM2))
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// ConvolvePoint is one measured Figure-1 point.
+type ConvolvePoint struct {
+	Behavior   smistudy.CacheBehavior
+	CPUs       int
+	IntervalMS int // 0 = no SMIs
+	Seconds    float64
+	StdDev     float64
+}
+
+// Figure1 is the regenerated Convolve study: execution time vs SMI
+// interval per CPU configuration (left panels) — the right panels (time
+// vs CPU count at 50 ms) are a re-slicing of the same points.
+type Figure1 struct {
+	Points []ConvolvePoint
+}
+
+// Figure1Convolve regenerates Figure 1. The full sweep covers intervals
+// 50–1500 ms in 50 ms steps for 1–8 CPUs and both cache behaviours;
+// Quick reduces it to a coarse grid.
+func Figure1Convolve(cfg Config) (Figure1, error) {
+	intervals := sweep(50, 1500, 50)
+	cpus := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if cfg.Quick {
+		intervals = []int{50, 400, 1500}
+		cpus = []int{1, 4, 8}
+	}
+	var fig Figure1
+	for _, beh := range []smistudy.CacheBehavior{smistudy.CacheUnfriendly, smistudy.CacheFriendly} {
+		for _, nc := range cpus {
+			for _, iv := range intervals {
+				res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
+					Behavior: beh, CPUs: nc, SMIIntervalMS: iv,
+					Runs: cfg.runs(3), Seed: cfg.seed(),
+				})
+				if err != nil {
+					return fig, err
+				}
+				fig.Points = append(fig.Points, ConvolvePoint{
+					Behavior: beh, CPUs: nc, IntervalMS: iv,
+					Seconds: res.MeanTime.Seconds(),
+					StdDev:  res.StdDev.Seconds(),
+				})
+			}
+		}
+	}
+	return fig, nil
+}
+
+// Left renders the time-vs-interval chart for one behaviour.
+func (f Figure1) Left(beh smistudy.CacheBehavior) string {
+	byCPU := map[int]*metrics.Series{}
+	var order []int
+	for _, p := range f.Points {
+		if p.Behavior != beh {
+			continue
+		}
+		s, ok := byCPU[p.CPUs]
+		if !ok {
+			s = &metrics.Series{Name: fmt.Sprintf("%d CPUs", p.CPUs)}
+			byCPU[p.CPUs] = s
+			order = append(order, p.CPUs)
+		}
+		s.X = append(s.X, float64(p.IntervalMS))
+		s.Y = append(s.Y, p.Seconds)
+	}
+	ch := metrics.Chart{
+		Title:  fmt.Sprintf("Figure 1 (%v): execution time vs time between SMIs", beh),
+		XLabel: "time between SMIs (ms)",
+		YLabel: "seconds",
+	}
+	for _, c := range order {
+		ch.Series = append(ch.Series, *byCPU[c])
+	}
+	return ch.Render()
+}
+
+// Right renders the time-vs-CPUs chart at the highest SMI frequency.
+func (f Figure1) Right(beh smistudy.CacheBehavior) string {
+	s := metrics.Series{Name: "50 ms interval"}
+	for _, p := range f.Points {
+		if p.Behavior == beh && p.IntervalMS == 50 {
+			s.X = append(s.X, float64(p.CPUs))
+			s.Y = append(s.Y, p.Seconds)
+		}
+	}
+	ch := metrics.Chart{
+		Title:  fmt.Sprintf("Figure 1 (%v): execution time vs logical CPUs at 50 ms", beh),
+		XLabel: "online logical CPUs",
+		YLabel: "seconds",
+		Series: []metrics.Series{s},
+	}
+	return ch.Render()
+}
+
+// CSV dumps all Figure-1 points.
+func (f Figure1) CSV() string {
+	tab := metrics.NewTable("behavior", "cpus", "interval_ms", "seconds", "stddev")
+	for _, p := range f.Points {
+		tab.AddRow(p.Behavior.String(), p.CPUs, p.IntervalMS, p.Seconds, p.StdDev)
+	}
+	return tab.CSV()
+}
+
+// UnixBenchPoint is one measured Figure-2 point.
+type UnixBenchPoint struct {
+	CPUs       int
+	IntervalMS int
+	Iteration  int
+	Score      float64
+}
+
+// Figure2 is the regenerated UnixBench study.
+type Figure2 struct {
+	Points []UnixBenchPoint
+}
+
+// Figure2UnixBench regenerates Figure 2: long SMIs at intervals from
+// 100 ms to 1600 ms in 500 ms increments for each CPU configuration,
+// looped (the paper plots the score per iteration).
+func Figure2UnixBench(cfg Config) (Figure2, error) {
+	intervals := []int{100, 600, 1100, 1600}
+	cpus := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if cfg.Quick {
+		intervals = []int{100, 1600}
+		cpus = []int{1, 4, 8}
+	}
+	iters := cfg.runs(3)
+	var fig Figure2
+	for _, nc := range cpus {
+		for _, iv := range intervals {
+			for it := 0; it < iters; it++ {
+				res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
+					CPUs: nc, SMIIntervalMS: iv, Level: smistudy.SMM2,
+					Seed:     cfg.seed() + int64(it),
+					Duration: 2 * sim.Second,
+				})
+				if err != nil {
+					return fig, err
+				}
+				fig.Points = append(fig.Points, UnixBenchPoint{
+					CPUs: nc, IntervalMS: iv, Iteration: it, Score: res.Score,
+				})
+			}
+		}
+	}
+	return fig, nil
+}
+
+// Render draws the score-vs-interval chart, one series per CPU config.
+func (f Figure2) Render() string {
+	byCPU := map[int]*metrics.Series{}
+	var order []int
+	for _, p := range f.Points {
+		s, ok := byCPU[p.CPUs]
+		if !ok {
+			s = &metrics.Series{Name: fmt.Sprintf("%d CPUs", p.CPUs)}
+			byCPU[p.CPUs] = s
+			order = append(order, p.CPUs)
+		}
+		s.X = append(s.X, float64(p.IntervalMS))
+		s.Y = append(s.Y, p.Score)
+	}
+	ch := metrics.Chart{
+		Title:  "Figure 2: UnixBench index score vs time between long SMIs",
+		XLabel: "time between SMIs (ms / jiffies)",
+		YLabel: "index score (higher is better)",
+	}
+	for _, c := range order {
+		ch.Series = append(ch.Series, *byCPU[c])
+	}
+	return ch.Render()
+}
+
+// CSV dumps all Figure-2 points.
+func (f Figure2) CSV() string {
+	tab := metrics.NewTable("cpus", "interval_ms", "iteration", "score")
+	for _, p := range f.Points {
+		tab.AddRow(p.CPUs, p.IntervalMS, p.Iteration, p.Score)
+	}
+	return tab.CSV()
+}
+
+func sweep(from, to, step int) []int {
+	var out []int
+	for v := from; v <= to; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smistudy"
+)
+
+func quick() Config { return Config{Quick: true, Runs: 1, Seed: 1} }
+
+func TestTripleMath(t *testing.T) {
+	tr := Triple{SMM0: 100, SMM1: 101, SMM2: 110}
+	if tr.DeltaShort() != 1 || tr.DeltaLong() != 10 {
+		t.Error("deltas wrong")
+	}
+	if tr.PctShort() != 1 || tr.PctLong() != 10 {
+		t.Error("pcts wrong")
+	}
+}
+
+func TestTable2EPQuick(t *testing.T) {
+	tab, err := Table2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Number != 2 || tab.Bench != smistudy.EP {
+		t.Fatalf("metadata wrong: %+v", tab)
+	}
+	if len(tab.Rows) != 2 { // class A × nodes {1,4}
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row.One == nil || row.Four == nil {
+			t.Fatal("missing halves")
+		}
+		// Long SMIs must hurt; short must be mild.
+		if row.One.PctLong() < 5 {
+			t.Errorf("nodes=%d: long-SMM impact %.1f%%, want ≥5%%", row.Nodes, row.One.PctLong())
+		}
+		if row.One.PctShort() > 3 {
+			t.Errorf("nodes=%d: short-SMM impact %.1f%%, want small", row.Nodes, row.One.PctShort())
+		}
+		// 4 ranks/node must be faster than 1 rank/node at equal nodes.
+		if row.Four.SMM0 >= row.One.SMM0 {
+			t.Errorf("nodes=%d: 4/node (%v) not faster than 1/node (%v)", row.Nodes, row.Four.SMM0, row.One.SMM0)
+		}
+	}
+	out := tab.Render()
+	for _, want := range []string{"Table 2", "1 MPI rank per node", "4 MPI ranks per node", "SMM2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable1BTQuick(t *testing.T) {
+	tab, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].One.SMM0 < 80 || tab.Rows[0].One.SMM0 > 95 {
+		t.Errorf("BT.A solo baseline %.1f, want ≈86.9", tab.Rows[0].One.SMM0)
+	}
+}
+
+func TestTable3FTSkipsUnmeasuredCells(t *testing.T) {
+	cfg := quick()
+	cfg.Quick = false
+	cfg.Runs = 1
+	// Don't run the whole table — just verify the skip predicate via a
+	// minimal hand-rolled variant: class C, 1 node.
+	tab, err := nasPow2Table(Config{Runs: 1, Seed: 1, Quick: true}, 3, smistudy.FT,
+		"t", func(c smistudy.Class, n int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row.One != nil {
+			t.Fatal("skip predicate ignored")
+		}
+		if row.Four == nil {
+			t.Fatal("four half missing")
+		}
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "-") {
+		t.Error("skipped cells should render as '-'")
+	}
+}
+
+func TestTable4HTTQuick(t *testing.T) {
+	tab, err := Table4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row.Off.SMM0 <= 0 || row.On.SMM0 <= 0 {
+			t.Fatal("empty cells")
+		}
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "ht=1") || !strings.Contains(out, "Table 4") {
+		t.Error("render wrong")
+	}
+}
+
+func TestFigure1Quick(t *testing.T) {
+	fig, err := Figure1Convolve(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 behaviours × 3 cpus × 3 intervals.
+	if len(fig.Points) != 18 {
+		t.Fatalf("points = %d, want 18", len(fig.Points))
+	}
+	// At 50 ms intervals the run must be much slower than at 1500 ms.
+	byKey := map[[3]int]float64{}
+	for _, p := range fig.Points {
+		byKey[[3]int{int(p.Behavior), p.CPUs, p.IntervalMS}] = p.Seconds
+	}
+	for _, beh := range []smistudy.CacheBehavior{smistudy.CacheFriendly, smistudy.CacheUnfriendly} {
+		fast := byKey[[3]int{int(beh), 4, 1500}]
+		slow := byKey[[3]int{int(beh), 4, 50}]
+		if slow < fast*1.5 {
+			t.Errorf("%v: 50ms run (%.2fs) not ≫ 1500ms run (%.2fs)", beh, slow, fast)
+		}
+	}
+	left := fig.Left(smistudy.CacheUnfriendly)
+	right := fig.Right(smistudy.CacheUnfriendly)
+	if !strings.Contains(left, "4 CPUs") || !strings.Contains(right, "50 ms") {
+		t.Error("figure renders missing series")
+	}
+	if !strings.Contains(fig.CSV(), "behavior,cpus,interval_ms") {
+		t.Error("CSV header wrong")
+	}
+}
+
+func TestFigure2Quick(t *testing.T) {
+	fig, err := Figure2UnixBench(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 cpus × 2 intervals × 1 iteration.
+	if len(fig.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(fig.Points))
+	}
+	score := map[[2]int]float64{}
+	for _, p := range fig.Points {
+		score[[2]int{p.CPUs, p.IntervalMS}] = p.Score
+	}
+	// Frequent long SMIs must lower the score; more CPUs must raise it.
+	if score[[2]int{4, 100}] >= score[[2]int{4, 1600}] {
+		t.Errorf("100ms score %.1f not below 1600ms score %.1f", score[[2]int{4, 100}], score[[2]int{4, 1600}])
+	}
+	if score[[2]int{4, 1600}] <= score[[2]int{1, 1600}] {
+		t.Error("score did not grow with CPUs")
+	}
+	if !strings.Contains(fig.Render(), "Figure 2") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(fig.CSV(), "cpus,interval_ms") {
+		t.Error("CSV wrong")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s := sweep(50, 200, 50)
+	if len(s) != 4 || s[0] != 50 || s[3] != 200 {
+		t.Fatalf("sweep = %v", s)
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smistudy"
+	"smistudy/internal/metrics"
+)
+
+// Extension experiments: beyond the paper's tables and figures, these
+// quantify (a) the RIM security workload that motivates the paper, (b)
+// the energy and timekeeping side effects established by the prior work
+// it builds on, (c) profiler distortion, and (d) the paper's stated
+// future work — additional parallel applications under SMM noise.
+
+// RIMTradeoff measures application slowdown, worst single stall and
+// check latency across integrity-measurement chunking strategies.
+func RIMTradeoff(cfg Config) (string, error) {
+	chunks := []int{0, 4096, 1024, 256, 64}
+	if cfg.Quick {
+		chunks = []int{0, 256}
+	}
+	tab := metrics.NewTable("chunk", "slowdown %", "worst stall (ms)", "check latency (ms)", "checks")
+	for _, kb := range chunks {
+		res, err := smistudy.RunRIM(smistudy.RIMOptions{ChunkKB: kb, Seed: cfg.seed()})
+		if err != nil {
+			return "", err
+		}
+		label := "whole (25 MB)"
+		if kb > 0 {
+			label = fmt.Sprintf("%d KiB", kb)
+		}
+		tab.AddRow(label, res.SlowdownPct,
+			res.WorstStall.Milliseconds(), res.CheckLatency.Milliseconds(), res.Checks)
+	}
+	return "RIM integrity checks at 1/s, 25 MB per check, 4-core compute app:\n\n" +
+		tab.String() +
+		"\nSmaller chunks bound the worst stall (good for latency-sensitive\n" +
+		"code) but pay per-SMI entry/exit and rendezvous overhead on every\n" +
+		"chunk, stretching check latency and costing throughput.\n", nil
+}
+
+// EnergyStudy measures the extra energy to complete fixed work under
+// each SMI level (the IISWC'13 finding).
+func EnergyStudy(cfg Config) (string, error) {
+	tab := metrics.NewTable("level", "quiet (J)", "noisy (J)", "extra energy %", "extra time %")
+	for _, lv := range []smistudy.SMMLevel{smistudy.SMM1, smistudy.SMM2} {
+		res, err := smistudy.MeasureEnergy(lv, cfg.seed())
+		if err != nil {
+			return "", err
+		}
+		tab.AddRow(lv.String(), res.QuietJoules, res.NoisyJoules,
+			res.EnergyIncreasePct,
+			metrics.PercentChange(res.QuietTime.Seconds(), res.NoisyTime.Seconds()))
+	}
+	return "Energy to complete the same work (5 s × 4 cores) under SMIs at 1/s:\n\n" +
+		tab.String(), nil
+}
+
+// DriftStudy measures tick-clock drift per SMI schedule.
+func DriftStudy(cfg Config) (string, error) {
+	intervals := []int{1000, 500, 200}
+	if cfg.Quick {
+		intervals = []int{1000}
+	}
+	tab := metrics.NewTable("level", "interval (ms)", "drift over 10s", "ppm")
+	for _, lv := range []smistudy.SMMLevel{smistudy.SMM1, smistudy.SMM2} {
+		for _, iv := range intervals {
+			res, err := smistudy.MeasureClockDrift(lv, iv, 10, cfg.seed())
+			if err != nil {
+				return "", err
+			}
+			tab.AddRow(lv.String(), iv, res.Drift.String(), res.PPM)
+		}
+	}
+	return "Tick-counted wall-clock drift (ticks lost in SMM; NTP tolerates ~500 ppm):\n\n" +
+		tab.String(), nil
+}
+
+// ProfilerStudy measures sampling-profiler distortion under long SMIs.
+func ProfilerStudy(cfg Config) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sampling profiler under long SMIs every 500 ms (2:1 workload):\n\n")
+	for _, mode := range []struct {
+		name string
+		m    smistudy.ProfilerMode
+	}{
+		{"drop-in-SMM (NMI profiler)", smistudy.ProfilerDropInSMM},
+		{"defer-to-exit (timer profiler)", smistudy.ProfilerDeferToExit},
+	} {
+		rep := smistudy.ProfileWorkload(mode.m, cfg.seed())
+		fmt.Fprintf(&b, "[%s]  samples=%d lost=%d deferred=%d max share skew=%.1f%%\n",
+			mode.name, rep.Total, rep.Lost, rep.Deferred, rep.MaxSkew*100)
+		b.WriteString(indent(rep.Table(), "  "))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// ExtendedNAS runs the non-paper NPB kernels under no/long SMM — the
+// paper's stated future work.
+func ExtendedNAS(cfg Config) (string, error) {
+	benches := []smistudy.Benchmark{"CG", "MG", "IS", "LU", "SP"}
+	nodes := []int{1, 4, 16}
+	if cfg.Quick {
+		benches = []smistudy.Benchmark{"CG", "IS"}
+		nodes = []int{1, 4}
+	}
+	tab := metrics.NewTable("bench", "nodes", "SMM0 (s)", "SMM2 (s)", "long impact %")
+	for _, bench := range benches {
+		for _, n := range nodes {
+			var base, long float64
+			for _, lv := range []smistudy.SMMLevel{smistudy.SMM0, smistudy.SMM2} {
+				res, err := smistudy.RunNAS(smistudy.NASOptions{
+					Bench: bench, Class: smistudy.ClassA,
+					Nodes: n, RanksPerNode: 1, SMM: lv,
+					Runs: cfg.runs(3), Seed: cfg.seed(),
+				})
+				if err != nil {
+					return "", err
+				}
+				if lv == smistudy.SMM0 {
+					base = res.Seconds()
+				} else {
+					long = res.Seconds()
+				}
+			}
+			tab.AddRow(string(bench), n, base, long, metrics.PercentChange(base, long))
+		}
+	}
+	return "Extended NPB kernels (class A, 1 rank/node, long SMIs at 1/s) —\n" +
+		"the paper's future work, 'additional parallel applications':\n\n" +
+		tab.String(), nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smistudy"
+)
+
+func TestRIMTradeoffQuick(t *testing.T) {
+	out, err := RIMTradeoff(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"whole (25 MB)", "256 KiB", "worst stall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnergyStudy(t *testing.T) {
+	out, err := EnergyStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SMM1") || !strings.Contains(out, "SMM2") {
+		t.Errorf("missing levels:\n%s", out)
+	}
+}
+
+func TestDriftStudyQuick(t *testing.T) {
+	out, err := DriftStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ppm") {
+		t.Errorf("missing ppm column:\n%s", out)
+	}
+}
+
+func TestProfilerStudy(t *testing.T) {
+	out, err := ProfilerStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"drop-in-SMM", "defer-to-exit", "heavy", "light"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtendedNASQuick(t *testing.T) {
+	out, err := ExtendedNAS(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CG", "IS", "long impact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONMarshaling(t *testing.T) {
+	tab, err := Table2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ToJSON(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"table": 2`, `"bench": "EP"`, `"one_rank_per_node"`, `"long_pct"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table JSON missing %s", want)
+		}
+	}
+
+	htt, err := Table4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = ToJSON(htt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"ht1"`) {
+		t.Error("HTT JSON missing ht1")
+	}
+
+	f1, err := Figure1Convolve(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = ToJSON(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"figure": 1`) || !strings.Contains(out, `"behavior"`) {
+		t.Error("figure1 JSON malformed")
+	}
+
+	f2, err := Figure2UnixBench(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = ToJSON(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"figure": 2`) || !strings.Contains(out, `"score"`) {
+		t.Error("figure2 JSON malformed")
+	}
+}
+
+func TestJSONSkippedCellsAreNull(t *testing.T) {
+	tab, err := nasPow2Table(Config{Runs: 1, Seed: 1, Quick: true}, 3, smistudy.FT,
+		"t", func(c smistudy.Class, n int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ToJSON(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"one_rank_per_node": null`) {
+		t.Errorf("skipped halves should be null:\n%s", out)
+	}
+}
+
+func TestAmplificationStudyQuick(t *testing.T) {
+	out, err := AmplificationStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "amplification") || !strings.Contains(out, "EP") {
+		t.Errorf("amplification output malformed:\n%s", out)
+	}
+}
+
+func TestModelStudyQuick(t *testing.T) {
+	out, err := ModelStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sim/model") || !strings.Contains(out, "superstep") {
+		t.Errorf("model study malformed:\n%s", out)
+	}
+}
+
+func TestCompareAgainstPaper(t *testing.T) {
+	out, err := Compare(quick(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"paper SMM0", "ours long %", "baseline error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Compare(quick(), 9); err == nil {
+		t.Error("table 9 accepted")
+	}
+}

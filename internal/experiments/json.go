@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization of regenerated experiments, for downstream plotting
+// tools. Types marshal with self-describing field names; NaNs (cells the
+// paper leaves blank) become nulls.
+
+// jsonTriple is the wire form of a Triple.
+type jsonTriple struct {
+	SMM0     float64 `json:"smm0_s"`
+	SMM1     float64 `json:"smm1_s"`
+	SMM2     float64 `json:"smm2_s"`
+	PctShort float64 `json:"short_pct"`
+	PctLong  float64 `json:"long_pct"`
+}
+
+func toJSONTriple(t *Triple) *jsonTriple {
+	if t == nil {
+		return nil
+	}
+	return &jsonTriple{
+		SMM0: t.SMM0, SMM1: t.SMM1, SMM2: t.SMM2,
+		PctShort: t.PctShort(), PctLong: t.PctLong(),
+	}
+}
+
+// MarshalJSON renders the table with per-row one/four halves.
+func (t NASTable) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Class string      `json:"class"`
+		Nodes int         `json:"nodes"`
+		One   *jsonTriple `json:"one_rank_per_node"`
+		Four  *jsonTriple `json:"four_ranks_per_node"`
+	}
+	out := struct {
+		Table int    `json:"table"`
+		Title string `json:"title"`
+		Bench string `json:"bench"`
+		Rows  []row  `json:"rows"`
+	}{Table: t.Number, Title: t.Title, Bench: string(t.Bench)}
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, row{
+			Class: string(r.Class),
+			Nodes: r.Nodes,
+			One:   toJSONTriple(r.One),
+			Four:  toJSONTriple(r.Four),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON renders the HTT table.
+func (t HTTTable) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Class string     `json:"class"`
+		Nodes int        `json:"nodes"`
+		Off   jsonTriple `json:"ht0"`
+		On    jsonTriple `json:"ht1"`
+	}
+	out := struct {
+		Table int    `json:"table"`
+		Title string `json:"title"`
+		Bench string `json:"bench"`
+		Rows  []row  `json:"rows"`
+	}{Table: t.Number, Title: t.Title, Bench: string(t.Bench)}
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, row{
+			Class: string(r.Class),
+			Nodes: r.Nodes,
+			Off:   *toJSONTriple(&r.Off),
+			On:    *toJSONTriple(&r.On),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON renders the Convolve figure points.
+func (f Figure1) MarshalJSON() ([]byte, error) {
+	type point struct {
+		Behavior   string  `json:"behavior"`
+		CPUs       int     `json:"cpus"`
+		IntervalMS int     `json:"interval_ms"`
+		Seconds    float64 `json:"seconds"`
+		StdDev     float64 `json:"stddev"`
+	}
+	pts := make([]point, 0, len(f.Points))
+	for _, p := range f.Points {
+		pts = append(pts, point{
+			Behavior: p.Behavior.String(), CPUs: p.CPUs,
+			IntervalMS: p.IntervalMS, Seconds: p.Seconds, StdDev: p.StdDev,
+		})
+	}
+	return json.Marshal(struct {
+		Figure int     `json:"figure"`
+		Points []point `json:"points"`
+	}{1, pts})
+}
+
+// MarshalJSON renders the UnixBench figure points.
+func (f Figure2) MarshalJSON() ([]byte, error) {
+	type point struct {
+		CPUs       int     `json:"cpus"`
+		IntervalMS int     `json:"interval_ms"`
+		Iteration  int     `json:"iteration"`
+		Score      float64 `json:"score"`
+	}
+	pts := make([]point, 0, len(f.Points))
+	for _, p := range f.Points {
+		pts = append(pts, point{p.CPUs, p.IntervalMS, p.Iteration, p.Score})
+	}
+	return json.Marshal(struct {
+		Figure int     `json:"figure"`
+		Points []point `json:"points"`
+	}{2, pts})
+}
+
+// ToJSON marshals any experiment artifact with indentation.
+func ToJSON(v any) (string, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,180 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randVec(rng, n)
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		if err := Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: FFT differs from DFT by %v", n, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	prop := func(seed int64, lg uint8) bool {
+		n := 1 << (lg%9 + 1)
+		rng := rand.New(rand.NewSource(seed))
+		x := randVec(rng, n)
+		y := append([]complex128(nil), x...)
+		if Forward(y) != nil || Inverse(y) != nil {
+			return false
+		}
+		return maxDiff(x, y) < 1e-9*float64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randVec(rng, 128)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/128-timeE) > 1e-9*timeE {
+		t.Errorf("Parseval violated: time %v, freq/n %v", timeE, freqE/128)
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 32)
+	x[0] = 1
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestNonPowerOfTwoRejected(t *testing.T) {
+	if err := Forward(make([]complex128, 12)); err == nil {
+		t.Error("length 12 accepted")
+	}
+	if err := Inverse(make([]complex128, 3)); err == nil {
+		t.Error("length 3 accepted")
+	}
+	if err := Forward(nil); err != nil {
+		t.Error("empty transform should be a no-op")
+	}
+}
+
+func TestGrid3DRoundTrip(t *testing.T) {
+	g, err := NewGrid3D(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = g.Data[i]
+	}
+	if err := g.Forward3D(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Inverse3D(); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(g.Data, orig); d > 1e-9 {
+		t.Fatalf("3D round trip error %v", d)
+	}
+}
+
+func TestGrid3DImpulse(t *testing.T) {
+	g, err := NewGrid3D(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(0, 0, 0, 1)
+	if err := g.Forward3D(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g.Data {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("3D impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestGrid3DValidation(t *testing.T) {
+	if _, err := NewGrid3D(3, 4, 4); err == nil {
+		t.Error("non-power-of-two dimension accepted")
+	}
+	if _, err := NewGrid3D(0, 4, 4); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+func TestGrid3DAccessors(t *testing.T) {
+	g, err := NewGrid3D(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(3, 1, 1, 42)
+	if g.At(3, 1, 1) != 42 {
+		t.Error("At/Set disagree")
+	}
+	if g.Data[(1*2+1)*4+3] != 42 {
+		t.Error("layout is not x-major")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	g, _ := NewGrid3D(2, 2, 2)
+	for i := range g.Data {
+		g.Data[i] = complex(float64(i), 0)
+	}
+	if got := g.Checksum(1); got != complex(28, 0) {
+		t.Errorf("checksum = %v, want 28", got)
+	}
+	if got := g.Checksum(2); got != complex(0+2+4+6, 0) {
+		t.Errorf("strided checksum = %v, want 12", got)
+	}
+	if got := g.Checksum(0); got != complex(28, 0) {
+		t.Errorf("stride 0 should clamp to 1, got %v", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package integration_test exercises the full stack — cluster, MPI, NAS
+// skeletons, SMM machinery, energy metering, tracing, hotplug — in
+// combined scenarios none of the unit tests cover alone.
+package integration_test
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/energy"
+	"smistudy/internal/kernel"
+	"smistudy/internal/mpi"
+	"smistudy/internal/nas"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+	"smistudy/internal/trace"
+)
+
+// A full MPI run with SMIs, energy meters and attribution all active at
+// once: every subsystem must agree on the same ground truth.
+func TestFullStackConsistency(t *testing.T) {
+	e := sim.New(3)
+	cl := cluster.MustNew(e, cluster.Wyeast(4, false, smm.SMMLong))
+	cl.StartSMI()
+
+	meters := make([]*energy.Meter, len(cl.Nodes))
+	for i, n := range cl.Nodes {
+		meters[i] = energy.NewMeter(e, n.CPU, energy.NehalemServer())
+	}
+
+	w := mpi.MustNewWorld(cl, 1, mpi.DefaultParams())
+	res, err := nas.Run(w, nas.Spec{Bench: nas.EP, Class: nas.ClassA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("run not verified")
+	}
+
+	for i, n := range cl.Nodes {
+		st := n.SMM.Stats()
+		if st.Count == 0 {
+			t.Fatalf("node %d saw no SMIs over %v", i, res.Time)
+		}
+		// Episode log must be consistent with aggregate stats.
+		var total sim.Time
+		for _, ep := range n.SMM.Episodes() {
+			total += ep.Duration
+		}
+		if total != st.TotalResidency {
+			t.Fatalf("node %d: episode sum %v != residency %v", i, total, st.TotalResidency)
+		}
+		// Energy must include an SMM component matching residency.
+		r := meters[i].Read()
+		wantSMM := energy.NehalemServer().SMMPerCore * 4 * st.TotalResidency.Seconds()
+		if math.Abs(r.SMMJoules-wantSMM) > 1e-6 {
+			t.Fatalf("node %d: SMM energy %v, want %v", i, r.SMMJoules, wantSMM)
+		}
+	}
+}
+
+// Attribution across a whole MPI world: the sum of stolen time over all
+// ranks must not exceed residency × cores, and every rank on a node with
+// SMIs must show stolen time.
+func TestAttributionAcrossCluster(t *testing.T) {
+	e := sim.New(5)
+	cl := cluster.MustNew(e, cluster.Wyeast(2, false, smm.SMMLong))
+	cl.StartSMI()
+	w := mpi.MustNewWorld(cl, 4, mpi.DefaultParams())
+
+	var tasks [][]*kernel.Task
+	tasks = make([][]*kernel.Task, 2)
+	w.Run(nas.Profile(nas.EP), func(r *mpi.Rank, tk *kernel.Task) {
+		tasks[r.Node().Index] = append(tasks[r.Node().Index], tk)
+		tk.Compute(2.27e9 * 5)
+		r.Barrier(tk)
+	})
+	for i, n := range cl.Nodes {
+		a := trace.Attribute(n, tasks[i])
+		residency := n.SMM.Stats().TotalResidency
+		if a.TotalStolen <= 0 {
+			t.Fatalf("node %d: no stolen time", i)
+		}
+		if a.TotalStolen > residency*4+sim.Millisecond {
+			t.Fatalf("node %d: stolen %v exceeds residency %v × 4 cores", i, a.TotalStolen, residency)
+		}
+	}
+}
+
+// CPU hotplug in the middle of an MPI run must not wedge or corrupt the
+// run — threads migrate and the job completes.
+func TestHotplugDuringMPIRun(t *testing.T) {
+	e := sim.New(7)
+	cl := cluster.MustNew(e, cluster.Wyeast(2, false, smm.SMMNone))
+	// Take node 1 down to a single CPU mid-run and bring it back.
+	e.At(2*sim.Second, func() {
+		if err := cl.Nodes[1].Kernel.OnlineCPUs(1); err != nil {
+			t.Error(err)
+		}
+	})
+	e.At(4*sim.Second, func() {
+		if err := cl.Nodes[1].Kernel.OnlineCPUs(4); err != nil {
+			t.Error(err)
+		}
+	})
+	w := mpi.MustNewWorld(cl, 4, mpi.DefaultParams())
+	res, err := nas.Run(w, nas.Spec{Bench: nas.EP, Class: nas.ClassA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("hotplug corrupted the run")
+	}
+	// Reference run without hotplug.
+	e2 := sim.New(7)
+	cl2 := cluster.MustNew(e2, cluster.Wyeast(2, false, smm.SMMNone))
+	w2 := mpi.MustNewWorld(cl2, 4, mpi.DefaultParams())
+	ref, err := nas.Run(w2, nas.Spec{Bench: nas.EP, Class: nas.ClassA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks forced onto 1 CPU for 2 s must cost node 1 real time.
+	if res.Time < ref.Time+sim.Second {
+		t.Fatalf("hotplug had no effect: %v vs unperturbed %v", res.Time, ref.Time)
+	}
+}
+
+// An SMI storm (short SMIs at high frequency) across a synchronizing job
+// must slow it roughly by aggregate duty cycle, not wedge it.
+func TestSMIStormOnBT(t *testing.T) {
+	run := func(period uint64) sim.Time {
+		e := sim.New(11)
+		par := cluster.Wyeast(4, false, smm.SMMShort)
+		par.Node.SMI.PeriodJiffies = period
+		cl := cluster.MustNew(e, par)
+		cl.StartSMI()
+		w := mpi.MustNewWorld(cl, 1, mpi.DefaultParams())
+		res, err := nas.Run(w, nas.Spec{Bench: nas.BT, Class: nas.ClassS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	calm := run(100000)
+	storm := run(10) // ~2ms SMI every ~12ms → ≈17% duty cycle per node
+	slow := float64(storm)/float64(calm) - 1
+	if slow < 0.15 {
+		t.Fatalf("SMI storm cost only %.0f%%", slow*100)
+	}
+	if slow > 3 {
+		t.Fatalf("SMI storm implausibly destructive: %.1fx", slow+1)
+	}
+}
+
+// Determinism across the whole stack: identical seeds give bit-identical
+// outcomes even with SMIs, hotplug and collectives in play.
+func TestWholeStackDeterminism(t *testing.T) {
+	run := func() (sim.Time, sim.Time, int) {
+		e := sim.New(13)
+		cl := cluster.MustNew(e, cluster.Wyeast(4, true, smm.SMMLong))
+		cl.StartSMI()
+		e.At(sim.Second, func() { _ = cl.Nodes[2].Kernel.OnlineCPUs(3) })
+		w := mpi.MustNewWorld(cl, 2, mpi.DefaultParams())
+		res, err := nas.Run(w, nas.Spec{Bench: nas.FT, Class: nas.ClassS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time, cl.TotalSMMResidency(), cl.Nodes[0].SMM.Stats().Count
+	}
+	t1, r1, c1 := run()
+	t2, r2, c2 := run()
+	if t1 != t2 || r1 != r2 || c1 != c2 {
+		t.Fatalf("stack not deterministic: (%v,%v,%d) vs (%v,%v,%d)", t1, r1, c1, t2, r2, c2)
+	}
+}
+
+// Pinned ranks: pinning each rank to its own physical core must match
+// the default spread placement's performance for EP.
+func TestPinnedRanksEPPerformance(t *testing.T) {
+	run := func(pin bool) sim.Time {
+		e := sim.New(17)
+		cl := cluster.MustNew(e, cluster.Wyeast(1, true, smm.SMMNone))
+		w := mpi.MustNewWorld(cl, 4, mpi.DefaultParams())
+		return w.Run(nas.Profile(nas.EP), func(r *mpi.Rank, tk *kernel.Task) {
+			if pin {
+				if err := tk.SetAffinity(r.ID() % 4); err != nil {
+					t.Error(err)
+				}
+			}
+			tk.Compute(2.27e9 * 2)
+			r.Allreduce(tk, 80)
+		})
+	}
+	spread := run(false)
+	pinned := run(true)
+	diff := math.Abs(float64(pinned)-float64(spread)) / float64(spread)
+	if diff > 0.02 {
+		t.Fatalf("pinning changed EP runtime by %.1f%%: %v vs %v", diff*100, pinned, spread)
+	}
+}
+
+// The CPU model under combined stress: HTT contention + bandwidth cap +
+// SMIs + hotplug, all at once, conserving every thread's requested work.
+func TestKitchenSinkWorkConservation(t *testing.T) {
+	e := sim.New(19)
+	par := cluster.R410(smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 300, PhaseJitter: true})
+	cl := cluster.MustNew(e, par)
+	cl.StartSMI()
+	node := cl.Nodes[0]
+
+	const workers = 12
+	const ops = 3e8
+	done := 0
+	threads := make([]*cpu.Thread, workers)
+	for i := 0; i < workers; i++ {
+		prof := cpu.Profile{CPI: 1, MissRate: 0.002 * float64(i%3), MemMissRate: 0.01}
+		threads[i] = node.CPU.NewThread("w", prof)
+		node.CPU.StartCompute(threads[i], ops, func() { done++ })
+	}
+	e.At(sim.Second, func() { _ = node.Kernel.OnlineCPUs(3) })
+	e.At(2*sim.Second, func() { _ = node.Kernel.OnlineCPUs(7) })
+	e.RunUntil(120 * sim.Second)
+	if done != workers {
+		t.Fatalf("only %d/%d workers completed", done, workers)
+	}
+	for i, th := range threads {
+		if math.Abs(th.OpsDone()-ops)/ops > 1e-6 {
+			t.Fatalf("worker %d did %v ops, want %v", i, th.OpsDone(), ops)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"fmt"
+
+	"smistudy/internal/sim"
+)
+
+// FSParams models a simple filesystem: reads and writes move through a
+// buffer cache at copy speed; dirty data beyond the cache drains to a
+// bandwidth-limited disk. This is all UnixBench's File Copy tests
+// exercise.
+type FSParams struct {
+	BufferCacheBytes int64   // page cache size
+	DiskBytesPerSec  float64 // sustained device bandwidth
+	OpenOps          float64 // open/creat cost
+}
+
+// DefaultFSParams resembles a 2010s SATA disk with a generous cache.
+func DefaultFSParams() FSParams {
+	return FSParams{
+		BufferCacheBytes: 256 << 20,
+		DiskBytesPerSec:  120e6,
+		OpenOps:          2500,
+	}
+}
+
+// FS is a node's filesystem instance.
+type FS struct {
+	k     *Kernel
+	par   FSParams
+	dirty int64    // bytes not yet drained to disk
+	free  sim.Time // disk-idle time horizon
+	files map[string]*File
+}
+
+// NewFS attaches a filesystem to the kernel.
+func (k *Kernel) NewFS(par FSParams) *FS {
+	if par.BufferCacheBytes <= 0 {
+		par.BufferCacheBytes = DefaultFSParams().BufferCacheBytes
+	}
+	if par.DiskBytesPerSec <= 0 {
+		par.DiskBytesPerSec = DefaultFSParams().DiskBytesPerSec
+	}
+	return &FS{k: k, par: par, files: make(map[string]*File)}
+}
+
+// File is an open file (size-only; contents are irrelevant to timing).
+type File struct {
+	fs   *FS
+	name string
+	size int64
+	off  int64
+}
+
+// Create opens a new empty file, truncating any existing one.
+func (fs *FS) Create(t *Task, name string) *File {
+	t.Syscall()
+	t.Compute(fs.par.OpenOps)
+	f := &File{fs: fs, name: name}
+	fs.files[name] = f
+	return f
+}
+
+// Open opens an existing file for reading.
+func (fs *FS) Open(t *Task, name string) (*File, error) {
+	t.Syscall()
+	t.Compute(fs.par.OpenOps)
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fs: %s: no such file", name)
+	}
+	return &File{fs: fs, name: name, size: f.size}, nil
+}
+
+// Size reports the file's length.
+func (f *File) Size() int64 { return f.size }
+
+// Write appends n bytes: a syscall, a user→cache copy, and — once the
+// buffer cache is saturated — throttling at disk bandwidth (the task
+// blocks while the device drains).
+func (f *File) Write(t *Task, n int) int {
+	t.Syscall()
+	t.Compute(float64(n) * f.fs.k.par.CopyOpsPerByte)
+	f.size += int64(n)
+	if master, ok := f.fs.files[f.name]; ok {
+		master.size = f.size
+	}
+	f.fs.dirty += int64(n)
+	if f.fs.dirty > f.fs.par.BufferCacheBytes {
+		// Writeback throttling: block for the disk time of the excess.
+		excess := f.fs.dirty - f.fs.par.BufferCacheBytes
+		f.fs.dirty = f.fs.par.BufferCacheBytes
+		d := sim.Time(float64(excess) / f.fs.par.DiskBytesPerSec * float64(sim.Second))
+		now := t.Gettime()
+		if f.fs.free < now {
+			f.fs.free = now
+		}
+		f.fs.free += d
+		t.proc.Sleep(f.fs.free - now)
+	}
+	return n
+}
+
+// Read consumes up to n bytes from the current offset: a syscall and a
+// cache→user copy (reads hit the buffer cache in the File Copy pattern).
+func (f *File) Read(t *Task, n int) int {
+	t.Syscall()
+	left := f.size - f.off
+	if int64(n) > left {
+		n = int(left)
+	}
+	if n <= 0 {
+		return 0
+	}
+	t.Compute(float64(n) * f.fs.k.par.CopyOpsPerByte)
+	f.off += int64(n)
+	return n
+}
+
+// Rewind resets the read offset to the start (UnixBench's copy loop
+// lseeks back to 0 each pass).
+func (f *File) Rewind() { f.off = 0 }
+
+// Sync drains all dirty data to disk, blocking the caller.
+func (fs *FS) Sync(t *Task) {
+	t.Syscall()
+	if fs.dirty == 0 {
+		return
+	}
+	d := sim.Time(float64(fs.dirty) / fs.par.DiskBytesPerSec * float64(sim.Second))
+	fs.dirty = 0
+	now := t.Gettime()
+	if fs.free < now {
+		fs.free = now
+	}
+	fs.free += d
+	t.proc.Sleep(fs.free - now)
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(t *Task, name string) {
+	t.Syscall()
+	delete(fs.files, name)
+}

@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/sim"
+)
+
+func fsSetup(cacheBytes int64) (*sim.Engine, *Kernel, *FS) {
+	e, k := newKernel(1, false)
+	fs := k.NewFS(FSParams{BufferCacheBytes: cacheBytes, DiskBytesPerSec: 100e6, OpenOps: 1000})
+	return e, k, fs
+}
+
+func TestFileWriteRead(t *testing.T) {
+	e, k, fs := fsSetup(1 << 30)
+	var got int
+	k.Spawn("cp", cpuBound, func(tk *Task) {
+		f := fs.Create(tk, "out")
+		f.Write(tk, 4096)
+		f.Write(tk, 4096)
+		if f.Size() != 8192 {
+			panic("size wrong")
+		}
+		r, err := fs.Open(tk, "out")
+		if err != nil {
+			panic(err)
+		}
+		got += r.Read(tk, 6000)
+		got += r.Read(tk, 6000)
+		got += r.Read(tk, 6000) // EOF
+	})
+	e.Run()
+	if got != 8192 {
+		t.Fatalf("read %d, want 8192", got)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	e, k, fs := fsSetup(1 << 30)
+	var err error
+	k.Spawn("r", cpuBound, func(tk *Task) {
+		_, err = fs.Open(tk, "nope")
+	})
+	e.Run()
+	if err == nil {
+		t.Fatal("missing file opened")
+	}
+}
+
+func TestWritebackThrottlesAtDiskSpeed(t *testing.T) {
+	// 1 MiB cache, 100 MB/s disk: writing 101 MiB must take ≈1 s of
+	// disk time beyond the copy cost.
+	e, k, fs := fsSetup(1 << 20)
+	var took sim.Time
+	k.Spawn("w", cpuBound, func(tk *Task) {
+		start := tk.Gettime()
+		f := fs.Create(tk, "big")
+		for i := 0; i < 101; i++ {
+			f.Write(tk, 1<<20)
+		}
+		took = tk.Gettime() - start
+	})
+	e.Run()
+	if took < 900*sim.Millisecond {
+		t.Fatalf("writeback not throttled: %v", took)
+	}
+	if took > 2*sim.Second {
+		t.Fatalf("writeback too slow: %v", took)
+	}
+}
+
+func TestCacheAbsorbsSmallWrites(t *testing.T) {
+	e, k, fs := fsSetup(1 << 30)
+	var took sim.Time
+	k.Spawn("w", cpuBound, func(tk *Task) {
+		start := tk.Gettime()
+		f := fs.Create(tk, "small")
+		for i := 0; i < 100; i++ {
+			f.Write(tk, 4096)
+		}
+		took = tk.Gettime() - start
+	})
+	e.Run()
+	// Pure syscall+copy cost: ~100×(150+1000... per write ~150+2048+...)
+	if took > 5*sim.Millisecond {
+		t.Fatalf("cached writes hit the disk: %v", took)
+	}
+}
+
+func TestSyncDrains(t *testing.T) {
+	e, k, fs := fsSetup(1 << 30)
+	var syncTook sim.Time
+	k.Spawn("w", cpuBound, func(tk *Task) {
+		f := fs.Create(tk, "data")
+		f.Write(tk, 50<<20) // 50 MiB dirty, cached
+		start := tk.Gettime()
+		fs.Sync(tk)
+		syncTook = tk.Gettime() - start
+		fs.Sync(tk) // second sync: nothing dirty
+	})
+	e.Run()
+	want := 0.5 // 50 MiB at 100 MB/s
+	if math.Abs(syncTook.Seconds()-want) > 0.05 {
+		t.Fatalf("sync took %v, want ≈0.5s", syncTook)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	e, k, fs := fsSetup(1 << 30)
+	k.Spawn("w", cpuBound, func(tk *Task) {
+		fs.Create(tk, "gone")
+		fs.Remove(tk, "gone")
+		if _, err := fs.Open(tk, "gone"); err == nil {
+			panic("removed file still opens")
+		}
+	})
+	e.Run()
+}
+
+func TestSeek(t *testing.T) {
+	e, k, fs := fsSetup(1 << 30)
+	var n1, n2 int
+	k.Spawn("w", cpuBound, func(tk *Task) {
+		f := fs.Create(tk, "s")
+		f.Write(tk, 1000)
+		r, _ := fs.Open(tk, "s")
+		n1 = r.Read(tk, 1000)
+		r.Rewind()
+		n2 = r.Read(tk, 1000)
+	})
+	e.Run()
+	if n1 != 1000 || n2 != 1000 {
+		t.Fatalf("seek/read = %d,%d", n1, n2)
+	}
+}
+
+func TestFSDefaults(t *testing.T) {
+	_, k := newKernel(1, false)
+	fs := k.NewFS(FSParams{})
+	if fs.par.BufferCacheBytes <= 0 || fs.par.DiskBytesPerSec <= 0 {
+		t.Fatal("defaults not applied")
+	}
+}

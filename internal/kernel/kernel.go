@@ -1,0 +1,276 @@
+// Package kernel is a minimal simulated operating system for one node.
+//
+// It binds simulation processes (sim.Proc) to schedulable CPU threads
+// (cpu.Thread) and provides the kernel services the paper's workloads
+// exercise: compute, syscalls with entry/exit cost, nanosleep,
+// CLOCK_MONOTONIC, pipes with blocking readers/writers, sysfs-style CPU
+// hotplug, and per-task CPU accounting. Like a real kernel, the
+// accounting is blind to System Management Mode: SMM residency is charged
+// to whatever task occupied the CPU, which is the misattribution the
+// paper warns performance-tool developers about.
+//
+// The kernel is tickless (the paper ran its multithreaded study on a
+// tickless kernel); there is no periodic scheduler tick to perturb
+// measurements.
+package kernel
+
+import (
+	"fmt"
+
+	"smistudy/internal/clock"
+	"smistudy/internal/cpu"
+	"smistudy/internal/sim"
+)
+
+// Params sets the kernel's cost model. Costs are in CPU operations (equal
+// to cycles for CPI-1 profiles, which all OS micro-benchmark workloads
+// use).
+type Params struct {
+	SyscallOps     float64 // syscall entry + exit
+	CtxSwitchOps   float64 // charged when a blocked task resumes
+	CopyOpsPerByte float64 // kernel-user copy cost (pipes)
+}
+
+// DefaultParams resembles a 2010s Linux on Nehalem: ~150 cycle syscalls,
+// ~2000 cycle context switches, ~0.5 cycles/byte copies.
+func DefaultParams() Params {
+	return Params{SyscallOps: 150, CtxSwitchOps: 2000, CopyOpsPerByte: 0.5}
+}
+
+// Kernel is the OS instance of one node.
+type Kernel struct {
+	eng *sim.Engine
+	cpu *cpu.Model
+	clk *clock.Node
+	par Params
+
+	nextPID int
+	live    int
+	allDone sim.Signal
+}
+
+// New builds a kernel over the given processor and clocks.
+func New(eng *sim.Engine, c *cpu.Model, clk *clock.Node, par Params) *Kernel {
+	return &Kernel{eng: eng, cpu: c, clk: clk, par: par}
+}
+
+// CPU exposes the underlying processor model.
+func (k *Kernel) CPU() *cpu.Model { return k.cpu }
+
+// Clock exposes the node's clocks.
+func (k *Kernel) Clock() *clock.Node { return k.clk }
+
+// Params returns the kernel cost model.
+func (k *Kernel) Params() Params { return k.par }
+
+// Task is a schedulable process/thread.
+type Task struct {
+	pid  int
+	name string
+	k    *Kernel
+	proc *sim.Proc
+	th   *cpu.Thread
+
+	exited   bool
+	exitSig  sim.Signal
+	exitTime sim.Time
+}
+
+// Spawn creates a task running fn with the given workload profile. The
+// task starts at the current simulation time and its thread is removed
+// from the scheduler when fn returns.
+func (k *Kernel) Spawn(name string, prof cpu.Profile, fn func(t *Task)) *Task {
+	k.nextPID++
+	k.live++
+	t := &Task{pid: k.nextPID, name: name, k: k}
+	t.th = k.cpu.NewThread(name, prof)
+	t.proc = k.eng.Go(name, func(p *sim.Proc) {
+		defer func() {
+			t.exited = true
+			t.exitTime = p.Now()
+			k.cpu.Remove(t.th)
+			t.exitSig.Broadcast(k.eng)
+			k.live--
+			if k.live == 0 {
+				k.allDone.Broadcast(k.eng)
+			}
+		}()
+		fn(t)
+	})
+	return t
+}
+
+// PID reports the task's process id.
+func (t *Task) PID() int { return t.pid }
+
+// Name reports the task name.
+func (t *Task) Name() string { return t.name }
+
+// Kernel reports the owning kernel.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// Proc exposes the underlying simulation process.
+func (t *Task) Proc() *sim.Proc { return t.proc }
+
+// Thread exposes the underlying CPU thread (for profile changes and
+// accounting).
+func (t *Task) Thread() *cpu.Thread { return t.th }
+
+// Compute executes ops operations of user-mode work.
+func (t *Task) Compute(ops float64) {
+	if ops <= 0 {
+		return
+	}
+	t.th.Compute(t.proc, ops)
+}
+
+// Syscall charges one syscall entry/exit.
+func (t *Task) Syscall() { t.Compute(t.k.par.SyscallOps) }
+
+// Gettime reads CLOCK_MONOTONIC (vDSO — no syscall cost).
+func (t *Task) Gettime() sim.Time { return t.k.clk.Monotonic() }
+
+// UTime reports the CPU time the kernel accounts to this task. SMM
+// residency is included — the kernel cannot see it.
+func (t *Task) UTime() sim.Time { return t.th.OSTime() }
+
+// TrueCPUTime reports the CPU time during which the task actually made
+// progress (simulator ground truth; no real kernel can report this).
+func (t *Task) TrueCPUTime() sim.Time { return t.th.TrueTime() }
+
+// SetAffinity pins the task to one logical CPU
+// (sched_setaffinity-style); cpu -1 clears the pin.
+func (t *Task) SetAffinity(cpu int) error {
+	t.Syscall()
+	if cpu < 0 {
+		t.k.cpu.Unpin(t.th)
+		return nil
+	}
+	return t.k.cpu.Pin(t.th, cpu)
+}
+
+// Nanosleep blocks the task for d of wall time.
+func (t *Task) Nanosleep(d sim.Time) {
+	t.Syscall()
+	t.proc.Sleep(d)
+}
+
+// Join blocks until other exits.
+func (t *Task) Join(other *Task) {
+	if other.exited {
+		return
+	}
+	other.exitSig.Wait(t.proc)
+}
+
+// Exited reports whether the task's function returned, and when.
+func (t *Task) Exited() (bool, sim.Time) { return t.exited, t.exitTime }
+
+// WaitAllExited parks the calling process until every spawned task has
+// exited. Must be called from a plain sim process, not a Task.
+func (k *Kernel) WaitAllExited(p *sim.Proc) {
+	for k.live > 0 {
+		k.allDone.Wait(p)
+	}
+}
+
+// SetCPUOnline is the sysfs hotplug interface
+// (/sys/devices/system/cpu/cpuN/online).
+func (k *Kernel) SetCPUOnline(id int, online bool) error {
+	return k.cpu.SetOnline(id, online)
+}
+
+// OnlineCPUs onlines exactly n logical CPUs, physical cores before
+// hyper-threaded siblings, mirroring the paper's methodology.
+func (k *Kernel) OnlineCPUs(n int) error { return k.cpu.OnlineFirst(n) }
+
+// Pipe is a POSIX-style pipe: a bounded byte buffer with blocking reads
+// and writes. Only byte counts flow (payloads are irrelevant to timing).
+type Pipe struct {
+	k        *Kernel
+	buffered int
+	capacity int
+	readers  sim.Signal
+	writers  sim.Signal
+	closed   bool
+}
+
+// DefaultPipeCapacity matches Linux's 64 KiB default.
+const DefaultPipeCapacity = 64 << 10
+
+// NewPipe creates a pipe with the given buffer capacity (bytes).
+func (k *Kernel) NewPipe(capacity int) *Pipe {
+	if capacity <= 0 {
+		capacity = DefaultPipeCapacity
+	}
+	return &Pipe{k: k, capacity: capacity}
+}
+
+// Buffered reports the bytes currently in the pipe.
+func (p *Pipe) Buffered() int { return p.buffered }
+
+// Close marks the pipe closed; blocked readers return 0 (EOF) and blocked
+// writers return an error.
+func (p *Pipe) Close() {
+	p.closed = true
+	p.readers.Broadcast(p.k.eng)
+	p.writers.Broadcast(p.k.eng)
+}
+
+// Write transfers n bytes into the pipe, blocking while the buffer is
+// full. It returns the bytes written (n, or fewer on close) and charges
+// the writer one syscall plus copy cost per partial write.
+func (p *Pipe) Write(t *Task, n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("pipe: negative write")
+	}
+	written := 0
+	for written < n {
+		if p.closed {
+			return written, fmt.Errorf("pipe: write on closed pipe (EPIPE)")
+		}
+		space := p.capacity - p.buffered
+		if space == 0 {
+			p.writers.Wait(t.proc)
+			t.Compute(p.k.par.CtxSwitchOps)
+			continue
+		}
+		chunk := n - written
+		if chunk > space {
+			chunk = space
+		}
+		t.Syscall()
+		t.Compute(float64(chunk) * p.k.par.CopyOpsPerByte)
+		p.buffered += chunk
+		written += chunk
+		p.readers.Broadcast(p.k.eng)
+	}
+	return written, nil
+}
+
+// Read transfers up to n bytes out of the pipe, blocking while it is
+// empty. Returns 0 at EOF (closed and drained).
+func (p *Pipe) Read(t *Task, n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("pipe: negative read")
+	}
+	for {
+		if p.buffered == 0 {
+			if p.closed {
+				return 0, nil
+			}
+			p.readers.Wait(t.proc)
+			t.Compute(p.k.par.CtxSwitchOps)
+			continue
+		}
+		chunk := n
+		if chunk > p.buffered {
+			chunk = p.buffered
+		}
+		t.Syscall()
+		t.Compute(float64(chunk) * p.k.par.CopyOpsPerByte)
+		p.buffered -= chunk
+		p.writers.Broadcast(p.k.eng)
+		return chunk, nil
+	}
+}

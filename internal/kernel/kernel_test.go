@@ -1,0 +1,297 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/clock"
+	"smistudy/internal/cpu"
+	"smistudy/internal/sim"
+)
+
+func newKernel(seed int64, htt bool) (*sim.Engine, *Kernel) {
+	e := sim.New(seed)
+	m := cpu.MustNew(e, cpu.Params{
+		PhysCores: 4, HTT: htt, BaseHz: 1e9, MissPenalty: 100, SMTEfficiency: 0.9,
+	})
+	clk := clock.New(e, 1e9, sim.Millisecond)
+	return e, New(e, m, clk, DefaultParams())
+}
+
+var cpuBound = cpu.Profile{CPI: 1}
+
+func TestSpawnComputeExit(t *testing.T) {
+	e, k := newKernel(1, true)
+	var took sim.Time
+	k.Spawn("worker", cpuBound, func(t *Task) {
+		start := t.Gettime()
+		t.Compute(1e9)
+		took = t.Gettime() - start
+	})
+	e.Run()
+	if math.Abs(took.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("compute took %v, want 1s", took)
+	}
+}
+
+func TestTaskIdentity(t *testing.T) {
+	e, k := newKernel(1, true)
+	t1 := k.Spawn("a", cpuBound, func(*Task) {})
+	t2 := k.Spawn("b", cpuBound, func(*Task) {})
+	if t1.PID() == t2.PID() {
+		t.Error("pids not unique")
+	}
+	if t1.Name() != "a" || t1.Kernel() != k {
+		t.Error("task accessors wrong")
+	}
+	e.Run()
+	if ok, _ := t1.Exited(); !ok {
+		t.Error("task not marked exited")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e, k := newKernel(1, true)
+	worker := k.Spawn("worker", cpuBound, func(t *Task) { t.Compute(5e8) })
+	var joinedAt sim.Time
+	k.Spawn("parent", cpuBound, func(t *Task) {
+		t.Join(worker)
+		joinedAt = t.Gettime()
+	})
+	e.Run()
+	if math.Abs(joinedAt.Seconds()-0.5) > 1e-3 {
+		t.Fatalf("join returned at %v, want 0.5s", joinedAt)
+	}
+}
+
+func TestJoinAlreadyExited(t *testing.T) {
+	e, k := newKernel(1, true)
+	worker := k.Spawn("w", cpuBound, func(t *Task) {})
+	joined := false
+	k.Spawn("p", cpuBound, func(t *Task) {
+		t.Nanosleep(100 * sim.Millisecond)
+		t.Join(worker) // already exited — must not block
+		joined = true
+	})
+	e.Run()
+	if !joined {
+		t.Fatal("join on exited task blocked forever")
+	}
+}
+
+func TestWaitAllExited(t *testing.T) {
+	e, k := newKernel(1, true)
+	for i := 0; i < 3; i++ {
+		d := sim.Time(i+1) * 100 * sim.Millisecond
+		k.Spawn("w", cpuBound, func(t *Task) { t.Nanosleep(d) })
+	}
+	var doneAt sim.Time
+	e.Go("waiter", func(p *sim.Proc) {
+		k.WaitAllExited(p)
+		doneAt = p.Now()
+	})
+	e.Run()
+	if math.Abs(doneAt.Seconds()-0.3) > 1e-3 {
+		t.Fatalf("WaitAllExited at %v, want ~0.3s", doneAt)
+	}
+}
+
+func TestNanosleep(t *testing.T) {
+	e, k := newKernel(1, true)
+	var woke sim.Time
+	k.Spawn("s", cpuBound, func(t *Task) {
+		t.Nanosleep(250 * sim.Millisecond)
+		woke = t.Gettime()
+	})
+	e.Run()
+	if woke < 250*sim.Millisecond {
+		t.Fatalf("woke early: %v", woke)
+	}
+}
+
+func TestSyscallCost(t *testing.T) {
+	e, k := newKernel(1, true)
+	const calls = 1000
+	var took sim.Time
+	k.Spawn("sc", cpuBound, func(t *Task) {
+		start := t.Gettime()
+		for i := 0; i < calls; i++ {
+			t.Syscall()
+		}
+		took = t.Gettime() - start
+	})
+	e.Run()
+	want := float64(calls) * k.Params().SyscallOps / 1e9
+	if math.Abs(took.Seconds()-want) > want*0.01 {
+		t.Fatalf("syscalls took %v, want %.6fs", took, want)
+	}
+}
+
+func TestPipeWriteRead(t *testing.T) {
+	e, k := newKernel(1, true)
+	p := k.NewPipe(0) // default capacity
+	var got int
+	k.Spawn("writer", cpuBound, func(t *Task) {
+		n, err := p.Write(t, 512)
+		if err != nil || n != 512 {
+			panic("write failed")
+		}
+	})
+	k.Spawn("reader", cpuBound, func(t *Task) {
+		n, err := p.Read(t, 512)
+		if err != nil {
+			panic(err)
+		}
+		got = n
+	})
+	e.Run()
+	if got != 512 {
+		t.Fatalf("read %d, want 512", got)
+	}
+	if p.Buffered() != 0 {
+		t.Fatalf("pipe not drained: %d", p.Buffered())
+	}
+}
+
+func TestPipeBlocksWhenFull(t *testing.T) {
+	e, k := newKernel(1, true)
+	p := k.NewPipe(1024)
+	var writeDone sim.Time
+	k.Spawn("writer", cpuBound, func(t *Task) {
+		if _, err := p.Write(t, 2048); err != nil {
+			panic(err)
+		}
+		writeDone = t.Gettime()
+	})
+	k.Spawn("reader", cpuBound, func(t *Task) {
+		t.Nanosleep(100 * sim.Millisecond)
+		total := 0
+		for total < 2048 {
+			n, err := p.Read(t, 2048)
+			if err != nil {
+				panic(err)
+			}
+			total += n
+		}
+	})
+	e.Run()
+	if writeDone < 100*sim.Millisecond {
+		t.Fatalf("writer did not block on full pipe: done at %v", writeDone)
+	}
+}
+
+func TestPipeEOF(t *testing.T) {
+	e, k := newKernel(1, true)
+	p := k.NewPipe(1024)
+	var n int
+	var err error
+	k.Spawn("reader", cpuBound, func(t *Task) {
+		n, err = p.Read(t, 100)
+	})
+	e.At(50*sim.Millisecond, p.Close)
+	e.Run()
+	if err != nil || n != 0 {
+		t.Fatalf("EOF read = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestPipeWriteOnClosed(t *testing.T) {
+	e, k := newKernel(1, true)
+	p := k.NewPipe(100)
+	var err error
+	k.Spawn("writer", cpuBound, func(t *Task) {
+		if _, e1 := p.Write(t, 100); e1 != nil {
+			panic(e1)
+		}
+		_, err = p.Write(t, 100) // buffer full, then pipe closes
+	})
+	e.At(100*sim.Millisecond, p.Close)
+	e.Run()
+	if err == nil {
+		t.Fatal("write on closed pipe did not error")
+	}
+}
+
+func TestPipeNegativeArgs(t *testing.T) {
+	e, k := newKernel(1, true)
+	p := k.NewPipe(100)
+	k.Spawn("x", cpuBound, func(t *Task) {
+		if _, err := p.Write(t, -1); err == nil {
+			panic("negative write accepted")
+		}
+		if _, err := p.Read(t, -1); err == nil {
+			panic("negative read accepted")
+		}
+	})
+	e.Run()
+}
+
+func TestPingPongThroughPipes(t *testing.T) {
+	// Two tasks passing a token back and forth — the pipe-based context
+	// switching pattern from UnixBench.
+	e, k := newKernel(1, true)
+	a2b := k.NewPipe(4096)
+	b2a := k.NewPipe(4096)
+	const rounds = 100
+	count := 0
+	k.Spawn("a", cpuBound, func(t *Task) {
+		for i := 0; i < rounds; i++ {
+			if _, err := a2b.Write(t, 4); err != nil {
+				panic(err)
+			}
+			if _, err := b2a.Read(t, 4); err != nil {
+				panic(err)
+			}
+			count++
+		}
+	})
+	k.Spawn("b", cpuBound, func(t *Task) {
+		for i := 0; i < rounds; i++ {
+			if _, err := a2b.Read(t, 4); err != nil {
+				panic(err)
+			}
+			if _, err := b2a.Write(t, 4); err != nil {
+				panic(err)
+			}
+		}
+	})
+	e.Run()
+	if count != rounds {
+		t.Fatalf("ping-pong completed %d rounds, want %d", count, rounds)
+	}
+}
+
+func TestUTimeIncludesSMMButTrueTimeDoesNot(t *testing.T) {
+	e, k := newKernel(1, true)
+	var task *Task
+	task = k.Spawn("victim", cpuBound, func(t *Task) { t.Compute(1e9) })
+	e.At(200*sim.Millisecond, func() { k.CPU().Stall() })
+	e.At(300*sim.Millisecond, func() { k.CPU().Unstall() })
+	e.Run()
+	if math.Abs(task.UTime().Seconds()-1.1) > 1e-6 {
+		t.Fatalf("utime = %v, want 1.1s (SMM charged to task)", task.UTime())
+	}
+	if math.Abs(task.TrueCPUTime().Seconds()-1.0) > 1e-6 {
+		t.Fatalf("true time = %v, want 1.0s", task.TrueCPUTime())
+	}
+}
+
+func TestHotplugInterface(t *testing.T) {
+	e, k := newKernel(1, true)
+	if err := k.OnlineCPUs(2); err != nil {
+		t.Fatal(err)
+	}
+	if k.CPU().NumOnline() != 2 {
+		t.Fatalf("online = %d, want 2", k.CPU().NumOnline())
+	}
+	if err := k.SetCPUOnline(7, true); err != nil {
+		t.Fatal(err)
+	}
+	if k.CPU().NumOnline() != 3 {
+		t.Fatalf("online = %d, want 3", k.CPU().NumOnline())
+	}
+	if err := k.SetCPUOnline(42, true); err == nil {
+		t.Fatal("bogus CPU id accepted")
+	}
+	e.Run()
+}

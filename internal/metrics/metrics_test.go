@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2.138)/2.138 > 0.01 {
+		t.Errorf("stddev = %v, want ≈2.14 (sample)", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 should be positive with n≥2")
+	}
+}
+
+func TestStreamSingleValue(t *testing.T) {
+	var s Stream
+	s.Add(42)
+	if s.Variance() != 0 || s.CI95() != 0 {
+		t.Error("variance/CI of single observation should be 0")
+	}
+	if s.Min() != 42 || s.Max() != 42 {
+		t.Error("min/max wrong for single value")
+	}
+}
+
+// Property: Stream matches direct two-pass computation.
+func TestStreamMatchesTwoPass(t *testing.T) {
+	prop := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%40) + 2
+		var s Stream
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			s.Add(xs[i])
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-wantVar) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 10, 100}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("geomean = %v, want 10", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty geomean should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("geomean with zero should be NaN")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean should be NaN")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Error("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median wrong")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median should be NaN")
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	if PercentChange(100, 110) != 10 {
+		t.Error("percent change wrong")
+	}
+	if !math.IsNaN(PercentChange(0, 5)) {
+		t.Error("division by zero should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "time", "pct")
+	tab.AddRow("bt.A", 86.87, 10.79)
+	tab.AddRow("ep.C", 370.67, math.NaN())
+	out := tab.String()
+	if !strings.Contains(out, "bt.A") || !strings.Contains(out, "86.87") {
+		t.Errorf("table missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("NaN should render as '-':\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("x,y", 1.5)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("CSV quoting broken:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header broken:\n%s", csv)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	ch := Chart{
+		Title:  "test",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+			{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+		},
+	}
+	out := ch.Render()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Errorf("chart missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("chart missing marks:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := Chart{Title: "empty"}
+	if !strings.Contains(ch.Render(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	ch := Chart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	out := ch.Render()
+	if out == "" {
+		t.Error("flat series render failed")
+	}
+}

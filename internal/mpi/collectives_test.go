@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"testing"
+
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+)
+
+func TestGatherCompletes(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 7, 8} {
+		for root := 0; root < ranks; root += 2 {
+			w := world(t, 1, ranks, 1)
+			w.Run(prof, func(r *Rank, tk *kernel.Task) {
+				r.Gather(tk, root, 4096)
+			})
+		}
+	}
+}
+
+func TestGatherWaitsForSlowLeaf(t *testing.T) {
+	w := world(t, 1, 4, 1)
+	var rootDone sim.Time
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		if r.ID() == 3 {
+			tk.Nanosleep(100 * sim.Millisecond)
+		}
+		r.Gather(tk, 0, 64)
+		if r.ID() == 0 {
+			rootDone = tk.Gettime()
+		}
+	})
+	if rootDone < 100*sim.Millisecond {
+		t.Fatalf("root finished gather at %v before slow leaf contributed", rootDone)
+	}
+}
+
+func TestScatterCompletes(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 5, 8} {
+		w := world(t, 1, ranks, 1)
+		w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			r.Scatter(tk, 0, 2048)
+		})
+	}
+}
+
+func TestScatterReachesEveryone(t *testing.T) {
+	w := world(t, 1, 8, 1)
+	var after []sim.Time
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		if r.ID() == 0 {
+			tk.Nanosleep(50 * sim.Millisecond)
+		}
+		r.Scatter(tk, 0, 1024)
+		after = append(after, tk.Gettime())
+	})
+	for _, at := range after {
+		if at < 50*sim.Millisecond {
+			t.Fatalf("a rank left scatter at %v before the root sent", at)
+		}
+	}
+}
+
+func TestAllgatherCompletes(t *testing.T) {
+	for _, ranks := range []int{1, 2, 5, 8} {
+		w := world(t, 1, ranks, 1)
+		w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			r.Allgather(tk, 1024)
+		})
+	}
+}
+
+func TestAllgatherSynchronizes(t *testing.T) {
+	w := world(t, 1, 4, 1)
+	var minExit sim.Time = sim.Forever
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		if r.ID() == 2 {
+			tk.Nanosleep(80 * sim.Millisecond)
+		}
+		r.Allgather(tk, 256)
+		if at := tk.Gettime(); at < minExit {
+			minExit = at
+		}
+	})
+	if minExit < 80*sim.Millisecond {
+		t.Fatalf("allgather completed at %v before the slow rank arrived", minExit)
+	}
+}
+
+func TestReduceScatterCompletes(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4, 6} {
+		w := world(t, 1, ranks, 1)
+		w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			r.ReduceScatter(tk, 512)
+		})
+	}
+}
+
+func TestAlltoallvCompletes(t *testing.T) {
+	w := world(t, 1, 4, 1)
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		sizes := make([]int, 4)
+		for d := range sizes {
+			// Irregular: rank i sends (i+1)*(d+1) KiB to rank d.
+			sizes[d] = (r.ID() + 1) * (d + 1) << 10
+		}
+		r.Alltoallv(tk, sizes)
+	})
+}
+
+func TestAlltoallvSingleRank(t *testing.T) {
+	w := world(t, 1, 1, 1)
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		r.Alltoallv(tk, []int{1 << 20})
+	})
+}
+
+func TestAlltoallvBadSizesPanics(t *testing.T) {
+	w := world(t, 1, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched sizes did not panic")
+		}
+	}()
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		r.Alltoallv(tk, []int{1})
+	})
+}
+
+func TestCollectivesInterleaveCleanly(t *testing.T) {
+	// A mixed sequence of every collective must not cross-match tags.
+	w := world(t, 3, 4, 2)
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		r.Gather(tk, 1, 128)
+		r.Scatter(tk, 2, 128)
+		r.Allgather(tk, 64)
+		r.ReduceScatter(tk, 64)
+		r.Alltoallv(tk, []int{8, 8, 8, 8, 8, 8, 8, 8})
+		r.Barrier(tk)
+		r.Allreduce(tk, 8)
+	})
+}
+
+func TestSubtreeSize(t *testing.T) {
+	// In an 8-rank binomial tree, relative rank 4 with lowbit 4 owns
+	// ranks 4-7.
+	if got := subtreeSize(4, 4, 8); got != 4 {
+		t.Errorf("subtreeSize(4,4,8) = %d, want 4", got)
+	}
+	// Truncated tree: relative rank 4 in a 6-rank tree owns 4,5.
+	if got := subtreeSize(4, 4, 6); got != 2 {
+		t.Errorf("subtreeSize(4,4,6) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,418 @@
+// Package mpi is a message-passing runtime for simulated clusters.
+//
+// It implements the MPI subset the NAS benchmark skeletons need —
+// point-to-point send/receive with eager and rendezvous protocols, and
+// the collectives Barrier, Bcast, Reduce, Allreduce and Alltoall built
+// from point-to-point the way MPICH builds them (dissemination barrier,
+// binomial trees, pairwise exchange). Ranks are kernel tasks placed on
+// cluster nodes, so every MPI operation pays CPU cost on its node and is
+// frozen whenever that node is in System Management Mode: exactly the
+// coupling through which per-node SMI noise is amplified by
+// synchronization, the paper's central MPI finding.
+package mpi
+
+import (
+	"fmt"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+)
+
+// AnySource matches a receive against any sender.
+const AnySource = -1
+
+const envelopeBytes = 64 // control-message wire size (RTS/CTS/barrier)
+
+// Params is the runtime cost/protocol model.
+type Params struct {
+	// EagerLimit is the largest message sent eagerly (buffered at the
+	// receiver); larger messages use a rendezvous handshake.
+	EagerLimit int
+	// SendOps/RecvOps are the CPU costs of posting a send/receive.
+	SendOps float64
+	RecvOps float64
+	// PackOpsPerByte is the per-byte CPU cost of packing/unpacking.
+	PackOpsPerByte float64
+	// WaitOps is the CPU cost of completing a request in Wait.
+	WaitOps float64
+	// ReduceOpsPerByte is the arithmetic cost of combining reduction
+	// operands.
+	ReduceOpsPerByte float64
+}
+
+// DefaultParams resembles an MPICH-over-TCP stack of the period.
+func DefaultParams() Params {
+	return Params{
+		EagerLimit:       64 << 10,
+		SendOps:          4000,
+		RecvOps:          4000,
+		PackOpsPerByte:   0.25,
+		WaitOps:          800,
+		ReduceOpsPerByte: 1.0,
+	}
+}
+
+// Request is a pending point-to-point operation.
+type Request struct {
+	done  bool
+	bytes int
+	src   int
+	wakes []func(any)
+}
+
+func (q *Request) complete(src, bytes int) {
+	if q.done {
+		return
+	}
+	q.done = true
+	q.src = src
+	q.bytes = bytes
+	for _, w := range q.wakes {
+		w(nil)
+	}
+	q.wakes = nil
+}
+
+// Done reports whether the request has completed.
+func (q *Request) Done() bool { return q.done }
+
+// Source reports the matched sender of a completed receive.
+func (q *Request) Source() int { return q.src }
+
+// Bytes reports the transferred size of a completed request.
+func (q *Request) Bytes() int { return q.bytes }
+
+// message is an in-flight envelope at the receiver: either a delivered
+// eager payload or a rendezvous RTS.
+type message struct {
+	src, tag, bytes int
+	rendezvous      bool
+	sendReq         *Request // completed when the rendezvous data lands
+}
+
+type recvReq struct {
+	src, tag int
+	req      *Request
+}
+
+// World is one MPI job: a set of ranks placed over a cluster.
+type World struct {
+	cl    *cluster.Cluster
+	par   Params
+	ranks []*Rank
+
+	remaining int
+	endTime   sim.Time
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w    *World
+	id   int
+	node *cluster.Node
+	task *kernel.Task
+
+	mailbox []*message
+	posted  []*recvReq
+	collSeq int
+}
+
+// NewWorld creates size = nodes × ranksPerNode ranks with block placement
+// (ranks 0..r-1 on node 0, and so on), matching how mpirun lays out ranks
+// with a per-node slot count.
+func NewWorld(cl *cluster.Cluster, ranksPerNode int, par Params) (*World, error) {
+	if ranksPerNode <= 0 {
+		return nil, fmt.Errorf("mpi: ranksPerNode = %d", ranksPerNode)
+	}
+	w := &World{cl: cl, par: par}
+	size := len(cl.Nodes) * ranksPerNode
+	for i := 0; i < size; i++ {
+		w.ranks = append(w.ranks, &Rank{
+			w:    w,
+			id:   i,
+			node: cl.Nodes[i/ranksPerNode],
+		})
+	}
+	return w, nil
+}
+
+// MustNewWorld is NewWorld but panics on error.
+func MustNewWorld(cl *cluster.Cluster, ranksPerNode int, par Params) *World {
+	w, err := NewWorld(cl, ranksPerNode, par)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank id (for post-run inspection).
+func (w *World) Rank(id int) *Rank { return w.ranks[id] }
+
+// Run spawns every rank as a kernel task running main with the given
+// workload profile, drives the simulation until all ranks return, and
+// reports the completion time. The engine is stopped at completion; SMI
+// drivers must be armed by the caller beforehand if desired.
+func (w *World) Run(prof cpu.Profile, main func(r *Rank, t *kernel.Task)) sim.Time {
+	w.remaining = len(w.ranks)
+	for _, r := range w.ranks {
+		r := r
+		r.task = r.node.Kernel.Spawn(fmt.Sprintf("rank%d", r.id), prof, func(t *kernel.Task) {
+			main(r, t)
+			w.remaining--
+			if w.remaining == 0 {
+				w.endTime = w.cl.Eng.Now()
+				w.cl.Eng.Stop()
+			}
+		})
+	}
+	w.cl.Eng.Run()
+	if w.remaining != 0 {
+		panic(fmt.Sprintf("mpi: deadlock — %d ranks never finished", w.remaining))
+	}
+	return w.endTime
+}
+
+// ID reports the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Node reports the cluster node hosting the rank.
+func (r *Rank) Node() *cluster.Node { return r.node }
+
+// Isend posts a non-blocking send of `bytes` to rank dst with the given
+// tag, charging the posting cost to the calling task.
+func (r *Rank) Isend(t *kernel.Task, dst, tag, bytes int) *Request {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpi: Isend to rank %d of %d", dst, len(r.w.ranks)))
+	}
+	par := r.w.par
+	t.Compute(par.SendOps + float64(bytes)*par.PackOpsPerByte)
+	req := &Request{}
+	target := r.w.ranks[dst]
+	if bytes <= par.EagerLimit {
+		// Eager: payload travels immediately; the send buffer is
+		// reusable as soon as it is on the wire.
+		m := &message{src: r.id, tag: tag, bytes: bytes}
+		r.w.cl.Fabric.Deliver(r.node.Index, target.node.Index, bytes+envelopeBytes, func() {
+			target.deliver(m)
+		})
+		req.complete(r.id, bytes)
+		return req
+	}
+	// Rendezvous: send an RTS; data moves once the receiver has posted.
+	m := &message{src: r.id, tag: tag, bytes: bytes, rendezvous: true, sendReq: req}
+	r.w.cl.Fabric.Deliver(r.node.Index, target.node.Index, envelopeBytes, func() {
+		target.deliver(m)
+	})
+	return req
+}
+
+// Irecv posts a non-blocking receive matching (src, tag); src may be
+// AnySource.
+func (r *Rank) Irecv(t *kernel.Task, src, tag int) *Request {
+	par := r.w.par
+	t.Compute(par.RecvOps)
+	req := &Request{}
+	for i, m := range r.mailbox {
+		if matches(src, tag, m.src, m.tag) {
+			r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+			r.consume(m, req)
+			return req
+		}
+	}
+	r.posted = append(r.posted, &recvReq{src: src, tag: tag, req: req})
+	return req
+}
+
+// deliver handles an arriving envelope: match a posted receive or queue.
+func (r *Rank) deliver(m *message) {
+	for i, rr := range r.posted {
+		if matches(rr.src, rr.tag, m.src, m.tag) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			r.consume(m, rr.req)
+			return
+		}
+	}
+	r.mailbox = append(r.mailbox, m)
+}
+
+// consume completes a matched pair: eagerly delivered data completes at
+// once; a rendezvous RTS triggers CTS + data transfer over the fabric.
+func (r *Rank) consume(m *message, req *Request) {
+	if !m.rendezvous {
+		req.complete(m.src, m.bytes)
+		return
+	}
+	sender := r.w.ranks[m.src]
+	fab := r.w.cl.Fabric
+	// CTS back to the sender, then the payload to us.
+	fab.Deliver(r.node.Index, sender.node.Index, envelopeBytes, func() {
+		fab.Deliver(sender.node.Index, r.node.Index, m.bytes, func() {
+			m.sendReq.complete(m.src, m.bytes)
+			req.complete(m.src, m.bytes)
+		})
+	})
+}
+
+func matches(wantSrc, wantTag, src, tag int) bool {
+	return (wantSrc == AnySource || wantSrc == src) && wantTag == tag
+}
+
+// Wait blocks until the request completes, charging completion cost.
+func (r *Rank) Wait(t *kernel.Task, req *Request) {
+	if !req.done {
+		wake, wait := t.Proc().Wait()
+		req.wakes = append(req.wakes, wake)
+		wait()
+	}
+	t.Compute(r.w.par.WaitOps)
+}
+
+// WaitAll completes all the given requests.
+func (r *Rank) WaitAll(t *kernel.Task, reqs ...*Request) {
+	for _, q := range reqs {
+		r.Wait(t, q)
+	}
+}
+
+// Send is a blocking send.
+func (r *Rank) Send(t *kernel.Task, dst, tag, bytes int) {
+	r.Wait(t, r.Isend(t, dst, tag, bytes))
+}
+
+// Recv is a blocking receive; it returns the matched source.
+func (r *Rank) Recv(t *kernel.Task, src, tag int) int {
+	req := r.Irecv(t, src, tag)
+	r.Wait(t, req)
+	return req.Source()
+}
+
+// Sendrecv exchanges messages with dst/src concurrently.
+func (r *Rank) Sendrecv(t *kernel.Task, dst, sendTag, sendBytes, src, recvTag int) {
+	rq := r.Irecv(t, src, recvTag)
+	sq := r.Isend(t, dst, sendTag, sendBytes)
+	r.WaitAll(t, rq, sq)
+}
+
+// collTag builds a unique internal (negative) tag for collective `seq`,
+// round `round`. SPMD code calls collectives in the same order on every
+// rank, so sequence numbers agree across ranks.
+func collTag(seq, round int) int { return -((seq << 8) | round) - 1 }
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm, ⌈log2 P⌉ rounds).
+func (r *Rank) Barrier(t *kernel.Task) {
+	p := len(r.w.ranks)
+	seq := r.collSeq
+	r.collSeq++
+	if p == 1 {
+		return
+	}
+	round := 0
+	for k := 1; k < p; k <<= 1 {
+		dst := (r.id + k) % p
+		src := (r.id - k + p) % p
+		tag := collTag(seq, round)
+		sq := r.Isend(t, dst, tag, 1)
+		rq := r.Irecv(t, src, tag)
+		r.WaitAll(t, sq, rq)
+		round++
+	}
+}
+
+// Bcast distributes `bytes` from root to every rank (binomial tree).
+func (r *Rank) Bcast(t *kernel.Task, root, bytes int) {
+	p := len(r.w.ranks)
+	seq := r.collSeq
+	r.collSeq++
+	if p == 1 {
+		return
+	}
+	tag := collTag(seq, 0)
+	rel := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			r.Recv(t, src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (rel + mask + root) % p
+			r.Send(t, dst, tag, bytes)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines `bytes` of operands onto root (binomial tree); each
+// combine charges arithmetic cost.
+func (r *Rank) Reduce(t *kernel.Task, root, bytes int) {
+	p := len(r.w.ranks)
+	seq := r.collSeq
+	r.collSeq++
+	if p == 1 {
+		return
+	}
+	tag := collTag(seq, 0)
+	rel := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask == 0 {
+			src := rel | mask
+			if src < p {
+				r.Recv(t, (src+root)%p, tag)
+				t.Compute(float64(bytes) * r.w.par.ReduceOpsPerByte)
+			}
+		} else {
+			dst := (rel&^mask + root) % p
+			r.Send(t, dst, tag, bytes)
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce combines operands on every rank (reduce to 0, then
+// broadcast).
+func (r *Rank) Allreduce(t *kernel.Task, bytes int) {
+	r.Reduce(t, 0, bytes)
+	r.Bcast(t, 0, bytes)
+}
+
+// Alltoall exchanges bytesPerRank with every other rank using pairwise
+// exchange: XOR partners when the size is a power of two, a ring
+// schedule otherwise.
+func (r *Rank) Alltoall(t *kernel.Task, bytesPerRank int) {
+	p := len(r.w.ranks)
+	seq := r.collSeq
+	r.collSeq++
+	if p == 1 {
+		// Local transpose: just the copy cost.
+		t.Compute(float64(bytesPerRank) * r.w.par.PackOpsPerByte)
+		return
+	}
+	// Post every receive and send at once and wait for all of them —
+	// MPICH's medium-message algorithm. This floods the fabric with P-1
+	// concurrent flows per rank, which is what makes all-to-all patterns
+	// collapse on commodity Ethernet (netsim's incast model).
+	tag := collTag(seq, 0)
+	reqs := make([]*Request, 0, 2*(p-1))
+	for step := 1; step < p; step++ {
+		src := (r.id - step + p) % p
+		reqs = append(reqs, r.Irecv(t, src, tag))
+	}
+	for step := 1; step < p; step++ {
+		dst := (r.id + step) % p
+		reqs = append(reqs, r.Isend(t, dst, tag, bytesPerRank))
+	}
+	r.WaitAll(t, reqs...)
+}

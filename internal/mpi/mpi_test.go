@@ -1,0 +1,387 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+var prof = cpu.Profile{CPI: 1}
+
+func world(t *testing.T, seed int64, nodes, rpn int) *World {
+	t.Helper()
+	e := sim.New(seed)
+	c, err := cluster.New(e, cluster.Wyeast(nodes, false, smm.SMMNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(c, rpn, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorldPlacement(t *testing.T) {
+	w := world(t, 1, 4, 4)
+	if w.Size() != 16 {
+		t.Fatalf("size = %d, want 16", w.Size())
+	}
+	for i := 0; i < 16; i++ {
+		if got := w.Rank(i).Node().Index; got != i/4 {
+			t.Errorf("rank %d on node %d, want %d (block placement)", i, got, i/4)
+		}
+	}
+}
+
+func TestInvalidWorld(t *testing.T) {
+	e := sim.New(1)
+	c := cluster.MustNew(e, cluster.Wyeast(1, false, smm.SMMNone))
+	if _, err := NewWorld(c, 0, DefaultParams()); err == nil {
+		t.Error("ranksPerNode=0 accepted")
+	}
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	w := world(t, 1, 2, 1)
+	var got, gotSrc int
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		switch r.ID() {
+		case 0:
+			r.Send(tk, 1, 7, 1024)
+		case 1:
+			req := r.Irecv(tk, 0, 7)
+			r.Wait(tk, req)
+			got = req.Bytes()
+			gotSrc = req.Source()
+		}
+	})
+	if got != 1024 || gotSrc != 0 {
+		t.Fatalf("recv got (%d bytes, src %d), want (1024, 0)", got, gotSrc)
+	}
+}
+
+func TestRendezvousSendRecv(t *testing.T) {
+	w := world(t, 1, 2, 1)
+	const bytes = 10 << 20 // well over eager limit
+	var elapsed sim.Time
+	end := w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		switch r.ID() {
+		case 0:
+			start := tk.Gettime()
+			r.Send(tk, 1, 1, bytes)
+			elapsed = tk.Gettime() - start
+		case 1:
+			tk.Nanosleep(100 * sim.Millisecond) // delay posting
+			r.Recv(tk, 0, 1)
+		}
+	})
+	// Sender must block until the receiver posts (~100ms) plus transfer
+	// (~10MB at 117MB/s ≈ 90ms).
+	if elapsed < 150*sim.Millisecond {
+		t.Fatalf("rendezvous sender returned after %v, should have blocked past 150ms", elapsed)
+	}
+	if end < elapsed {
+		t.Fatal("end time before sender completion")
+	}
+}
+
+func TestEagerDoesNotBlockSender(t *testing.T) {
+	w := world(t, 1, 2, 1)
+	var elapsed sim.Time
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		switch r.ID() {
+		case 0:
+			start := tk.Gettime()
+			r.Send(tk, 1, 1, 100)
+			elapsed = tk.Gettime() - start
+		case 1:
+			tk.Nanosleep(500 * sim.Millisecond)
+			r.Recv(tk, 0, 1)
+		}
+	})
+	if elapsed > 10*sim.Millisecond {
+		t.Fatalf("eager sender blocked %v waiting for receiver", elapsed)
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	w := world(t, 1, 4, 1)
+	srcs := map[int]bool{}
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		if r.ID() == 0 {
+			for i := 0; i < 3; i++ {
+				srcs[r.Recv(tk, AnySource, 5)] = true
+			}
+		} else {
+			r.Send(tk, 0, 5, 64)
+		}
+	})
+	if len(srcs) != 3 {
+		t.Fatalf("received from %d distinct sources, want 3", len(srcs))
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	w := world(t, 1, 2, 1)
+	var order []int
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		switch r.ID() {
+		case 0:
+			r.Send(tk, 1, 10, 64)
+			r.Send(tk, 1, 20, 64)
+		case 1:
+			// Receive tag 20 first even though tag 10 arrives first.
+			r.Recv(tk, 0, 20)
+			order = append(order, 20)
+			r.Recv(tk, 0, 10)
+			order = append(order, 10)
+		}
+	})
+	if len(order) != 2 || order[0] != 20 || order[1] != 10 {
+		t.Fatalf("tag matching broken: %v", order)
+	}
+}
+
+func TestSendrecvNoDeadlock(t *testing.T) {
+	w := world(t, 1, 2, 1)
+	const bytes = 5 << 20 // rendezvous both ways
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		other := 1 - r.ID()
+		r.Sendrecv(tk, other, 1, bytes, other, 1)
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := world(t, 1, 4, 2)
+	var minExit sim.Time = sim.Forever
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		// Rank 3 arrives 200ms late; nobody may leave before that.
+		if r.ID() == 3 {
+			tk.Nanosleep(200 * sim.Millisecond)
+		}
+		r.Barrier(tk)
+		if at := tk.Gettime(); at < minExit {
+			minExit = at
+		}
+	})
+	if minExit < 200*sim.Millisecond {
+		t.Fatalf("a rank left the barrier at %v, before the last arrival", minExit)
+	}
+}
+
+func TestBarrierSingleRank(t *testing.T) {
+	w := world(t, 1, 1, 1)
+	end := w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		r.Barrier(tk)
+		r.Barrier(tk)
+	})
+	if end > sim.Millisecond {
+		t.Fatalf("single-rank barrier took %v", end)
+	}
+}
+
+func TestBcastReachesAll(t *testing.T) {
+	for _, ranks := range []int{2, 3, 4, 7, 8} {
+		w := world(t, 1, ranks, 1)
+		var after []sim.Time
+		w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			if r.ID() == 2%ranks {
+				tk.Nanosleep(50 * sim.Millisecond)
+			}
+			r.Bcast(tk, 2%ranks, 4096)
+			after = append(after, tk.Gettime())
+		})
+		for _, at := range after {
+			if at < 50*sim.Millisecond {
+				t.Fatalf("P=%d: a rank finished bcast at %v before root sent", ranks, at)
+			}
+		}
+	}
+}
+
+func TestReduceAllreduce(t *testing.T) {
+	for _, ranks := range []int{2, 4, 5, 8} {
+		w := world(t, 1, ranks, 1)
+		w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			r.Reduce(tk, 0, 80)
+			r.Allreduce(tk, 80)
+		})
+	}
+}
+
+func TestAlltoallCompletes(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4, 6, 8} {
+		w := world(t, 1, ranks, 1)
+		w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			r.Alltoall(tk, 1<<16)
+		})
+	}
+}
+
+func TestAlltoallScalesWithMessageSize(t *testing.T) {
+	run := func(bytes int) sim.Time {
+		w := world(t, 1, 4, 1)
+		return w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			r.Alltoall(tk, bytes)
+		})
+	}
+	small := run(1 << 10)
+	big := run(1 << 22)
+	if big < 4*small {
+		t.Fatalf("4MB alltoall (%v) not ≫ 1KB alltoall (%v)", big, small)
+	}
+}
+
+func TestCollectivesBackToBackNoCrosstalk(t *testing.T) {
+	// Consecutive collectives use distinct internal tags; a slow rank in
+	// the first barrier must not corrupt the second.
+	w := world(t, 1, 4, 1)
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		for i := 0; i < 5; i++ {
+			if r.ID() == i%4 {
+				tk.Nanosleep(10 * sim.Millisecond)
+			}
+			r.Barrier(tk)
+		}
+		r.Allreduce(tk, 24)
+		r.Alltoall(tk, 2048)
+		r.Barrier(tk)
+	})
+}
+
+func TestSMIStallDelaysCollective(t *testing.T) {
+	// A long SMI on one node during a barrier delays every rank: noise
+	// amplification through synchronization.
+	run := func(stall bool) sim.Time {
+		e := sim.New(5)
+		c := cluster.MustNew(e, cluster.Wyeast(4, false, smm.SMMNone))
+		w := MustNewWorld(c, 1, DefaultParams())
+		if stall {
+			e.At(100*sim.Millisecond, func() {
+				c.Nodes[2].SMM.TriggerSMI(105*sim.Millisecond, nil)
+			})
+		}
+		return w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			tk.Compute(2.27e8) // ~100ms of work
+			r.Barrier(tk)
+		})
+	}
+	clean := run(false)
+	noisy := run(true)
+	if noisy < clean+90*sim.Millisecond {
+		t.Fatalf("SMI on one node should delay the barrier: clean=%v noisy=%v", clean, noisy)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() sim.Time {
+		w := world(t, 42, 4, 2)
+		return w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			tk.Compute(1e7)
+			r.Alltoall(tk, 1<<15)
+			r.Allreduce(tk, 64)
+		})
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	w := world(t, 1, 1, 2)
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		if r.ID() == 0 {
+			req := r.Isend(tk, 0, 3, 128)
+			got := r.Recv(tk, 0, 3)
+			r.Wait(tk, req)
+			if got != 0 {
+				panic("self-recv matched wrong source")
+			}
+		}
+	})
+}
+
+func TestIsendOutOfRangePanics(t *testing.T) {
+	w := world(t, 1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Isend did not panic")
+		}
+	}()
+	w.Run(prof, func(r *Rank, tk *kernel.Task) {
+		r.Isend(tk, 5, 0, 10)
+	})
+}
+
+func TestRequestAccessors(t *testing.T) {
+	q := &Request{}
+	if q.Done() {
+		t.Error("fresh request done")
+	}
+	q.complete(3, 99)
+	if !q.Done() || q.Source() != 3 || q.Bytes() != 99 {
+		t.Error("completion state wrong")
+	}
+	q.complete(4, 100) // second completion ignored
+	if q.Source() != 3 {
+		t.Error("double completion overwrote state")
+	}
+}
+
+func TestIntraVsInterNodeLatency(t *testing.T) {
+	lat := func(nodes, rpn int) sim.Time {
+		w := world(t, 1, nodes, rpn)
+		var rtt sim.Time
+		w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			const rounds = 50
+			switch r.ID() {
+			case 0:
+				start := tk.Gettime()
+				for i := 0; i < rounds; i++ {
+					r.Send(tk, 1, 1, 8)
+					r.Recv(tk, 1, 2)
+				}
+				rtt = (tk.Gettime() - start) / rounds
+			case 1:
+				for i := 0; i < rounds; i++ {
+					r.Recv(tk, 0, 1)
+					r.Send(tk, 0, 2, 8)
+				}
+			}
+		})
+		return rtt
+	}
+	intra := lat(1, 2)
+	inter := lat(2, 1)
+	if intra >= inter {
+		t.Fatalf("intra-node RTT %v should beat inter-node %v", intra, inter)
+	}
+	if inter < 90*sim.Microsecond {
+		t.Fatalf("inter-node RTT %v implausibly low for GigE", inter)
+	}
+}
+
+func TestEPStyleScaling(t *testing.T) {
+	// Embarrassingly parallel work + one tiny allreduce: runtime should
+	// halve (roughly) when rank count doubles.
+	run := func(nodes int) sim.Time {
+		w := world(t, 1, nodes, 1)
+		total := 2.27e9 * 4 // ~4 core-seconds of work
+		return w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			tk.Compute(total / float64(w.Size()))
+			r.Allreduce(tk, 80)
+		})
+	}
+	t1 := run(1)
+	t4 := run(4)
+	ratio := float64(t1) / float64(t4)
+	if math.Abs(ratio-4) > 0.5 {
+		t.Fatalf("EP-style speedup 1→4 nodes = %.2f, want ≈4", ratio)
+	}
+}

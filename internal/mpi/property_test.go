@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// Property: any random traffic pattern in which every send has exactly
+// one matching receive completes without deadlock, and every byte sent
+// is received.
+func TestRandomTrafficCompletes(t *testing.T) {
+	prop := func(seed int64, n8, m8 uint8) bool {
+		ranks := int(n8%6) + 2
+		msgs := int(m8%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		// Build a random message list: (src, dst, tag, bytes).
+		type msg struct{ src, dst, tag, bytes int }
+		var plan []msg
+		for i := 0; i < msgs; i++ {
+			src := rng.Intn(ranks)
+			dst := rng.Intn(ranks)
+			plan = append(plan, msg{src, dst, i, rng.Intn(200<<10) + 1})
+		}
+		sendsBy := make(map[int][]msg)
+		recvsBy := make(map[int][]msg)
+		for _, m := range plan {
+			sendsBy[m.src] = append(sendsBy[m.src], m)
+			recvsBy[m.dst] = append(recvsBy[m.dst], m)
+		}
+
+		w := worldN(seed, ranks)
+		received := 0
+		bytesIn := 0
+		w.Run(prof, func(r *Rank, tk *kernel.Task) {
+			// Post all receives first (non-blocking), then all sends,
+			// then wait — a pattern that cannot deadlock.
+			var reqs []*Request
+			for _, m := range recvsBy[r.ID()] {
+				reqs = append(reqs, r.Irecv(tk, m.src, m.tag))
+			}
+			for _, m := range sendsBy[r.ID()] {
+				reqs = append(reqs, r.Isend(tk, m.dst, m.tag, m.bytes))
+			}
+			r.WaitAll(tk, reqs...)
+			for i, m := range recvsBy[r.ID()] {
+				q := reqs[i]
+				if q.Bytes() != m.bytes || q.Source() != m.src {
+					panic("mismatched completion")
+				}
+				received++
+				bytesIn += q.Bytes()
+			}
+		})
+		wantBytes := 0
+		for _, m := range plan {
+			wantBytes += m.bytes
+		}
+		return received == msgs && bytesIn == wantBytes
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func worldN(seed int64, ranks int) *World {
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.Wyeast(ranks, false, smm.SMMNone))
+	return MustNewWorld(cl, 1, DefaultParams())
+}
+
+// Property: collectives complete for every rank count and the engine
+// time is identical across repeated runs (determinism under load).
+func TestCollectiveMatrixProperty(t *testing.T) {
+	prop := func(seed int64, n8 uint8) bool {
+		ranks := int(n8%7) + 1
+		run := func() sim.Time {
+			w := worldN(seed, ranks)
+			return w.Run(prof, func(r *Rank, tk *kernel.Task) {
+				r.Barrier(tk)
+				r.Bcast(tk, ranks/2, 1<<12)
+				r.Reduce(tk, 0, 256)
+				r.Allreduce(tk, 64)
+				r.Allgather(tk, 512)
+				r.Alltoall(tk, 1<<10)
+				r.Barrier(tk)
+			})
+		}
+		return run() == run()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package nas
+
+import (
+	"math"
+
+	"smistudy/internal/kernel"
+	"smistudy/internal/mpi"
+)
+
+// Extended benchmarks: the rest of the NPB kernels and pseudo-apps. The
+// paper measures EP, BT and FT and names "additional parallel
+// applications" as future work; these skeletons follow the same
+// construction (real communication pattern, calibrated compute) so the
+// study extends beyond the paper's three codes. Their baselines are NOT
+// from the paper — they are estimated from the benchmarks' nominal
+// operation counts on the same hardware class and documented as such in
+// params_extended.go.
+const (
+	// CG: conjugate gradient — irregular memory access, frequent small
+	// all-reduces (latency-sensitive).
+	CG Benchmark = "CG"
+	// MG: multigrid — halo exchanges across a 3-D decomposition with
+	// sizes shrinking at coarse levels.
+	MG Benchmark = "MG"
+	// IS: integer sort — bucket redistribution (all-to-all) per
+	// iteration, little compute.
+	IS Benchmark = "IS"
+	// LU: SSOR solver — pipelined wavefront sweeps with many small
+	// neighbor messages.
+	LU Benchmark = "LU"
+	// SP: scalar pentadiagonal solver — BT's multi-partition structure
+	// with more, lighter iterations.
+	SP Benchmark = "SP"
+)
+
+// runCG: per outer iteration the real CG runs ~25 inner steps, each a
+// sparse matvec (row-segment reductions across the rank row) and two dot
+// products (global all-reduces of one double).
+func (pb *problem) runCG(r *mpi.Rank, t *kernel.Task, p int) int {
+	const inner = 25
+	rowLen := rowSize(p)
+	share := pb.totalOps / float64(pb.iters) / float64(inner) / float64(p)
+	vecBytes := pb.vecBytes / p
+	for iter := 0; iter < pb.iters; iter++ {
+		for s := 0; s < inner; s++ {
+			t.Compute(share)
+			// Matvec reduction along the rank's row: exchange vector
+			// segments with log2(rowLen) partners.
+			if rowLen > 1 {
+				row := r.ID() / rowLen
+				col := r.ID() % rowLen
+				for k := 1; k < rowLen; k <<= 1 {
+					partner := row*rowLen + (col ^ k)
+					tag := iterTag(iter*inner+s, 6)
+					r.Sendrecv(t, partner, tag, vecBytes, partner, tag)
+				}
+			}
+			// Two dot products.
+			r.Allreduce(t, 8)
+			r.Allreduce(t, 8)
+		}
+	}
+	return pb.iters
+}
+
+// rowSize returns the row length of CG's 2-D rank grid (p a power of
+// two; the grid is rows × rowLen with rowLen ≥ rows, as in the real CG).
+func rowSize(p int) int {
+	lg := 0
+	for 1<<lg < p {
+		lg++
+	}
+	return 1 << ((lg + 1) / 2)
+}
+
+// runMG: V-cycles over a 3-D grid; every level smooths (compute) and
+// exchanges halos with 6 neighbors, with face sizes shrinking 4× per
+// coarser level.
+func (pb *problem) runMG(r *mpi.Rank, t *kernel.Task, p int) int {
+	levels := pb.levels
+	// Geometric series Σ 8^-l over levels ≈ 8/7 of the finest level.
+	fineOps := pb.totalOps / float64(pb.iters) / float64(p) * (7.0 / 8.0)
+	for iter := 0; iter < pb.iters; iter++ {
+		for l := 0; l < levels; l++ {
+			t.Compute(fineOps / math.Pow(8, float64(l)))
+			if p == 1 {
+				continue
+			}
+			face := pb.faceBytes(1) / (1 << (2 * l))
+			if face < 64 {
+				face = 64
+			}
+			for d := 0; d < 3; d++ {
+				up, down := gridNeighbors(r.ID(), p, d)
+				tag := iterTag(iter*levels+l, d)
+				r.Sendrecv(t, up, tag, face, down, tag)
+			}
+		}
+	}
+	if p > 1 {
+		r.Allreduce(t, 8) // final L2 norm
+	}
+	return pb.iters
+}
+
+// gridNeighbors maps a rank onto a power-of-two 3-D torus and returns
+// its ± neighbors along dimension d.
+func gridNeighbors(id, p, d int) (up, down int) {
+	// Split log2(p) bits across 3 dimensions.
+	lg := 0
+	for 1<<lg < p {
+		lg++
+	}
+	dims := [3]int{}
+	for i := 0; i < 3; i++ {
+		dims[i] = lg / 3
+		if i < lg%3 {
+			dims[i]++
+		}
+	}
+	shift := 0
+	for i := 0; i < d; i++ {
+		shift += dims[i]
+	}
+	size := 1 << dims[d]
+	if size == 1 {
+		return id, id
+	}
+	coord := (id >> shift) & (size - 1)
+	base := id &^ ((size - 1) << shift)
+	up = base | (((coord + 1) % size) << shift)
+	down = base | (((coord - 1 + size) % size) << shift)
+	return up, down
+}
+
+// runIS: per iteration, local key ranking then bucket redistribution —
+// an all-to-all of the key array — plus a small all-reduce of bucket
+// sizes.
+func (pb *problem) runIS(r *mpi.Rank, t *kernel.Task, p int) int {
+	share := pb.totalOps / float64(pb.iters) / float64(p)
+	for iter := 0; iter < pb.iters; iter++ {
+		t.Compute(share)
+		r.Allreduce(t, 1024) // bucket size exchange
+		if p > 1 {
+			r.Alltoall(t, int(pb.gridBytes)/(p*p))
+		}
+	}
+	if p > 1 {
+		r.Allreduce(t, 8) // full verification
+	}
+	return pb.iters
+}
+
+// runLU: SSOR iterations, each a lower and an upper triangular sweep.
+// The sweeps are wavefronts over a 2-D rank grid: a rank waits for its
+// north and west (resp. south and east) neighbors, computes, and passes
+// boundary data on. One message set per sweep stands in for the
+// per-plane pipeline of the real code.
+func (pb *problem) runLU(r *mpi.Rank, t *kernel.Task, p int) int {
+	q := int(math.Round(math.Sqrt(float64(p))))
+	row, col := r.ID()/q, r.ID()%q
+	opsPerIter := pb.totalOps / float64(pb.iters) / float64(p)
+	face := pb.faceBytes(q)
+	for iter := 0; iter < pb.iters; iter++ {
+		// Lower sweep: wavefront from (0,0).
+		if p > 1 {
+			if row > 0 {
+				r.Recv(t, (row-1)*q+col, iterTag(iter, 0))
+			}
+			if col > 0 {
+				r.Recv(t, row*q+col-1, iterTag(iter, 1))
+			}
+		}
+		t.Compute(opsPerIter / 2)
+		if p > 1 {
+			if row < q-1 {
+				r.Send(t, (row+1)*q+col, iterTag(iter, 0), face)
+			}
+			if col < q-1 {
+				r.Send(t, row*q+col+1, iterTag(iter, 1), face)
+			}
+			// Upper sweep: wavefront from (q-1,q-1).
+			if row < q-1 {
+				r.Recv(t, (row+1)*q+col, iterTag(iter, 2))
+			}
+			if col < q-1 {
+				r.Recv(t, row*q+col+1, iterTag(iter, 3))
+			}
+		}
+		t.Compute(opsPerIter / 2)
+		if p > 1 {
+			if row > 0 {
+				r.Send(t, (row-1)*q+col, iterTag(iter, 2), face)
+			}
+			if col > 0 {
+				r.Send(t, row*q+col-1, iterTag(iter, 3), face)
+			}
+		}
+	}
+	if p > 1 {
+		r.Allreduce(t, 40) // residual norms
+	}
+	return pb.iters
+}

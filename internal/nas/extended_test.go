@@ -1,0 +1,206 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/mpi"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func TestExtendedBenchmarksComplete(t *testing.T) {
+	for _, b := range ExtendedBenchmarks {
+		for _, ranks := range validRankCounts(b) {
+			res := runSpec(t, Spec{b, ClassS}, ranks, 1, false, smm.SMMNone, 1)
+			if !res.Verified {
+				t.Errorf("%s.S on %d ranks not verified", b, ranks)
+			}
+			if res.Time <= 0 {
+				t.Errorf("%s.S on %d ranks: zero time", b, ranks)
+			}
+		}
+	}
+}
+
+func validRankCounts(b Benchmark) []int {
+	switch b {
+	case LU, SP:
+		return []int{1, 4, 16}
+	default:
+		return []int{1, 2, 4, 8, 16}
+	}
+}
+
+func TestExtendedRankValidation(t *testing.T) {
+	e := sim.New(1)
+	c := cluster.MustNew(e, cluster.Wyeast(3, false, smm.SMMNone))
+	w := mpi.MustNewWorld(c, 1, mpi.DefaultParams())
+	for _, b := range []Benchmark{CG, MG, IS} {
+		if _, err := Run(w, Spec{b, ClassS}); err == nil {
+			t.Errorf("%s accepted 3 ranks", b)
+		}
+	}
+	e2 := sim.New(1)
+	c2 := cluster.MustNew(e2, cluster.Wyeast(2, false, smm.SMMNone))
+	w2 := mpi.MustNewWorld(c2, 1, mpi.DefaultParams())
+	for _, b := range []Benchmark{LU, SP} {
+		if _, err := Run(w2, Spec{b, ClassS}); err == nil {
+			t.Errorf("%s accepted 2 ranks", b)
+		}
+	}
+}
+
+func TestExtendedCalibrationClassA(t *testing.T) {
+	for spec, want := range map[Spec]float64{
+		{CG, ClassA}: 3.0,
+		{MG, ClassA}: 3.5,
+		{IS, ClassA}: 1.3,
+	} {
+		res := runSpec(t, spec, 1, 1, false, smm.SMMNone, 1)
+		got := res.Time.Seconds()
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("%v solo = %.2fs, want ≈%.2f", spec, got, want)
+		}
+	}
+}
+
+func TestExtendedScaleWithRanks(t *testing.T) {
+	for _, b := range []Benchmark{CG, MG} {
+		solo := runSpec(t, Spec{b, ClassA}, 1, 1, false, smm.SMMNone, 1).Time.Seconds()
+		four := runSpec(t, Spec{b, ClassA}, 4, 1, false, smm.SMMNone, 1).Time.Seconds()
+		speedup := solo / four
+		if speedup < 1.5 {
+			t.Errorf("%s.A speedup 1→4 nodes = %.2f, want >1.5", b, speedup)
+		}
+		if speedup > 4.2 {
+			t.Errorf("%s.A speedup 1→4 nodes = %.2f, superlinear?", b, speedup)
+		}
+	}
+	// IS is dominated by the all-to-all key redistribution: on a
+	// gigabit fabric it barely scales at all (as on real GigE
+	// clusters); it just must not collapse.
+	solo := runSpec(t, Spec{IS, ClassA}, 1, 1, false, smm.SMMNone, 1).Time.Seconds()
+	four := runSpec(t, Spec{IS, ClassA}, 4, 1, false, smm.SMMNone, 1).Time.Seconds()
+	if s := solo / four; s < 0.7 {
+		t.Errorf("IS.A collapsed at 4 nodes: speedup %.2f", s)
+	}
+}
+
+func TestLUWavefrontSensitiveToLongSMIs(t *testing.T) {
+	// LU's wavefront pipelining makes each iteration wait on the
+	// slowest rank twice; long SMIs on any node delay everyone.
+	base := runSpec(t, Spec{LU, ClassS}, 4, 1, false, smm.SMMNone, 1)
+	// Period 100ms so the short S-class run still catches SMIs.
+	e := sim.New(2)
+	par := cluster.Wyeast(4, false, smm.SMMLong)
+	par.Node.SMI.PeriodJiffies = 100
+	cl := cluster.MustNew(e, par)
+	cl.StartSMI()
+	w := mpi.MustNewWorld(cl, 1, mpi.DefaultParams())
+	noisy, err := Run(w, Spec{LU, ClassS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Time <= base.Time {
+		t.Fatalf("long SMIs did not slow LU: %v vs %v", noisy.Time, base.Time)
+	}
+}
+
+func TestSPUsesMoreIterationsThanBT(t *testing.T) {
+	sp, err := lookup(Spec{SP, ClassA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := lookup(Spec{BT, ClassA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.iters <= bt.iters {
+		t.Errorf("SP iters %d should exceed BT's %d", sp.iters, bt.iters)
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	// 8 ranks → 2×2×2 torus: neighbors differ in exactly one dimension
+	// and are symmetric.
+	for id := 0; id < 8; id++ {
+		for d := 0; d < 3; d++ {
+			up, down := gridNeighbors(id, 8, d)
+			if up == id || down == id {
+				t.Fatalf("id %d dim %d: self neighbor", id, d)
+			}
+			// With size-2 dimensions, up == down.
+			if up != down {
+				t.Fatalf("id %d dim %d: up %d != down %d on size-2 torus", id, d, up, down)
+			}
+			u2, _ := gridNeighbors(up, 8, d)
+			if u2 != id {
+				t.Fatalf("neighbor relation not symmetric: %d -> %d -> %d", id, up, u2)
+			}
+		}
+	}
+	// Single rank: self.
+	if up, down := gridNeighbors(0, 1, 0); up != 0 || down != 0 {
+		t.Fatal("1-rank torus should self-loop")
+	}
+}
+
+func TestGridNeighborsCover16(t *testing.T) {
+	// Every rank's neighbor set must stay in range for p=16.
+	for id := 0; id < 16; id++ {
+		for d := 0; d < 3; d++ {
+			up, down := gridNeighbors(id, 16, d)
+			if up < 0 || up >= 16 || down < 0 || down >= 16 {
+				t.Fatalf("neighbor out of range: id %d dim %d -> %d/%d", id, d, up, down)
+			}
+		}
+	}
+}
+
+func TestRowSize(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 4: 2, 8: 4, 16: 4, 32: 8, 64: 8}
+	for p, want := range cases {
+		if got := rowSize(p); got != want {
+			t.Errorf("rowSize(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestMGLevels(t *testing.T) {
+	if mgLevels(256) != 6 {
+		t.Errorf("mgLevels(256) = %d, want 6", mgLevels(256))
+	}
+	if mgLevels(4) != 1 {
+		t.Errorf("mgLevels(4) = %d, want 1 (minimum)", mgLevels(4))
+	}
+	if mgLevels(1<<20) != 8 {
+		t.Errorf("mgLevels(2^20) = %d, want 8 (cap)", mgLevels(1<<20))
+	}
+}
+
+func TestAllBenchmarksListed(t *testing.T) {
+	if len(AllBenchmarks) != 8 {
+		t.Fatalf("AllBenchmarks = %d entries, want 8", len(AllBenchmarks))
+	}
+	for _, b := range AllBenchmarks {
+		if _, err := lookup(Spec{b, ClassA}); err != nil {
+			t.Errorf("%s.A not resolvable: %v", b, err)
+		}
+		if Profile(b).CPI <= 0 {
+			t.Errorf("%s profile broken", b)
+		}
+		if TotalOps(Spec{b, ClassA}) <= 0 {
+			t.Errorf("%s.A has no op count", b)
+		}
+	}
+}
+
+func TestExtendedDeterminism(t *testing.T) {
+	a := runSpec(t, Spec{CG, ClassS}, 4, 2, false, smm.SMMLong, 11)
+	b := runSpec(t, Spec{CG, ClassS}, 4, 2, false, smm.SMMLong, 11)
+	if a.Time != b.Time {
+		t.Fatalf("CG runs differ under same seed: %v vs %v", a.Time, b.Time)
+	}
+}

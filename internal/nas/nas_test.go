@@ -1,0 +1,188 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/mpi"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func runSpec(t *testing.T, spec Spec, nodes, rpn int, htt bool, level smm.Level, seed int64) Result {
+	t.Helper()
+	e := sim.New(seed)
+	c := cluster.MustNew(e, cluster.Wyeast(nodes, htt, level))
+	c.StartSMI()
+	w := mpi.MustNewWorld(c, rpn, mpi.DefaultParams())
+	res, err := Run(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSpecString(t *testing.T) {
+	if s := (Spec{BT, ClassA}).String(); s != "BT.A" {
+		t.Errorf("spec string = %q", s)
+	}
+}
+
+func TestUnknownSpec(t *testing.T) {
+	e := sim.New(1)
+	c := cluster.MustNew(e, cluster.Wyeast(1, false, smm.SMMNone))
+	w := mpi.MustNewWorld(c, 1, mpi.DefaultParams())
+	if _, err := Run(w, Spec{"XX", ClassA}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Run(w, Spec{EP, 'Z'}); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestBTRequiresSquareRanks(t *testing.T) {
+	e := sim.New(1)
+	c := cluster.MustNew(e, cluster.Wyeast(2, false, smm.SMMNone))
+	w := mpi.MustNewWorld(c, 1, mpi.DefaultParams())
+	if _, err := Run(w, Spec{BT, ClassS}); err == nil {
+		t.Error("BT on 2 ranks accepted")
+	}
+}
+
+func TestEPFTRequirePow2Ranks(t *testing.T) {
+	e := sim.New(1)
+	c := cluster.MustNew(e, cluster.Wyeast(3, false, smm.SMMNone))
+	w := mpi.MustNewWorld(c, 1, mpi.DefaultParams())
+	if _, err := Run(w, Spec{EP, ClassS}); err == nil {
+		t.Error("EP on 3 ranks accepted")
+	}
+}
+
+// Calibration: single-rank class A baselines must land near the paper's
+// SMM-0 measurements.
+func TestCalibrationSingleRankClassA(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want float64 // paper seconds
+		tol  float64 // relative tolerance
+	}{
+		{Spec{EP, ClassA}, 23.12, 0.02},
+		{Spec{BT, ClassA}, 86.87, 0.02},
+		{Spec{FT, ClassA}, 7.64, 0.10}, // local transpose adds a little
+	}
+	for _, c := range cases {
+		res := runSpec(t, c.spec, 1, 1, false, smm.SMMNone, 1)
+		got := res.Time.Seconds()
+		if math.Abs(got-c.want)/c.want > c.tol {
+			t.Errorf("%v solo time = %.2fs, want %.2f ± %.0f%%", c.spec, got, c.want, c.tol*100)
+		}
+		if !res.Verified {
+			t.Errorf("%v not verified", c.spec)
+		}
+		if res.MOPs <= 0 {
+			t.Errorf("%v MOPs = %v", c.spec, res.MOPs)
+		}
+	}
+}
+
+func TestEPScalesLinearly(t *testing.T) {
+	t1 := runSpec(t, Spec{EP, ClassA}, 1, 1, false, smm.SMMNone, 1).Time.Seconds()
+	t4 := runSpec(t, Spec{EP, ClassA}, 4, 1, false, smm.SMMNone, 1).Time.Seconds()
+	t16 := runSpec(t, Spec{EP, ClassA}, 16, 1, false, smm.SMMNone, 1).Time.Seconds()
+	if r := t1 / t4; math.Abs(r-4) > 0.4 {
+		t.Errorf("EP 1→4 nodes speedup %.2f, want ≈4", r)
+	}
+	if r := t1 / t16; math.Abs(r-16) > 3 {
+		t.Errorf("EP 1→16 nodes speedup %.2f, want ≈16", r)
+	}
+}
+
+func TestShortSMIsNegligible(t *testing.T) {
+	base := runSpec(t, Spec{EP, ClassA}, 4, 1, false, smm.SMMNone, 1).Time.Seconds()
+	short := runSpec(t, Spec{EP, ClassA}, 4, 1, false, smm.SMMShort, 1).Time.Seconds()
+	if (short-base)/base > 0.02 {
+		t.Errorf("short SMIs cost %.1f%%, paper says <1%%", (short-base)/base*100)
+	}
+}
+
+func TestLongSMIsCostAboutDutyCycleOnOneNode(t *testing.T) {
+	base := runSpec(t, Spec{EP, ClassA}, 1, 1, false, smm.SMMNone, 1).Time.Seconds()
+	long := runSpec(t, Spec{EP, ClassA}, 1, 1, false, smm.SMMLong, 1).Time.Seconds()
+	pct := (long - base) / base * 100
+	if pct < 8 || pct > 15 {
+		t.Errorf("long SMIs on 1 node cost %.1f%%, paper says ≈10.7%%", pct)
+	}
+}
+
+func TestLongSMIImpactGrowsWithNodes(t *testing.T) {
+	impact := func(nodes int) float64 {
+		base := runSpec(t, Spec{BT, ClassA}, nodes, 1, false, smm.SMMNone, 1).Time.Seconds()
+		var sum float64
+		for seed := int64(1); seed <= 3; seed++ {
+			long := runSpec(t, Spec{BT, ClassA}, nodes, 1, false, smm.SMMLong, seed).Time.Seconds()
+			sum += (long - base) / base * 100
+		}
+		return sum / 3
+	}
+	one := impact(1)
+	sixteen := impact(16)
+	if one < 8 || one > 15 {
+		t.Errorf("BT.A 1-node long-SMI impact %.1f%%, want ≈10.8%%", one)
+	}
+	if sixteen <= one+5 {
+		t.Errorf("long-SMI impact did not grow with nodes: 1 node %.1f%%, 16 nodes %.1f%%", one, sixteen)
+	}
+}
+
+func TestFTCommBoundAtScale(t *testing.T) {
+	// FT on many inter-node ranks should stop scaling (the paper's
+	// "poor fit for the platform"): 16 ranks across 4 nodes must not be
+	// 4× faster than 4 ranks on 1 node.
+	intra := runSpec(t, Spec{FT, ClassA}, 1, 4, false, smm.SMMNone, 1).Time.Seconds()
+	spread := runSpec(t, Spec{FT, ClassA}, 4, 4, false, smm.SMMNone, 1).Time.Seconds()
+	if spread < intra {
+		t.Errorf("FT.A with 16 inter-node ranks (%.2fs) should be slower than 4 intra-node ranks (%.2fs)", spread, intra)
+	}
+}
+
+func TestResultsDeterministic(t *testing.T) {
+	a := runSpec(t, Spec{FT, ClassS}, 2, 2, false, smm.SMMLong, 7)
+	b := runSpec(t, Spec{FT, ClassS}, 2, 2, false, smm.SMMLong, 7)
+	if a.Time != b.Time {
+		t.Fatalf("same seed, different results: %v vs %v", a.Time, b.Time)
+	}
+}
+
+func TestBTSmallGrid(t *testing.T) {
+	res := runSpec(t, Spec{BT, ClassS}, 4, 1, false, smm.SMMNone, 1)
+	if !res.Verified {
+		t.Error("BT.S not verified")
+	}
+	if res.Ranks != 4 {
+		t.Errorf("ranks = %d", res.Ranks)
+	}
+}
+
+func TestBT16RanksOn4Nodes(t *testing.T) {
+	res := runSpec(t, Spec{BT, ClassS}, 4, 4, false, smm.SMMNone, 1)
+	if res.Ranks != 16 || !res.Verified {
+		t.Errorf("BT.S 16 ranks: %+v", res)
+	}
+}
+
+func TestProfileAccessor(t *testing.T) {
+	if Profile(EP).MissRate >= Profile(FT).MissRate {
+		t.Error("EP should miss less than FT")
+	}
+}
+
+func TestHTTNeutralWithoutSMI(t *testing.T) {
+	// With 4 ranks on 4 physical cores, enabling HTT should change
+	// nothing material when no SMIs fire (paper Tables 4–5, SMM0).
+	off := runSpec(t, Spec{EP, ClassS}, 1, 4, false, smm.SMMNone, 1).Time.Seconds()
+	on := runSpec(t, Spec{EP, ClassS}, 1, 4, true, smm.SMMNone, 1).Time.Seconds()
+	if math.Abs(on-off)/off > 0.02 {
+		t.Errorf("HTT changed SMM0 runtime by %.1f%%: %v vs %v", math.Abs(on-off)/off*100, on, off)
+	}
+}

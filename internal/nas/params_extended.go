@@ -1,0 +1,150 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"smistudy/internal/cpu"
+)
+
+// Calibration for the extended benchmarks. The paper does not measure
+// these; single-rank baselines below are estimated from the NPB 3.x
+// nominal operation counts at the Wyeast node's effective rate
+// (documented engineering estimates, not paper data). The communication
+// patterns are the real ones.
+var extSoloSeconds = map[Spec]float64{
+	{CG, ClassS}: 0.10,
+	{CG, ClassA}: 3.0,
+	{CG, ClassB}: 85.0,
+	{CG, ClassC}: 230.0,
+	{MG, ClassS}: 0.10,
+	{MG, ClassA}: 3.5,
+	{MG, ClassB}: 16.0,
+	{MG, ClassC}: 130.0,
+	{IS, ClassS}: 0.05,
+	{IS, ClassA}: 1.3,
+	{IS, ClassB}: 5.5,
+	{IS, ClassC}: 23.0,
+	{LU, ClassS}: 0.40,
+	{LU, ClassA}: 115.0,
+	{LU, ClassB}: 490.0,
+	{LU, ClassC}: 1950.0,
+	{SP, ClassS}: 0.35,
+	{SP, ClassA}: 98.0,
+	{SP, ClassB}: 410.0,
+	{SP, ClassC}: 1680.0,
+}
+
+// Workload profiles for the extended kernels: CG is latency-bound with
+// irregular gathers (higher stalling miss rate), MG streams structured
+// grids, IS is bandwidth-hungry permutation, LU/SP behave like BT.
+var (
+	cgProfile = cpu.Profile{CPI: 1, MissRate: 0.012, MissRateShared: 0.018, MemMissRate: 0.02}
+	mgProfile = cpu.Profile{CPI: 1, MissRate: 0.006, MissRateShared: 0.009, MemMissRate: 0.03}
+	isProfile = cpu.Profile{CPI: 1, MissRate: 0.010, MissRateShared: 0.015, MemMissRate: 0.05}
+	luProfile = btProfile
+	spProfile = btProfile
+)
+
+// Problem geometry per class.
+var (
+	// CG vector length n (A: 14000, B/C: 75000/150000).
+	cgVecLen = map[Class]int{ClassS: 1400, ClassA: 14000, ClassB: 75000, ClassC: 150000}
+	cgIters  = map[Class]int{ClassS: 2, ClassA: 15, ClassB: 75, ClassC: 75}
+
+	// MG grid edge (A/B: 256, C: 512) and V-cycle counts.
+	mgGridN = map[Class]int{ClassS: 32, ClassA: 256, ClassB: 256, ClassC: 512}
+	mgIters = map[Class]int{ClassS: 2, ClassA: 4, ClassB: 20, ClassC: 20}
+
+	// IS key counts (A: 2^23, B: 2^25, C: 2^27), 4-byte keys, 10
+	// ranking iterations.
+	isKeys = map[Class]int64{ClassS: 1 << 16, ClassA: 1 << 23, ClassB: 1 << 25, ClassC: 1 << 27}
+
+	// LU/SP grid edges (same cubes as BT for LU; SP matches BT).
+	luGridN = map[Class]int{ClassS: 12, ClassA: 64, ClassB: 102, ClassC: 162}
+	luIters = map[Class]int{ClassS: 20, ClassA: 250, ClassB: 250, ClassC: 250}
+	spIters = map[Class]int{ClassS: 40, ClassA: 400, ClassB: 400, ClassC: 400}
+)
+
+const isIters = 10
+
+// ExtendedBenchmarks lists the kernels beyond the paper's three.
+var ExtendedBenchmarks = []Benchmark{CG, MG, IS, LU, SP}
+
+// AllBenchmarks lists every implemented benchmark.
+var AllBenchmarks = []Benchmark{EP, BT, FT, CG, MG, IS, LU, SP}
+
+// lookupExtended resolves the extended benchmarks; it returns nil, nil
+// for specs it does not know (so lookup can fall through).
+func lookupExtended(spec Spec) (*problem, error) {
+	secs, ok := extSoloSeconds[spec]
+	if !ok {
+		return nil, fmt.Errorf("nas: unknown benchmark %v", spec)
+	}
+	pb := &problem{spec: spec}
+	switch spec.Bench {
+	case CG:
+		pb.profile = cgProfile
+		pb.iters = cgIters[spec.Class]
+		pb.vecBytes = cgVecLen[spec.Class] * 8
+		pb.run = pb.runCG
+	case MG:
+		pb.profile = mgProfile
+		pb.iters = mgIters[spec.Class]
+		pb.levels = mgLevels(mgGridN[spec.Class])
+		n := mgGridN[spec.Class]
+		pb.faceBytes = func(q int) int { return n * n * 8 / q }
+		pb.run = pb.runMG
+	case IS:
+		pb.profile = isProfile
+		pb.iters = isIters
+		pb.gridBytes = isKeys[spec.Class] * 4
+		pb.run = pb.runIS
+	case LU:
+		pb.profile = luProfile
+		pb.iters = luIters[spec.Class]
+		n := luGridN[spec.Class]
+		pb.faceBytes = func(q int) int { return n * n * 5 * 8 / q }
+		pb.run = pb.runLU
+	case SP:
+		pb.profile = spProfile
+		pb.iters = spIters[spec.Class]
+		n := btGridN[spec.Class]
+		pb.faceBytes = func(q int) int { return n * n * 5 * 8 / q }
+		pb.run = pb.runBT // SP shares BT's multi-partition skeleton
+	default:
+		return nil, fmt.Errorf("nas: unknown benchmark %q", spec.Bench)
+	}
+	pb.totalOps = secs * soloRate(pb.profile)
+	return pb, nil
+}
+
+// mgLevels is the number of multigrid levels for an edge size n
+// (coarsen until the grid is ~4 cells across, max 8 levels).
+func mgLevels(n int) int {
+	l := 0
+	for n > 4 && l < 8 {
+		n /= 2
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// checkRanksExtended validates rank counts for the extended kernels.
+func checkRanksExtended(b Benchmark, p int) error {
+	switch b {
+	case CG, MG, IS:
+		if p&(p-1) != 0 {
+			return fmt.Errorf("nas: %s needs a power-of-two rank count, got %d", b, p)
+		}
+	case LU, SP:
+		q := int(math.Round(math.Sqrt(float64(p))))
+		if q*q != p {
+			return fmt.Errorf("nas: %s needs a square rank count, got %d", b, p)
+		}
+	}
+	return nil
+}

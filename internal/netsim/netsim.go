@@ -1,0 +1,185 @@
+// Package netsim models a cluster interconnect with per-node link
+// serialization, suitable for gigabit-Ethernet-class fabrics like the one
+// under the paper's Wyeast cluster.
+//
+// A message from node A to node B is serialized onto A's egress link
+// (bandwidth-limited), travels one latency, and is serialized off B's
+// ingress link. Messages between tasks on the same node bypass the NIC
+// and use a memory-bandwidth fast path. The model is pipelined: the first
+// byte arrives one latency after transmission starts, so big transfers
+// overlap transmission and reception.
+package netsim
+
+import (
+	"fmt"
+
+	"smistudy/internal/sim"
+)
+
+// Params configures a fabric.
+type Params struct {
+	Latency          sim.Time // one-way wire+stack latency per message
+	BytesPerSec      float64  // per-node link bandwidth
+	IntraLatency     sim.Time // same-node message latency
+	IntraBytesPerSec float64  // same-node copy bandwidth
+
+	// CongestionBeta models TCP incast collapse on commodity Ethernet.
+	// A message heading to a node that c *other source nodes*
+	// are already transmitting toward is serialized (1 + CongestionBeta·c²)
+	// times slower: a few concurrent flows cost little, but wide fan-in
+	// overruns switch buffers and collapses goodput through
+	// retransmission timeouts. Fitted to the paper's FT results
+	// (~14× at 15 concurrent flows). Zero disables congestion. All-to-all traffic — the
+	// reason FT scales so poorly on the paper's gigabit cluster — is
+	// the main victim.
+	CongestionBeta float64
+}
+
+// GigabitEthernet matches a 2010s GigE cluster fabric: ~45 µs end-to-end
+// latency (kernel TCP stack) and ~117 MiB/s of goodput.
+func GigabitEthernet() Params {
+	return Params{
+		Latency:          45 * sim.Microsecond,
+		BytesPerSec:      117e6,
+		IntraLatency:     1 * sim.Microsecond,
+		IntraBytesPerSec: 3e9,
+		CongestionBeta:   0.062,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Latency < 0 || p.IntraLatency < 0 {
+		return fmt.Errorf("netsim: negative latency")
+	}
+	if p.BytesPerSec <= 0 || p.IntraBytesPerSec <= 0 {
+		return fmt.Errorf("netsim: non-positive bandwidth")
+	}
+	return nil
+}
+
+// Fabric connects the nodes of a cluster.
+type Fabric struct {
+	eng     *sim.Engine
+	par     Params
+	egress  []sim.Time // per-node link-free times
+	ingress []sim.Time
+	// flows[src][dst] counts in-flight messages per node pair;
+	// inFlows[dst] counts distinct source nodes currently sending to
+	// dst (the incast flow count).
+	flows   [][]int
+	inFlows []int
+
+	// Stats
+	messages int64
+	bytes    int64
+}
+
+// New builds a fabric for `nodes` nodes.
+func New(eng *sim.Engine, nodes int, par Params) (*Fabric, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("netsim: %d nodes", nodes)
+	}
+	flows := make([][]int, nodes)
+	for i := range flows {
+		flows[i] = make([]int, nodes)
+	}
+	return &Fabric{
+		eng:     eng,
+		par:     par,
+		egress:  make([]sim.Time, nodes),
+		ingress: make([]sim.Time, nodes),
+		flows:   flows,
+		inFlows: make([]int, nodes),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(eng *sim.Engine, nodes int, par Params) *Fabric {
+	f, err := New(eng, nodes, par)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Params returns the fabric configuration.
+func (f *Fabric) Params() Params { return f.par }
+
+// Nodes reports the number of attached nodes.
+func (f *Fabric) Nodes() int { return len(f.egress) }
+
+// Stats reports total messages and bytes carried.
+func (f *Fabric) Stats() (messages, bytes int64) { return f.messages, f.bytes }
+
+// Deliver schedules delivery of a message of the given size from node src
+// to node dst, invoking fn when the last byte arrives. It returns the
+// arrival time.
+func (f *Fabric) Deliver(src, dst int, bytes int, fn func()) sim.Time {
+	if src < 0 || src >= len(f.egress) || dst < 0 || dst >= len(f.egress) {
+		panic(fmt.Sprintf("netsim: node out of range (%d -> %d of %d)", src, dst, len(f.egress)))
+	}
+	if bytes < 0 {
+		panic("netsim: negative message size")
+	}
+	if fn == nil {
+		fn = func() {}
+	}
+	f.messages++
+	f.bytes += int64(bytes)
+	now := f.eng.Now()
+
+	if src == dst {
+		d := f.par.IntraLatency + serialize(bytes, f.par.IntraBytesPerSec)
+		at := now + d
+		f.eng.At(at, fn)
+		return at
+	}
+
+	ser := serialize(bytes, f.par.BytesPerSec)
+	// Incast congestion: concurrent flows from other nodes toward dst
+	// degrade goodput past the switch-buffer cliff.
+	if f.par.CongestionBeta > 0 {
+		c := float64(f.inFlows[dst])
+		if f.flows[src][dst] > 0 {
+			c-- // our own flow does not congest itself
+		}
+		if c > 0 {
+			ser = sim.Time(float64(ser) * (1 + f.par.CongestionBeta*c*c))
+		}
+	}
+	if f.flows[src][dst] == 0 {
+		f.inFlows[dst]++
+	}
+	f.flows[src][dst]++
+	txStart := maxTime(now, f.egress[src])
+	txEnd := txStart + ser
+	f.egress[src] = txEnd
+	// Pipelined: first byte hits the receiver one latency after txStart;
+	// the ingress link then serializes it subject to earlier arrivals.
+	rxStart := maxTime(txStart+f.par.Latency, f.ingress[dst])
+	rxEnd := rxStart + ser
+	f.ingress[dst] = rxEnd
+	f.eng.At(rxEnd, func() {
+		f.flows[src][dst]--
+		if f.flows[src][dst] == 0 {
+			f.inFlows[dst]--
+		}
+		fn()
+	})
+	return rxEnd
+}
+
+func serialize(bytes int, bw float64) sim.Time {
+	return sim.Time(float64(bytes) / bw * float64(sim.Second))
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+// Package noise provides the tooling side of the paper's motivation:
+// detecting SMIs from inside the system (the way hwlat and RTOS users
+// do) and quantifying how injected SMM noise is absorbed or amplified by
+// an application.
+//
+// The Detector runs a spin loop on the simulated machine, repeatedly
+// executing a short calibrated chunk of work and reading the TSC. When a
+// chunk takes much longer than calibration predicts, something invisible
+// preempted the spin — on an otherwise idle core that something is an
+// SMI. Detections are compared against the SMM controller's ground-truth
+// episode log, which a real tool never has.
+package noise
+
+import (
+	"math"
+	"sort"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// Detection is one latency gap the detector observed.
+type Detection struct {
+	At      sim.Time // when the gap ended
+	Latency sim.Time // how much longer the chunk took than expected
+}
+
+// DetectorConfig tunes the spin-loop detector.
+type DetectorConfig struct {
+	// ChunkOps is the calibrated spin chunk (default 100k ops ≈ 42 µs
+	// at 2.4 GHz).
+	ChunkOps float64
+	// Threshold is the minimum excess latency reported (default 500 µs;
+	// hwlat uses 10 µs, but a shared machine needs headroom).
+	Threshold sim.Time
+	// Duration is how long to spin.
+	Duration sim.Time
+}
+
+func (c *DetectorConfig) defaults() {
+	if c.ChunkOps <= 0 {
+		c.ChunkOps = 100e3
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 500 * sim.Microsecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * sim.Second
+	}
+}
+
+// DetectorReport summarizes a detector run against ground truth.
+type DetectorReport struct {
+	Detections []Detection
+	// Matched counts ground-truth episodes the detector saw (within
+	// one chunk of the episode window); Missed are episodes it did not.
+	Matched, Missed int
+	// FalsePositives are detections not matching any episode.
+	FalsePositives int
+	// MaxLatency is the largest gap observed.
+	MaxLatency sim.Time
+}
+
+// Percentile reports the p-th percentile (0–100) of detected gap
+// latencies, by nearest-rank; zero if there are no detections.
+func (r DetectorReport) Percentile(p float64) sim.Time {
+	n := len(r.Detections)
+	if n == 0 {
+		return 0
+	}
+	lats := make([]sim.Time, n)
+	for i, d := range r.Detections {
+		lats[i] = d.Latency
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if p <= 0 {
+		return lats[0]
+	}
+	if p >= 100 {
+		return lats[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return lats[rank]
+}
+
+// Histogram buckets detected latencies into the given boundaries
+// (hwlat-style): counts[i] holds gaps in [bounds[i-1], bounds[i]), with
+// counts[0] below bounds[0] and counts[len(bounds)] at or above the last
+// boundary.
+func (r DetectorReport) Histogram(bounds []sim.Time) []int {
+	counts := make([]int, len(bounds)+1)
+	for _, d := range r.Detections {
+		i := sort.Search(len(bounds), func(i int) bool { return d.Latency < bounds[i] })
+		counts[i]++
+	}
+	return counts
+}
+
+// RunDetector spins on the first node of cl for the configured duration
+// while the node's SMI driver (if armed by the caller) injects SMIs, then
+// scores detections against the controller's episode log.
+func RunDetector(cl *cluster.Cluster, cfg DetectorConfig) DetectorReport {
+	cfg.defaults()
+	node := cl.Nodes[0]
+	var dets []Detection
+
+	done := false
+	node.Kernel.Spawn("smidetect", cpu.Profile{CPI: 1}, func(t *kernel.Task) {
+		// Calibrate: how long does a chunk take on this machine when
+		// nothing interferes? Use the best of a few warm-up chunks
+		// (minimum filters out unlucky calibration runs).
+		calib := sim.Forever
+		for i := 0; i < 8; i++ {
+			s := t.Gettime()
+			t.Compute(cfg.ChunkOps)
+			if d := t.Gettime() - s; d < calib {
+				calib = d
+			}
+		}
+		deadline := t.Gettime() + cfg.Duration
+		for t.Gettime() < deadline {
+			s := t.Gettime()
+			t.Compute(cfg.ChunkOps)
+			gap := t.Gettime() - s - calib
+			if gap >= cfg.Threshold {
+				dets = append(dets, Detection{At: t.Gettime(), Latency: gap})
+			}
+		}
+		done = true
+		cl.Eng.Stop()
+	})
+	cl.Eng.Run()
+	if !done {
+		panic("noise: detector never finished")
+	}
+	return score(dets, node.SMM.Episodes())
+}
+
+// score matches detections to ground-truth episodes.
+func score(dets []Detection, eps []smm.Episode) DetectorReport {
+	rep := DetectorReport{Detections: dets}
+	used := make([]bool, len(dets))
+	const slack = 2 * sim.Millisecond
+	for _, ep := range eps {
+		found := false
+		for i, d := range dets {
+			if used[i] {
+				continue
+			}
+			// The detection lands when the chunk spanning the episode
+			// completes: at or shortly after episode end.
+			if d.At >= ep.Start && d.At <= ep.Start+ep.Duration+slack+d.Latency {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if found {
+			rep.Matched++
+		} else {
+			rep.Missed++
+		}
+	}
+	for i := range dets {
+		if !used[i] {
+			rep.FalsePositives++
+		}
+		if dets[i].Latency > rep.MaxLatency {
+			rep.MaxLatency = dets[i].Latency
+		}
+	}
+	return rep
+}
+
+// Amplification quantifies how an application's slowdown compares to the
+// raw SMM residency injected into it — below 1 the noise was partially
+// absorbed (idle/wait time soaked it up), above 1 it was amplified
+// (synchronization propagated one node's stall to all).
+type Amplification struct {
+	BaseTime  sim.Time // runtime without noise
+	NoisyTime sim.Time // runtime with noise
+	// Residency is the per-node mean SMM residency during the noisy run.
+	Residency sim.Time
+	// Factor = (NoisyTime-BaseTime)/Residency.
+	Factor float64
+}
+
+// ComputeAmplification builds the amplification summary for a run across
+// the given nodes' SMM stats.
+func ComputeAmplification(base, noisy sim.Time, nodes []*cluster.Node) Amplification {
+	var total sim.Time
+	for _, n := range nodes {
+		total += n.SMM.Stats().TotalResidency
+	}
+	a := Amplification{BaseTime: base, NoisyTime: noisy}
+	if len(nodes) > 0 {
+		a.Residency = total / sim.Time(len(nodes))
+	}
+	if a.Residency > 0 {
+		a.Factor = float64(noisy-base) / float64(a.Residency)
+	}
+	return a
+}

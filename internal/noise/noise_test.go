@@ -1,0 +1,161 @@
+package noise
+
+import (
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func detect(t *testing.T, smi smm.DriverConfig, cfg DetectorConfig, seed int64) DetectorReport {
+	t.Helper()
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.R410(smi))
+	cl.StartSMI()
+	return RunDetector(cl, cfg)
+}
+
+func TestDetectorFindsLongSMIs(t *testing.T) {
+	rep := detect(t, smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 1000, PhaseJitter: true},
+		DetectorConfig{Duration: 5 * sim.Second}, 1)
+	if rep.Matched < 4 {
+		t.Fatalf("matched %d long SMIs over 5s, want ≥4 (missed %d, fp %d)",
+			rep.Matched, rep.Missed, rep.FalsePositives)
+	}
+	if rep.Missed > 1 {
+		t.Fatalf("missed %d long SMIs", rep.Missed)
+	}
+	if rep.MaxLatency < 90*sim.Millisecond {
+		t.Fatalf("max detected latency %v, want ≈100ms", rep.MaxLatency)
+	}
+}
+
+func TestDetectorFindsShortSMIs(t *testing.T) {
+	rep := detect(t, smm.DriverConfig{Level: smm.SMMShort, PeriodJiffies: 500, PhaseJitter: true},
+		DetectorConfig{Duration: 5 * sim.Second}, 2)
+	if rep.Matched < 8 {
+		t.Fatalf("matched %d short SMIs, want ≥8 (missed %d)", rep.Matched, rep.Missed)
+	}
+}
+
+func TestDetectorQuietMachine(t *testing.T) {
+	rep := detect(t, smm.DriverConfig{}, DetectorConfig{Duration: 3 * sim.Second}, 1)
+	if len(rep.Detections) != 0 || rep.FalsePositives != 0 {
+		t.Fatalf("false positives on a quiet machine: %+v", rep)
+	}
+	if rep.Matched != 0 || rep.Missed != 0 {
+		t.Fatalf("phantom episodes: %+v", rep)
+	}
+}
+
+func TestDetectorLatencyAccuracy(t *testing.T) {
+	rep := detect(t, smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 1000, DurMin: 100 * sim.Millisecond, DurMax: 100 * sim.Millisecond, PhaseJitter: true},
+		DetectorConfig{Duration: 4 * sim.Second}, 3)
+	if len(rep.Detections) == 0 {
+		t.Fatal("no detections")
+	}
+	for _, d := range rep.Detections {
+		// Residency = 100ms + per-CPU rendezvous (8 × 400µs).
+		want := 100*sim.Millisecond + 8*400*sim.Microsecond
+		err := d.Latency - want
+		if err < -sim.Millisecond || err > sim.Millisecond {
+			t.Fatalf("latency %v, want ≈%v", d.Latency, want)
+		}
+	}
+}
+
+func TestDetectorConfigDefaults(t *testing.T) {
+	var cfg DetectorConfig
+	cfg.defaults()
+	if cfg.ChunkOps <= 0 || cfg.Threshold <= 0 || cfg.Duration <= 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestAmplification(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.Wyeast(2, false, smm.SMMLong))
+	cl.StartSMI()
+	e.RunUntil(10 * sim.Second)
+	a := ComputeAmplification(10*sim.Second, 12*sim.Second, cl.Nodes)
+	if a.Residency <= 0 {
+		t.Fatal("no residency measured")
+	}
+	if a.Factor <= 0 {
+		t.Fatal("factor not computed")
+	}
+	want := float64(2*sim.Second) / float64(a.Residency)
+	if a.Factor != want {
+		t.Fatalf("factor = %v, want %v", a.Factor, want)
+	}
+}
+
+func TestAmplificationNoNodes(t *testing.T) {
+	a := ComputeAmplification(1, 2, nil)
+	if a.Factor != 0 || a.Residency != 0 {
+		t.Fatal("empty node list should yield zero amplification")
+	}
+}
+
+func TestPercentilesAndHistogram(t *testing.T) {
+	rep := DetectorReport{Detections: []Detection{
+		{Latency: 1 * sim.Millisecond},
+		{Latency: 2 * sim.Millisecond},
+		{Latency: 3 * sim.Millisecond},
+		{Latency: 100 * sim.Millisecond},
+	}}
+	if got := rep.Percentile(50); got != 2*sim.Millisecond {
+		t.Errorf("p50 = %v, want 2ms", got)
+	}
+	if got := rep.Percentile(100); got != 100*sim.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+	if got := rep.Percentile(0); got != sim.Millisecond {
+		t.Errorf("p0 = %v, want 1ms", got)
+	}
+	h := rep.Histogram([]sim.Time{2 * sim.Millisecond, 10 * sim.Millisecond})
+	// <2ms: {1ms} → 1; [2,10): {2,3} → 2; ≥10: {100} → 1.
+	if h[0] != 1 || h[1] != 2 || h[2] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var rep DetectorReport
+	if rep.Percentile(50) != 0 {
+		t.Error("empty report percentile should be 0")
+	}
+	if h := rep.Histogram([]sim.Time{sim.Millisecond}); h[0] != 0 || h[1] != 0 {
+		t.Error("empty histogram should be zero")
+	}
+}
+
+func TestDetectorPercentilesSeparateShortAndLong(t *testing.T) {
+	// Mixed injection: the detector's latency distribution must show
+	// two distinct populations.
+	e := sim.New(7)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{
+		Level: smm.SMMLong, PeriodJiffies: 700, PhaseJitter: true,
+	}))
+	// A second, short-SMI source on the same node.
+	e.Go("short-src", func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			p.Sleep(500 * sim.Millisecond)
+			cl.Nodes[0].SMM.TriggerSMI(2*sim.Millisecond, nil)
+		}
+	})
+	cl.StartSMI()
+	rep := RunDetector(cl, DetectorConfig{Duration: 6 * sim.Second})
+	if rep.Matched < 8 {
+		t.Fatalf("matched %d mixed SMIs", rep.Matched)
+	}
+	p25 := rep.Percentile(25)
+	p90 := rep.Percentile(90)
+	if p25 > 10*sim.Millisecond {
+		t.Fatalf("p25 = %v, want short-SMI scale", p25)
+	}
+	if p90 < 90*sim.Millisecond {
+		t.Fatalf("p90 = %v, want long-SMI scale", p90)
+	}
+}

@@ -1,0 +1,170 @@
+// Package paperdata embeds the numbers published in the paper's Tables
+// 1–5, so comparisons between the simulator and the paper are data, not
+// prose: the experiment harness joins regenerated results against these
+// values and reports deltas, and validation tests pin the cells the
+// reproduction is expected to match.
+//
+// Values are transcribed from the paper. Seconds; SMM0/1/2 are the
+// no/short/long injection columns.
+package paperdata
+
+// Cell is one measured configuration from Tables 1–3.
+type Cell struct {
+	Bench        string
+	Class        byte
+	Nodes        int // the tables' "MPI rks" column counts nodes
+	RanksPerNode int
+	SMM0         float64
+	SMM1         float64
+	SMM2         float64
+}
+
+// HTTCell is one configuration from Tables 4–5 (4 ranks/node).
+type HTTCell struct {
+	Bench string
+	Class byte
+	Nodes int
+	// Ht0/Ht1 hold SMM0/1/2 for hyper-threading off/on.
+	Ht0, Ht1 [3]float64
+}
+
+// Tables1to3 holds every populated cell of the paper's Tables 1–3.
+var Tables1to3 = []Cell{
+	// Table 1 — BT, 1 rank per node.
+	{"BT", 'A', 1, 1, 86.87, 86.89, 96.24},
+	{"BT", 'A', 4, 1, 27.44, 27.57, 39.53},
+	{"BT", 'A', 16, 1, 48.51, 48.93, 95.23},
+	{"BT", 'B', 1, 1, 369.7, 369.55, 409.36},
+	{"BT", 'B', 4, 1, 108.1, 108.58, 148.39},
+	{"BT", 'B', 16, 1, 123.79, 124.44, 179.56},
+	{"BT", 'C', 1, 1, 1585.75, 1585.95, 1756.33},
+	{"BT", 'C', 4, 1, 419.75, 420.67, 537.73},
+	{"BT", 'C', 16, 1, 336.84, 336.58, 439.49},
+	// Table 1 — BT, 4 ranks per node.
+	{"BT", 'A', 1, 4, 24.89, 24.88, 27.55},
+	{"BT", 'A', 4, 4, 53.78, 50.93, 64.13},
+	{"BT", 'A', 16, 4, 103.27, 102.39, 173.93},
+	{"BT", 'B', 1, 4, 103.44, 103.4, 114.52},
+	{"BT", 'B', 4, 4, 85.53, 85.31, 108.94},
+	{"BT", 'B', 16, 4, 173.78, 174.77, 262.97},
+	{"BT", 'C', 1, 4, 424.39, 424.51, 470.35},
+	{"BT", 'C', 4, 4, 219.86, 218.9, 281.38},
+	{"BT", 'C', 16, 4, 402.26, 403.79, 535.67},
+
+	// Table 2 — EP, 1 rank per node.
+	{"EP", 'A', 1, 1, 23.12, 23.18, 25.66},
+	{"EP", 'A', 2, 1, 11.69, 11.6, 13.15},
+	{"EP", 'A', 4, 1, 5.84, 5.8, 6.77},
+	{"EP", 'A', 8, 1, 2.92, 2.94, 3.5},
+	{"EP", 'A', 16, 1, 1.46, 1.47, 2.04},
+	{"EP", 'B', 1, 1, 92.72, 93.17, 102.5},
+	{"EP", 'B', 2, 1, 46.35, 46.59, 52.58},
+	{"EP", 'B', 4, 1, 23.33, 23.28, 26.71},
+	{"EP", 'B', 8, 1, 11.67, 11.74, 13.51},
+	{"EP", 'B', 16, 1, 5.86, 5.9, 7.03},
+	{"EP", 'C', 1, 1, 370.67, 372.53, 411.19},
+	{"EP", 'C', 2, 1, 185.1, 185.87, 210.03},
+	{"EP", 'C', 4, 1, 93.36, 93.34, 106.47},
+	{"EP", 'C', 8, 1, 46.9, 47.09, 53.59},
+	{"EP", 'C', 16, 1, 24.94, 25.16, 28.49},
+	// Table 2 — EP, 4 ranks per node.
+	{"EP", 'A', 1, 4, 5.87, 5.87, 6.47},
+	{"EP", 'A', 2, 4, 2.93, 2.93, 3.35},
+	{"EP", 'A', 4, 4, 1.47, 1.47, 1.75},
+	{"EP", 'A', 8, 4, 0.73, 0.74, 0.95},
+	{"EP", 'A', 16, 4, 0.37, 0.42, 0.65},
+	{"EP", 'B', 1, 4, 23.49, 23.42, 25.97},
+	{"EP", 'B', 2, 4, 11.71, 11.66, 13.27},
+	{"EP", 'B', 4, 4, 5.9, 5.93, 6.77},
+	{"EP", 'B', 8, 4, 2.96, 2.95, 3.58},
+	{"EP", 'B', 16, 4, 1.59, 1.49, 2.06},
+	{"EP", 'C', 1, 4, 93.86, 93.33, 104},
+	{"EP", 'C', 2, 4, 46.96, 46.85, 53.01},
+	{"EP", 'C', 4, 4, 23.47, 23.48, 28.32},
+	{"EP", 'C', 8, 4, 11.78, 12.61, 13.66},
+	{"EP", 'C', 16, 4, 5.91, 5.9, 7.53},
+
+	// Table 3 — FT, 1 rank per node (class C, 1–2 nodes unmeasured).
+	{"FT", 'A', 1, 1, 7.64, 7.61, 8.41},
+	{"FT", 'A', 2, 1, 6.22, 6.21, 7.96},
+	{"FT", 'A', 4, 1, 4.25, 4.24, 6.05},
+	{"FT", 'A', 8, 1, 2.22, 2.22, 4.32},
+	{"FT", 'A', 16, 1, 6.5, 6.39, 10.43},
+	{"FT", 'B', 1, 1, 95.48, 95.65, 106.09},
+	{"FT", 'B', 2, 1, 76.35, 76.31, 91.46},
+	{"FT", 'B', 4, 1, 51.85, 51.73, 67.24},
+	{"FT", 'B', 8, 1, 26.74, 26.74, 41.52},
+	{"FT", 'B', 16, 1, 82.18, 82.96, 110.93},
+	{"FT", 'C', 4, 1, 216.75, 216.58, 264.44},
+	{"FT", 'C', 8, 1, 111.31, 111.44, 145.04},
+	{"FT", 'C', 16, 1, 315.42, 313.81, 419.34},
+	// Table 3 — FT, 4 ranks per node.
+	{"FT", 'A', 1, 4, 2.49, 2.49, 2.78},
+	{"FT", 'A', 2, 4, 3.34, 3.34, 4.21},
+	{"FT", 'A', 4, 4, 5.69, 5.49, 6.96},
+	{"FT", 'A', 8, 4, 9.51, 9.22, 13.6},
+	{"FT", 'A', 16, 4, 20.57, 20.51, 28.42},
+	{"FT", 'B', 1, 4, 31.2, 31.2, 34.53},
+	{"FT", 'B', 2, 4, 40.46, 40.38, 49.97},
+	{"FT", 'B', 4, 4, 39.46, 39.65, 52.37},
+	{"FT", 'B', 8, 4, 56.19, 58.01, 74.52},
+	{"FT", 'B', 16, 4, 127.33, 127.28, 157.82},
+	{"FT", 'C', 1, 4, 135.96, 136.09, 150.59},
+	{"FT", 'C', 2, 4, 163.06, 165.12, 200.84},
+	{"FT", 'C', 4, 4, 125.66, 126.34, 163.17},
+	{"FT", 'C', 8, 4, 107.47, 107.88, 141.09},
+	{"FT", 'C', 16, 4, 339, 337.92, 412.11},
+}
+
+// Tables4and5 holds the paper's HTT comparison cells.
+var Tables4and5 = []HTTCell{
+	// Table 4 — EP.
+	{"EP", 'A', 1, [3]float64{5.87, 5.87, 6.47}, [3]float64{5.81, 5.81, 6.78}},
+	{"EP", 'A', 2, [3]float64{2.93, 2.93, 3.35}, [3]float64{2.91, 2.93, 3.45}},
+	{"EP", 'A', 4, [3]float64{1.47, 1.47, 1.75}, [3]float64{1.46, 1.46, 1.77}},
+	{"EP", 'A', 8, [3]float64{0.73, 0.74, 0.95}, [3]float64{0.74, 0.74, 0.99}},
+	{"EP", 'A', 16, [3]float64{0.37, 0.42, 0.65}, [3]float64{0.39, 0.39, 0.88}},
+	{"EP", 'B', 1, [3]float64{23.49, 23.42, 25.97}, [3]float64{23.3, 23.24, 26.94}},
+	{"EP", 'B', 2, [3]float64{11.71, 11.66, 13.27}, [3]float64{11.69, 11.7, 13.56}},
+	{"EP", 'B', 4, [3]float64{5.9, 5.93, 6.77}, [3]float64{5.86, 6.67, 6.85}},
+	{"EP", 'B', 8, [3]float64{2.96, 2.95, 3.58}, [3]float64{2.95, 2.94, 3.56}},
+	{"EP", 'B', 16, [3]float64{1.59, 1.49, 2.06}, [3]float64{1.48, 1.5, 2.14}},
+	{"EP", 'C', 1, [3]float64{93.86, 93.33, 104}, [3]float64{93.24, 93.33, 108.2}},
+	{"EP", 'C', 2, [3]float64{46.96, 46.85, 53.01}, [3]float64{46.43, 47.18, 53.94}},
+	{"EP", 'C', 4, [3]float64{23.47, 23.48, 28.32}, [3]float64{23.44, 23.49, 27.39}},
+	{"EP", 'C', 8, [3]float64{11.78, 12.61, 13.66}, [3]float64{11.71, 11.76, 13.77}},
+	{"EP", 'C', 16, [3]float64{5.91, 5.9, 7.53}, [3]float64{5.91, 5.93, 7.58}},
+	// Table 5 — FT.
+	{"FT", 'A', 1, [3]float64{2.49, 2.49, 2.78}, [3]float64{2.49, 2.49, 2.89}},
+	{"FT", 'A', 2, [3]float64{3.34, 3.34, 4.21}, [3]float64{3.33, 3.33, 4.19}},
+	{"FT", 'A', 4, [3]float64{5.69, 5.49, 6.96}, [3]float64{5.63, 5.28, 6.97}},
+	{"FT", 'A', 8, [3]float64{9.51, 9.22, 13.6}, [3]float64{9.78, 9.89, 12.33}},
+	{"FT", 'A', 16, [3]float64{20.57, 20.51, 28.42}, [3]float64{20.21, 20.1, 25.69}},
+	{"FT", 'B', 1, [3]float64{31.2, 31.2, 34.53}, [3]float64{31.08, 31.13, 35.94}},
+	{"FT", 'B', 2, [3]float64{40.46, 40.38, 49.97}, [3]float64{40.41, 40.3, 50.18}},
+	{"FT", 'B', 4, [3]float64{39.46, 39.65, 52.37}, [3]float64{39.78, 39.41, 48.86}},
+	{"FT", 'B', 8, [3]float64{56.19, 58.01, 74.52}, [3]float64{57.09, 56.23, 69.18}},
+	{"FT", 'B', 16, [3]float64{127.33, 127.28, 157.82}, [3]float64{127.74, 129.95, 154.64}},
+	{"FT", 'C', 1, [3]float64{135.96, 136.09, 150.59}, [3]float64{135.59, 135.5, 157.04}},
+	{"FT", 'C', 2, [3]float64{163.06, 165.12, 200.84}, [3]float64{165.57, 164.33, 206.55}},
+	{"FT", 'C', 4, [3]float64{125.66, 126.34, 163.17}, [3]float64{125.8, 125.57, 160.26}},
+	{"FT", 'C', 8, [3]float64{107.47, 107.88, 141.09}, [3]float64{108.15, 106.92, 134.8}},
+	{"FT", 'C', 16, [3]float64{339, 337.92, 412.11}, [3]float64{331.25, 330.41, 392.96}},
+}
+
+// Find returns the Tables 1–3 cell for a configuration, or nil.
+func Find(bench string, class byte, nodes, rpn int) *Cell {
+	for i := range Tables1to3 {
+		c := &Tables1to3[i]
+		if c.Bench == bench && c.Class == class && c.Nodes == nodes && c.RanksPerNode == rpn {
+			return c
+		}
+	}
+	return nil
+}
+
+// PctLong is the paper's long-SMM percent impact for the cell.
+func (c Cell) PctLong() float64 { return (c.SMM2 - c.SMM0) / c.SMM0 * 100 }
+
+// PctShort is the paper's short-SMM percent impact for the cell.
+func (c Cell) PctShort() float64 { return (c.SMM1 - c.SMM0) / c.SMM0 * 100 }

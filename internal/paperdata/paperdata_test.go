@@ -1,0 +1,74 @@
+package paperdata
+
+import "testing"
+
+func TestTableCompleteness(t *testing.T) {
+	// Tables 1-3 populated cells: BT 9+9, EP 15+15, FT 13+15.
+	if len(Tables1to3) != 76 {
+		t.Fatalf("cells = %d, want 76", len(Tables1to3))
+	}
+	counts := map[string]int{}
+	for _, c := range Tables1to3 {
+		counts[c.Bench]++
+	}
+	if counts["BT"] != 18 || counts["EP"] != 30 || counts["FT"] != 28 {
+		t.Fatalf("per-bench counts = %v", counts)
+	}
+	if len(Tables4and5) != 30 {
+		t.Fatalf("HTT cells = %d, want 30", len(Tables4and5))
+	}
+}
+
+func TestCellsWellFormed(t *testing.T) {
+	seen := map[Cell]bool{}
+	for _, c := range Tables1to3 {
+		key := Cell{Bench: c.Bench, Class: c.Class, Nodes: c.Nodes, RanksPerNode: c.RanksPerNode}
+		if seen[key] {
+			t.Errorf("duplicate cell %+v", key)
+		}
+		seen[key] = true
+		if c.SMM0 <= 0 || c.SMM1 <= 0 || c.SMM2 <= 0 {
+			t.Errorf("non-positive times in %+v", c)
+		}
+		if c.SMM2 <= c.SMM0*0.9 {
+			t.Errorf("long SMM faster than base in %+v (transcription error?)", c)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	c := Find("EP", 'A', 1, 1)
+	if c == nil || c.SMM0 != 23.12 {
+		t.Fatalf("EP.A 1/1 lookup failed: %+v", c)
+	}
+	if Find("EP", 'Z', 1, 1) != nil {
+		t.Fatal("phantom cell found")
+	}
+	if Find("FT", 'C', 1, 1) != nil {
+		t.Fatal("the paper leaves FT.C 1-node 1-rpn unmeasured")
+	}
+}
+
+func TestPctHelpers(t *testing.T) {
+	c := Cell{SMM0: 100, SMM1: 101, SMM2: 110}
+	if c.PctShort() != 1 || c.PctLong() != 10 {
+		t.Fatalf("pct helpers wrong: %v %v", c.PctShort(), c.PctLong())
+	}
+}
+
+// The paper's own headline claims, asserted on its own data: single-node
+// long-SMM impact ≈ 10-11% everywhere; short-SMM impact ≤ 1.5% in all
+// single-node cells.
+func TestPaperHeadlineClaims(t *testing.T) {
+	for _, c := range Tables1to3 {
+		if c.Nodes != 1 || c.RanksPerNode != 1 {
+			continue
+		}
+		if p := c.PctLong(); p < 9.5 || p > 11.5 {
+			t.Errorf("%s.%c single-node long impact %.1f%%, expected ≈10-11%%", c.Bench, c.Class, p)
+		}
+		if p := c.PctShort(); p > 1.5 || p < -1.5 {
+			t.Errorf("%s.%c single-node short impact %.1f%%, expected ≈0", c.Bench, c.Class, p)
+		}
+	}
+}

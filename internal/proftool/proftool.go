@@ -1,0 +1,208 @@
+// Package proftool is a sampling profiler for the simulated OS — the
+// "current generation of performance tools" whose blind spot the paper
+// calls out. It samples every online CPU on a timer, attributing each
+// sample to the thread found running. Timer interrupts cannot fire in
+// System Management Mode, so the profiler either loses those samples
+// (sample deficit) or takes them at SMM exit and charges the stall to
+// the resuming victim (misattribution). Both failure modes are
+// measurable here against the simulator's ground truth.
+package proftool
+
+import (
+	"sort"
+
+	"smistudy/internal/cpu"
+	"smistudy/internal/metrics"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// Mode selects what happens to samples that land in SMM.
+type Mode int
+
+const (
+	// DropInSMM loses samples whose timer fires during SMM (tickless
+	// NMI-based profilers): the profile silently under-covers.
+	DropInSMM Mode = iota
+	// DeferToExit takes the pending sample right after SMM exit,
+	// charging the stall to the thread that resumes (timer-interrupt
+	// profilers): the profile silently mis-covers.
+	DeferToExit
+)
+
+// Config tunes the profiler.
+type Config struct {
+	Interval sim.Time // sampling period (default 1 ms, like perf at 1000 Hz)
+	Mode     Mode
+}
+
+// Sampler is an armed profiler on one node.
+type Sampler struct {
+	eng  *sim.Engine
+	cpu  *cpu.Model
+	ctrl *smm.Controller
+	cfg  Config
+
+	running  bool
+	next     *sim.Event
+	tick     int
+	samples  map[*cpu.Thread]int
+	idle     int // samples that found a CPU idle
+	lost     int // samples dropped inside SMM
+	deferred int // samples taken late, right after SMM exit
+	total    int
+}
+
+// New builds a profiler over a node's processor and SMM controller.
+func New(eng *sim.Engine, c *cpu.Model, ctrl *smm.Controller, cfg Config) *Sampler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = sim.Millisecond
+	}
+	return &Sampler{
+		eng: eng, cpu: c, ctrl: ctrl, cfg: cfg,
+		samples: make(map[*cpu.Thread]int),
+	}
+}
+
+// Start arms the sampler.
+func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.next = s.eng.After(s.cfg.Interval, s.fire)
+}
+
+// Stop disarms the sampler.
+func (s *Sampler) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	if s.next != nil {
+		s.eng.Cancel(s.next)
+		s.next = nil
+	}
+}
+
+func (s *Sampler) fire() {
+	if !s.running {
+		return
+	}
+	if s.ctrl.InSMM() {
+		switch s.cfg.Mode {
+		case DropInSMM:
+			s.lost++
+			s.next = s.eng.After(s.cfg.Interval, s.fire)
+		case DeferToExit:
+			// The pending interrupt fires as soon as SMM exits; poll
+			// at fine grain to approximate "immediately after exit".
+			s.next = s.eng.After(100*sim.Microsecond, s.fireDeferred)
+		}
+		return
+	}
+	s.sample()
+	s.next = s.eng.After(s.cfg.Interval, s.fire)
+}
+
+func (s *Sampler) fireDeferred() {
+	if !s.running {
+		return
+	}
+	if s.ctrl.InSMM() {
+		s.next = s.eng.After(100*sim.Microsecond, s.fireDeferred)
+		return
+	}
+	s.deferred++
+	s.sample()
+	s.next = s.eng.After(s.cfg.Interval, s.fire)
+}
+
+// sample takes one system-wide sample: one hit per online CPU,
+// attributed to a thread on that CPU (round-robin among timesharing
+// threads, like a real tick would catch whichever is on-CPU).
+func (s *Sampler) sample() {
+	s.cpu.Sync()
+	s.tick++
+	for i := 0; i < s.cpu.NumLogical(); i++ {
+		l := s.cpu.Logical(i)
+		if !l.Online() {
+			continue
+		}
+		s.total++
+		ths := l.Threads()
+		if len(ths) == 0 {
+			s.idle++
+			continue
+		}
+		s.samples[ths[s.tick%len(ths)]]++
+	}
+}
+
+// TaskProfile is one thread's profile line.
+type TaskProfile struct {
+	Name    string
+	Samples int
+	// SampleShare is this thread's fraction of non-idle samples — what
+	// the profiler reports.
+	SampleShare float64
+	// TrueShare is this thread's fraction of true CPU time — ground
+	// truth.
+	TrueShare float64
+}
+
+// Report is the profiler's output with ground-truth comparison.
+type Report struct {
+	Total    int // samples taken (one per online CPU per tick)
+	Idle     int
+	Lost     int // dropped inside SMM
+	Deferred int // taken late at SMM exit
+	Tasks    []TaskProfile
+	// MaxSkew is the largest |SampleShare − TrueShare| across tasks:
+	// how wrong the profile is, at worst.
+	MaxSkew float64
+}
+
+// Report builds the report.
+func (s *Sampler) Report() Report {
+	rep := Report{Total: s.total, Idle: s.idle, Lost: s.lost, Deferred: s.deferred}
+	busy := s.total - s.idle
+	var trueTotal sim.Time
+	type entry struct {
+		th *cpu.Thread
+		n  int
+	}
+	var entries []entry
+	for th, n := range s.samples {
+		entries = append(entries, entry{th, n})
+		trueTotal += th.TrueTime()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].th.Name() < entries[j].th.Name() })
+	for _, e := range entries {
+		tp := TaskProfile{Name: e.th.Name(), Samples: e.n}
+		if busy > 0 {
+			tp.SampleShare = float64(e.n) / float64(busy)
+		}
+		if trueTotal > 0 {
+			tp.TrueShare = float64(e.th.TrueTime()) / float64(trueTotal)
+		}
+		skew := tp.SampleShare - tp.TrueShare
+		if skew < 0 {
+			skew = -skew
+		}
+		if skew > rep.MaxSkew {
+			rep.MaxSkew = skew
+		}
+		rep.Tasks = append(rep.Tasks, tp)
+	}
+	return rep
+}
+
+// Table renders the report.
+func (r Report) Table() string {
+	tab := metrics.NewTable("task", "samples", "sample%", "true%")
+	for _, t := range r.Tasks {
+		tab.AddRow(t.Name, t.Samples, t.SampleShare*100, t.TrueShare*100)
+	}
+	return tab.String()
+}

@@ -1,0 +1,147 @@
+package proftool
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func newNode(smi smm.DriverConfig) (*sim.Engine, *cluster.Cluster) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smi))
+	return e, cl
+}
+
+func TestProfilesQuietWorkload(t *testing.T) {
+	e, cl := newNode(smm.DriverConfig{})
+	node := cl.Nodes[0]
+	s := New(e, node.CPU, node.SMM, Config{})
+	s.Start()
+	// Two tasks with 2:1 work ratio on plenty of CPUs.
+	node.Kernel.Spawn("heavy", cpu.Profile{CPI: 1}, func(tk *kernel.Task) { tk.Compute(4.8e9) })
+	node.Kernel.Spawn("light", cpu.Profile{CPI: 1}, func(tk *kernel.Task) { tk.Compute(2.4e9) })
+	e.RunUntil(3 * sim.Second)
+	s.Stop()
+	rep := s.Report()
+	if rep.Lost != 0 || rep.Deferred != 0 {
+		t.Fatalf("quiet run lost/deferred samples: %+v", rep)
+	}
+	if len(rep.Tasks) != 2 {
+		t.Fatalf("tasks profiled = %d", len(rep.Tasks))
+	}
+	if rep.MaxSkew > 0.05 {
+		t.Fatalf("profile skew %.3f on a quiet machine, want ≈0", rep.MaxSkew)
+	}
+	var heavy, light TaskProfile
+	for _, tp := range rep.Tasks {
+		if tp.Name == "heavy" {
+			heavy = tp
+		} else {
+			light = tp
+		}
+	}
+	if math.Abs(heavy.SampleShare-2.0/3.0) > 0.05 {
+		t.Fatalf("heavy share = %.3f, want ≈0.667", heavy.SampleShare)
+	}
+	if math.Abs(light.SampleShare-1.0/3.0) > 0.05 {
+		t.Fatalf("light share = %.3f, want ≈0.333", light.SampleShare)
+	}
+}
+
+func TestDropModeLosesSamplesInSMM(t *testing.T) {
+	e, cl := newNode(smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 400, PhaseJitter: true})
+	cl.StartSMI()
+	node := cl.Nodes[0]
+	s := New(e, node.CPU, node.SMM, Config{Mode: DropInSMM})
+	s.Start()
+	node.Kernel.Spawn("w", cpu.Profile{CPI: 1}, func(tk *kernel.Task) { tk.Compute(2.4e9 * 10) })
+	e.RunUntil(5 * sim.Second)
+	s.Stop()
+	rep := s.Report()
+	if rep.Lost == 0 {
+		t.Fatal("no samples lost despite ~20% SMM duty cycle")
+	}
+	// Roughly duty-cycle fraction of ticks land in SMM: 105/(105+400).
+	tickEstimate := 5000
+	frac := float64(rep.Lost) / float64(tickEstimate)
+	if frac < 0.1 || frac > 0.35 {
+		t.Fatalf("lost fraction %.2f, want ≈0.21", frac)
+	}
+}
+
+func TestDeferModeTakesLateSamples(t *testing.T) {
+	e, cl := newNode(smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 500, PhaseJitter: true})
+	cl.StartSMI()
+	node := cl.Nodes[0]
+	s := New(e, node.CPU, node.SMM, Config{Mode: DeferToExit})
+	s.Start()
+	node.Kernel.Spawn("victim", cpu.Profile{CPI: 1}, func(tk *kernel.Task) { tk.Compute(2.4e9 * 10) })
+	e.RunUntil(5 * sim.Second)
+	s.Stop()
+	rep := s.Report()
+	if rep.Deferred == 0 {
+		t.Fatal("no deferred samples despite SMIs")
+	}
+	if rep.Lost != 0 {
+		t.Fatal("defer mode should not drop")
+	}
+}
+
+func TestIdleSamples(t *testing.T) {
+	e, cl := newNode(smm.DriverConfig{})
+	node := cl.Nodes[0]
+	s := New(e, node.CPU, node.SMM, Config{})
+	s.Start()
+	e.RunUntil(time100ms())
+	s.Stop()
+	rep := s.Report()
+	if rep.Idle != rep.Total || rep.Total == 0 {
+		t.Fatalf("idle machine: %d idle of %d samples", rep.Idle, rep.Total)
+	}
+}
+
+func time100ms() sim.Time { return 100 * sim.Millisecond }
+
+func TestStartStopIdempotent(t *testing.T) {
+	e, cl := newNode(smm.DriverConfig{})
+	node := cl.Nodes[0]
+	s := New(e, node.CPU, node.SMM, Config{})
+	s.Start()
+	s.Start()
+	e.RunUntil(50 * sim.Millisecond)
+	s.Stop()
+	s.Stop()
+	n := s.Report().Total
+	e.RunUntil(sim.Second)
+	if s.Report().Total != n {
+		t.Fatal("samples after Stop")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	e, cl := newNode(smm.DriverConfig{})
+	node := cl.Nodes[0]
+	s := New(e, node.CPU, node.SMM, Config{})
+	s.Start()
+	node.Kernel.Spawn("job", cpu.Profile{CPI: 1}, func(tk *kernel.Task) { tk.Compute(1e9) })
+	e.RunUntil(sim.Second)
+	out := s.Report().Table()
+	if !strings.Contains(out, "job") || !strings.Contains(out, "sample%") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	e, cl := newNode(smm.DriverConfig{})
+	node := cl.Nodes[0]
+	s := New(e, node.CPU, node.SMM, Config{Interval: 0})
+	if s.cfg.Interval != sim.Millisecond {
+		t.Fatal("default interval not applied")
+	}
+}

@@ -1,0 +1,176 @@
+// Package rim models SMM-based Runtime Integrity Measurement agents —
+// HyperSentry, HyperCheck and SPECTRE-style introspection frameworks —
+// the security use case that motivates the paper: periodically hashing
+// hypervisor or kernel memory *from SMM*, where malware cannot interfere
+// but where every byte scanned is an all-core stall.
+//
+// The agent converts a measurement's size into SMM residency through a
+// scan-rate model (SMM code runs with caches in a restricted state, far
+// below normal memory throughput). It supports the whole-measurement
+// strategy the early systems used (one long SMI per check) and the
+// chunked strategy proposed to bound latency (split each check into many
+// short SMIs), so the coverage-vs-interference tradeoff the paper's
+// findings imply can be measured directly.
+package rim
+
+import (
+	"fmt"
+
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// Config describes an integrity-measurement agent.
+type Config struct {
+	// Period between the starts of consecutive checks.
+	Period sim.Time
+	// Bytes of memory measured per check (hypervisor text + page
+	// tables; HyperSentry-class systems scan megabytes).
+	Bytes int64
+	// ScanBytesPerSec is the in-SMM hash throughput. SMM executes from
+	// SMRAM with limited caching; tens to a few hundred MB/s is
+	// realistic. Zero selects 250 MB/s.
+	ScanBytesPerSec float64
+	// ChunkBytes splits each check into multiple SMIs of at most this
+	// many bytes, with ChunkGap between them. Zero scans whole
+	// measurements in single SMIs.
+	ChunkBytes int64
+	// ChunkGap is the host-execution window between chunk SMIs.
+	ChunkGap sim.Time
+	// FixedOverhead is per-SMI entry/exit cost beyond scanning (state
+	// save, SMRAM setup). Zero selects 50 µs.
+	FixedOverhead sim.Time
+}
+
+func (c *Config) defaults() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("rim: period %v", c.Period)
+	}
+	if c.Bytes <= 0 {
+		return fmt.Errorf("rim: %d bytes per check", c.Bytes)
+	}
+	if c.ScanBytesPerSec == 0 {
+		c.ScanBytesPerSec = 250e6
+	}
+	if c.ScanBytesPerSec < 0 {
+		return fmt.Errorf("rim: negative scan rate")
+	}
+	if c.FixedOverhead == 0 {
+		c.FixedOverhead = 50 * sim.Microsecond
+	}
+	if c.ChunkBytes < 0 || c.ChunkGap < 0 {
+		return fmt.Errorf("rim: negative chunking")
+	}
+	if c.ChunkBytes > 0 && c.ChunkGap == 0 {
+		c.ChunkGap = sim.Millisecond
+	}
+	return nil
+}
+
+// SMIDuration reports the SMM residency of scanning `bytes` in one SMI.
+func (c Config) SMIDuration(bytes int64) sim.Time {
+	return c.FixedOverhead + sim.Time(float64(bytes)/c.ScanBytesPerSec*float64(sim.Second))
+}
+
+// Stats summarizes an agent's activity.
+type Stats struct {
+	Checks        int   // completed measurements
+	SMIs          int   // SMIs issued
+	BytesMeasured int64 // total bytes hashed
+	// CheckLatency is the wall time from a check's start to its
+	// completion (equal to the SMI duration when unchunked; chunking
+	// trades longer check latency for shorter individual stalls).
+	LastCheckLatency sim.Time
+	MaxCheckLatency  sim.Time
+}
+
+// Agent periodically measures integrity via the node's SMM controller.
+type Agent struct {
+	eng  *sim.Engine
+	ctrl *smm.Controller
+	cfg  Config
+
+	running bool
+	stats   Stats
+	next    *sim.Event
+}
+
+// NewAgent builds an agent over the node's SMM controller.
+func NewAgent(eng *sim.Engine, ctrl *smm.Controller, cfg Config) (*Agent, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Agent{eng: eng, ctrl: ctrl, cfg: cfg}, nil
+}
+
+// Config reports the agent's effective configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Stats reports activity so far.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Start arms the agent; the first check begins one period from now.
+func (a *Agent) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.next = a.eng.After(a.cfg.Period, a.check)
+}
+
+// Stop disarms the agent; an in-flight check completes.
+func (a *Agent) Stop() {
+	if !a.running {
+		return
+	}
+	a.running = false
+	if a.next != nil {
+		a.eng.Cancel(a.next)
+		a.next = nil
+	}
+}
+
+// Running reports whether the agent is armed.
+func (a *Agent) Running() bool { return a.running }
+
+// check runs one measurement (possibly as a chain of chunk SMIs), then
+// re-arms for the next period.
+func (a *Agent) check() {
+	if !a.running {
+		return
+	}
+	start := a.eng.Now()
+	remaining := a.cfg.Bytes
+	var step func()
+	step = func() {
+		chunk := remaining
+		if a.cfg.ChunkBytes > 0 && chunk > a.cfg.ChunkBytes {
+			chunk = a.cfg.ChunkBytes
+		}
+		remaining -= chunk
+		a.stats.SMIs++
+		a.stats.BytesMeasured += chunk
+		a.ctrl.TriggerSMI(a.cfg.SMIDuration(chunk), func() {
+			if remaining > 0 {
+				a.eng.After(a.cfg.ChunkGap, step)
+				return
+			}
+			a.stats.Checks++
+			lat := a.eng.Now() - start
+			a.stats.LastCheckLatency = lat
+			if lat > a.stats.MaxCheckLatency {
+				a.stats.MaxCheckLatency = lat
+			}
+			if a.running {
+				// Re-arm relative to the check's start so the period
+				// is the check cadence, not dead time.
+				wait := a.cfg.Period - lat
+				if wait < sim.Millisecond {
+					wait = sim.Millisecond
+				}
+				a.next = a.eng.After(wait, a.check)
+			}
+		})
+	}
+	step()
+}

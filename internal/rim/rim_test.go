@@ -1,0 +1,169 @@
+package rim
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func newNode(seed int64) (*sim.Engine, *cluster.Cluster) {
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{}))
+	return e, cl
+}
+
+func TestConfigValidation(t *testing.T) {
+	e, cl := newNode(1)
+	_ = e
+	bad := []Config{
+		{},
+		{Period: sim.Second},
+		{Period: sim.Second, Bytes: 1, ScanBytesPerSec: -1},
+		{Period: sim.Second, Bytes: 1, ChunkBytes: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewAgent(cl.Eng, cl.Nodes[0].SMM, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	a, err := NewAgent(cl.Eng, cl.Nodes[0].SMM, Config{Period: sim.Second, Bytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config().ScanBytesPerSec != 250e6 || a.Config().FixedOverhead != 50*sim.Microsecond {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestSMIDuration(t *testing.T) {
+	cfg := Config{Period: sim.Second, Bytes: 1, ScanBytesPerSec: 100e6, FixedOverhead: sim.Millisecond}
+	// 10 MB at 100 MB/s = 100ms + 1ms overhead.
+	got := cfg.SMIDuration(10e6)
+	if math.Abs(float64(got-101*sim.Millisecond)) > float64(sim.Microsecond) {
+		t.Fatalf("duration = %v, want 101ms", got)
+	}
+}
+
+func TestWholeMeasurementChecks(t *testing.T) {
+	e, cl := newNode(1)
+	// 25 MB at 250 MB/s → 100 ms SMIs once a second: exactly the
+	// paper's long-SMI scenario, now grounded in the RIM use case.
+	a, err := NewAgent(e, cl.Nodes[0].SMM, Config{Period: sim.Second, Bytes: 25 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	e.RunUntil(10 * sim.Second)
+	st := a.Stats()
+	if st.Checks < 8 {
+		t.Fatalf("checks = %d over 10s, want ≈9", st.Checks)
+	}
+	if st.SMIs < st.Checks || st.SMIs > st.Checks+1 {
+		// One SMI may be in flight when the horizon cuts off.
+		t.Fatalf("unchunked agent issued %d SMIs for %d checks", st.SMIs, st.Checks)
+	}
+	if st.MaxCheckLatency < 100*sim.Millisecond || st.MaxCheckLatency > 120*sim.Millisecond {
+		t.Fatalf("check latency %v, want ≈105ms", st.MaxCheckLatency)
+	}
+	smmStats := cl.Nodes[0].SMM.Stats()
+	// The controller counts completed episodes; the agent may have one
+	// SMI still in flight at the horizon.
+	if smmStats.Count != st.Checks {
+		t.Fatalf("controller saw %d completed SMIs, agent completed %d checks", smmStats.Count, st.Checks)
+	}
+}
+
+func TestChunkedChecksBoundStallLength(t *testing.T) {
+	e, cl := newNode(1)
+	a, err := NewAgent(e, cl.Nodes[0].SMM, Config{
+		Period: sim.Second, Bytes: 25 << 20,
+		ChunkBytes: 512 << 10, ChunkGap: 2 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	e.RunUntil(5 * sim.Second)
+	st := a.Stats()
+	if st.Checks < 3 {
+		t.Fatalf("checks = %d", st.Checks)
+	}
+	if st.SMIs < st.Checks*50 {
+		t.Fatalf("SMIs = %d for %d checks; expected ≈51 chunks each", st.SMIs, st.Checks)
+	}
+	// No individual stall may exceed the chunk's scan time (+overhead).
+	maxStall := cl.Nodes[0].SMM.Stats().MaxLatency
+	chunkDur := a.Config().SMIDuration(512 << 10)
+	if maxStall > chunkDur+8*400*sim.Microsecond+sim.Millisecond {
+		t.Fatalf("a chunk stalled %v, chunk budget %v", maxStall, chunkDur)
+	}
+	// But the check latency stretches well past the unchunked 105ms.
+	if st.MaxCheckLatency < 150*sim.Millisecond {
+		t.Fatalf("chunked check latency %v suspiciously low", st.MaxCheckLatency)
+	}
+}
+
+// The tradeoff the paper's results imply: chunking slashes the worst
+// single stall (latency) but pays per-SMI entry/exit + rendezvous
+// overhead on every chunk (throughput) — there is no free lunch, which
+// is exactly why long-SMI RIM designs exist despite their noise.
+func TestChunkingReducesWorstStall(t *testing.T) {
+	run := func(chunk int64) (worst sim.Time, elapsed sim.Time) {
+		e, cl := newNode(2)
+		a, err := NewAgent(e, cl.Nodes[0].SMM, Config{
+			Period: sim.Second, Bytes: 25 << 20, ChunkBytes: chunk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Start()
+		var done sim.Time
+		cl.Nodes[0].Kernel.Spawn("app", cpu.Profile{CPI: 1}, func(tk *kernel.Task) {
+			tk.Compute(2.4e9 * 5)
+			done = tk.Gettime()
+			e.Stop()
+		})
+		e.Run()
+		return cl.Nodes[0].SMM.Stats().MaxLatency, done
+	}
+	worstWhole, elapsedWhole := run(0)
+	worstChunk, elapsedChunk := run(256 << 10)
+	if worstChunk >= worstWhole/10 {
+		t.Fatalf("chunking should slash the worst stall: %v vs %v", worstChunk, worstWhole)
+	}
+	// ...at a real throughput cost: ~100 extra SMI entries per check,
+	// each paying fixed overhead plus per-CPU rendezvous.
+	ratio := float64(elapsedChunk) / float64(elapsedWhole)
+	if ratio <= 1.0 {
+		t.Fatalf("chunking showed no per-SMI overhead cost (%.2f×)", ratio)
+	}
+	if ratio > 2.0 {
+		t.Fatalf("chunking overhead implausibly large: %.2f×", ratio)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	e, cl := newNode(1)
+	a, err := NewAgent(e, cl.Nodes[0].SMM, Config{Period: sim.Second, Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	a.Start()
+	if !a.Running() {
+		t.Fatal("not running")
+	}
+	e.RunUntil(2500 * sim.Millisecond)
+	a.Stop()
+	a.Stop()
+	n := a.Stats().Checks
+	e.RunUntil(10 * sim.Second)
+	if a.Stats().Checks != n {
+		t.Fatal("checks after Stop")
+	}
+}

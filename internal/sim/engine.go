@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are ordered by time, then by
+// scheduling order (FIFO among simultaneous events), which keeps runs
+// deterministic.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (ev *Event) Time() Time { return ev.at }
+
+// Canceled reports whether the event has been canceled.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel. It is not safe for
+// concurrent use; model code must only touch it from event callbacks or
+// from the currently-running process.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	running bool
+	stopped bool
+
+	yield chan struct{} // process -> engine handoff
+	procs map[*Proc]struct{}
+
+	nextProcID int
+}
+
+// New returns an engine with its clock at zero and a deterministic RNG
+// derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// PeekTime reports the time of the next pending event, or Forever if the
+// queue is empty.
+func (e *Engine) PeekTime() Time {
+	if len(e.queue) == 0 {
+		return Forever
+	}
+	return e.queue[0].at
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() { e.RunUntil(Forever) }
+
+// RunUntil executes events with time ≤ limit; the clock is then advanced
+// to limit (if limit is reachable, i.e. not Forever with an empty queue).
+func (e *Engine) RunUntil(limit Time) {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= limit {
+		ev := heap.Pop(&e.queue).(*Event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.stopped && limit != Forever && limit > e.now {
+		e.now = limit
+	}
+}
+
+// Shutdown terminates all parked processes (via a recovered panic inside
+// each process goroutine) and drains the event queue. It is intended for
+// tests and for aborting simulations early without leaking goroutines.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		if p.state == procParked {
+			p.kill()
+		}
+	}
+	e.queue = nil
+}

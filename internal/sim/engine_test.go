@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000000s"},
+		{-2 * Millisecond, "-2.000ms"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := (3 * Second).Milliseconds(); got != 3000 {
+		t.Errorf("Milliseconds() = %v, want 3000", got)
+	}
+	if got := FromSeconds(2.5); got != 2500*Millisecond {
+		t.Errorf("FromSeconds(2.5) = %v, want 2.5s", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	// Double cancel and cancel-nil must not panic.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New(1)
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.At(Time(i), func() { fired = append(fired, i) }))
+	}
+	e.Cancel(evs[7])
+	e.Cancel(evs[0])
+	e.Cancel(evs[19])
+	e.Run()
+	if len(fired) != 17 {
+		t.Fatalf("got %d events, want 17", len(fired))
+	}
+	for _, v := range fired {
+		if v == 7 || v == 0 || v == 19 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+	if !sort.IntsAreSorted(fired) {
+		t.Fatalf("events out of order after cancels: %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(12) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock = %v, want 12", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("after RunUntil(100) fired %d events, want 4", len(fired))
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock advanced to %v, want 100", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt the engine: %d events ran", count)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEventsNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, schedule)
+		}
+	}
+	e.After(1, schedule)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+// Property: any batch of events fires in nondecreasing time order and the
+// clock matches the last event's time.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(seed)
+		var fired []Time
+		count := int(n%50) + 1
+		for i := 0; i < count; i++ {
+			at := Time(rng.Int63n(1000))
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != count {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var trace []int64
+		for i := 0; i < 100; i++ {
+			d := Time(e.Rand().Int63n(1000))
+			e.At(d, func() { trace = append(trace, int64(e.Now())) })
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("determinism violated: different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism violated at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	e := New(1)
+	if e.PeekTime() != Forever {
+		t.Fatal("PeekTime on empty queue should be Forever")
+	}
+	e.At(17, func() {})
+	if e.PeekTime() != 17 {
+		t.Fatalf("PeekTime = %v, want 17", e.PeekTime())
+	}
+}

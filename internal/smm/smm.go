@@ -1,0 +1,294 @@
+// Package smm models System Management Mode and the "Blackbox SMI"
+// driver used by the paper to inject System Management Interrupts.
+//
+// An SMI is the most disruptive interrupt on x86: when one fires, every
+// logical CPU of the node enters SMM and stays there until the handler
+// finishes, and the operating system neither sees the time spent nor can
+// mask the interrupt. The Controller implements exactly those semantics
+// against a cpu.Model; the Driver reproduces the paper's injection tool —
+// one SMI every x jiffies with a configurable handler duration ("short"
+// = 1–3 ms, "long" = 100–110 ms) and TSC-based latency measurement.
+package smm
+
+import (
+	"fmt"
+
+	"smistudy/internal/clock"
+	"smistudy/internal/sim"
+)
+
+// BIOSBITSWarnThreshold is the SMM residency above which Intel's BIOSBITS
+// test suite flags a platform (150 microseconds).
+const BIOSBITSWarnThreshold = 150 * sim.Microsecond
+
+// Staller is the processor-side hook the controller drives. cpu.Model
+// satisfies it.
+type Staller interface {
+	Stall()
+	Unstall()
+}
+
+// Episode is one completed SMM residency, recorded as ground truth for
+// validating detectors.
+type Episode struct {
+	Start    sim.Time
+	Duration sim.Time
+	TSCDelta uint64 // latency as the driver measures it, in TSC cycles
+}
+
+// Stats summarizes SMM activity on a node.
+type Stats struct {
+	Count          int
+	TotalResidency sim.Time
+	MaxLatency     sim.Time
+	Warnings       int // episodes exceeding BIOSBITSWarnThreshold
+}
+
+// MeanLatency reports the average SMM residency per SMI.
+func (s Stats) MeanLatency() sim.Time {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalResidency / sim.Time(s.Count)
+}
+
+// CPUCounter is implemented by processor models that can report their
+// online logical CPU count (cpu.Model does).
+type CPUCounter interface {
+	NumOnline() int
+}
+
+// Controller is the SMM entry/exit machinery of one node.
+type Controller struct {
+	eng   *sim.Engine
+	cpu   Staller
+	clk   *clock.Node
+	inSMM bool
+
+	// perCPURendezvous is the extra SMM residency per online logical
+	// CPU: on SMI entry every logical CPU must rendezvous in SMM and
+	// have its context saved and restored by microcode/BIOS, so total
+	// residency grows with the number of logical CPUs — one of the
+	// reasons hyper-threading amplifies SMI impact.
+	perCPURendezvous sim.Time
+
+	stats    Stats
+	episodes []Episode
+	keepLog  bool
+}
+
+// SetPerCPURendezvous sets the additional SMM residency charged per
+// online logical CPU on every SMI (zero by default).
+func (c *Controller) SetPerCPURendezvous(d sim.Time) { c.perCPURendezvous = d }
+
+// NewController attaches SMM machinery to a node's processor and clocks.
+func NewController(eng *sim.Engine, cpu Staller, clk *clock.Node) *Controller {
+	return &Controller{eng: eng, cpu: cpu, clk: clk, keepLog: true}
+}
+
+// SetKeepLog controls whether the controller records per-episode ground
+// truth (on by default; disable for very long runs).
+func (c *Controller) SetKeepLog(keep bool) { c.keepLog = keep }
+
+// InSMM reports whether the node is currently in System Management Mode.
+func (c *Controller) InSMM() bool { return c.inSMM }
+
+// Stats returns aggregate SMM statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Episodes returns the ground-truth log of completed SMM residencies.
+func (c *Controller) Episodes() []Episode { return c.episodes }
+
+// TriggerSMI enters SMM for the given handler duration: all CPUs stall,
+// and after duration the context is restored. Overlapping triggers extend
+// the current residency (the new handler runs after the current one, with
+// the CPUs never leaving SMM in between). onExit, if non-nil, runs at SMM
+// exit.
+func (c *Controller) TriggerSMI(duration sim.Time, onExit func()) {
+	if duration <= 0 {
+		panic(fmt.Sprintf("smm: non-positive SMI duration %v", duration))
+	}
+	if c.perCPURendezvous > 0 {
+		if counter, ok := c.cpu.(CPUCounter); ok {
+			duration += c.perCPURendezvous * sim.Time(counter.NumOnline())
+		}
+	}
+	start := c.eng.Now()
+	startTSC := c.clk.TSC()
+	c.inSMM = true
+	c.cpu.Stall()
+	c.eng.After(duration, func() {
+		c.cpu.Unstall()
+		c.inSMM = false
+		end := c.eng.Now()
+		d := end - start
+		c.stats.Count++
+		c.stats.TotalResidency += d
+		if d > c.stats.MaxLatency {
+			c.stats.MaxLatency = d
+		}
+		if d > BIOSBITSWarnThreshold {
+			c.stats.Warnings++
+		}
+		if c.keepLog {
+			c.episodes = append(c.episodes, Episode{
+				Start:    start,
+				Duration: d,
+				TSCDelta: c.clk.TSC() - startTSC,
+			})
+		}
+		if onExit != nil {
+			onExit()
+		}
+	})
+}
+
+// Level selects one of the paper's SMI injection configurations.
+type Level int
+
+const (
+	// SMMNone injects no SMIs (the paper's "SMM 0" baseline).
+	SMMNone Level = iota
+	// SMMShort injects 1–3 ms SMIs (the paper's "SMM 1").
+	SMMShort
+	// SMMLong injects 100–110 ms SMIs (the paper's "SMM 2").
+	SMMLong
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case SMMNone:
+		return "SMM0"
+	case SMMShort:
+		return "SMM1"
+	case SMMLong:
+		return "SMM2"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Duration bounds for the paper's short and long SMIs.
+const (
+	ShortMin = 1 * sim.Millisecond
+	ShortMax = 3 * sim.Millisecond
+	LongMin  = 100 * sim.Millisecond
+	LongMax  = 110 * sim.Millisecond
+)
+
+// DriverConfig configures the Blackbox-style SMI driver.
+type DriverConfig struct {
+	Level Level
+	// PeriodJiffies is the trigger period in jiffies (x in "one SMI
+	// every x jiffies"). The paper's MPI study uses 1000 (one per
+	// second on a 1 ms jiffy); the Convolve/UnixBench studies sweep it.
+	PeriodJiffies uint64
+	// DurMin/DurMax override the Level's duration range when non-zero.
+	DurMin, DurMax sim.Time
+	// PhaseJitter randomizes the first trigger within one period so
+	// that multiple nodes do not fire in lockstep (true on real
+	// clusters: SMI phase is uncorrelated across machines).
+	PhaseJitter bool
+}
+
+// durations resolves the effective duration range.
+func (cfg DriverConfig) durations() (sim.Time, sim.Time) {
+	if cfg.DurMin > 0 && cfg.DurMax >= cfg.DurMin {
+		return cfg.DurMin, cfg.DurMax
+	}
+	switch cfg.Level {
+	case SMMShort:
+		return ShortMin, ShortMax
+	case SMMLong:
+		return LongMin, LongMax
+	}
+	return 0, 0
+}
+
+// Driver periodically triggers SMIs, like the modified Delgado driver the
+// paper used.
+type Driver struct {
+	eng  *sim.Engine
+	ctrl *Controller
+	clk  *clock.Node
+	cfg  DriverConfig
+
+	running bool
+	next    *sim.Event
+}
+
+// NewDriver builds an SMI driver for the controller's node.
+func NewDriver(eng *sim.Engine, ctrl *Controller, clk *clock.Node, cfg DriverConfig) *Driver {
+	return &Driver{eng: eng, ctrl: ctrl, clk: clk, cfg: cfg}
+}
+
+// Config returns the driver configuration.
+func (d *Driver) Config() DriverConfig { return d.cfg }
+
+// Start arms the driver. With Level SMMNone it does nothing.
+func (d *Driver) Start() {
+	if d.running || d.cfg.Level == SMMNone {
+		return
+	}
+	if d.cfg.PeriodJiffies == 0 {
+		panic("smm: driver period is zero")
+	}
+	d.running = true
+	period := sim.Time(d.cfg.PeriodJiffies) * d.clk.Jiffy()
+	first := period
+	if d.cfg.PhaseJitter {
+		first = sim.Time(d.eng.Rand().Int63n(int64(period))) + 1
+	}
+	d.next = d.eng.After(first, d.fire)
+}
+
+// Stop disarms the driver; an in-flight SMI still completes.
+func (d *Driver) Stop() {
+	if !d.running {
+		return
+	}
+	d.running = false
+	if d.next != nil {
+		d.eng.Cancel(d.next)
+		d.next = nil
+	}
+}
+
+// Running reports whether the driver is armed.
+func (d *Driver) Running() bool { return d.running }
+
+func (d *Driver) fire() {
+	if !d.running {
+		return
+	}
+	period := sim.Time(d.cfg.PeriodJiffies) * d.clk.Jiffy()
+	if d.ctrl.InSMM() {
+		// The driver's timer cannot be serviced while the CPUs are in
+		// SMM (nothing preempts SMM); the pending trigger is deferred
+		// to the next jiffy after SMM exit.
+		d.next = d.eng.After(d.clk.Jiffy(), d.fire)
+		return
+	}
+	lo, hi := d.cfg.durations()
+	dur := lo
+	if hi > lo {
+		dur = lo + sim.Time(d.eng.Rand().Int63n(int64(hi-lo)+1))
+	}
+	if dur <= 0 {
+		d.next = d.eng.After(period, d.fire)
+		return
+	}
+	// The driver's timer callback triggers the SMI synchronously (an
+	// outb to port 0xB2) and is itself frozen in SMM with everything
+	// else; it re-arms mod_timer(jiffies+x) only after the handler
+	// returns. The effective cycle is therefore duration + period —
+	// which is why even a 50 ms period with 105 ms SMIs throttles the
+	// machine brutally (≈68% duty cycle) but never starves it.
+	d.ctrl.TriggerSMI(dur, func() {
+		if !d.running {
+			return
+		}
+		d.next = d.eng.After(period, d.fire)
+	})
+}

@@ -1,0 +1,314 @@
+package smm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smistudy/internal/clock"
+	"smistudy/internal/cpu"
+	"smistudy/internal/sim"
+)
+
+func newNode(seed int64) (*sim.Engine, *cpu.Model, *clock.Node) {
+	e := sim.New(seed)
+	m := cpu.MustNew(e, cpu.Params{
+		PhysCores: 4, HTT: true, BaseHz: 1e9, MissPenalty: 100, SMTEfficiency: 0.9,
+	})
+	clk := clock.New(e, 1e9, sim.Millisecond)
+	return e, m, clk
+}
+
+func TestTriggerSMIStallsAllCPUs(t *testing.T) {
+	e, m, clk := newNode(1)
+	ctrl := NewController(e, m, clk)
+	th := m.NewThread("t", cpu.Profile{CPI: 1})
+	var doneAt sim.Time
+	m.StartCompute(th, 1e9, func() { doneAt = e.Now() })
+	e.At(200*sim.Millisecond, func() { ctrl.TriggerSMI(50*sim.Millisecond, nil) })
+	e.Run()
+	if math.Abs(doneAt.Seconds()-1.05) > 1e-6 {
+		t.Fatalf("thread finished at %v, want 1.05s", doneAt)
+	}
+	st := ctrl.Stats()
+	if st.Count != 1 || st.TotalResidency != 50*sim.Millisecond {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Warnings != 1 {
+		t.Fatalf("50ms SMI should trip the BIOSBITS warning, got %d", st.Warnings)
+	}
+}
+
+func TestShortSMIBelowWarnThreshold(t *testing.T) {
+	e, m, clk := newNode(1)
+	ctrl := NewController(e, m, clk)
+	ctrl.TriggerSMI(100*sim.Microsecond, nil)
+	e.Run()
+	if ctrl.Stats().Warnings != 0 {
+		t.Fatal("100µs SMI should not warn")
+	}
+}
+
+func TestEpisodeGroundTruth(t *testing.T) {
+	e, m, clk := newNode(1)
+	ctrl := NewController(e, m, clk)
+	e.At(100*sim.Millisecond, func() { ctrl.TriggerSMI(2*sim.Millisecond, nil) })
+	e.At(500*sim.Millisecond, func() { ctrl.TriggerSMI(3*sim.Millisecond, nil) })
+	e.Run()
+	eps := ctrl.Episodes()
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2", len(eps))
+	}
+	if eps[0].Start != 100*sim.Millisecond || eps[0].Duration != 2*sim.Millisecond {
+		t.Errorf("episode 0 = %+v", eps[0])
+	}
+	// The TSC keeps counting in SMM: the driver-measured latency equals
+	// the true duration.
+	if got := clk.CyclesToTime(eps[0].TSCDelta); got != 2*sim.Millisecond {
+		t.Errorf("TSC-measured latency = %v, want 2ms", got)
+	}
+}
+
+func TestInSMMFlag(t *testing.T) {
+	e, m, clk := newNode(1)
+	ctrl := NewController(e, m, clk)
+	e.At(10*sim.Millisecond, func() { ctrl.TriggerSMI(5*sim.Millisecond, nil) })
+	e.At(12*sim.Millisecond, func() {
+		if !ctrl.InSMM() {
+			t.Error("InSMM false during residency")
+		}
+	})
+	e.At(16*sim.Millisecond, func() {
+		if ctrl.InSMM() {
+			t.Error("InSMM true after exit")
+		}
+	})
+	e.Run()
+}
+
+func TestOnExitCallback(t *testing.T) {
+	e, m, clk := newNode(1)
+	ctrl := NewController(e, m, clk)
+	var exitAt sim.Time
+	ctrl.TriggerSMI(7*sim.Millisecond, func() { exitAt = e.Now() })
+	e.Run()
+	if exitAt != 7*sim.Millisecond {
+		t.Fatalf("onExit at %v, want 7ms", exitAt)
+	}
+}
+
+func TestDriverPeriodAndDurations(t *testing.T) {
+	e, m, clk := newNode(3)
+	ctrl := NewController(e, m, clk)
+	drv := NewDriver(e, ctrl, clk, DriverConfig{Level: SMMShort, PeriodJiffies: 100})
+	drv.Start()
+	if !drv.Running() {
+		t.Fatal("driver not running after Start")
+	}
+	e.RunUntil(1 * sim.Second)
+	drv.Stop()
+	st := ctrl.Stats()
+	// One SMI per 100ms over 1s → ~10 (the last may be in flight).
+	if st.Count < 9 || st.Count > 10 {
+		t.Fatalf("SMI count = %d, want ≈10", st.Count)
+	}
+	for _, ep := range ctrl.Episodes() {
+		if ep.Duration < ShortMin || ep.Duration > ShortMax {
+			t.Fatalf("short SMI duration %v out of [1ms,3ms]", ep.Duration)
+		}
+	}
+}
+
+func TestDriverLongDurations(t *testing.T) {
+	e, m, clk := newNode(4)
+	ctrl := NewController(e, m, clk)
+	drv := NewDriver(e, ctrl, clk, DriverConfig{Level: SMMLong, PeriodJiffies: 1000})
+	drv.Start()
+	e.RunUntil(5 * sim.Second)
+	drv.Stop()
+	for _, ep := range ctrl.Episodes() {
+		if ep.Duration < LongMin || ep.Duration > LongMax {
+			t.Fatalf("long SMI duration %v out of [100ms,110ms]", ep.Duration)
+		}
+	}
+	if ctrl.Stats().Count < 4 {
+		t.Fatalf("count = %d, want ≥4", ctrl.Stats().Count)
+	}
+}
+
+func TestDriverNoneLevelIsInert(t *testing.T) {
+	e, m, clk := newNode(1)
+	ctrl := NewController(e, m, clk)
+	drv := NewDriver(e, ctrl, clk, DriverConfig{Level: SMMNone, PeriodJiffies: 10})
+	drv.Start()
+	if drv.Running() {
+		t.Fatal("SMMNone driver should not run")
+	}
+	e.RunUntil(time1s())
+	if ctrl.Stats().Count != 0 {
+		t.Fatal("SMMNone driver fired")
+	}
+}
+
+func time1s() sim.Time { return sim.Second }
+
+func TestDriverStopCancelsFutureSMIs(t *testing.T) {
+	e, m, clk := newNode(1)
+	ctrl := NewController(e, m, clk)
+	drv := NewDriver(e, ctrl, clk, DriverConfig{Level: SMMShort, PeriodJiffies: 100})
+	drv.Start()
+	e.RunUntil(350 * sim.Millisecond)
+	drv.Stop()
+	countAtStop := ctrl.Stats().Count
+	e.RunUntil(2 * sim.Second)
+	if ctrl.Stats().Count != countAtStop {
+		t.Fatalf("SMIs fired after Stop: %d -> %d", countAtStop, ctrl.Stats().Count)
+	}
+}
+
+func TestPhaseJitterDesynchronizesNodes(t *testing.T) {
+	firstFire := func(seed int64) sim.Time {
+		e, m, clk := newNode(seed)
+		ctrl := NewController(e, m, clk)
+		drv := NewDriver(e, ctrl, clk, DriverConfig{Level: SMMLong, PeriodJiffies: 1000, PhaseJitter: true})
+		drv.Start()
+		e.RunUntil(3 * sim.Second)
+		eps := ctrl.Episodes()
+		if len(eps) == 0 {
+			t.Fatal("no episodes")
+		}
+		return eps[0].Start
+	}
+	a, b := firstFire(10), firstFire(20)
+	if a == b {
+		t.Fatal("phase jitter produced identical phases for different seeds")
+	}
+	if a > sim.Second || b > sim.Second {
+		t.Fatal("first jittered SMI should fall within one period")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if SMMNone.String() != "SMM0" || SMMShort.String() != "SMM1" || SMMLong.String() != "SMM2" {
+		t.Error("Level strings wrong")
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Error("unknown level string wrong")
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	var s Stats
+	if s.MeanLatency() != 0 {
+		t.Error("empty stats mean should be 0")
+	}
+	s = Stats{Count: 4, TotalResidency: 8 * sim.Millisecond}
+	if s.MeanLatency() != 2*sim.Millisecond {
+		t.Errorf("mean = %v, want 2ms", s.MeanLatency())
+	}
+}
+
+func TestDriverCustomDurations(t *testing.T) {
+	e, m, clk := newNode(5)
+	ctrl := NewController(e, m, clk)
+	drv := NewDriver(e, ctrl, clk, DriverConfig{
+		Level: SMMLong, PeriodJiffies: 500,
+		DurMin: 10 * sim.Millisecond, DurMax: 10 * sim.Millisecond,
+	})
+	drv.Start()
+	e.RunUntil(3 * sim.Second)
+	for _, ep := range ctrl.Episodes() {
+		if ep.Duration != 10*sim.Millisecond {
+			t.Fatalf("custom duration not honored: %v", ep.Duration)
+		}
+	}
+}
+
+func TestSetKeepLogFalse(t *testing.T) {
+	e, m, clk := newNode(1)
+	ctrl := NewController(e, m, clk)
+	ctrl.SetKeepLog(false)
+	ctrl.TriggerSMI(sim.Millisecond, nil)
+	e.Run()
+	if len(ctrl.Episodes()) != 0 {
+		t.Fatal("episodes recorded with log disabled")
+	}
+	if ctrl.Stats().Count != 1 {
+		t.Fatal("stats should still accumulate")
+	}
+}
+
+func TestDriverPeriodShorterThanDurationStillProgresses(t *testing.T) {
+	// Long SMIs at a 50 ms period: on real hardware the timer is
+	// deferred through SMM, so the machine is brutally throttled but
+	// work still completes.
+	e, m, clk := newNode(6)
+	ctrl := NewController(e, m, clk)
+	drv := NewDriver(e, ctrl, clk, DriverConfig{Level: SMMLong, PeriodJiffies: 50})
+	drv.Start()
+	th := m.NewThread("t", cpu.Profile{CPI: 1})
+	done := false
+	m.StartCompute(th, 1e7, func() { done = true }) // 10ms of solo work
+	e.RunUntil(120 * sim.Second)
+	if !done {
+		t.Fatal("work starved forever under overlapping SMI schedule")
+	}
+	// SMIs must never overlap: the node is in SMM at most once at a time.
+	eps := ctrl.Episodes()
+	for i := 1; i < len(eps); i++ {
+		if eps[i].Start < eps[i-1].Start+eps[i-1].Duration {
+			t.Fatal("overlapping SMM episodes")
+		}
+	}
+}
+
+// Property: for any random SMI schedule, episodes never overlap and
+// their durations sum exactly to the controller's total residency.
+func TestEpisodeConsistencyProperty(t *testing.T) {
+	prop := func(seed int64, n8 uint8) bool {
+		e, m, clk := newNode(seed)
+		ctrl := NewController(e, m, clk)
+		count := int(n8%10) + 1
+		at := sim.Time(0)
+		for i := 0; i < count; i++ {
+			at += sim.Time(e.Rand().Int63n(int64(200*sim.Millisecond)) + int64(sim.Millisecond))
+			dur := sim.Time(e.Rand().Int63n(int64(50*sim.Millisecond)) + int64(sim.Millisecond))
+			e.At(at, func() { ctrl.TriggerSMI(dur, nil) })
+			at += dur // keep the schedule non-overlapping, like the driver does
+		}
+		e.Run()
+		eps := ctrl.Episodes()
+		var total sim.Time
+		for i, ep := range eps {
+			total += ep.Duration
+			if i > 0 && ep.Start < eps[i-1].Start+eps[i-1].Duration {
+				return false
+			}
+		}
+		return total == ctrl.Stats().TotalResidency && len(eps) == count
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: over any horizon, the driver's episode count is within one
+// of horizon/(period+meanDuration) — the re-arm cycle.
+func TestDriverCadenceProperty(t *testing.T) {
+	prop := func(seed int64, periodSel uint8) bool {
+		period := uint64(periodSel%16)*100 + 100 // 100..1600 ms
+		e, m, clk := newNode(seed)
+		ctrl := NewController(e, m, clk)
+		drv := NewDriver(e, ctrl, clk, DriverConfig{Level: SMMLong, PeriodJiffies: period, PhaseJitter: true})
+		drv.Start()
+		horizon := 30 * sim.Second
+		e.RunUntil(horizon)
+		cycle := sim.Time(period)*sim.Millisecond + 105*sim.Millisecond
+		want := int64(horizon) / int64(cycle)
+		got := int64(ctrl.Stats().Count)
+		return got >= want-2 && got <= want+2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package trace reports where CPU time really went — the paper's warning
+// to performance-tool developers made concrete.
+//
+// A kernel (like a real one) charges each task for the wall time it
+// occupied a CPU, System Management Mode included, because SMM is
+// invisible to system software. The simulator additionally knows the
+// ground truth. Attribution pairs the two views per task, quantifying
+// exactly the misattribution a profiler on the paper's machines would
+// commit.
+package trace
+
+import (
+	"fmt"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/kernel"
+	"smistudy/internal/metrics"
+	"smistudy/internal/sim"
+)
+
+// TaskSample is one task's two views of its CPU time.
+type TaskSample struct {
+	Name     string
+	PID      int
+	OSTime   sim.Time // what the kernel (or any profiler) reports
+	TrueTime sim.Time // what the task actually got
+	Stolen   sim.Time // OSTime − TrueTime: SMM residency misattributed
+}
+
+// StolenPct reports the fraction of the OS-reported time that was
+// actually SMM residency, in percent.
+func (s TaskSample) StolenPct() float64 {
+	if s.OSTime == 0 {
+		return 0
+	}
+	return float64(s.Stolen) / float64(s.OSTime) * 100
+}
+
+// Attribution is a node-level misattribution report.
+type Attribution struct {
+	Tasks       []TaskSample
+	TotalOS     sim.Time
+	TotalTrue   sim.Time
+	TotalStolen sim.Time
+	// SMMResidency is the controller's ground-truth total; the stolen
+	// time across tasks is bounded by residency × busy CPUs.
+	SMMResidency sim.Time
+}
+
+// Attribute builds the report for the given tasks on a node.
+func Attribute(node *cluster.Node, tasks []*kernel.Task) Attribution {
+	var a Attribution
+	for _, t := range tasks {
+		s := TaskSample{
+			Name:     t.Name(),
+			PID:      t.PID(),
+			OSTime:   t.UTime(),
+			TrueTime: t.TrueCPUTime(),
+		}
+		s.Stolen = s.OSTime - s.TrueTime
+		a.Tasks = append(a.Tasks, s)
+		a.TotalOS += s.OSTime
+		a.TotalTrue += s.TrueTime
+		a.TotalStolen += s.Stolen
+	}
+	a.SMMResidency = node.SMM.Stats().TotalResidency
+	return a
+}
+
+// Table renders the report as an aligned text table.
+func (a Attribution) Table() string {
+	tab := metrics.NewTable("task", "pid", "os-reported", "true", "stolen", "stolen%")
+	for _, s := range a.Tasks {
+		tab.AddRow(s.Name, s.PID, s.OSTime.String(), s.TrueTime.String(), s.Stolen.String(), s.StolenPct())
+	}
+	tab.AddRow("TOTAL", "", a.TotalOS.String(), a.TotalTrue.String(), a.TotalStolen.String(),
+		func() float64 {
+			if a.TotalOS == 0 {
+				return 0
+			}
+			return float64(a.TotalStolen) / float64(a.TotalOS) * 100
+		}())
+	return tab.String() + fmt.Sprintf("node SMM residency (ground truth): %v\n", a.SMMResidency)
+}
+
+// Span is a labeled interval on the simulation timeline.
+type Span struct {
+	Label      string
+	Start, End sim.Time
+}
+
+// Duration reports the span length.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Recorder collects labeled spans (phases, SMM episodes, message
+// lifetimes) for timeline inspection.
+type Recorder struct {
+	spans []Span
+}
+
+// Record adds a completed span.
+func (r *Recorder) Record(label string, start, end sim.Time) {
+	r.spans = append(r.spans, Span{Label: label, Start: start, End: end})
+}
+
+// Spans returns everything recorded, in insertion order.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Overlapping returns the spans intersecting [start, end).
+func (r *Recorder) Overlapping(start, end sim.Time) []Span {
+	var out []Span
+	for _, s := range r.spans {
+		if s.Start < end && s.End > start {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TotalByLabel sums span durations per label.
+func (r *Recorder) TotalByLabel() map[string]sim.Time {
+	m := make(map[string]sim.Time)
+	for _, s := range r.spans {
+		m[s.Label] += s.Duration()
+	}
+	return m
+}

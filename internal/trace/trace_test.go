@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func TestAttributionUnderSMIs(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{
+		Level: smm.SMMLong, PeriodJiffies: 1000, PhaseJitter: true,
+	}))
+	cl.StartSMI()
+	node := cl.Nodes[0]
+	var task *kernel.Task
+	task = node.Kernel.Spawn("victim", cpu.Profile{CPI: 1}, func(tk *kernel.Task) {
+		tk.Compute(2.4e9 * 5) // ~5s of work
+		cl.Eng.Stop()
+	})
+	cl.Eng.Run()
+
+	a := Attribute(node, []*kernel.Task{task})
+	if len(a.Tasks) != 1 {
+		t.Fatalf("tasks = %d", len(a.Tasks))
+	}
+	s := a.Tasks[0]
+	if s.Stolen <= 0 {
+		t.Fatalf("no stolen time despite long SMIs: %+v", s)
+	}
+	if s.OSTime != s.TrueTime+s.Stolen {
+		t.Fatal("stolen arithmetic inconsistent")
+	}
+	// Stolen time must equal the SMM residency the task sat through
+	// (sole task on the node → it ate all of it).
+	if s.Stolen != a.SMMResidency {
+		t.Fatalf("stolen %v != ground-truth residency %v", s.Stolen, a.SMMResidency)
+	}
+	if s.StolenPct() < 5 || s.StolenPct() > 20 {
+		t.Fatalf("stolen%% = %.1f, want ≈10", s.StolenPct())
+	}
+}
+
+func TestAttributionQuietNode(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{}))
+	node := cl.Nodes[0]
+	task := node.Kernel.Spawn("calm", cpu.Profile{CPI: 1}, func(tk *kernel.Task) {
+		tk.Compute(1e9)
+	})
+	cl.Eng.Run()
+	a := Attribute(node, []*kernel.Task{task})
+	if a.TotalStolen != 0 {
+		t.Fatalf("stolen time on a quiet node: %v", a.TotalStolen)
+	}
+	if a.Tasks[0].StolenPct() != 0 {
+		t.Fatal("stolen pct should be 0")
+	}
+}
+
+func TestAttributionTable(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{}))
+	node := cl.Nodes[0]
+	task := node.Kernel.Spawn("worker", cpu.Profile{CPI: 1}, func(tk *kernel.Task) {
+		tk.Compute(1e8)
+	})
+	cl.Eng.Run()
+	out := Attribute(node, []*kernel.Task{task}).Table()
+	for _, want := range []string{"worker", "TOTAL", "ground truth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStolenPctZeroOS(t *testing.T) {
+	if (TaskSample{}).StolenPct() != 0 {
+		t.Fatal("zero OSTime should yield 0%")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Record("smm", 10, 20)
+	r.Record("compute", 0, 100)
+	r.Record("smm", 50, 55)
+	if len(r.Spans()) != 3 {
+		t.Fatal("spans lost")
+	}
+	if got := r.TotalByLabel()["smm"]; got != 15 {
+		t.Fatalf("smm total = %v, want 15", got)
+	}
+	ov := r.Overlapping(12, 18)
+	if len(ov) != 2 {
+		t.Fatalf("overlapping = %d, want 2 (smm + compute)", len(ov))
+	}
+	if (Span{Start: 3, End: 9}).Duration() != 6 {
+		t.Fatal("duration wrong")
+	}
+	if len(r.Overlapping(200, 300)) != 0 {
+		t.Fatal("phantom overlaps")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	var r Recorder
+	r.Record("compute", 0, 100*sim.Millisecond)
+	r.Record("smm", 40*sim.Millisecond, 45*sim.Millisecond)
+	r.Record("compute", 100*sim.Millisecond, 150*sim.Millisecond)
+	out, err := r.ChromeTrace("node0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 metadata events (2 labels) + 3 spans.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	}
+	var spans, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if ev["dur"].(float64) <= 0 {
+				t.Error("span with non-positive duration")
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans != 3 || meta != 2 {
+		t.Fatalf("spans=%d meta=%d", spans, meta)
+	}
+}
+
+func TestRecordSMMFromController(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{
+		Level: smm.SMMLong, PeriodJiffies: 500, PhaseJitter: true,
+	}))
+	cl.StartSMI()
+	e.RunUntil(3 * sim.Second)
+	var r Recorder
+	r.RecordSMM(cl.Nodes[0].SMM.Episodes())
+	if got := len(r.Spans()); got < 3 {
+		t.Fatalf("recorded %d SMM spans", got)
+	}
+	if r.TotalByLabel()["smm"] != cl.Nodes[0].SMM.Stats().TotalResidency {
+		t.Fatal("recorded SMM spans do not sum to residency")
+	}
+}

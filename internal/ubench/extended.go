@@ -1,0 +1,156 @@
+package ubench
+
+import (
+	"fmt"
+
+	"smistudy/internal/kernel"
+	"smistudy/internal/sim"
+)
+
+// The rest of UnixBench's default index suite, beyond the five tests the
+// paper selects: the three File Copy sizes, Process Creation, Execl
+// Throughput and the two Shell Scripts runs. With these the Run harness
+// can produce a full-suite index, not just the paper's subset.
+
+// Baselines are the classic SPARCstation 20-61 values from UnixBench's
+// own table.
+const (
+	fcopy1kBase  = 3960.0 // KBps, 1024-byte buffers, 2000 maxblocks
+	fcopy256Base = 1655.0 // KBps, 256-byte buffers, 500 maxblocks
+	fcopy4kBase  = 5800.0 // KBps, 4096-byte buffers, 8000 maxblocks
+	procBase     = 126.0  // forks per second
+	execlBase    = 43.0   // execs per second
+	shellBase    = 42.4   // loops per minute (1 concurrent)
+	shell8Base   = 6.0    // loops per minute (8 concurrent)
+	forkOps      = 250e3  // cycles to fork a process
+	execOps      = 700e3  // cycles to exec a binary
+	shellScript  = 4e6    // cycles of utilities per script loop
+)
+
+// FileCopy measures copying through the filesystem with the given buffer
+// size, like UnixBench's fstime/fsbuffer/fsdisk trio.
+func FileCopy(bufBytes int, baseline float64) *Benchmark {
+	b := &Benchmark{
+		Name:     fmt.Sprintf("File Copy %d bufsize", bufBytes),
+		Baseline: baseline,
+		Unit:     "KBps",
+	}
+	b.run = func(k *kernel.Kernel, copies int, dur sim.Time, done func(float64)) {
+		runCopies(k, osProfile(), copies, dur, done, func(t *kernel.Task, deadline sim.Time) float64 {
+			fs := k.NewFS(kernel.DefaultFSParams())
+			src := fs.Create(t, t.Name()+"-src")
+			// Seed the source file (outside the timed semantics the
+			// same way UnixBench pre-creates its file).
+			src.Write(t, 64*bufBytes)
+			dst := fs.Create(t, t.Name()+"-dst")
+			kb := 0.0
+			par := k.Params()
+			// Batched: one read+write syscall pair per buffer, charged
+			// in blocks with a real fs round per block.
+			blockBufs := 64
+			perBuf := 2*par.SyscallOps + 2*float64(bufBytes)*par.CopyOpsPerByte
+			for t.Gettime() < deadline {
+				t.Compute(float64(blockBufs-1) * perBuf)
+				src.Rewind()
+				if src.Read(t, bufBytes) != bufBytes {
+					panic("short read")
+				}
+				dst.Write(t, bufBytes)
+				kb += float64(blockBufs*bufBytes) / 1024
+			}
+			return kb
+		})
+	}
+	return b
+}
+
+// ProcessCreation measures fork+wait throughput.
+func ProcessCreation() *Benchmark {
+	b := &Benchmark{Name: "Process Creation", Baseline: procBase, Unit: "lps"}
+	b.run = func(k *kernel.Kernel, copies int, dur sim.Time, done func(float64)) {
+		runCopies(k, osProfile(), copies, dur, done, func(t *kernel.Task, deadline sim.Time) float64 {
+			loops := 0.0
+			batch := batchOps / forkOps
+			if batch < 1 {
+				batch = 1
+			}
+			for t.Gettime() < deadline {
+				// A batch of forks charged as compute, plus one real
+				// spawn+join to keep the scheduler honest.
+				t.Compute((batch - 1) * forkOps)
+				child := k.Spawn(t.Name()+"-child", osProfile(), func(ct *kernel.Task) {})
+				t.Join(child)
+				loops += batch
+			}
+			return loops
+		})
+	}
+	return b
+}
+
+// ExeclThroughput measures exec chain throughput.
+func ExeclThroughput() *Benchmark {
+	b := &Benchmark{Name: "Execl Throughput", Baseline: execlBase, Unit: "lps"}
+	b.run = func(k *kernel.Kernel, copies int, dur sim.Time, done func(float64)) {
+		runCopies(k, osProfile(), copies, dur, done, func(t *kernel.Task, deadline sim.Time) float64 {
+			loops := 0.0
+			batch := batchOps / execOps
+			if batch < 1 {
+				batch = 1
+			}
+			for t.Gettime() < deadline {
+				t.Compute(batch * execOps)
+				loops += batch
+			}
+			return loops
+		})
+	}
+	return b
+}
+
+// ShellScripts measures running a shell script that exercises several
+// utilities, with `concurrent` copies per loop. Rates are loops per
+// minute, as UnixBench reports them.
+func ShellScripts(concurrent int, baseline float64) *Benchmark {
+	b := &Benchmark{
+		Name:     fmt.Sprintf("Shell Scripts (%d concurrent)", concurrent),
+		Baseline: baseline,
+		Unit:     "lpm",
+	}
+	b.run = func(k *kernel.Kernel, copies int, dur sim.Time, done func(float64)) {
+		runCopies(k, osProfile(), copies, dur, func(r float64) { done(r * 60) },
+			func(t *kernel.Task, deadline sim.Time) float64 {
+				loops := 0.0
+				for t.Gettime() < deadline {
+					// Spawn `concurrent` script executions and reap
+					// them: forks + execs + utility work.
+					kids := make([]*kernel.Task, concurrent)
+					for i := range kids {
+						kids[i] = k.Spawn(t.Name()+"-sh", osProfile(), func(ct *kernel.Task) {
+							ct.Compute(forkOps + execOps + shellScript)
+						})
+					}
+					for _, c := range kids {
+						t.Join(c)
+					}
+					loops++
+				}
+				return loops
+			})
+	}
+	return b
+}
+
+// FullSuite is UnixBench's complete default index run: the paper's five
+// tests plus file copies, process creation, execl and shell scripts.
+func FullSuite() []*Benchmark {
+	return append(Selected(),
+		FileCopy(1024, fcopy1kBase),
+		FileCopy(256, fcopy256Base),
+		FileCopy(4096, fcopy4kBase),
+		ProcessCreation(),
+		ExeclThroughput(),
+		ShellScripts(1, shellBase),
+		ShellScripts(8, shell8Base),
+	)
+}

@@ -1,0 +1,189 @@
+package ubench
+
+import (
+	"testing"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func runSuite(t *testing.T, cpus int, smi smm.DriverConfig, seed int64) Result {
+	t.Helper()
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.R410(smi))
+	if err := cl.Nodes[0].Kernel.OnlineCPUs(cpus); err != nil {
+		t.Fatal(err)
+	}
+	cl.StartSMI()
+	cfg := DefaultConfig()
+	cfg.Duration = 1 * sim.Second // keep tests fast
+	return Run(cl, cfg)
+}
+
+func TestSuiteRunsAllTests(t *testing.T) {
+	res := runSuite(t, 4, smm.DriverConfig{}, 1)
+	if len(res.Tests) != 5 {
+		t.Fatalf("ran %d tests, want 5", len(res.Tests))
+	}
+	names := map[string]bool{}
+	for _, ts := range res.Tests {
+		names[ts.Name] = true
+		if ts.SingleRate <= 0 || ts.MultiRate <= 0 {
+			t.Errorf("%s has non-positive rates: %+v", ts.Name, ts)
+		}
+		if ts.SingleIndex <= 0 || ts.MultiIndex <= 0 {
+			t.Errorf("%s has non-positive indices", ts.Name)
+		}
+		if ts.MultiCopies != 4 {
+			t.Errorf("%s copies = %d, want 4", ts.Name, ts.MultiCopies)
+		}
+	}
+	for _, want := range []string{"Dhrystone 2", "Double-Precision Whetstone", "Pipe Throughput", "Pipe-based Context Switching", "System Call Overhead"} {
+		if !names[want] {
+			t.Errorf("missing test %q", want)
+		}
+	}
+	if res.Score <= 0 {
+		t.Fatalf("score = %v", res.Score)
+	}
+}
+
+func TestMultiCopyScalesOnMultipleCPUs(t *testing.T) {
+	res := runSuite(t, 4, smm.DriverConfig{}, 1)
+	for _, ts := range res.Tests {
+		if ts.Name == "Pipe-based Context Switching" {
+			continue // serial by nature
+		}
+		if ts.MultiRate < 2*ts.SingleRate {
+			t.Errorf("%s multi rate %.0f not ≫ single %.0f on 4 CPUs", ts.Name, ts.MultiRate, ts.SingleRate)
+		}
+	}
+}
+
+func TestScoreGrowsWithCPUs(t *testing.T) {
+	prev := 0.0
+	for _, cpus := range []int{1, 2, 4} {
+		s := runSuite(t, cpus, smm.DriverConfig{}, 1).Score
+		if s <= prev {
+			t.Fatalf("score did not grow with CPUs: %d CPUs → %.1f (prev %.1f)", cpus, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestHTTGainsScore(t *testing.T) {
+	four := runSuite(t, 4, smm.DriverConfig{}, 1).Score
+	eight := runSuite(t, 8, smm.DriverConfig{}, 1).Score
+	if eight <= four {
+		t.Fatalf("UnixBench should gain from HTT: 4 CPUs %.1f vs 8 CPUs %.1f", four, eight)
+	}
+}
+
+func TestLongSMIsLowerScore(t *testing.T) {
+	quiet := runSuite(t, 4, smm.DriverConfig{}, 1).Score
+	noisy := runSuite(t, 4, smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 300, PhaseJitter: true}, 1).Score
+	loss := 1 - noisy/quiet
+	// ~105/300 ≈ 35% duty cycle.
+	if loss < 0.2 {
+		t.Fatalf("long SMIs at 300ms lowered score only %.0f%%", loss*100)
+	}
+}
+
+func TestShortSMIsBarelyMatter(t *testing.T) {
+	quiet := runSuite(t, 4, smm.DriverConfig{}, 1).Score
+	short := runSuite(t, 4, smm.DriverConfig{Level: smm.SMMShort, PeriodJiffies: 100, PhaseJitter: true}, 1).Score
+	loss := 1 - short/quiet
+	if loss > 0.05 {
+		t.Fatalf("short SMIs lowered score %.1f%%, paper found no noticeable effect", loss*100)
+	}
+}
+
+func TestRareSMIsBarelyMatter(t *testing.T) {
+	quiet := runSuite(t, 4, smm.DriverConfig{}, 1).Score
+	rare := runSuite(t, 4, smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 1600, PhaseJitter: true}, 1).Score
+	loss := 1 - rare/quiet
+	if loss > 0.15 {
+		t.Fatalf("1600ms-interval long SMIs lowered score %.0f%%", loss*100)
+	}
+}
+
+func TestCustomTestListAndCopies(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{}))
+	cfg := Config{Duration: 500 * sim.Millisecond, Copies: 2, Tests: []*Benchmark{Dhrystone()}}
+	res := Run(cl, cfg)
+	if len(res.Tests) != 1 || res.Tests[0].MultiCopies != 2 {
+		t.Fatalf("custom config not honored: %+v", res)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := runSuite(t, 4, smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 600, PhaseJitter: true}, 9)
+	b := runSuite(t, 4, smm.DriverConfig{Level: smm.SMMLong, PeriodJiffies: 600, PhaseJitter: true}, 9)
+	if a.Score != b.Score {
+		t.Fatalf("same seed, different scores: %v vs %v", a.Score, b.Score)
+	}
+}
+
+func TestFullSuite(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{}))
+	cfg := Config{Duration: 400 * sim.Millisecond, Tests: FullSuite()}
+	res := Run(cl, cfg)
+	if len(res.Tests) != 12 {
+		t.Fatalf("full suite ran %d tests, want 12", len(res.Tests))
+	}
+	for _, ts := range res.Tests {
+		if ts.SingleRate <= 0 || ts.MultiRate <= 0 {
+			t.Errorf("%s has non-positive rate: %+v", ts.Name, ts)
+		}
+	}
+	if res.Score <= 0 {
+		t.Fatal("full-suite score non-positive")
+	}
+}
+
+func TestFileCopyScalesWithBufferSize(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{}))
+	cfg := Config{
+		Duration: 400 * sim.Millisecond,
+		Copies:   1,
+		Tests:    []*Benchmark{FileCopy(256, fcopy256Base), FileCopy(4096, fcopy4kBase)},
+	}
+	res := Run(cl, cfg)
+	small, big := res.Tests[0].SingleRate, res.Tests[1].SingleRate
+	if big <= small {
+		t.Fatalf("4096-byte copies (%.0f KBps) not faster than 256-byte (%.0f KBps)", big, small)
+	}
+}
+
+func TestShellScriptsConcurrency(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{}))
+	cfg := Config{
+		Duration: 400 * sim.Millisecond,
+		Copies:   1,
+		Tests:    []*Benchmark{ShellScripts(1, shellBase), ShellScripts(8, shell8Base)},
+	}
+	res := Run(cl, cfg)
+	one, eight := res.Tests[0].SingleRate, res.Tests[1].SingleRate
+	if eight >= one {
+		t.Fatalf("8-concurrent loops (%.1f lpm) should be slower than 1-concurrent (%.1f lpm)", eight, one)
+	}
+}
+
+func TestProcessCreationSlowerThanSyscalls(t *testing.T) {
+	e := sim.New(1)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{}))
+	cfg := Config{
+		Duration: 400 * sim.Millisecond,
+		Copies:   1,
+		Tests:    []*Benchmark{ProcessCreation(), SyscallOverhead()},
+	}
+	res := Run(cl, cfg)
+	if res.Tests[0].SingleRate >= res.Tests[1].SingleRate {
+		t.Fatal("forks should be far slower than null syscalls")
+	}
+}

@@ -1,0 +1,108 @@
+package smistudy_test
+
+import (
+	"math"
+	"testing"
+
+	"smistudy"
+	"smistudy/internal/paperdata"
+)
+
+// Reproduction gates: these tests assert, against the paper's published
+// numbers (internal/paperdata), the properties EXPERIMENTS.md claims.
+// They are the repository's contract: if a model change breaks a
+// reproduced shape, these fail.
+
+func runCell(t *testing.T, bench smistudy.Benchmark, class smistudy.Class, nodes, rpn int, lv smistudy.SMMLevel) float64 {
+	t.Helper()
+	res, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: bench, Class: class, Nodes: nodes, RanksPerNode: rpn,
+		SMM: lv, Runs: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Seconds()
+}
+
+// Every EP cell: baseline within 10% of the paper and long-SMM impact in
+// the same direction.
+func TestReproductionEPAgainstPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full EP grid")
+	}
+	for _, c := range paperdata.Tables1to3 {
+		if c.Bench != "EP" || c.Class == 'C' {
+			continue // class C adds minutes without new information
+		}
+		base := runCell(t, smistudy.EP, smistudy.Class(c.Class), c.Nodes, c.RanksPerNode, smistudy.SMM0)
+		long := runCell(t, smistudy.EP, smistudy.Class(c.Class), c.Nodes, c.RanksPerNode, smistudy.SMM2)
+		if math.Abs(base-c.SMM0)/c.SMM0 > 0.10 {
+			t.Errorf("EP.%c %d×%d baseline %.2f vs paper %.2f", c.Class, c.Nodes, c.RanksPerNode, base, c.SMM0)
+		}
+		ourPct := (long - base) / base * 100
+		if ourPct < 5 {
+			t.Errorf("EP.%c %d×%d long impact %.1f%%, paper %.1f%% — direction lost", c.Class, c.Nodes, c.RanksPerNode, ourPct, c.PctLong())
+		}
+	}
+}
+
+// The paper's single-node 10-11% long-SMM floor must hold for all three
+// benchmarks.
+func TestReproductionSingleNodeFloor(t *testing.T) {
+	for _, bench := range []smistudy.Benchmark{smistudy.EP, smistudy.BT, smistudy.FT} {
+		base := runCell(t, bench, smistudy.ClassA, 1, 1, smistudy.SMM0)
+		long := runCell(t, bench, smistudy.ClassA, 1, 1, smistudy.SMM2)
+		pct := (long - base) / base * 100
+		if pct < 9 || pct > 13 {
+			t.Errorf("%s.A single-node long impact %.1f%%, want ≈10.7%%", bench, pct)
+		}
+		short := runCell(t, bench, smistudy.ClassA, 1, 1, smistudy.SMM1)
+		if sp := (short - base) / base * 100; sp > 2 {
+			t.Errorf("%s.A single-node short impact %.1f%%, want <2%%", bench, sp)
+		}
+	}
+}
+
+// Long-SMM impact must grow with node count for the synchronizing codes
+// (the paper's central MPI observation).
+func TestReproductionImpactGrowsWithNodes(t *testing.T) {
+	for _, bench := range []smistudy.Benchmark{smistudy.EP, smistudy.BT} {
+		impact := func(nodes int) float64 {
+			base := runCell(t, bench, smistudy.ClassA, nodes, 1, smistudy.SMM0)
+			long := runCell(t, bench, smistudy.ClassA, nodes, 1, smistudy.SMM2)
+			return (long - base) / base * 100
+		}
+		one := impact(1)
+		sixteen := impact(16)
+		if sixteen <= one {
+			t.Errorf("%s.A long impact did not grow: 1 node %.1f%%, 16 nodes %.1f%%", bench, one, sixteen)
+		}
+	}
+}
+
+// Paper baselines for calibrated single-rank cells must match closely
+// (these are calibration identities; breaking them means the params
+// drifted).
+func TestReproductionCalibratedBaselines(t *testing.T) {
+	for _, c := range []struct {
+		bench smistudy.Benchmark
+		class smistudy.Class
+		tol   float64
+	}{
+		{smistudy.EP, smistudy.ClassA, 0.02},
+		{smistudy.EP, smistudy.ClassB, 0.02},
+		{smistudy.BT, smistudy.ClassA, 0.02},
+		{smistudy.FT, smistudy.ClassA, 0.10},
+	} {
+		p := paperdata.Find(string(c.bench), byte(c.class), 1, 1)
+		if p == nil {
+			t.Fatalf("no paper cell for %s.%c", c.bench, c.class)
+		}
+		got := runCell(t, c.bench, c.class, 1, 1, smistudy.SMM0)
+		if math.Abs(got-p.SMM0)/p.SMM0 > c.tol {
+			t.Errorf("%s.%c solo baseline %.2f vs paper %.2f (tol %.0f%%)",
+				c.bench, c.class, got, p.SMM0, c.tol*100)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package smistudy reproduces "The Effects of System Management
+// Interrupts on Multithreaded, Hyper-threaded, and MPI Applications"
+// (Macarenco, Frye, Hamlin, Karavanic — ICPP 2016) as a simulation study.
+//
+// System Management Interrupts cannot be injected portably — the paper
+// used a BIOS-level driver on dedicated x86 hardware — so this library
+// rebuilds the whole experimental platform as a deterministic
+// discrete-event simulation: multicore nodes with hyper-threading and
+// shared caches, a minimal operating system, SMM machinery with a
+// Blackbox-style SMI driver, a gigabit-class cluster fabric, an MPI
+// runtime, and the paper's workloads (NAS EP/BT/FT skeletons, the
+// Convolve kernel, UnixBench models).
+//
+// The package exposes one entry point per study:
+//
+//   - RunNAS — the MPI experiments behind Tables 1–5.
+//   - RunConvolve — the multithreaded experiments behind Figure 1.
+//   - RunUnixBench — the POSIX benchmark experiments behind Figure 2.
+//   - DetectSMIs — the hwlat-style detection tooling from §II.
+//   - AttributeNAS — the time-misattribution demonstration from §II.
+//
+// Every run is deterministic for a given seed; the paper's six-run
+// averages are reproduced by averaging seeds 1..6.
+package smistudy
+
+import (
+	"fmt"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/convolve"
+	"smistudy/internal/kernel"
+	"smistudy/internal/metrics"
+	"smistudy/internal/mpi"
+	"smistudy/internal/nas"
+	"smistudy/internal/noise"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+	"smistudy/internal/trace"
+	"smistudy/internal/ubench"
+)
+
+// SMMLevel selects the SMI injection level, exactly as in the paper:
+// SMM0 = none, SMM1 = short (1–3 ms), SMM2 = long (100–110 ms), fired
+// once per second in the MPI study.
+type SMMLevel = smm.Level
+
+// Injection levels.
+const (
+	SMM0 = smm.SMMNone
+	SMM1 = smm.SMMShort
+	SMM2 = smm.SMMLong
+)
+
+// Benchmark re-exports the NAS benchmark name type.
+type Benchmark = nas.Benchmark
+
+// Class re-exports the NPB problem class type.
+type Class = nas.Class
+
+// NAS benchmarks and classes from the paper.
+const (
+	EP = nas.EP
+	BT = nas.BT
+	FT = nas.FT
+
+	ClassS = nas.ClassS
+	ClassA = nas.ClassA
+	ClassB = nas.ClassB
+	ClassC = nas.ClassC
+)
+
+// NASOptions configures one cell of the paper's MPI study.
+type NASOptions struct {
+	Bench        Benchmark
+	Class        Class
+	Nodes        int // cluster nodes (paper: 1–16)
+	RanksPerNode int // 1 or 4 in the paper
+	HTT          bool
+	SMM          SMMLevel
+	// Runs averages this many runs with seeds Seed, Seed+1, ... (paper:
+	// six). Zero means one.
+	Runs int
+	Seed int64
+}
+
+// NASResult is a measured cell.
+type NASResult struct {
+	Options   NASOptions
+	Ranks     int
+	MeanTime  sim.Time
+	Times     []sim.Time
+	MOPs      float64 // from the mean time
+	Verified  bool
+	Residency sim.Time // mean per-node SMM residency per run
+}
+
+// Seconds is shorthand for MeanTime in seconds.
+func (r NASResult) Seconds() float64 { return r.MeanTime.Seconds() }
+
+// RunNAS executes one configuration of the MPI study.
+func RunNAS(o NASOptions) (NASResult, error) {
+	if o.Nodes <= 0 || o.RanksPerNode <= 0 {
+		return NASResult{}, fmt.Errorf("smistudy: need Nodes and RanksPerNode ≥ 1")
+	}
+	runs := o.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res := NASResult{Options: o, Verified: true}
+	var stream metrics.Stream
+	var residency sim.Time
+	for i := 0; i < runs; i++ {
+		e := sim.New(seed + int64(i))
+		cl, err := cluster.New(e, cluster.Wyeast(o.Nodes, o.HTT, o.SMM))
+		if err != nil {
+			return NASResult{}, err
+		}
+		cl.StartSMI()
+		w, err := mpi.NewWorld(cl, o.RanksPerNode, mpi.DefaultParams())
+		if err != nil {
+			return NASResult{}, err
+		}
+		r, err := nas.Run(w, nas.Spec{Bench: o.Bench, Class: o.Class})
+		if err != nil {
+			return NASResult{}, err
+		}
+		res.Ranks = r.Ranks
+		res.Times = append(res.Times, r.Time)
+		res.Verified = res.Verified && r.Verified
+		stream.Add(r.Time.Seconds())
+		residency += cl.TotalSMMResidency() / sim.Time(len(cl.Nodes))
+	}
+	res.MeanTime = sim.FromSeconds(stream.Mean())
+	res.Residency = residency / sim.Time(runs)
+	res.MOPs = nasMOPs(o.Bench, o.Class, stream.Mean())
+	return res, nil
+}
+
+// nasMOPs converts a runtime into model MOPs for the spec.
+func nasMOPs(b Benchmark, c Class, seconds float64) float64 {
+	ops := nas.TotalOps(nas.Spec{Bench: b, Class: c})
+	if ops == 0 || seconds <= 0 {
+		return 0
+	}
+	return ops / 1e6 / seconds
+}
+
+// CacheBehavior selects a Convolve configuration.
+type CacheBehavior int
+
+// The paper's two Convolve configurations.
+const (
+	CacheFriendly CacheBehavior = iota
+	CacheUnfriendly
+)
+
+// String implements fmt.Stringer.
+func (c CacheBehavior) String() string {
+	if c == CacheFriendly {
+		return "CacheFriendly"
+	}
+	return "CacheUnfriendly"
+}
+
+// ConvolveOptions configures one Convolve run (Figure 1).
+type ConvolveOptions struct {
+	Behavior CacheBehavior
+	CPUs     int // online logical CPUs, 1–8
+	// SMIIntervalMS is the gap between long SMIs in milliseconds
+	// (paper: 50–1500); zero disables injection.
+	SMIIntervalMS int
+	// Runs averages this many runs (paper: three). Zero means one.
+	Runs   int
+	Seed   int64
+	Passes int // repetitions of the convolution; zero = preset default
+}
+
+// ConvolveResult is one measured Convolve point.
+type ConvolveResult struct {
+	Options  ConvolveOptions
+	MeanTime sim.Time
+	Times    []sim.Time
+	StdDev   sim.Time // across runs
+	Threads  int
+}
+
+// RunConvolve executes one Convolve configuration.
+func RunConvolve(o ConvolveOptions) (ConvolveResult, error) {
+	if o.CPUs < 1 || o.CPUs > 8 {
+		return ConvolveResult{}, fmt.Errorf("smistudy: Convolve CPUs = %d, want 1–8", o.CPUs)
+	}
+	cfg := convolve.CacheFriendly()
+	if o.Behavior == CacheUnfriendly {
+		cfg = convolve.CacheUnfriendly()
+	}
+	if o.Passes > 0 {
+		cfg.Passes = o.Passes
+	}
+	runs := o.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	smi := smm.DriverConfig{}
+	if o.SMIIntervalMS > 0 {
+		smi = smm.DriverConfig{
+			Level:         smm.SMMLong,
+			PeriodJiffies: uint64(o.SMIIntervalMS),
+			PhaseJitter:   true,
+		}
+	}
+	res := ConvolveResult{Options: o}
+	var stream metrics.Stream
+	for i := 0; i < runs; i++ {
+		e := sim.New(seed + int64(i))
+		cl, err := cluster.New(e, cluster.R410(smi))
+		if err != nil {
+			return ConvolveResult{}, err
+		}
+		if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
+			return ConvolveResult{}, err
+		}
+		cl.StartSMI()
+		r := convolve.RunSim(cl, cfg)
+		res.Times = append(res.Times, r.Elapsed)
+		res.Threads = r.Threads
+		stream.Add(r.Elapsed.Seconds())
+	}
+	res.MeanTime = sim.FromSeconds(stream.Mean())
+	res.StdDev = sim.FromSeconds(stream.StdDev())
+	return res, nil
+}
+
+// UnixBenchOptions configures one UnixBench iteration (Figure 2).
+type UnixBenchOptions struct {
+	CPUs int // online logical CPUs, 1–8
+	// SMIIntervalMS is the gap between SMIs in ms; zero disables.
+	SMIIntervalMS int
+	Level         SMMLevel // SMM1 or SMM2 when injecting
+	Seed          int64
+	// Duration per micro-benchmark window; zero = 4 s.
+	Duration sim.Time
+}
+
+// UnixBenchResult is one iteration's scores.
+type UnixBenchResult struct {
+	Options UnixBenchOptions
+	Score   float64
+	Tests   []ubench.TestScore
+}
+
+// RunUnixBench executes one UnixBench iteration.
+func RunUnixBench(o UnixBenchOptions) (UnixBenchResult, error) {
+	if o.CPUs < 1 || o.CPUs > 8 {
+		return UnixBenchResult{}, fmt.Errorf("smistudy: UnixBench CPUs = %d, want 1–8", o.CPUs)
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	smi := smm.DriverConfig{}
+	if o.SMIIntervalMS > 0 && o.Level != smm.SMMNone {
+		smi = smm.DriverConfig{
+			Level:         o.Level,
+			PeriodJiffies: uint64(o.SMIIntervalMS),
+			PhaseJitter:   true,
+		}
+	}
+	e := sim.New(seed)
+	cl, err := cluster.New(e, cluster.R410(smi))
+	if err != nil {
+		return UnixBenchResult{}, err
+	}
+	if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
+		return UnixBenchResult{}, err
+	}
+	cl.StartSMI()
+	cfg := ubench.DefaultConfig()
+	if o.Duration > 0 {
+		cfg.Duration = o.Duration
+	}
+	r := ubench.Run(cl, cfg)
+	return UnixBenchResult{Options: o, Score: r.Score, Tests: r.Tests}, nil
+}
+
+// DetectOptions configures the SMI detector demonstration.
+type DetectOptions struct {
+	Level         SMMLevel
+	SMIIntervalMS int
+	Duration      sim.Time
+	Seed          int64
+}
+
+// DetectSMIs runs the hwlat-style spin-loop detector on a machine with
+// the given injection and scores it against ground truth.
+func DetectSMIs(o DetectOptions) noise.DetectorReport {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	interval := o.SMIIntervalMS
+	if interval <= 0 {
+		interval = 1000
+	}
+	smi := smm.DriverConfig{}
+	if o.Level != smm.SMMNone {
+		smi = smm.DriverConfig{Level: o.Level, PeriodJiffies: uint64(interval), PhaseJitter: true}
+	}
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.R410(smi))
+	cl.StartSMI()
+	return noise.RunDetector(cl, noise.DetectorConfig{Duration: o.Duration})
+}
+
+// AttributeNAS runs an EP-style workload under long SMIs and reports the
+// per-task time misattribution a profiler would commit (§II's warning to
+// tool developers).
+func AttributeNAS(seed int64) trace.Attribution {
+	if seed == 0 {
+		seed = 1
+	}
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.Wyeast(1, false, smm.SMMLong))
+	cl.StartSMI()
+	node := cl.Nodes[0]
+	var tasks []*kernel.Task
+	remaining := 4
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, node.Kernel.Spawn(fmt.Sprintf("rank%d", i), nas.Profile(nas.EP), func(t *kernel.Task) {
+			t.Compute(1e10)
+			remaining--
+			if remaining == 0 {
+				cl.Eng.Stop()
+			}
+		}))
+	}
+	cl.Eng.Run()
+	return trace.Attribute(node, tasks)
+}

@@ -1,0 +1,150 @@
+package smistudy_test
+
+import (
+	"math"
+	"testing"
+
+	"smistudy"
+	"smistudy/internal/sim"
+)
+
+func TestRunNASBasic(t *testing.T) {
+	res, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 1, RanksPerNode: 1, SMM: smistudy.SMM0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Seconds()-23.12) > 1 {
+		t.Fatalf("EP.A solo = %.2fs, want ≈23.12", res.Seconds())
+	}
+	if res.Ranks != 1 || !res.Verified || res.MOPs <= 0 {
+		t.Fatalf("result malformed: %+v", res)
+	}
+	if res.Residency != 0 {
+		t.Fatal("SMM0 run accumulated residency")
+	}
+}
+
+func TestRunNASMultiRunAveraging(t *testing.T) {
+	res, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 2, RanksPerNode: 1, SMM: smistudy.SMM2, Runs: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 3 {
+		t.Fatalf("times = %d, want 3", len(res.Times))
+	}
+	if res.Residency <= 0 {
+		t.Fatal("SMM2 run has no residency")
+	}
+}
+
+func TestRunNASValidation(t *testing.T) {
+	if _, err := smistudy.RunNAS(smistudy.NASOptions{Bench: smistudy.EP, Class: smistudy.ClassA}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.BT, Class: smistudy.ClassA, Nodes: 2, RanksPerNode: 1,
+	}); err == nil {
+		t.Error("non-square BT accepted")
+	}
+}
+
+func TestRunConvolve(t *testing.T) {
+	res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
+		Behavior: smistudy.CacheUnfriendly, CPUs: 4, Passes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanTime <= 0 || res.Threads != 16 {
+		t.Fatalf("convolve result malformed: %+v", res)
+	}
+}
+
+func TestRunConvolveWithSMIs(t *testing.T) {
+	quiet, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
+		Behavior: smistudy.CacheFriendly, CPUs: 4, Passes: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
+		Behavior: smistudy.CacheFriendly, CPUs: 4, Passes: 6, SMIIntervalMS: 200, Runs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.MeanTime <= quiet.MeanTime {
+		t.Fatalf("SMIs did not slow convolve: %v vs %v", noisy.MeanTime, quiet.MeanTime)
+	}
+	if len(noisy.Times) != 2 {
+		t.Fatal("runs not honored")
+	}
+}
+
+func TestRunConvolveValidation(t *testing.T) {
+	if _, err := smistudy.RunConvolve(smistudy.ConvolveOptions{CPUs: 0}); err == nil {
+		t.Error("0 CPUs accepted")
+	}
+	if _, err := smistudy.RunConvolve(smistudy.ConvolveOptions{CPUs: 9}); err == nil {
+		t.Error("9 CPUs accepted")
+	}
+}
+
+func TestCacheBehaviorString(t *testing.T) {
+	if smistudy.CacheFriendly.String() != "CacheFriendly" ||
+		smistudy.CacheUnfriendly.String() != "CacheUnfriendly" {
+		t.Error("behavior strings wrong")
+	}
+}
+
+func TestRunUnixBench(t *testing.T) {
+	res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
+		CPUs: 2, Duration: 500 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 || len(res.Tests) != 5 {
+		t.Fatalf("unixbench result malformed: %+v", res)
+	}
+}
+
+func TestRunUnixBenchValidation(t *testing.T) {
+	if _, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{CPUs: 0}); err == nil {
+		t.Error("0 CPUs accepted")
+	}
+}
+
+func TestDetectSMIs(t *testing.T) {
+	rep := smistudy.DetectSMIs(smistudy.DetectOptions{
+		Level: smistudy.SMM2, SMIIntervalMS: 1000, Duration: 4 * sim.Second,
+	})
+	if rep.Matched < 2 {
+		t.Fatalf("detector matched %d SMIs, want ≥2", rep.Matched)
+	}
+}
+
+func TestAttributeNAS(t *testing.T) {
+	a := smistudy.AttributeNAS(1)
+	if len(a.Tasks) != 4 {
+		t.Fatalf("tasks = %d, want 4", len(a.Tasks))
+	}
+	if a.TotalStolen <= 0 {
+		t.Fatal("no misattributed time under long SMIs")
+	}
+	if a.SMMResidency <= 0 {
+		t.Fatal("no ground-truth residency")
+	}
+}
+
+func TestLevelsExported(t *testing.T) {
+	if smistudy.SMM0.String() != "SMM0" || smistudy.SMM1.String() != "SMM1" || smistudy.SMM2.String() != "SMM2" {
+		t.Error("levels not wired through")
+	}
+}
