@@ -156,11 +156,12 @@ func main() {
 		"nasx":     experiments.ExtendedNAS,
 		"amplify":  experiments.AmplificationStudy,
 		"model":    experiments.ModelStudy,
+		"faults":   experiments.FaultStudy,
 	}
 	switch *ext {
 	case "":
 	case "all":
-		for _, name := range []string{"rim", "energy", "drift", "profiler", "nasx", "amplify", "model"} {
+		for _, name := range []string{"rim", "energy", "drift", "profiler", "nasx", "amplify", "model", "faults"} {
 			out, err := exts[name](cfg)
 			run(err)
 			fmt.Println(out)
@@ -168,7 +169,7 @@ func main() {
 	default:
 		fn, ok := exts[*ext]
 		if !ok {
-			run(fmt.Errorf("unknown extension %q (want rim, energy, drift, profiler, nasx, amplify, model or all)", *ext))
+			run(fmt.Errorf("unknown extension %q (want rim, energy, drift, profiler, nasx, amplify, model, faults or all)", *ext))
 		}
 		out, err := fn(cfg)
 		run(err)

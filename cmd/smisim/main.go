@@ -5,8 +5,14 @@
 // Usage:
 //
 //	smisim -workload nas -bench FT -class B -nodes 8 -rpn 4 -smm 2 -htt
+//	smisim -workload nas -bench EP -class A -nodes 4 -loss 0.01
+//	smisim -workload nas -bench EP -class A -nodes 4 -crash-node 1 -crash-at 5
 //	smisim -workload convolve -cache unfriendly -cpus 6 -interval 150
 //	smisim -workload unixbench -cpus 8 -interval 600
+//
+// The -loss/-crash-*/-hang-*/-storm-* flags inject fabric and node
+// faults into NAS runs; lossy scenarios automatically enable the MPI
+// ack/retransmit transport.
 package main
 
 import (
@@ -31,6 +37,16 @@ func main() {
 	interval := flag.Int("interval", 0, "SMI interval ms (convolve/unixbench; 0 = off)")
 	runs := flag.Int("runs", 1, "runs to average")
 	seed := flag.Int64("seed", 1, "random seed")
+	loss := flag.Float64("loss", 0, "nas: uniform message-loss probability (0-1)")
+	crashNode := flag.Int("crash-node", 0, "nas: node to crash when -crash-at > 0")
+	crashAt := flag.Float64("crash-at", 0, "nas: crash time in seconds (0 = no crash)")
+	hangNode := flag.Int("hang-node", 0, "nas: node to hang when -hang-at > 0")
+	hangAt := flag.Float64("hang-at", 0, "nas: hang time in seconds (0 = no hang)")
+	hangFor := flag.Float64("hang-for", 0, "nas: hang duration in seconds (0 = forever)")
+	stormNode := flag.Int("storm-node", 0, "nas: node for an SMI storm when -storm-at > 0")
+	stormAt := flag.Float64("storm-at", 0, "nas: SMI-storm start in seconds (0 = no storm)")
+	stormFor := flag.Float64("storm-for", 0, "nas: SMI-storm duration in seconds (0 = to end of run)")
+	watchdog := flag.Float64("watchdog", 0, "nas: progress-watchdog interval in seconds (0 = default, <0 = off)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -46,7 +62,13 @@ func main() {
 		if *smmLevel < 0 || *smmLevel > 2 {
 			fail(fmt.Errorf("smm level %d", *smmLevel))
 		}
-		res, err := smistudy.RunNAS(smistudy.NASOptions{
+		plan := smistudy.FaultPlan{
+			LossProb:  *loss,
+			CrashNode: *crashNode, CrashAt: sim.FromSeconds(*crashAt),
+			HangNode: *hangNode, HangAt: sim.FromSeconds(*hangAt), HangFor: sim.FromSeconds(*hangFor),
+			StormNode: *stormNode, StormAt: sim.FromSeconds(*stormAt), StormFor: sim.FromSeconds(*stormFor),
+		}
+		opts := smistudy.NASOptions{
 			Bench:        smistudy.Benchmark(*bench),
 			Class:        smistudy.Class((*class)[0]),
 			Nodes:        *nodes,
@@ -55,7 +77,26 @@ func main() {
 			SMM:          levels[*smmLevel],
 			Runs:         *runs,
 			Seed:         *seed,
-		})
+			Watchdog:     sim.FromSeconds(*watchdog),
+		}
+		if plan.Active() {
+			// Reject malformed fault flags up front: a bad flag value is
+			// an operator error, not a fault-scenario outcome.
+			fail(plan.Schedule().Validate(*nodes))
+			opts.Faults = &plan
+		}
+		res, err := smistudy.RunNAS(opts)
+		if err != nil && opts.Faults != nil {
+			// A fault scenario that kills the job is a result, not a
+			// tool failure: report the attributed error and the recovery
+			// work that preceded it.
+			fmt.Printf("%s.%s  nodes=%d rpn=%d: job failed under faults\n",
+				*bench, *class, *nodes, *rpn)
+			fmt.Printf("  error       = %v\n", err)
+			fmt.Printf("  drops       = %d\n", res.Dropped)
+			fmt.Printf("  retransmits = %d\n", res.Retransmits)
+			return
+		}
 		fail(err)
 		fmt.Printf("%s.%s  ranks=%d nodes=%d rpn=%d htt=%v smm=%v\n",
 			*bench, *class, res.Ranks, *nodes, *rpn, *htt, levels[*smmLevel])
@@ -63,6 +104,10 @@ func main() {
 		fmt.Printf("  mops   = %.1f\n", res.MOPs)
 		fmt.Printf("  smm    = %v mean per-node residency\n", res.Residency)
 		fmt.Printf("  verify = %v\n", res.Verified)
+		if opts.Faults != nil {
+			fmt.Printf("  faults = %d drops, %d retransmits, %d duplicates\n",
+				res.Dropped, res.Retransmits, res.Duplicates)
+		}
 
 	case "convolve":
 		beh := smistudy.CacheFriendly

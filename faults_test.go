@@ -1,0 +1,90 @@
+package smistudy_test
+
+import (
+	"errors"
+	"testing"
+
+	"smistudy"
+	"smistudy/internal/sim"
+)
+
+// TestNASOverLossyFabric is the fault subsystem's acceptance case: EP
+// class A over a 1% lossy fabric completes via retransmission, with the
+// recovery visible in the counters.
+func TestNASOverLossyFabric(t *testing.T) {
+	res, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 4, RanksPerNode: 1,
+		Seed:   4, // a seed whose loss draws hit EP's small message count
+		Faults: &smistudy.FaultPlan{LossProb: 0.01},
+	})
+	if err != nil {
+		t.Fatalf("EP.A over a 1%% lossy fabric failed: %v", err)
+	}
+	if !res.Verified {
+		t.Error("run not verified")
+	}
+	if res.Dropped == 0 || res.Retransmits == 0 {
+		t.Fatalf("loss left no trace: %d drops, %d retransmits", res.Dropped, res.Retransmits)
+	}
+}
+
+// TestNASLossyHeavyTraffic drives the transport hard: FT's all-to-alls
+// under loss produce real and spurious (congestion) retransmissions,
+// all deduplicated, and the run still completes and verifies.
+func TestNASLossyHeavyTraffic(t *testing.T) {
+	res, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.FT, Class: smistudy.ClassA,
+		Nodes: 4, RanksPerNode: 1, Seed: 1,
+		Faults: &smistudy.FaultPlan{LossProb: 0.01},
+	})
+	if err != nil {
+		t.Fatalf("FT.A over a 1%% lossy fabric failed: %v", err)
+	}
+	if !res.Verified {
+		t.Error("run not verified")
+	}
+	if res.Dropped == 0 || res.Retransmits == 0 {
+		t.Fatalf("loss left no trace: %d drops, %d retransmits", res.Dropped, res.Retransmits)
+	}
+}
+
+// TestNASCrashFailsBounded is the other acceptance case: the same run
+// with one node crashed mid-run comes back with an attributed error —
+// ErrPeerUnreachable or a watchdog no-progress report — within bounded
+// simulated time, instead of deadlocking.
+func TestNASCrashFailsBounded(t *testing.T) {
+	_, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 4, RanksPerNode: 1, Seed: 4,
+		Watchdog: 10 * sim.Second,
+		Faults: &smistudy.FaultPlan{
+			LossProb:  0.01,
+			CrashNode: 1,
+			CrashAt:   3 * sim.Second,
+		},
+	})
+	if err == nil {
+		t.Fatal("run with a crashed node succeeded")
+	}
+	var np *smistudy.NoProgressError
+	if !errors.Is(err, smistudy.ErrPeerUnreachable) && !errors.As(err, &np) {
+		t.Fatalf("err = %v, want ErrPeerUnreachable or NoProgressError", err)
+	}
+	if np != nil {
+		// The report must place the failure within the watchdog's
+		// detection bound, not at some unbounded later time.
+		if np.At > 60*sim.Second {
+			t.Fatalf("no-progress detected at t=%v, want bounded", np.At)
+		}
+		down := 0
+		for _, r := range np.Ranks {
+			if r.State == "node down" {
+				down++
+			}
+		}
+		if down != 1 {
+			t.Errorf("report marks %d ranks node-down, want 1", down)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"smistudy/internal/clock"
 	"smistudy/internal/cpu"
+	"smistudy/internal/faults"
 	"smistudy/internal/kernel"
 	"smistudy/internal/netsim"
 	"smistudy/internal/sim"
@@ -87,6 +88,19 @@ func MustNew(e *sim.Engine, par Params) *Cluster {
 		panic(err)
 	}
 	return c
+}
+
+// Inject arms a fault schedule across the cluster: link faults hook the
+// fabric, node faults drive the per-node CPU stall machinery and SMI
+// drivers. Fault times are relative to the current engine time. The
+// returned injector doubles as an mpi.FaultObserver for the progress
+// watchdog.
+func (c *Cluster) Inject(sched faults.Schedule) (*faults.Injector, error) {
+	ctl := make([]faults.NodeControl, len(c.Nodes))
+	for i, n := range c.Nodes {
+		ctl[i] = faults.NodeControl{CPU: n.CPU, SMI: n.SMI}
+	}
+	return faults.New(c.Eng, c.Fabric, ctl, sched)
 }
 
 // StartSMI arms the SMI driver on every node.

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultStudyQuick(t *testing.T) {
+	out, err := FaultStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Loss sweep", "retransmits",
+		"Single-node fault amplification", "degrade links into node 1", "SMI storm",
+		"Crash timing", "watchdog",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package faults is a deterministic, seed-driven fault-injection
+// subsystem for simulated clusters.
+//
+// The paper studies one noise source — SMIs — but its central mechanism
+// (a single perturbed node amplified into cluster-wide slowdown through
+// blocking collectives) applies to every fault class a production
+// cluster sees. This package injects those classes on a schedule:
+// probabilistic message loss, link bandwidth/latency degradation, link
+// partitions, node crashes, node hangs, and SMI storms. All randomness
+// (loss draws, storm phases) flows from the engine's seeded RNG, so a
+// given seed replays an identical fault timeline — the controlled,
+// reproducible perturbation that makes noise experiments trustworthy.
+//
+// A Schedule is a list of Faults; an Injector arms the schedule on a
+// cluster, hooking the netsim fabric (loss/degradation/partition), the
+// per-node CPU stall machinery (crash/hang) and the per-node SMI driver
+// (storms).
+package faults
+
+import (
+	"fmt"
+
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// Kind classifies a fault.
+type Kind int
+
+// The fault classes.
+const (
+	// Loss drops each matching message with probability LossProb.
+	Loss Kind = iota
+	// Degrade multiplies matching messages' serialization time by
+	// SlowFactor and adds ExtraLatency to their one-way latency.
+	Degrade
+	// Partition drops every matching message (LossProb 1 in effect).
+	Partition
+	// Crash halts Node and takes it off the fabric: its CPUs stop, its
+	// SMI driver disarms, and every message to or from it is lost.
+	Crash
+	// Hang halts Node's CPUs but leaves it on the fabric — the
+	// ambiguous failure mode: the network still acks, nothing computes.
+	Hang
+	// SMIStorm reconfigures Node's SMI driver to a high-frequency
+	// configuration for the fault's duration.
+	SMIStorm
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Loss:
+		return "loss"
+	case Degrade:
+		return "degrade"
+	case Partition:
+		return "partition"
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	case SMIStorm:
+		return "smi-storm"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// isLink reports whether the kind perturbs messages rather than nodes.
+func (k Kind) isLink() bool { return k == Loss || k == Degrade || k == Partition }
+
+// Wildcard matches any node in a link fault's Src/Dst.
+const Wildcard = -1
+
+// Fault is one scheduled perturbation.
+type Fault struct {
+	Kind  Kind
+	Start sim.Time
+	// Duration bounds the fault; zero means permanent (until the end of
+	// the run).
+	Duration sim.Time
+
+	// Node is the target of Crash, Hang and SMIStorm faults.
+	Node int
+	// Src and Dst select the directed links a Loss, Degrade or
+	// Partition fault applies to; Wildcard matches any node.
+	Src, Dst int
+
+	// LossProb is the per-message drop probability of a Loss fault.
+	LossProb float64
+	// SlowFactor (> 1) and ExtraLatency degrade matching links.
+	SlowFactor   float64
+	ExtraLatency sim.Time
+
+	// StormPeriodJiffies and StormLevel configure an SMIStorm; zero
+	// values default to one short SMI every 10 jiffies.
+	StormPeriodJiffies uint64
+	StormLevel         smm.Level
+}
+
+// matches reports whether a link fault applies to the src->dst message.
+func (f Fault) matches(src, dst int) bool {
+	return (f.Src == Wildcard || f.Src == src) && (f.Dst == Wildcard || f.Dst == dst)
+}
+
+// validate checks one fault against a cluster size.
+func (f Fault) validate(nodes int) error {
+	if f.Start < 0 || f.Duration < 0 {
+		return fmt.Errorf("faults: %v fault with negative start/duration", f.Kind)
+	}
+	if f.Kind.isLink() {
+		for _, n := range []int{f.Src, f.Dst} {
+			if n != Wildcard && (n < 0 || n >= nodes) {
+				return fmt.Errorf("faults: %v fault on link %d->%d of %d nodes", f.Kind, f.Src, f.Dst, nodes)
+			}
+		}
+	} else {
+		if f.Node < 0 || f.Node >= nodes {
+			return fmt.Errorf("faults: %v fault on node %d of %d", f.Kind, f.Node, nodes)
+		}
+	}
+	switch f.Kind {
+	case Loss:
+		if f.LossProb < 0 || f.LossProb > 1 {
+			return fmt.Errorf("faults: loss probability %v", f.LossProb)
+		}
+	case Degrade:
+		if f.SlowFactor != 0 && f.SlowFactor < 1 {
+			return fmt.Errorf("faults: degrade SlowFactor %v < 1", f.SlowFactor)
+		}
+	}
+	return nil
+}
+
+// Schedule is a fault timeline.
+type Schedule struct {
+	Faults []Fault
+}
+
+// Add appends a fault and returns the schedule for chaining.
+func (s *Schedule) Add(f Fault) *Schedule {
+	s.Faults = append(s.Faults, f)
+	return s
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s Schedule) Empty() bool { return len(s.Faults) == 0 }
+
+// Lossy reports whether any fault can lose or delay messages — the
+// signal that a message-passing runtime on this fabric needs its
+// retransmission protocol.
+func (s Schedule) Lossy() bool {
+	for _, f := range s.Faults {
+		if f.Kind.isLink() || f.Kind == Crash {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the whole schedule against a cluster size.
+func (s Schedule) Validate(nodes int) error {
+	for _, f := range s.Faults {
+		if err := f.validate(nodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UniformLoss returns a permanent all-links message-loss fault.
+func UniformLoss(prob float64) Fault {
+	return Fault{Kind: Loss, Src: Wildcard, Dst: Wildcard, LossProb: prob}
+}
+
+// CrashAt returns a permanent crash of node at time t.
+func CrashAt(node int, t sim.Time) Fault {
+	return Fault{Kind: Crash, Node: node, Start: t}
+}
+
+// HangAt returns a hang of node at time t for the given duration
+// (0 = forever).
+func HangAt(node int, t, duration sim.Time) Fault {
+	return Fault{Kind: Hang, Node: node, Start: t, Duration: duration}
+}
+
+// PartitionLink returns a partition of the directed link src->dst
+// starting at t for the given duration.
+func PartitionLink(src, dst int, t, duration sim.Time) Fault {
+	return Fault{Kind: Partition, Src: src, Dst: dst, Start: t, Duration: duration}
+}
+
+// DegradeNodeLinks returns a degradation of all traffic into node:
+// SlowFactor × slower serialization plus extra one-way latency.
+func DegradeNodeLinks(node int, t, duration sim.Time, slow float64, extra sim.Time) Fault {
+	return Fault{Kind: Degrade, Src: Wildcard, Dst: node, Start: t, Duration: duration,
+		SlowFactor: slow, ExtraLatency: extra}
+}
+
+// StormAt returns an SMI storm on node: short SMIs every periodJiffies
+// jiffies from t for the given duration.
+func StormAt(node int, t, duration sim.Time, periodJiffies uint64) Fault {
+	return Fault{Kind: SMIStorm, Node: node, Start: t, Duration: duration,
+		StormPeriodJiffies: periodJiffies, StormLevel: smm.SMMShort}
+}

@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"fmt"
+
+	"smistudy/internal/netsim"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// NodeControl is the per-node machinery the injector drives: the CPU
+// stall hook (crash/hang) and the SMI driver (storms). cluster.Node
+// supplies both.
+type NodeControl struct {
+	CPU smm.Staller
+	SMI *smm.Driver
+}
+
+// Stats counts injector activity.
+type Stats struct {
+	Started int   // fault activations
+	Ended   int   // fault expirations
+	Drops   int64 // messages the injector condemned
+}
+
+// Injector arms a fault schedule on a cluster: it implements
+// netsim.Perturber for the link faults and drives node machinery for
+// crash, hang and SMI-storm faults. It also serves as the MPI
+// watchdog's fault observer (NodeDown / FaultsPending).
+type Injector struct {
+	eng   *sim.Engine
+	fab   *netsim.Fabric
+	nodes []NodeControl
+
+	active    []*Fault // link faults currently in force
+	haltDepth []int    // per node: active Crash+Hang faults
+	downDepth []int    // per node: active Crash faults (off the fabric)
+	prevSMI   []smm.DriverConfig
+
+	// pending counts schedule events (starts and expiries) not yet
+	// fired; while it is nonzero the world can still change without any
+	// application progress.
+	pending int
+	stats   Stats
+}
+
+// New validates the schedule and arms it: fault start/expiry events are
+// scheduled on eng, and the injector installs itself as the fabric's
+// perturber. All fault times are relative to the current engine time.
+func New(eng *sim.Engine, fab *netsim.Fabric, nodes []NodeControl, sched Schedule) (*Injector, error) {
+	if len(nodes) != fab.Nodes() {
+		return nil, fmt.Errorf("faults: %d node controls for a %d-node fabric", len(nodes), fab.Nodes())
+	}
+	if err := sched.Validate(len(nodes)); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		eng:       eng,
+		fab:       fab,
+		nodes:     nodes,
+		haltDepth: make([]int, len(nodes)),
+		downDepth: make([]int, len(nodes)),
+		prevSMI:   make([]smm.DriverConfig, len(nodes)),
+	}
+	now := eng.Now()
+	for i := range sched.Faults {
+		f := sched.Faults[i] // copy: the schedule stays caller-owned
+		in.pending++
+		eng.At(now+f.Start, func() {
+			in.pending--
+			in.activate(&f)
+		})
+		if f.Duration > 0 {
+			in.pending++
+			eng.At(now+f.Start+f.Duration, func() {
+				in.pending--
+				in.expire(&f)
+			})
+		}
+	}
+	fab.SetPerturber(in)
+	return in, nil
+}
+
+// Stats reports injector activity so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// NodeDown reports whether the node is currently halted (crashed or
+// hung). Part of the MPI watchdog's fault-observer contract.
+func (in *Injector) NodeDown(node int) bool { return in.haltDepth[node] > 0 }
+
+// FaultsPending reports whether schedule events are still to come — a
+// watchdog must not declare no-progress while a fault may yet expire.
+func (in *Injector) FaultsPending() bool { return in.pending > 0 }
+
+// activate puts one fault into force.
+func (in *Injector) activate(f *Fault) {
+	in.stats.Started++
+	if f.Kind.isLink() {
+		in.active = append(in.active, f)
+		return
+	}
+	n := f.Node
+	switch f.Kind {
+	case Crash:
+		in.downDepth[n]++
+		in.halt(n)
+		in.nodes[n].SMI.Stop()
+	case Hang:
+		in.halt(n)
+	case SMIStorm:
+		in.prevSMI[n] = in.nodes[n].SMI.Config()
+		period := f.StormPeriodJiffies
+		if period == 0 {
+			period = 10
+		}
+		level := f.StormLevel
+		if level == smm.SMMNone {
+			level = smm.SMMShort
+		}
+		in.nodes[n].SMI.Reconfigure(smm.DriverConfig{
+			Level: level, PeriodJiffies: period, PhaseJitter: true,
+		})
+	}
+}
+
+// expire takes one bounded fault out of force.
+func (in *Injector) expire(f *Fault) {
+	in.stats.Ended++
+	if f.Kind.isLink() {
+		for i, a := range in.active {
+			if a == f {
+				in.active = append(in.active[:i], in.active[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	n := f.Node
+	switch f.Kind {
+	case Crash:
+		in.downDepth[n]--
+		in.unhalt(n)
+		// The node "reboots": CPUs resume, but its SMI driver stays
+		// disarmed (firmware state does not survive a crash).
+	case Hang:
+		in.unhalt(n)
+	case SMIStorm:
+		in.nodes[n].SMI.Reconfigure(in.prevSMI[n])
+	}
+}
+
+// halt stalls a node's CPUs (reference-counted against overlapping
+// faults and SMM entries — cpu.Model.Stall nests).
+func (in *Injector) halt(n int) {
+	in.haltDepth[n]++
+	if in.haltDepth[n] == 1 {
+		in.nodes[n].CPU.Stall()
+	}
+}
+
+func (in *Injector) unhalt(n int) {
+	in.haltDepth[n]--
+	if in.haltDepth[n] == 0 {
+		in.nodes[n].CPU.Unstall()
+	}
+}
+
+// Perturb implements netsim.Perturber: it condemns messages touching a
+// crashed node, then applies the active link faults in schedule order.
+// Loss draws come from the engine's seeded RNG, so fault timelines
+// replay exactly for a given seed.
+func (in *Injector) Perturb(src, dst, bytes int) netsim.Verdict {
+	var v netsim.Verdict
+	if in.downDepth[src] > 0 || in.downDepth[dst] > 0 {
+		v.Drop = true
+		in.stats.Drops++
+		return v
+	}
+	for _, f := range in.active {
+		if !f.matches(src, dst) {
+			continue
+		}
+		switch f.Kind {
+		case Partition:
+			v.Drop = true
+		case Loss:
+			if in.eng.Rand().Float64() < f.LossProb {
+				v.Drop = true
+			}
+		case Degrade:
+			if f.SlowFactor > 1 {
+				if v.SlowFactor < 1 {
+					v.SlowFactor = 1
+				}
+				v.SlowFactor *= f.SlowFactor
+			}
+			v.ExtraLatency += f.ExtraLatency
+		}
+		if v.Drop {
+			in.stats.Drops++
+			return v
+		}
+	}
+	return v
+}

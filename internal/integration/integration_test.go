@@ -7,6 +7,7 @@ import (
 	"math"
 	"testing"
 
+	"smistudy"
 	"smistudy/internal/cluster"
 	"smistudy/internal/cpu"
 	"smistudy/internal/energy"
@@ -229,5 +230,65 @@ func TestKitchenSinkWorkConservation(t *testing.T) {
 		if math.Abs(th.OpsDone()-ops)/ops > 1e-6 {
 			t.Fatalf("worker %d did %v ops, want %v", i, th.OpsDone(), ops)
 		}
+	}
+}
+
+// Determinism must extend to fault scenarios: the same seed and the
+// same fault schedule replay the same message losses, retransmissions
+// and timings bit-for-bit. Without this, a faulted run could never be
+// debugged by re-running it.
+func TestFaultScenarioDeterminism(t *testing.T) {
+	run := func() smistudy.NASResult {
+		res, err := smistudy.RunNAS(smistudy.NASOptions{
+			Bench: smistudy.FT, Class: smistudy.ClassA,
+			Nodes: 4, RanksPerNode: 1, Seed: 21,
+			Faults: &smistudy.FaultPlan{
+				LossProb:    0.01,
+				DegradeNode: 2, DegradeAt: sim.Second, DegradeFor: 2 * sim.Second,
+				DegradeSlow: 1.5, DegradeLatency: 10 * sim.Microsecond,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatal("run not verified")
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanTime != b.MeanTime || a.Dropped != b.Dropped ||
+		a.Retransmits != b.Retransmits || a.Duplicates != b.Duplicates {
+		t.Fatalf("faulted run not deterministic:\n  (%v, %d drops, %d rexmit, %d dup)\n  (%v, %d drops, %d rexmit, %d dup)",
+			a.MeanTime, a.Dropped, a.Retransmits, a.Duplicates,
+			b.MeanTime, b.Dropped, b.Retransmits, b.Duplicates)
+	}
+	if a.Dropped == 0 || a.Retransmits == 0 {
+		t.Fatalf("fault schedule left no trace: %d drops, %d retransmits", a.Dropped, a.Retransmits)
+	}
+}
+
+// The same holds for destructive faults: a crash scenario fails the
+// same way, with the same attributed error, at the same point.
+func TestCrashScenarioDeterminism(t *testing.T) {
+	run := func() (string, int64) {
+		res, err := smistudy.RunNAS(smistudy.NASOptions{
+			Bench: smistudy.EP, Class: smistudy.ClassA,
+			Nodes: 4, RanksPerNode: 1, Seed: 4,
+			Watchdog: 10 * sim.Second,
+			Faults: &smistudy.FaultPlan{
+				LossProb:  0.01,
+				CrashNode: 1, CrashAt: 3 * sim.Second,
+			},
+		})
+		if err == nil {
+			t.Fatal("crashed run succeeded")
+		}
+		return err.Error(), res.Dropped
+	}
+	e1, d1 := run()
+	e2, d2 := run()
+	if e1 != e2 || d1 != d2 {
+		t.Fatalf("crash scenario not deterministic:\n  %q (%d drops)\n  %q (%d drops)", e1, d1, e2, d2)
 	}
 }

@@ -12,6 +12,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"smistudy/internal/cluster"
@@ -40,6 +41,23 @@ type Params struct {
 	// ReduceOpsPerByte is the arithmetic cost of combining reduction
 	// operands.
 	ReduceOpsPerByte float64
+
+	// RTO enables the reliable transport: every transfer is acknowledged
+	// and retransmitted on timeout, with RTO as the minimum timeout (the
+	// effective per-transfer timeout also scales with message flight
+	// time). Zero disables reliability — transfers are fire-and-forget,
+	// appropriate for a perfect fabric and free of any timing overhead.
+	RTO sim.Time
+	// RTOBackoff multiplies the timeout after each retransmission
+	// (default 2).
+	RTOBackoff float64
+	// MaxRetries bounds retransmissions per transfer; exceeding it fails
+	// the transfer with ErrPeerUnreachable (default DefaultMaxRetries).
+	MaxRetries int
+
+	// Watchdog is the progress watchdog's observation interval: zero
+	// selects DefaultWatchdogInterval, negative disables the watchdog.
+	Watchdog sim.Time
 }
 
 // DefaultParams resembles an MPICH-over-TCP stack of the period.
@@ -54,12 +72,28 @@ func DefaultParams() Params {
 	}
 }
 
+// ReliableParams is DefaultParams with the retransmission protocol
+// enabled — the configuration for runs over a faulty fabric.
+func ReliableParams() Params {
+	p := DefaultParams()
+	p.RTO = 2 * sim.Millisecond
+	p.RTOBackoff = 2
+	p.MaxRetries = DefaultMaxRetries
+	return p
+}
+
 // Request is a pending point-to-point operation.
 type Request struct {
 	done  bool
+	err   error
 	bytes int
 	src   int
 	wakes []func(any)
+
+	// Operation identity, kept as plain ints so blocked-state reports
+	// can be rendered lazily ('s' = send, 'r' = recv).
+	kind      byte
+	peer, tag int
 }
 
 func (q *Request) complete(src, bytes int) {
@@ -75,8 +109,25 @@ func (q *Request) complete(src, bytes int) {
 	q.wakes = nil
 }
 
+// fail completes the request with an error, waking any waiters so they
+// can observe it.
+func (q *Request) fail(err error) {
+	if q.done {
+		return
+	}
+	q.done = true
+	q.err = err
+	for _, w := range q.wakes {
+		w(nil)
+	}
+	q.wakes = nil
+}
+
 // Done reports whether the request has completed.
 func (q *Request) Done() bool { return q.done }
+
+// Err reports the failure of a completed request, if any.
+func (q *Request) Err() error { return q.err }
 
 // Source reports the matched sender of a completed receive.
 func (q *Request) Source() int { return q.src }
@@ -105,7 +156,17 @@ type World struct {
 
 	remaining int
 	endTime   sim.Time
+
+	net      TransportStats
+	obs      FaultObserver
+	progress uint64 // bumped on every delivery/completion; watched by the watchdog
+	errs     []error
+	wderr    *NoProgressError
+	wdEvent  *sim.Event
 }
+
+// bump records forward progress for the watchdog.
+func (w *World) bump() { w.progress++ }
 
 // Rank is one MPI process.
 type Rank struct {
@@ -117,6 +178,37 @@ type Rank struct {
 	mailbox []*message
 	posted  []*recvReq
 	collSeq int
+
+	done    bool
+	err     error     // asynchronous transport failure, observed at Wait
+	wake    func(any) // set while parked in Wait
+	waiting *Request  // the request being waited on, for the watchdog
+}
+
+// rankAbort is the panic sentinel that unwinds a rank out of the MPI
+// stack when an operation fails; RunE's spawn wrapper recovers it.
+type rankAbort struct {
+	rank int
+	err  error
+}
+
+// abort unwinds the rank with the given error.
+func (r *Rank) abort(err error) {
+	panic(rankAbort{rank: r.id, err: err})
+}
+
+// fatal poisons the rank with an asynchronous transport error; the
+// rank aborts at its current or next blocking operation.
+func (r *Rank) fatal(err error) {
+	if r.done {
+		return
+	}
+	if r.err == nil {
+		r.err = err
+	}
+	if r.wake != nil {
+		r.wake(nil)
+	}
 }
 
 // NewWorld creates size = nodes × ranksPerNode ranks with block placement
@@ -156,13 +248,29 @@ func (w *World) Rank(id int) *Rank { return w.ranks[id] }
 // Run spawns every rank as a kernel task running main with the given
 // workload profile, drives the simulation until all ranks return, and
 // reports the completion time. The engine is stopped at completion; SMI
-// drivers must be armed by the caller beforehand if desired.
+// drivers must be armed by the caller beforehand if desired. Run panics
+// on any failure; RunE is the error-returning form.
 func (w *World) Run(prof cpu.Profile, main func(r *Rank, t *kernel.Task)) sim.Time {
+	end, err := w.RunE(prof, main)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: run failed: %v", err))
+	}
+	return end
+}
+
+// RunE is Run with failure reporting: rank aborts (ErrPeerUnreachable
+// from the reliable transport, or any error raised through Request
+// failure) and watchdog no-progress reports come back as an error
+// instead of a hang or panic, with the engine shut down so the run ends
+// at a bounded simulated time.
+func (w *World) RunE(prof cpu.Profile, main func(r *Rank, t *kernel.Task)) (sim.Time, error) {
 	w.remaining = len(w.ranks)
 	for _, r := range w.ranks {
 		r := r
 		r.task = r.node.Kernel.Spawn(fmt.Sprintf("rank%d", r.id), prof, func(t *kernel.Task) {
-			main(r, t)
+			w.runRank(r, t, main)
+			r.done = true
+			w.bump()
 			w.remaining--
 			if w.remaining == 0 {
 				w.endTime = w.cl.Eng.Now()
@@ -170,11 +278,48 @@ func (w *World) Run(prof cpu.Profile, main func(r *Rank, t *kernel.Task)) sim.Ti
 			}
 		})
 	}
+	w.armWatchdog()
 	w.cl.Eng.Run()
-	if w.remaining != 0 {
-		panic(fmt.Sprintf("mpi: deadlock — %d ranks never finished", w.remaining))
+	if w.wdEvent != nil {
+		w.cl.Eng.Cancel(w.wdEvent)
+		w.wdEvent = nil
 	}
-	return w.endTime
+	if w.remaining != 0 && w.wderr == nil && len(w.errs) == 0 {
+		// The event queue drained with ranks outstanding: a deadlock in
+		// the communication pattern itself (nothing in flight, no timer
+		// armed). Report it like a watchdog trip with interval zero.
+		w.wderr = w.noProgress(0)
+	}
+	if w.remaining != 0 {
+		// Reap parked rank processes so the engine is reusable.
+		w.cl.Eng.Shutdown()
+	}
+	if len(w.errs) > 0 || w.wderr != nil {
+		errs := w.errs
+		if w.wderr != nil {
+			errs = append(errs[:len(errs):len(errs)], error(w.wderr))
+		}
+		return w.cl.Eng.Now(), errors.Join(errs...)
+	}
+	return w.endTime, nil
+}
+
+// runRank runs one rank's main, converting a rankAbort unwind into a
+// recorded error. Anything else — including the engine's kill sentinel
+// during Shutdown — propagates.
+func (w *World) runRank(r *Rank, t *kernel.Task, main func(r *Rank, t *kernel.Task)) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		ab, ok := v.(rankAbort)
+		if !ok {
+			panic(v)
+		}
+		w.errs = append(w.errs, fmt.Errorf("rank %d: %w", ab.rank, ab.err))
+	}()
+	main(r, t)
 }
 
 // ID reports the rank number.
@@ -191,22 +336,27 @@ func (r *Rank) Isend(t *kernel.Task, dst, tag, bytes int) *Request {
 	}
 	par := r.w.par
 	t.Compute(par.SendOps + float64(bytes)*par.PackOpsPerByte)
-	req := &Request{}
+	req := &Request{kind: 's', peer: dst, tag: tag}
 	target := r.w.ranks[dst]
 	if bytes <= par.EagerLimit {
 		// Eager: payload travels immediately; the send buffer is
-		// reusable as soon as it is on the wire.
+		// reusable as soon as it is on the wire. A transport failure of
+		// the payload is asynchronous (the request already completed), so
+		// it poisons the sending rank instead.
 		m := &message{src: r.id, tag: tag, bytes: bytes}
-		r.w.cl.Fabric.Deliver(r.node.Index, target.node.Index, bytes+envelopeBytes, func() {
+		r.w.xmit(r, r.node, target.node, bytes+envelopeBytes, func() {
 			target.deliver(m)
-		})
+		}, nil)
 		req.complete(r.id, bytes)
 		return req
 	}
 	// Rendezvous: send an RTS; data moves once the receiver has posted.
 	m := &message{src: r.id, tag: tag, bytes: bytes, rendezvous: true, sendReq: req}
-	r.w.cl.Fabric.Deliver(r.node.Index, target.node.Index, envelopeBytes, func() {
+	r.w.xmit(r, r.node, target.node, envelopeBytes, func() {
 		target.deliver(m)
+	}, func(err error) {
+		req.fail(err)
+		r.fatal(err)
 	})
 	return req
 }
@@ -216,7 +366,7 @@ func (r *Rank) Isend(t *kernel.Task, dst, tag, bytes int) *Request {
 func (r *Rank) Irecv(t *kernel.Task, src, tag int) *Request {
 	par := r.w.par
 	t.Compute(par.RecvOps)
-	req := &Request{}
+	req := &Request{kind: 'r', peer: src, tag: tag}
 	for i, m := range r.mailbox {
 		if matches(src, tag, m.src, m.tag) {
 			r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
@@ -230,6 +380,7 @@ func (r *Rank) Irecv(t *kernel.Task, src, tag int) *Request {
 
 // deliver handles an arriving envelope: match a posted receive or queue.
 func (r *Rank) deliver(m *message) {
+	r.w.bump()
 	for i, rr := range r.posted {
 		if matches(rr.src, rr.tag, m.src, m.tag) {
 			r.posted = append(r.posted[:i], r.posted[i+1:]...)
@@ -243,31 +394,55 @@ func (r *Rank) deliver(m *message) {
 // consume completes a matched pair: eagerly delivered data completes at
 // once; a rendezvous RTS triggers CTS + data transfer over the fabric.
 func (r *Rank) consume(m *message, req *Request) {
+	w := r.w
+	w.bump()
 	if !m.rendezvous {
 		req.complete(m.src, m.bytes)
 		return
 	}
-	sender := r.w.ranks[m.src]
-	fab := r.w.cl.Fabric
+	sender := w.ranks[m.src]
+	// A lost CTS or payload strands both sides of the handshake, so a
+	// transport failure fails both requests and poisons both ranks.
+	failBoth := func(err error) {
+		m.sendReq.fail(err)
+		req.fail(err)
+		sender.fatal(err)
+		r.fatal(err)
+	}
 	// CTS back to the sender, then the payload to us.
-	fab.Deliver(r.node.Index, sender.node.Index, envelopeBytes, func() {
-		fab.Deliver(sender.node.Index, r.node.Index, m.bytes, func() {
+	w.xmit(r, r.node, sender.node, envelopeBytes, func() {
+		w.xmit(sender, sender.node, r.node, m.bytes, func() {
 			m.sendReq.complete(m.src, m.bytes)
 			req.complete(m.src, m.bytes)
-		})
-	})
+		}, failBoth)
+	}, failBoth)
 }
 
 func matches(wantSrc, wantTag, src, tag int) bool {
 	return (wantSrc == AnySource || wantSrc == src) && wantTag == tag
 }
 
-// Wait blocks until the request completes, charging completion cost.
+// Wait blocks until the request completes, charging completion cost. A
+// failed request — or an asynchronous transport failure poisoning the
+// rank — aborts the rank here, surfacing through RunE.
 func (r *Rank) Wait(t *kernel.Task, req *Request) {
-	if !req.done {
+	for !req.done {
+		if r.err != nil {
+			r.abort(r.err)
+		}
 		wake, wait := t.Proc().Wait()
 		req.wakes = append(req.wakes, wake)
+		r.wake = wake
+		r.waiting = req
 		wait()
+		r.wake = nil
+		r.waiting = nil
+	}
+	if req.err != nil {
+		r.abort(req.err)
+	}
+	if r.err != nil {
+		r.abort(r.err)
 	}
 	t.Compute(r.w.par.WaitOps)
 }

@@ -1,0 +1,144 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/sim"
+)
+
+// ErrPeerUnreachable is surfaced (wrapped) when the retransmission
+// protocol exhausts its retries without an acknowledgment — the peer
+// node crashed, was partitioned away, or the link is losing everything.
+var ErrPeerUnreachable = errors.New("mpi: peer unreachable")
+
+// DefaultMaxRetries bounds retransmissions per transfer when
+// Params.MaxRetries is zero.
+const DefaultMaxRetries = 8
+
+// TransportStats counts reliable-transport activity across the world.
+type TransportStats struct {
+	Transfers   int64 // transfers carried by the reliable protocol
+	Retransmits int64 // timeout-driven resends
+	Duplicates  int64 // copies discarded at the receiver
+	Acks        int64 // acknowledgments sent
+	Failures    int64 // transfers that exhausted their retries
+}
+
+// TransportStats reports the world's reliable-transport counters (all
+// zero when the protocol is disabled).
+func (w *World) TransportStats() TransportStats { return w.net }
+
+// xfer is one reliable transfer: the sender-side retransmission state
+// and the receiver-side dedup bit. (The simulator shares one object for
+// both ends; the wire protocol it models is a per-transfer sequence
+// number acknowledged end-to-end.)
+type xfer struct {
+	w         *World
+	src, dst  *cluster.Node
+	bytes     int
+	rto       sim.Time
+	tries     int
+	acked     bool
+	delivered bool
+	deliver   func()
+	fail      func(error)
+	timer     *sim.Event
+}
+
+// xmit moves `bytes` of wire data from node src to node dst, invoking
+// deliver exactly once when the data first arrives.
+//
+// With Params.RTO zero the transfer is fire-and-forget, exactly the
+// pre-fault fabric semantics: a dropped message is simply gone. With RTO
+// positive, every transfer is acknowledged by the receiver and
+// retransmitted on timeout with exponential backoff; after MaxRetries
+// the transfer fails with ErrPeerUnreachable, delivered through `fail`
+// (or, when fail is nil, by poisoning the owning rank's next blocking
+// operation).
+func (w *World) xmit(owner *Rank, src, dst *cluster.Node, bytes int, deliver func(), fail func(error)) {
+	if w.par.RTO <= 0 {
+		w.cl.Fabric.Deliver(src.Index, dst.Index, bytes, deliver)
+		return
+	}
+	if fail == nil {
+		fail = func(err error) { owner.fatal(err) }
+	}
+	x := &xfer{w: w, src: src, dst: dst, bytes: bytes,
+		rto: w.initialRTO(bytes), deliver: deliver, fail: fail}
+	w.net.Transfers++
+	x.attempt()
+}
+
+// initialRTO scales the configured RTO floor by the transfer's expected
+// flight time so large rendezvous payloads are not declared lost while
+// still serializing. Congestion can exceed the headroom; the resulting
+// spurious retransmits are deduplicated and counted, like real TCP
+// timeouts under incast.
+func (w *World) initialRTO(bytes int) sim.Time {
+	par := w.cl.Fabric.Params()
+	est := 2*par.Latency + 2*sim.Time(float64(bytes+envelopeBytes)/par.BytesPerSec*float64(sim.Second))
+	if rto := 4 * est; rto > w.par.RTO {
+		return rto
+	}
+	return w.par.RTO
+}
+
+func (x *xfer) attempt() {
+	x.w.cl.Fabric.Deliver(x.src.Index, x.dst.Index, x.bytes, x.arrive)
+	x.timer = x.w.cl.Eng.After(x.rto, x.timeout)
+}
+
+// arrive runs at the receiver when a copy of the transfer lands.
+func (x *xfer) arrive() {
+	if x.delivered {
+		x.w.net.Duplicates++
+		x.sendAck()
+		return
+	}
+	x.delivered = true
+	x.sendAck()
+	x.w.bump()
+	x.deliver()
+}
+
+// sendAck returns an acknowledgment envelope. Acks are themselves
+// unacknowledged; a lost ack costs one retransmission round.
+func (x *xfer) sendAck() {
+	x.w.net.Acks++
+	x.w.cl.Fabric.Deliver(x.dst.Index, x.src.Index, envelopeBytes, x.ackArrive)
+}
+
+func (x *xfer) ackArrive() {
+	if x.acked {
+		return
+	}
+	x.acked = true
+	x.w.cl.Eng.Cancel(x.timer)
+}
+
+func (x *xfer) timeout() {
+	if x.acked {
+		return
+	}
+	w := x.w
+	limit := w.par.MaxRetries
+	if limit <= 0 {
+		limit = DefaultMaxRetries
+	}
+	x.tries++
+	if x.tries > limit {
+		w.net.Failures++
+		x.fail(fmt.Errorf("%w: node %d -> node %d (%d bytes, %d attempts)",
+			ErrPeerUnreachable, x.src.Index, x.dst.Index, x.bytes, x.tries))
+		return
+	}
+	w.net.Retransmits++
+	backoff := w.par.RTOBackoff
+	if backoff < 1 {
+		backoff = 2
+	}
+	x.rto = sim.Time(float64(x.rto) * backoff)
+	x.attempt()
+}

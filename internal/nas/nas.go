@@ -84,13 +84,19 @@ func Run(w *mpi.World, spec Spec) (Result, error) {
 	verified := true
 	iterDone := make([]int, p)
 
-	w.Run(pb.profile, func(r *mpi.Rank, t *kernel.Task) {
+	_, err = w.RunE(pb.profile, func(r *mpi.Rank, t *kernel.Task) {
 		iters := pb.run(r, t, p)
 		iterDone[r.ID()] = iters
 		if end := t.Gettime(); end > maxEnd {
 			maxEnd = end
 		}
 	})
+	if err != nil {
+		// Faulted run: report how far the job got before failing, with
+		// the transport/watchdog error attached (callers distinguish
+		// crash-abort from no-progress via errors.Is / errors.As).
+		return Result{Spec: spec, Ranks: p, Time: maxEnd}, err
+	}
 	for _, it := range iterDone {
 		if it != iterDone[0] {
 			verified = false

@@ -55,7 +55,49 @@ func (p Params) Validate() error {
 	if p.BytesPerSec <= 0 || p.IntraBytesPerSec <= 0 {
 		return fmt.Errorf("netsim: non-positive bandwidth")
 	}
+	if p.CongestionBeta < 0 {
+		// A negative beta would make congested messages arrive faster
+		// than their serialization allows.
+		return fmt.Errorf("netsim: negative CongestionBeta %v", p.CongestionBeta)
+	}
 	return nil
+}
+
+// Verdict is a Perturber's decision about one message.
+type Verdict struct {
+	// Drop loses the message: it is serialized onto the sender's egress
+	// link (the NIC transmitted it) but never arrives and the delivery
+	// callback never runs.
+	Drop bool
+	// SlowFactor multiplies the serialization time when > 1 (degraded
+	// link bandwidth). Values ≤ 1 leave bandwidth untouched.
+	SlowFactor float64
+	// ExtraLatency is added to the one-way latency.
+	ExtraLatency sim.Time
+}
+
+// Perturber decides the fate of messages in flight — the hook through
+// which a fault injector makes the fabric lossy or degraded. Perturb is
+// called once per internode message before any link bookkeeping; it must
+// be deterministic given the engine's RNG state.
+type Perturber interface {
+	Perturb(src, dst, bytes int) Verdict
+}
+
+// LinkStats counts traffic on one directed node pair.
+type LinkStats struct {
+	Messages int64
+	Bytes    int64
+	Drops    int64
+	Dropped  int64 // bytes lost
+}
+
+// Stats summarizes fabric traffic, including losses.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+	Drops    int64
+	Dropped  int64 // bytes lost
 }
 
 // Fabric connects the nodes of a cluster.
@@ -70,9 +112,9 @@ type Fabric struct {
 	flows   [][]int
 	inFlows []int
 
-	// Stats
-	messages int64
-	bytes    int64
+	pert  Perturber
+	stats Stats
+	links [][]LinkStats
 }
 
 // New builds a fabric for `nodes` nodes.
@@ -84,8 +126,10 @@ func New(eng *sim.Engine, nodes int, par Params) (*Fabric, error) {
 		return nil, fmt.Errorf("netsim: %d nodes", nodes)
 	}
 	flows := make([][]int, nodes)
+	links := make([][]LinkStats, nodes)
 	for i := range flows {
 		flows[i] = make([]int, nodes)
+		links[i] = make([]LinkStats, nodes)
 	}
 	return &Fabric{
 		eng:     eng,
@@ -94,6 +138,7 @@ func New(eng *sim.Engine, nodes int, par Params) (*Fabric, error) {
 		ingress: make([]sim.Time, nodes),
 		flows:   flows,
 		inFlows: make([]int, nodes),
+		links:   links,
 	}, nil
 }
 
@@ -112,12 +157,21 @@ func (f *Fabric) Params() Params { return f.par }
 // Nodes reports the number of attached nodes.
 func (f *Fabric) Nodes() int { return len(f.egress) }
 
-// Stats reports total messages and bytes carried.
-func (f *Fabric) Stats() (messages, bytes int64) { return f.messages, f.bytes }
+// Stats reports total traffic carried and lost.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Link reports the traffic counters of the directed link src -> dst.
+func (f *Fabric) Link(src, dst int) LinkStats { return f.links[src][dst] }
+
+// SetPerturber installs (or, with nil, removes) the fault hook consulted
+// for every internode message.
+func (f *Fabric) SetPerturber(p Perturber) { f.pert = p }
 
 // Deliver schedules delivery of a message of the given size from node src
 // to node dst, invoking fn when the last byte arrives. It returns the
-// arrival time.
+// arrival time. If the active Perturber drops the message, fn never runs
+// and the returned time is when the sender finished transmitting into the
+// void.
 func (f *Fabric) Deliver(src, dst int, bytes int, fn func()) sim.Time {
 	if src < 0 || src >= len(f.egress) || dst < 0 || dst >= len(f.egress) {
 		panic(fmt.Sprintf("netsim: node out of range (%d -> %d of %d)", src, dst, len(f.egress)))
@@ -128,18 +182,42 @@ func (f *Fabric) Deliver(src, dst int, bytes int, fn func()) sim.Time {
 	if fn == nil {
 		fn = func() {}
 	}
-	f.messages++
-	f.bytes += int64(bytes)
+	f.stats.Messages++
+	f.stats.Bytes += int64(bytes)
+	f.links[src][dst].Messages++
+	f.links[src][dst].Bytes += int64(bytes)
 	now := f.eng.Now()
 
 	if src == dst {
+		// The loopback fast path never touches the NIC; node and link
+		// faults do not apply.
 		d := f.par.IntraLatency + serialize(bytes, f.par.IntraBytesPerSec)
 		at := now + d
 		f.eng.At(at, fn)
 		return at
 	}
 
+	var v Verdict
+	if f.pert != nil {
+		v = f.pert.Perturb(src, dst, bytes)
+	}
+
 	ser := serialize(bytes, f.par.BytesPerSec)
+	if v.SlowFactor > 1 {
+		ser = sim.Time(float64(ser) * v.SlowFactor)
+	}
+	if v.Drop {
+		// The sender's NIC still serializes the message; it is lost in
+		// the switch (or at a dead receiver) and never engages the
+		// ingress link or the incast bookkeeping.
+		f.stats.Drops++
+		f.stats.Dropped += int64(bytes)
+		f.links[src][dst].Drops++
+		f.links[src][dst].Dropped += int64(bytes)
+		txEnd := maxTime(now, f.egress[src]) + ser
+		f.egress[src] = txEnd
+		return txEnd
+	}
 	// Incast congestion: concurrent flows from other nodes toward dst
 	// degrade goodput past the switch-buffer cliff.
 	if f.par.CongestionBeta > 0 {
@@ -160,7 +238,7 @@ func (f *Fabric) Deliver(src, dst int, bytes int, fn func()) sim.Time {
 	f.egress[src] = txEnd
 	// Pipelined: first byte hits the receiver one latency after txStart;
 	// the ingress link then serializes it subject to earlier arrivals.
-	rxStart := maxTime(txStart+f.par.Latency, f.ingress[dst])
+	rxStart := maxTime(txStart+f.par.Latency+v.ExtraLatency, f.ingress[dst])
 	rxEnd := rxStart + ser
 	f.ingress[dst] = rxEnd
 	f.eng.At(rxEnd, func() {

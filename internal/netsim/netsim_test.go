@@ -99,9 +99,12 @@ func TestStats(t *testing.T) {
 	f.Deliver(0, 1, 100, nil)
 	f.Deliver(1, 0, 200, nil)
 	e.Shutdown() // don't run nil fns
-	msgs, bytes := f.Stats()
-	if msgs != 2 || bytes != 300 {
-		t.Fatalf("stats = (%d,%d), want (2,300)", msgs, bytes)
+	st := f.Stats()
+	if st.Messages != 2 || st.Bytes != 300 {
+		t.Fatalf("stats = (%d,%d), want (2,300)", st.Messages, st.Bytes)
+	}
+	if l := f.Link(0, 1); l.Messages != 1 || l.Bytes != 100 {
+		t.Fatalf("link 0->1 = %+v, want 1 message of 100 bytes", l)
 	}
 }
 

@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"smistudy/internal/sim"
+)
+
+// perturbFunc adapts a function to the Perturber interface.
+type perturbFunc func(src, dst, bytes int) Verdict
+
+func (f perturbFunc) Perturb(src, dst, bytes int) Verdict { return f(src, dst, bytes) }
+
+func TestNegativeCongestionBetaRejected(t *testing.T) {
+	p := GigabitEthernet()
+	p.CongestionBeta = -0.01
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative CongestionBeta accepted")
+	}
+	if _, err := New(sim.New(1), 2, p); err == nil {
+		t.Fatal("New accepted a fabric with negative CongestionBeta")
+	}
+}
+
+func TestPerturberDrop(t *testing.T) {
+	e, f := fabric(t, 2)
+	f.SetPerturber(perturbFunc(func(src, dst, bytes int) Verdict {
+		return Verdict{Drop: dst == 1}
+	}))
+	delivered := 0
+	f.Deliver(0, 1, 1000, func() { delivered++ }) // dropped
+	f.Deliver(1, 0, 1000, func() { delivered++ }) // survives
+	e.Run()
+	if delivered != 1 {
+		t.Fatalf("%d deliveries, want 1", delivered)
+	}
+	st := f.Stats()
+	if st.Drops != 1 || st.Dropped != 1000 {
+		t.Fatalf("drops = (%d msgs, %d bytes), want (1, 1000)", st.Drops, st.Dropped)
+	}
+	if l := f.Link(0, 1); l.Drops != 1 || l.Dropped != 1000 {
+		t.Fatalf("link 0->1 drops = %+v", l)
+	}
+	if l := f.Link(1, 0); l.Drops != 0 {
+		t.Fatalf("link 1->0 recorded a phantom drop: %+v", l)
+	}
+}
+
+func TestPerturberDegrade(t *testing.T) {
+	run := func(v Verdict) sim.Time {
+		e, f := fabric(t, 2)
+		f.SetPerturber(perturbFunc(func(src, dst, bytes int) Verdict { return v }))
+		var at sim.Time
+		f.Deliver(0, 1, 1_000_000, func() { at = e.Now() })
+		e.Run()
+		return at
+	}
+	clean := run(Verdict{})
+	slowed := run(Verdict{SlowFactor: 4})
+	lagged := run(Verdict{ExtraLatency: 10 * sim.Millisecond})
+	if slowed < 3*clean {
+		t.Fatalf("4x degradation delivered at %v vs clean %v", slowed, clean)
+	}
+	if got := lagged - clean; got != 10*sim.Millisecond {
+		t.Fatalf("extra latency shifted arrival by %v, want 10ms", got)
+	}
+}
+
+// Intra-node messages bypass the NIC, so the perturber must never see
+// them and they can never be dropped.
+func TestPerturberSkipsLoopback(t *testing.T) {
+	e, f := fabric(t, 2)
+	f.SetPerturber(perturbFunc(func(src, dst, bytes int) Verdict {
+		t.Errorf("perturber consulted for loopback %d->%d", src, dst)
+		return Verdict{Drop: true}
+	}))
+	delivered := false
+	f.Deliver(1, 1, 4096, func() { delivered = true })
+	e.Run()
+	if !delivered {
+		t.Fatal("loopback message lost")
+	}
+}
+
+// checkFlowInvariants asserts the incast bookkeeping invariants:
+// flows ≥ 0 everywhere, and inFlows[dst] equals the number of distinct
+// sources with at least one in-flight message toward dst.
+func checkFlowInvariants(t *testing.T, f *Fabric) {
+	t.Helper()
+	for dst := range f.inFlows {
+		distinct := 0
+		for src := range f.flows {
+			if f.flows[src][dst] < 0 {
+				t.Fatalf("flows[%d][%d] = %d < 0", src, dst, f.flows[src][dst])
+			}
+			if f.flows[src][dst] > 0 {
+				distinct++
+			}
+		}
+		if f.inFlows[dst] != distinct {
+			t.Fatalf("inFlows[%d] = %d, want %d distinct senders", dst, f.inFlows[dst], distinct)
+		}
+	}
+}
+
+// Property: under randomized overlapping Deliver schedules — with and
+// without a lossy perturber in play — the flows/inFlows incast
+// bookkeeping stays consistent at every delivery instant and drains to
+// zero at the end.
+func TestFlowBookkeepingProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const nodes = 6
+		e := sim.New(seed)
+		p := GigabitEthernet()
+		p.CongestionBeta = 0.05
+		f, err := New(e, nodes, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossy := seed%2 == 1
+		if lossy {
+			f.SetPerturber(perturbFunc(func(src, dst, bytes int) Verdict {
+				return Verdict{Drop: e.Rand().Float64() < 0.3}
+			}))
+		}
+		const msgs = 200
+		delivered := 0
+		for i := 0; i < msgs; i++ {
+			src := rng.Intn(nodes)
+			dst := rng.Intn(nodes)
+			bytes := rng.Intn(1 << 20)
+			at := sim.Time(rng.Int63n(int64(50 * sim.Millisecond)))
+			e.At(at, func() {
+				f.Deliver(src, dst, bytes, func() {
+					delivered++
+					checkFlowInvariants(t, f)
+				})
+				checkFlowInvariants(t, f)
+			})
+		}
+		e.Run()
+		checkFlowInvariants(t, f)
+		for dst := range f.inFlows {
+			if f.inFlows[dst] != 0 {
+				t.Fatalf("seed %d: inFlows[%d] = %d after drain", seed, dst, f.inFlows[dst])
+			}
+		}
+		st := f.Stats()
+		if int64(delivered)+st.Drops != st.Messages {
+			// Every message either arrived or was counted lost.
+			t.Fatalf("seed %d: delivered %d + drops %d != %d messages", seed, delivered, st.Drops, st.Messages)
+		}
+		if lossy && st.Drops == 0 {
+			t.Fatalf("seed %d: lossy run dropped nothing", seed)
+		}
+	}
+}

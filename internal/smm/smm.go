@@ -258,6 +258,19 @@ func (d *Driver) Stop() {
 // Running reports whether the driver is armed.
 func (d *Driver) Running() bool { return d.running }
 
+// Reconfigure swaps the driver's configuration, rearming it if it was
+// running or if the new configuration injects SMIs (an SMI-storm fault
+// must fire even on a node whose baseline driver is idle). An in-flight
+// SMI still completes under the old duration.
+func (d *Driver) Reconfigure(cfg DriverConfig) {
+	wasRunning := d.running
+	d.Stop()
+	d.cfg = cfg
+	if wasRunning || cfg.Level != SMMNone {
+		d.Start()
+	}
+}
+
 func (d *Driver) fire() {
 	if !d.running {
 		return

@@ -28,6 +28,7 @@ import (
 
 	"smistudy/internal/cluster"
 	"smistudy/internal/convolve"
+	"smistudy/internal/faults"
 	"smistudy/internal/kernel"
 	"smistudy/internal/metrics"
 	"smistudy/internal/mpi"
@@ -38,6 +39,18 @@ import (
 	"smistudy/internal/trace"
 	"smistudy/internal/ubench"
 )
+
+// ErrPeerUnreachable is returned (wrapped) by RunNAS when the MPI
+// retransmission protocol gives up on a dead or partitioned peer.
+var ErrPeerUnreachable = mpi.ErrPeerUnreachable
+
+// NoProgressError re-exports the MPI watchdog's per-rank blocked-state
+// report; retrieve it from a RunNAS error with errors.As.
+type NoProgressError = mpi.NoProgressError
+
+// FaultSchedule re-exports the fault timeline type for callers who want
+// scenarios beyond what FaultPlan describes.
+type FaultSchedule = faults.Schedule
 
 // SMMLevel selects the SMI injection level, exactly as in the paper:
 // SMM0 = none, SMM1 = short (1–3 ms), SMM2 = long (100–110 ms), fired
@@ -69,6 +82,67 @@ const (
 	ClassC = nas.ClassC
 )
 
+// FaultPlan describes the fault scenario of a NAS run. Each fault is
+// enabled by its probability or start time: LossProb > 0 arms uniform
+// message loss, CrashAt/HangAt/StormAt/DegradeAt > 0 arm the
+// corresponding node fault at that simulated time. The zero plan
+// injects nothing. Scenarios beyond this shape can be built directly
+// with FaultSchedule and the internal cluster API.
+type FaultPlan struct {
+	// LossProb drops every fabric message with this probability.
+	LossProb float64
+
+	// CrashAt > 0 crashes CrashNode at that time, permanently: CPUs
+	// halt, the SMI driver disarms, all its traffic is lost.
+	CrashNode int
+	CrashAt   sim.Time
+
+	// HangAt > 0 hangs HangNode for HangFor (0 = forever): CPUs halt
+	// but the node stays on the fabric and still acknowledges.
+	HangNode int
+	HangAt   sim.Time
+	HangFor  sim.Time
+
+	// StormAt > 0 reconfigures StormNode's SMI driver to one short SMI
+	// every StormPeriodJiffies jiffies (0 = 10) for StormFor.
+	StormNode          int
+	StormAt            sim.Time
+	StormFor           sim.Time
+	StormPeriodJiffies uint64
+
+	// DegradeAt > 0 degrades all traffic into DegradeNode for
+	// DegradeFor: serialization × DegradeSlow plus DegradeLatency.
+	DegradeNode    int
+	DegradeAt      sim.Time
+	DegradeFor     sim.Time
+	DegradeSlow    float64
+	DegradeLatency sim.Time
+}
+
+// Schedule lowers the plan to a fault timeline.
+func (p FaultPlan) Schedule() faults.Schedule {
+	var s faults.Schedule
+	if p.LossProb > 0 {
+		s.Add(faults.UniformLoss(p.LossProb))
+	}
+	if p.CrashAt > 0 {
+		s.Add(faults.CrashAt(p.CrashNode, p.CrashAt))
+	}
+	if p.HangAt > 0 {
+		s.Add(faults.HangAt(p.HangNode, p.HangAt, p.HangFor))
+	}
+	if p.StormAt > 0 {
+		s.Add(faults.StormAt(p.StormNode, p.StormAt, p.StormFor, p.StormPeriodJiffies))
+	}
+	if p.DegradeAt > 0 {
+		s.Add(faults.DegradeNodeLinks(p.DegradeNode, p.DegradeAt, p.DegradeFor, p.DegradeSlow, p.DegradeLatency))
+	}
+	return s
+}
+
+// Active reports whether the plan injects anything.
+func (p FaultPlan) Active() bool { return !p.Schedule().Empty() }
+
 // NASOptions configures one cell of the paper's MPI study.
 type NASOptions struct {
 	Bench        Benchmark
@@ -81,6 +155,15 @@ type NASOptions struct {
 	// six). Zero means one.
 	Runs int
 	Seed int64
+	// Faults, when non-nil and active, arms the fault scenario on every
+	// run. A plan that can lose messages automatically switches the MPI
+	// runtime to its reliable (ack/retransmit) transport, and the
+	// progress watchdog is armed so faulted runs fail in bounded
+	// simulated time instead of hanging.
+	Faults *FaultPlan
+	// Watchdog overrides the MPI progress-watchdog interval (zero =
+	// default, negative = disabled).
+	Watchdog sim.Time
 }
 
 // NASResult is a measured cell.
@@ -92,6 +175,12 @@ type NASResult struct {
 	MOPs      float64 // from the mean time
 	Verified  bool
 	Residency sim.Time // mean per-node SMM residency per run
+
+	// Fault-scenario accounting, summed over runs: messages the fabric
+	// dropped and the reliable transport's recovery activity.
+	Dropped     int64
+	Retransmits int64
+	Duplicates  int64
 }
 
 // Seconds is shorthand for MeanTime in seconds.
@@ -110,6 +199,15 @@ func RunNAS(o NASOptions) (NASResult, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	var sched faults.Schedule
+	if o.Faults != nil {
+		sched = o.Faults.Schedule()
+	}
+	par := mpi.DefaultParams()
+	if sched.Lossy() {
+		par = mpi.ReliableParams()
+	}
+	par.Watchdog = o.Watchdog
 	res := NASResult{Options: o, Verified: true}
 	var stream metrics.Stream
 	var residency sim.Time
@@ -120,13 +218,26 @@ func RunNAS(o NASOptions) (NASResult, error) {
 			return NASResult{}, err
 		}
 		cl.StartSMI()
-		w, err := mpi.NewWorld(cl, o.RanksPerNode, mpi.DefaultParams())
+		w, err := mpi.NewWorld(cl, o.RanksPerNode, par)
 		if err != nil {
 			return NASResult{}, err
 		}
-		r, err := nas.Run(w, nas.Spec{Bench: o.Bench, Class: o.Class})
-		if err != nil {
-			return NASResult{}, err
+		if !sched.Empty() {
+			inj, err := cl.Inject(sched)
+			if err != nil {
+				return NASResult{}, err
+			}
+			w.SetFaultObserver(inj)
+		}
+		r, runErr := nas.Run(w, nas.Spec{Bench: o.Bench, Class: o.Class})
+		// Transport accounting is valid even for a failed run — report
+		// how much recovery work preceded the failure.
+		res.Dropped += cl.Fabric.Stats().Drops
+		ts := w.TransportStats()
+		res.Retransmits += ts.Retransmits
+		res.Duplicates += ts.Duplicates
+		if runErr != nil {
+			return res, runErr
 		}
 		res.Ranks = r.Ranks
 		res.Times = append(res.Times, r.Time)
