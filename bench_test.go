@@ -20,6 +20,7 @@ import (
 	"smistudy/internal/mpi"
 	"smistudy/internal/nas"
 	"smistudy/internal/netsim"
+	"smistudy/internal/parsweep"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -43,6 +44,19 @@ func BenchmarkTable1BT(b *testing.B) {
 			}
 		}
 		b.ReportMetric(worst, "worst-long-impact-%")
+	}
+}
+
+// BenchmarkTable1BTParallel is BenchmarkTable1BT with the sweep cells
+// fanned over every CPU; the table itself is byte-identical, only the
+// wall time changes.
+func BenchmarkTable1BTParallel(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Workers = parsweep.Workers(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -218,7 +232,9 @@ func BenchmarkAblationRendezvousCost(b *testing.B) {
 
 // BenchmarkEngineEvents measures raw engine throughput: how many
 // schedule+dispatch cycles per second the simulator core sustains.
+// With the event free list this is 0 allocs/op at steady state.
 func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
 	e := sim.New(1)
 	b.ResetTimer()
 	count := 0

@@ -8,19 +8,31 @@
 //	smibench -figure 2         # Figure 2 (UnixBench)
 //	smibench -all              # everything
 //	smibench -all -quick       # reduced grids, 1 run per cell
+//	smibench -all -parallel 0  # fan sweep cells over every CPU
 //	smibench -figure 1 -csv    # raw points as CSV
+//	smibench -benchjson results/BENCH_sweeps.json  # perf baseline
 //
 // Every run is deterministic for a given -seed; -runs overrides the
 // paper's per-cell averaging (6 for MPI tables, 3 for figures).
+// -parallel runs independent sweep cells concurrently (1 = sequential,
+// 0 = all CPUs) without changing any output byte: every cell owns its
+// own simulation engine, and results are assembled in sweep order.
+//
+// -benchjson runs the sweep suite at quick scale sequentially and at
+// the -parallel worker count, recording wall time and allocations per
+// sweep plus the sim engine's per-event cost, and writes the report as
+// JSON to the given file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"smistudy"
 	"smistudy/internal/experiments"
+	"smistudy/internal/parsweep"
 )
 
 func main() {
@@ -34,11 +46,17 @@ func main() {
 	csv := flag.Bool("csv", false, "emit raw CSV instead of rendered output (figures)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of rendered output")
 	compare := flag.Int("compare", 0, "regenerate table 1-3 and diff against the paper's published values")
+	parallel := flag.Int("parallel", 1, "sweep cells run concurrently (1 = sequential, 0 = all CPUs)")
+	benchJSON := flag.String("benchjson", "", "write the sweep perf baseline (quick scale) as JSON to this file")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Runs: *runs, Seed: *seed}
+	workers := *parallel
+	if workers < 1 {
+		workers = parsweep.Workers(0)
+	}
+	cfg := experiments.Config{Quick: *quick, Runs: *runs, Seed: *seed, Workers: workers}
 
-	if !*all && *table == 0 && *figure == 0 && *ext == "" && *compare == 0 {
+	if !*all && *table == 0 && *figure == 0 && *ext == "" && *compare == 0 && *benchJSON == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -47,6 +65,26 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smibench:", err)
 			os.Exit(1)
+		}
+	}
+
+	if *benchJSON != "" {
+		sets := []int{1}
+		if workers > 1 {
+			sets = append(sets, workers)
+		} else if n := parsweep.Workers(0); n > 1 {
+			sets = append(sets, n)
+		}
+		rep, err := experiments.BenchSweeps(cfg, sets)
+		run(err)
+		out, err := rep.ToJSON()
+		run(err)
+		run(os.MkdirAll(filepath.Dir(*benchJSON), 0o755))
+		run(os.WriteFile(*benchJSON, []byte(out), 0o644))
+		fmt.Printf("wrote %s (%d sweep timings, engine event %.1f ns / %.2f allocs)\n",
+			*benchJSON, len(rep.Sweeps), rep.EngineEventNS, rep.EngineEventAllocs)
+		if *table == 0 && *figure == 0 && *ext == "" && *compare == 0 && !*all {
+			return
 		}
 	}
 	emit := func(v interface{ Render() string }) {

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"smistudy"
+	"smistudy/internal/parsweep"
 	"smistudy/internal/sim"
 )
 
@@ -47,7 +48,13 @@ func main() {
 	stormAt := flag.Float64("storm-at", 0, "nas: SMI-storm start in seconds (0 = no storm)")
 	stormFor := flag.Float64("storm-for", 0, "nas: SMI-storm duration in seconds (0 = to end of run)")
 	watchdog := flag.Float64("watchdog", 0, "nas: progress-watchdog interval in seconds (0 = default, <0 = off)")
+	parallel := flag.Int("parallel", 1, "repeat runs concurrently (1 = sequential, 0 = all CPUs); output is identical either way")
 	flag.Parse()
+
+	workers := *parallel
+	if workers < 1 {
+		workers = parsweep.Workers(0)
+	}
 
 	fail := func(err error) {
 		if err != nil {
@@ -78,6 +85,7 @@ func main() {
 			Runs:         *runs,
 			Seed:         *seed,
 			Watchdog:     sim.FromSeconds(*watchdog),
+			Workers:      workers,
 		}
 		if plan.Active() {
 			// Reject malformed fault flags up front: a bad flag value is
@@ -116,7 +124,7 @@ func main() {
 		}
 		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
 			Behavior: beh, CPUs: *cpus, SMIIntervalMS: *interval,
-			Runs: *runs, Seed: *seed,
+			Runs: *runs, Seed: *seed, Workers: workers,
 		})
 		fail(err)
 		fmt.Printf("convolve %v  cpus=%d interval=%dms threads=%d\n", beh, *cpus, *interval, res.Threads)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smistudy"
@@ -8,6 +9,7 @@ import (
 	"smistudy/internal/metrics"
 	"smistudy/internal/mpi"
 	"smistudy/internal/nas"
+	"smistudy/internal/parsweep"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -34,16 +36,35 @@ func AmplificationStudy(cfg Config) (string, error) {
 	if cfg.Quick {
 		cells = cells[:2]
 	}
-	tab := metrics.NewTable("bench", "class", "nodes", "base (s)", "noisy (s)", "residency/node (s)", "amplification ×")
+	// Flatten each cell into its two independent runs (quiet, noisy);
+	// the per-cell "no residency injected" check moves to the fold so
+	// the sweep units stay independent single runs.
+	type ampPoint struct {
+		cell  cell
+		level smm.Level
+	}
+	var pts []ampPoint
 	for _, c := range cells {
-		base, noisy, res, err := amplifyCell(cfg, c.bench, c.class, c.nodes)
-		if err != nil {
-			return "", err
+		pts = append(pts, ampPoint{c, smm.SMMNone}, ampPoint{c, smm.SMMLong})
+	}
+	type ampOut struct {
+		time      sim.Time
+		residency sim.Time
+	}
+	outs, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p ampPoint) (ampOut, error) {
+		t, res, err := amplifyRun(cfg, p.cell.bench, p.cell.class, p.cell.nodes, p.level)
+		return ampOut{t, res}, err
+	})
+	if err != nil {
+		return "", err
+	}
+	tab := metrics.NewTable("bench", "class", "nodes", "base (s)", "noisy (s)", "residency/node (s)", "amplification ×")
+	for i, c := range cells {
+		base, noisy, res := outs[2*i].time, outs[2*i+1].time, outs[2*i+1].residency
+		if res == 0 {
+			return "", fmt.Errorf("experiments: no residency injected for %s.%c on %d nodes", c.bench, c.class, c.nodes)
 		}
-		factor := 0.0
-		if res > 0 {
-			factor = (noisy - base).Seconds() / res.Seconds()
-		}
+		factor := (noisy - base).Seconds() / res.Seconds()
 		tab.AddRow(string(c.bench), string(c.class), c.nodes,
 			base.Seconds(), noisy.Seconds(), res.Seconds(), factor)
 	}
@@ -54,34 +75,22 @@ func AmplificationStudy(cfg Config) (string, error) {
 		tab.String(), nil
 }
 
-func amplifyCell(cfg Config, b smistudy.Benchmark, class smistudy.Class, nodes int) (base, noisy sim.Time, residency sim.Time, err error) {
-	run := func(level smm.Level) (sim.Time, sim.Time, error) {
-		e := sim.New(cfg.seed())
-		cl, err := cluster.New(e, cluster.Wyeast(nodes, false, level))
-		if err != nil {
-			return 0, 0, err
-		}
-		cl.StartSMI()
-		w, err := mpi.NewWorld(cl, 1, mpi.DefaultParams())
-		if err != nil {
-			return 0, 0, err
-		}
-		res, err := nas.Run(w, nas.Spec{Bench: nas.Benchmark(b), Class: nas.Class(class)})
-		if err != nil {
-			return 0, 0, err
-		}
-		return res.Time, cl.TotalSMMResidency() / sim.Time(len(cl.Nodes)), nil
-	}
-	base, _, err = run(smm.SMMNone)
+// amplifyRun measures one benchmark run under the given SMM level on a
+// fresh engine, returning the run time and the per-node SMM residency.
+func amplifyRun(cfg Config, b smistudy.Benchmark, class smistudy.Class, nodes int, level smm.Level) (sim.Time, sim.Time, error) {
+	e := sim.New(cfg.seed())
+	cl, err := cluster.New(e, cluster.Wyeast(nodes, false, level))
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, err
 	}
-	noisy, residency, err = run(smm.SMMLong)
+	cl.StartSMI()
+	w, err := mpi.NewWorld(cl, 1, mpi.DefaultParams())
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, err
 	}
-	if residency == 0 {
-		return base, noisy, 0, fmt.Errorf("experiments: no residency injected for %s.%c on %d nodes", b, class, nodes)
+	res, err := nas.Run(w, nas.Spec{Bench: nas.Benchmark(b), Class: nas.Class(class)})
+	if err != nil {
+		return 0, 0, err
 	}
-	return base, noisy, residency, nil
+	return res.Time, cl.TotalSMMResidency() / sim.Time(len(cl.Nodes)), nil
 }

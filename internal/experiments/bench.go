@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"smistudy/internal/sim"
+)
+
+// Bench harness: the recorded perf baseline behind BENCH_sweeps.json.
+// Each table/figure sweep runs at quick scale once per requested worker
+// count, measuring wall time and heap churn; a final entry measures the
+// sim engine's steady-state allocations per scheduled event (the free
+// list should hold this at zero). The JSON this produces is committed
+// under results/ so later optimization work has a trajectory to diff
+// against.
+
+// BenchEntry is one measured sweep (or the engine churn probe).
+type BenchEntry struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	Mallocs    uint64  `json:"mallocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+}
+
+// BenchReport is the full harness output.
+type BenchReport struct {
+	GoMaxProcs    int          `json:"gomaxprocs"`
+	Quick         bool         `json:"quick"`
+	Seed          int64        `json:"seed"`
+	Sweeps        []BenchEntry `json:"sweeps"`
+	EngineEventNS float64      `json:"engine_event_ns"`
+	// EngineEventAllocs is allocations per steady-state schedule+fire
+	// on a warm engine; the event free list keeps this at 0.
+	EngineEventAllocs float64 `json:"engine_event_allocs"`
+}
+
+// ToJSON renders the report as indented JSON.
+func (r BenchReport) ToJSON() (string, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}
+
+// benchSweepSuite lists the sweeps the harness times. Each returns only
+// an error: results are discarded, the subject is the sweep machinery.
+func benchSweepSuite() []struct {
+	name string
+	fn   func(Config) error
+} {
+	return []struct {
+		name string
+		fn   func(Config) error
+	}{
+		{"table1", func(c Config) error { _, err := Table1(c); return err }},
+		{"table4", func(c Config) error { _, err := Table4(c); return err }},
+		{"figure1_convolve", func(c Config) error { _, err := Figure1Convolve(c); return err }},
+		{"figure2_unixbench", func(c Config) error { _, err := Figure2UnixBench(c); return err }},
+		{"fault_study", func(c Config) error { _, err := FaultStudy(c); return err }},
+		{"amplification", func(c Config) error { _, err := AmplificationStudy(c); return err }},
+	}
+}
+
+// BenchSweeps runs every sweep in the suite once per worker count in
+// workerSets, at quick scale, and measures the engine's per-event cost.
+func BenchSweeps(cfg Config, workerSets []int) (BenchReport, error) {
+	rep := BenchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      true,
+		Seed:       cfg.Seed,
+	}
+	cfg.Quick = true
+	for _, s := range benchSweepSuite() {
+		for _, w := range workerSets {
+			c := cfg
+			c.Workers = w
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			if err := s.fn(c); err != nil {
+				return BenchReport{}, err
+			}
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			rep.Sweeps = append(rep.Sweeps, BenchEntry{
+				Name:       s.name,
+				Workers:    w,
+				WallMS:     float64(wall.Microseconds()) / 1000,
+				Mallocs:    after.Mallocs - before.Mallocs,
+				AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			})
+		}
+	}
+	rep.EngineEventNS, rep.EngineEventAllocs = benchEngineEvent()
+	return rep, nil
+}
+
+// benchEngineEvent measures a warm engine's schedule+fire cost: the
+// self-rescheduling tick pattern every clock and SMI driver uses. The
+// first tick warms the free list; the measured window is steady state.
+func benchEngineEvent() (nsPerEvent, allocsPerEvent float64) {
+	const events = 1 << 20
+	e := sim.New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < events {
+			e.After(1, tick)
+		}
+	}
+	// Warm-up: allocate the one event the pattern needs, then recycle it.
+	e.After(1, func() {})
+	e.Run()
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	e.After(1, tick)
+	e.Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(wall.Nanoseconds()) / events,
+		float64(after.Mallocs-before.Mallocs) / events
+}

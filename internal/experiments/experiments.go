@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"smistudy"
 	"smistudy/internal/metrics"
+	"smistudy/internal/parsweep"
 	"smistudy/internal/sim"
 )
 
@@ -25,6 +27,12 @@ type Config struct {
 	// Quick shrinks grids (class A only, fewer sweep points) for smoke
 	// tests and benchmarks.
 	Quick bool
+	// Workers fans the sweep's independent cells over this many OS
+	// threads (each cell builds its own simulation engine, so any
+	// worker count produces byte-identical output). ≤ 1 runs
+	// sequentially; the CLIs resolve their -parallel flag to all CPUs
+	// before it reaches here.
+	Workers int
 }
 
 func (c Config) runs(def int) int {
@@ -79,27 +87,55 @@ type NASTable struct {
 	Rows   []NASRow
 }
 
-// nasGrid runs the full SMM sweep for one benchmark/class/nodes/rpn cell.
-func nasCell(cfg Config, b smistudy.Benchmark, cl smistudy.Class, nodes, rpn int, htt bool) (Triple, error) {
-	var tr Triple
+// nasCellPoint is one independent sweep unit of the MPI tables: a
+// single (benchmark, class, nodes, ranks/node, HTT, SMM level)
+// configuration. Tables flatten their grids into these points, fan them
+// over cfg.Workers with parsweep, and reassemble rows in input order —
+// so the rendered output is byte-identical to the nested sequential
+// loops this replaces.
+type nasCellPoint struct {
+	bench smistudy.Benchmark
+	class smistudy.Class
+	nodes int
+	rpn   int
+	htt   bool
+	level smistudy.SMMLevel
+}
+
+// levels expands one table cell into its three SMM-level points.
+func levels(b smistudy.Benchmark, cl smistudy.Class, nodes, rpn int, htt bool) []nasCellPoint {
+	pts := make([]nasCellPoint, 0, 3)
 	for _, lv := range []smistudy.SMMLevel{smistudy.SMM0, smistudy.SMM1, smistudy.SMM2} {
+		pts = append(pts, nasCellPoint{bench: b, class: cl, nodes: nodes, rpn: rpn, htt: htt, level: lv})
+	}
+	return pts
+}
+
+// runNASCells measures every point, in parallel when cfg.Workers > 1,
+// returning each point's mean runtime in seconds in input order.
+func runNASCells(cfg Config, pts []nasCellPoint) ([]float64, error) {
+	return parsweep.Run(context.Background(), pts, cfg.Workers, func(p nasCellPoint) (float64, error) {
 		res, err := smistudy.RunNAS(smistudy.NASOptions{
-			Bench: b, Class: cl, Nodes: nodes, RanksPerNode: rpn,
-			HTT: htt, SMM: lv, Runs: cfg.runs(6), Seed: cfg.seed(),
+			Bench: p.bench, Class: p.class, Nodes: p.nodes, RanksPerNode: p.rpn,
+			HTT: p.htt, SMM: p.level, Runs: cfg.runs(6), Seed: cfg.seed(),
 		})
 		if err != nil {
-			return tr, err
+			return 0, err
 		}
-		switch lv {
-		case smistudy.SMM0:
-			tr.SMM0 = res.Seconds()
-		case smistudy.SMM1:
-			tr.SMM1 = res.Seconds()
-		default:
-			tr.SMM2 = res.Seconds()
-		}
-	}
-	return tr, nil
+		return res.Seconds(), nil
+	})
+}
+
+// tripleReader walks a runNASCells result slice three seconds at a time.
+type tripleReader struct {
+	secs []float64
+	k    int
+}
+
+func (r *tripleReader) next() *Triple {
+	tr := Triple{SMM0: r.secs[r.k], SMM1: r.secs[r.k+1], SMM2: r.secs[r.k+2]}
+	r.k += 3
+	return &tr
 }
 
 func (c Config) classes() []smistudy.Class {
@@ -118,19 +154,23 @@ func Table1(cfg Config) (NASTable, error) {
 	if cfg.Quick {
 		nodes = []int{1, 4}
 	}
+	var pts []nasCellPoint
+	for _, class := range cfg.classes() {
+		for _, n := range nodes {
+			pts = append(pts, levels(smistudy.BT, class, n, 1, false)...)
+			pts = append(pts, levels(smistudy.BT, class, n, 4, false)...)
+		}
+	}
+	secs, err := runNASCells(cfg, pts)
+	if err != nil {
+		return t, err
+	}
+	rd := tripleReader{secs: secs}
 	for _, class := range cfg.classes() {
 		for _, n := range nodes {
 			row := NASRow{Class: class, Nodes: n}
-			one, err := nasCell(cfg, smistudy.BT, class, n, 1, false)
-			if err != nil {
-				return t, err
-			}
-			row.One = &one
-			four, err := nasCell(cfg, smistudy.BT, class, n, 4, false)
-			if err != nil {
-				return t, err
-			}
-			row.Four = &four
+			row.One = rd.next()
+			row.Four = rd.next()
 			t.Rows = append(t.Rows, row)
 		}
 	}
@@ -160,21 +200,27 @@ func nasPow2Table(cfg Config, number int, b smistudy.Benchmark, title string, sk
 	if cfg.Quick {
 		nodes = []int{1, 4}
 	}
+	var pts []nasCellPoint
+	for _, class := range cfg.classes() {
+		for _, n := range nodes {
+			if skipOne == nil || !skipOne(class, n) {
+				pts = append(pts, levels(b, class, n, 1, false)...)
+			}
+			pts = append(pts, levels(b, class, n, 4, false)...)
+		}
+	}
+	secs, err := runNASCells(cfg, pts)
+	if err != nil {
+		return t, err
+	}
+	rd := tripleReader{secs: secs}
 	for _, class := range cfg.classes() {
 		for _, n := range nodes {
 			row := NASRow{Class: class, Nodes: n}
 			if skipOne == nil || !skipOne(class, n) {
-				one, err := nasCell(cfg, b, class, n, 1, false)
-				if err != nil {
-					return t, err
-				}
-				row.One = &one
+				row.One = rd.next()
 			}
-			four, err := nasCell(cfg, b, class, n, 4, false)
-			if err != nil {
-				return t, err
-			}
-			row.Four = &four
+			row.Four = rd.next()
 			t.Rows = append(t.Rows, row)
 		}
 	}
@@ -242,18 +288,23 @@ func httTable(cfg Config, number int, b smistudy.Benchmark, title string) (HTTTa
 	if cfg.Quick {
 		nodes = []int{1, 4}
 	}
+	var pts []nasCellPoint
+	for _, class := range cfg.classes() {
+		for _, n := range nodes {
+			pts = append(pts, levels(b, class, n, 4, false)...)
+			pts = append(pts, levels(b, class, n, 4, true)...)
+		}
+	}
+	secs, err := runNASCells(cfg, pts)
+	if err != nil {
+		return t, err
+	}
+	rd := tripleReader{secs: secs}
 	for _, class := range cfg.classes() {
 		for _, n := range nodes {
 			row := HTTRow{Class: class, Nodes: n}
-			off, err := nasCell(cfg, b, class, n, 4, false)
-			if err != nil {
-				return t, err
-			}
-			on, err := nasCell(cfg, b, class, n, 4, true)
-			if err != nil {
-				return t, err
-			}
-			row.Off, row.On = off, on
+			row.Off = *rd.next()
+			row.On = *rd.next()
 			t.Rows = append(t.Rows, row)
 		}
 	}
@@ -308,25 +359,38 @@ func Figure1Convolve(cfg Config) (Figure1, error) {
 		intervals = []int{50, 400, 1500}
 		cpus = []int{1, 4, 8}
 	}
-	var fig Figure1
+	type convPoint struct {
+		beh smistudy.CacheBehavior
+		nc  int
+		iv  int
+	}
+	var pts []convPoint
 	for _, beh := range []smistudy.CacheBehavior{smistudy.CacheUnfriendly, smistudy.CacheFriendly} {
 		for _, nc := range cpus {
 			for _, iv := range intervals {
-				res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
-					Behavior: beh, CPUs: nc, SMIIntervalMS: iv,
-					Runs: cfg.runs(3), Seed: cfg.seed(),
-				})
-				if err != nil {
-					return fig, err
-				}
-				fig.Points = append(fig.Points, ConvolvePoint{
-					Behavior: beh, CPUs: nc, IntervalMS: iv,
-					Seconds: res.MeanTime.Seconds(),
-					StdDev:  res.StdDev.Seconds(),
-				})
+				pts = append(pts, convPoint{beh, nc, iv})
 			}
 		}
 	}
+	var fig Figure1
+	points, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p convPoint) (ConvolvePoint, error) {
+		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
+			Behavior: p.beh, CPUs: p.nc, SMIIntervalMS: p.iv,
+			Runs: cfg.runs(3), Seed: cfg.seed(),
+		})
+		if err != nil {
+			return ConvolvePoint{}, err
+		}
+		return ConvolvePoint{
+			Behavior: p.beh, CPUs: p.nc, IntervalMS: p.iv,
+			Seconds: res.MeanTime.Seconds(),
+			StdDev:  res.StdDev.Seconds(),
+		}, nil
+	})
+	if err != nil {
+		return fig, err
+	}
+	fig.Points = points
 	return fig, nil
 }
 
@@ -409,24 +473,39 @@ func Figure2UnixBench(cfg Config) (Figure2, error) {
 		cpus = []int{1, 4, 8}
 	}
 	iters := cfg.runs(3)
-	var fig Figure2
+	type ubPoint struct {
+		nc, iv, it int
+	}
+	var pts []ubPoint
 	for _, nc := range cpus {
 		for _, iv := range intervals {
 			for it := 0; it < iters; it++ {
-				res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
-					CPUs: nc, SMIIntervalMS: iv, Level: smistudy.SMM2,
-					Seed:     cfg.seed() + int64(it),
-					Duration: 2 * sim.Second,
-				})
-				if err != nil {
-					return fig, err
-				}
-				fig.Points = append(fig.Points, UnixBenchPoint{
-					CPUs: nc, IntervalMS: iv, Iteration: it, Score: res.Score,
-				})
+				pts = append(pts, ubPoint{nc, iv, it})
 			}
 		}
 	}
+	var fig Figure2
+	points, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p ubPoint) (UnixBenchPoint, error) {
+		res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
+			CPUs: p.nc, SMIIntervalMS: p.iv, Level: smistudy.SMM2,
+			// Mix the cell coordinates into the derived seed: the old
+			// base+iteration derivation reused identical seeds across
+			// every (CPUs, interval) cell, making sibling cells
+			// statistically dependent.
+			Seed:     parsweep.Seed(cfg.seed(), int64(p.nc), int64(p.iv), int64(p.it)),
+			Duration: 2 * sim.Second,
+		})
+		if err != nil {
+			return UnixBenchPoint{}, err
+		}
+		return UnixBenchPoint{
+			CPUs: p.nc, IntervalMS: p.iv, Iteration: p.it, Score: res.Score,
+		}, nil
+	})
+	if err != nil {
+		return fig, err
+	}
+	fig.Points = points
 	return fig, nil
 }
 

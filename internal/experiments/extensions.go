@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"smistudy"
 	"smistudy/internal/metrics"
+	"smistudy/internal/parsweep"
 )
 
 // Extension experiments: beyond the paper's tables and figures, these
@@ -21,12 +23,15 @@ func RIMTradeoff(cfg Config) (string, error) {
 	if cfg.Quick {
 		chunks = []int{0, 256}
 	}
+	results, err := parsweep.Run(context.Background(), chunks, cfg.Workers, func(kb int) (smistudy.RIMResult, error) {
+		return smistudy.RunRIM(smistudy.RIMOptions{ChunkKB: kb, Seed: cfg.seed()})
+	})
+	if err != nil {
+		return "", err
+	}
 	tab := metrics.NewTable("chunk", "slowdown %", "worst stall (ms)", "check latency (ms)", "checks")
-	for _, kb := range chunks {
-		res, err := smistudy.RunRIM(smistudy.RIMOptions{ChunkKB: kb, Seed: cfg.seed()})
-		if err != nil {
-			return "", err
-		}
+	for i, kb := range chunks {
+		res := results[i]
 		label := "whole (25 MB)"
 		if kb > 0 {
 			label = fmt.Sprintf("%d KiB", kb)
@@ -44,12 +49,16 @@ func RIMTradeoff(cfg Config) (string, error) {
 // EnergyStudy measures the extra energy to complete fixed work under
 // each SMI level (the IISWC'13 finding).
 func EnergyStudy(cfg Config) (string, error) {
+	lvls := []smistudy.SMMLevel{smistudy.SMM1, smistudy.SMM2}
+	results, err := parsweep.Run(context.Background(), lvls, cfg.Workers, func(lv smistudy.SMMLevel) (smistudy.EnergyResult, error) {
+		return smistudy.MeasureEnergy(lv, cfg.seed())
+	})
+	if err != nil {
+		return "", err
+	}
 	tab := metrics.NewTable("level", "quiet (J)", "noisy (J)", "extra energy %", "extra time %")
-	for _, lv := range []smistudy.SMMLevel{smistudy.SMM1, smistudy.SMM2} {
-		res, err := smistudy.MeasureEnergy(lv, cfg.seed())
-		if err != nil {
-			return "", err
-		}
+	for i, lv := range lvls {
+		res := results[i]
 		tab.AddRow(lv.String(), res.QuietJoules, res.NoisyJoules,
 			res.EnergyIncreasePct,
 			metrics.PercentChange(res.QuietTime.Seconds(), res.NoisyTime.Seconds()))
@@ -64,15 +73,25 @@ func DriftStudy(cfg Config) (string, error) {
 	if cfg.Quick {
 		intervals = []int{1000}
 	}
-	tab := metrics.NewTable("level", "interval (ms)", "drift over 10s", "ppm")
+	type driftPoint struct {
+		lv smistudy.SMMLevel
+		iv int
+	}
+	var pts []driftPoint
 	for _, lv := range []smistudy.SMMLevel{smistudy.SMM1, smistudy.SMM2} {
 		for _, iv := range intervals {
-			res, err := smistudy.MeasureClockDrift(lv, iv, 10, cfg.seed())
-			if err != nil {
-				return "", err
-			}
-			tab.AddRow(lv.String(), iv, res.Drift.String(), res.PPM)
+			pts = append(pts, driftPoint{lv, iv})
 		}
+	}
+	results, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p driftPoint) (smistudy.DriftResult, error) {
+		return smistudy.MeasureClockDrift(p.lv, p.iv, 10, cfg.seed())
+	})
+	if err != nil {
+		return "", err
+	}
+	tab := metrics.NewTable("level", "interval (ms)", "drift over 10s", "ppm")
+	for i, p := range pts {
+		tab.AddRow(p.lv.String(), p.iv, results[i].Drift.String(), results[i].PPM)
 	}
 	return "Tick-counted wall-clock drift (ticks lost in SMM; NTP tolerates ~500 ppm):\n\n" +
 		tab.String(), nil
@@ -80,20 +99,30 @@ func DriftStudy(cfg Config) (string, error) {
 
 // ProfilerStudy measures sampling-profiler distortion under long SMIs.
 func ProfilerStudy(cfg Config) (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Sampling profiler under long SMIs every 500 ms (2:1 workload):\n\n")
-	for _, mode := range []struct {
+	type profMode struct {
 		name string
 		m    smistudy.ProfilerMode
-	}{
+	}
+	modes := []profMode{
 		{"drop-in-SMM (NMI profiler)", smistudy.ProfilerDropInSMM},
 		{"defer-to-exit (timer profiler)", smistudy.ProfilerDeferToExit},
-	} {
+	}
+	chunks, err := parsweep.Run(context.Background(), modes, cfg.Workers, func(mode profMode) (string, error) {
 		rep := smistudy.ProfileWorkload(mode.m, cfg.seed())
-		fmt.Fprintf(&b, "[%s]  samples=%d lost=%d deferred=%d max share skew=%.1f%%\n",
+		var c strings.Builder
+		fmt.Fprintf(&c, "[%s]  samples=%d lost=%d deferred=%d max share skew=%.1f%%\n",
 			mode.name, rep.Total, rep.Lost, rep.Deferred, rep.MaxSkew*100)
-		b.WriteString(indent(rep.Table(), "  "))
-		b.WriteByte('\n')
+		c.WriteString(indent(rep.Table(), "  "))
+		c.WriteByte('\n')
+		return c.String(), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sampling profiler under long SMIs every 500 ms (2:1 workload):\n\n")
+	for _, c := range chunks {
+		b.WriteString(c)
 	}
 	return b.String(), nil
 }
@@ -107,27 +136,37 @@ func ExtendedNAS(cfg Config) (string, error) {
 		benches = []smistudy.Benchmark{"CG", "IS"}
 		nodes = []int{1, 4}
 	}
-	tab := metrics.NewTable("bench", "nodes", "SMM0 (s)", "SMM2 (s)", "long impact %")
+	type extPoint struct {
+		bench smistudy.Benchmark
+		nodes int
+		level smistudy.SMMLevel
+	}
+	var pts []extPoint
 	for _, bench := range benches {
 		for _, n := range nodes {
-			var base, long float64
 			for _, lv := range []smistudy.SMMLevel{smistudy.SMM0, smistudy.SMM2} {
-				res, err := smistudy.RunNAS(smistudy.NASOptions{
-					Bench: bench, Class: smistudy.ClassA,
-					Nodes: n, RanksPerNode: 1, SMM: lv,
-					Runs: cfg.runs(3), Seed: cfg.seed(),
-				})
-				if err != nil {
-					return "", err
-				}
-				if lv == smistudy.SMM0 {
-					base = res.Seconds()
-				} else {
-					long = res.Seconds()
-				}
+				pts = append(pts, extPoint{bench, n, lv})
 			}
-			tab.AddRow(string(bench), n, base, long, metrics.PercentChange(base, long))
 		}
+	}
+	secs, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p extPoint) (float64, error) {
+		res, err := smistudy.RunNAS(smistudy.NASOptions{
+			Bench: p.bench, Class: smistudy.ClassA,
+			Nodes: p.nodes, RanksPerNode: 1, SMM: p.level,
+			Runs: cfg.runs(3), Seed: cfg.seed(),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Seconds(), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	tab := metrics.NewTable("bench", "nodes", "SMM0 (s)", "SMM2 (s)", "long impact %")
+	for i := 0; i < len(pts); i += 2 {
+		base, long := secs[i], secs[i+1]
+		tab.AddRow(string(pts[i].bench), pts[i].nodes, base, long, metrics.PercentChange(base, long))
 	}
 	return "Extended NPB kernels (class A, 1 rank/node, long SMIs at 1/s) —\n" +
 		"the paper's future work, 'additional parallel applications':\n\n" +

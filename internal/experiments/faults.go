@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"smistudy/internal/metrics"
 	"smistudy/internal/mpi"
 	"smistudy/internal/nas"
+	"smistudy/internal/parsweep"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -53,28 +55,43 @@ func lossSweep(cfg Config) (string, error) {
 		benches = benches[:1]
 		rates = []float64{0, 0.01}
 	}
-	tab := metrics.NewTable("bench", "loss %", "time (s)", "slowdown %", "drops", "retransmits")
+	type lossPoint struct {
+		bench smistudy.Benchmark
+		rate  float64
+	}
+	var pts []lossPoint
 	for _, bench := range benches {
-		var base float64
 		for _, p := range rates {
-			opts := smistudy.NASOptions{
-				Bench: bench, Class: smistudy.ClassA,
-				Nodes: 4, RanksPerNode: 1, Seed: cfg.seed(),
-			}
-			if p > 0 {
-				opts.Faults = &smistudy.FaultPlan{LossProb: p}
-			}
-			res, err := smistudy.RunNAS(opts)
-			if err != nil {
-				return "", fmt.Errorf("experiments: %s.A at %.1f%% loss: %w", bench, p*100, err)
-			}
-			sec := res.MeanTime.Seconds()
-			if p == 0 {
-				base = sec
-			}
-			tab.AddRow(string(bench), p*100, sec,
-				metrics.PercentChange(base, sec), res.Dropped, res.Retransmits)
+			pts = append(pts, lossPoint{bench, p})
 		}
+	}
+	results, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(pt lossPoint) (smistudy.NASResult, error) {
+		opts := smistudy.NASOptions{
+			Bench: pt.bench, Class: smistudy.ClassA,
+			Nodes: 4, RanksPerNode: 1, Seed: cfg.seed(),
+		}
+		if pt.rate > 0 {
+			opts.Faults = &smistudy.FaultPlan{LossProb: pt.rate}
+		}
+		res, err := smistudy.RunNAS(opts)
+		if err != nil {
+			return smistudy.NASResult{}, fmt.Errorf("experiments: %s.A at %.1f%% loss: %w", pt.bench, pt.rate*100, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	tab := metrics.NewTable("bench", "loss %", "time (s)", "slowdown %", "drops", "retransmits")
+	var base float64
+	for i, pt := range pts {
+		res := results[i]
+		sec := res.MeanTime.Seconds()
+		if pt.rate == 0 {
+			base = sec
+		}
+		tab.AddRow(string(pt.bench), pt.rate*100, sec,
+			metrics.PercentChange(base, sec), res.Dropped, res.Retransmits)
 	}
 	return "Loss sweep (class A, 4 nodes, ack/retransmit transport when lossy;\n" +
 		"the 0% rows are the fire-and-forget baseline, so their slowdown\n" +
@@ -124,31 +141,29 @@ func degradeAmplification(cfg Config) (string, error) {
 	}
 	slow := faults.DegradeNodeLinks(1, 0, 0, 4, 200*sim.Microsecond)
 
-	clean, _, err := faultedNASRun(cfg.seed(), spec, nodes, faults.Schedule{})
-	if err != nil {
-		return "", err
-	}
 	var one faults.Schedule
 	one.Add(slow)
-	oneRes, _, err := faultedNASRun(cfg.seed(), spec, nodes, one)
-	if err != nil {
-		return "", err
-	}
 	var all faults.Schedule
 	allSlow := slow
 	allSlow.Dst = faults.Wildcard
 	all.Add(allSlow)
-	allRes, _, err := faultedNASRun(cfg.seed(), spec, nodes, all)
-	if err != nil {
-		return "", err
-	}
-
 	var storm faults.Schedule
 	storm.Add(faults.StormAt(1, 0, 0, 10))
-	stormRes, stormResidency, err := faultedNASRun(cfg.seed(), spec, nodes, storm)
+
+	type faultedOut struct {
+		res       nas.Result
+		residency sim.Time
+	}
+	scheds := []faults.Schedule{{}, one, all, storm}
+	outs, err := parsweep.Run(context.Background(), scheds, cfg.Workers, func(s faults.Schedule) (faultedOut, error) {
+		res, residency, err := faultedNASRun(cfg.seed(), spec, nodes, s)
+		return faultedOut{res, residency}, err
+	})
 	if err != nil {
 		return "", err
 	}
+	clean, oneRes, allRes, stormRes := outs[0].res, outs[1].res, outs[2].res, outs[3].res
+	stormResidency := outs[3].residency
 	stormExtra := stormRes.Time - clean.Time
 	stormShare := 0.0
 	if stormResidency > 0 {
@@ -202,8 +217,13 @@ func crashTiming(cfg Config) (string, error) {
 	if cfg.Quick {
 		fractions = fractions[:1]
 	}
-	tab := metrics.NewTable("crash at", "outcome", "detected after (s)", "retransmits")
-	for _, frac := range fractions {
+	// The crash error is the measured outcome, not a sweep failure, so it
+	// rides inside the payload instead of aborting the pool.
+	type crashOut struct {
+		res smistudy.NASResult
+		err error
+	}
+	outs, poolErr := parsweep.Run(context.Background(), fractions, cfg.Workers, func(frac float64) (crashOut, error) {
 		crashAt := sim.FromSeconds(base.MeanTime.Seconds() * frac)
 		res, err := smistudy.RunNAS(smistudy.NASOptions{
 			Bench: smistudy.EP, Class: smistudy.ClassA,
@@ -211,6 +231,15 @@ func crashTiming(cfg Config) (string, error) {
 			Watchdog: 10 * sim.Second,
 			Faults:   &smistudy.FaultPlan{CrashNode: 1, CrashAt: crashAt},
 		})
+		return crashOut{res, err}, nil
+	})
+	if poolErr != nil {
+		return "", poolErr
+	}
+	tab := metrics.NewTable("crash at", "outcome", "detected after (s)", "retransmits")
+	for i, frac := range fractions {
+		crashAt := sim.FromSeconds(base.MeanTime.Seconds() * frac)
+		res, err := outs[i].res, outs[i].err
 		var np *smistudy.NoProgressError
 		outcome := "completed"
 		detected := "-"

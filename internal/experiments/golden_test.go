@@ -1,0 +1,89 @@
+package experiments
+
+// Golden equivalence: the parallel sweep runner's determinism contract
+// is that worker count never changes a byte of output. Each test runs
+// the same quick-scale sweep sequentially and with 4 workers and
+// compares both the rendered text and the JSON encoding.
+
+import "testing"
+
+func goldenCfg(workers int) Config {
+	return Config{Quick: true, Seed: 7, Workers: workers}
+}
+
+// assertSameJSON compares the ToJSON encodings of two results.
+func assertSameJSON(t *testing.T, seq, par any) {
+	t.Helper()
+	js, err := ToJSON(seq)
+	if err != nil {
+		t.Fatalf("ToJSON(seq): %v", err)
+	}
+	jp, err := ToJSON(par)
+	if err != nil {
+		t.Fatalf("ToJSON(par): %v", err)
+	}
+	if js != jp {
+		t.Errorf("JSON differs between workers=1 and workers=4:\nseq:\n%s\npar:\n%s", js, jp)
+	}
+}
+
+func TestGoldenTable1ParallelEquivalence(t *testing.T) {
+	seq, err := Table1(goldenCfg(1))
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := Table1(goldenCfg(4))
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if seq.Render() != par.Render() {
+		t.Errorf("rendered Table 1 differs between workers=1 and workers=4:\nseq:\n%s\npar:\n%s",
+			seq.Render(), par.Render())
+	}
+	assertSameJSON(t, seq, par)
+}
+
+func TestGoldenFigure1ParallelEquivalence(t *testing.T) {
+	seq, err := Figure1Convolve(goldenCfg(1))
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := Figure1Convolve(goldenCfg(4))
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if seq.CSV() != par.CSV() {
+		t.Errorf("Figure 1 CSV differs between workers=1 and workers=4:\nseq:\n%s\npar:\n%s",
+			seq.CSV(), par.CSV())
+	}
+	assertSameJSON(t, seq, par)
+}
+
+func TestGoldenFigure2ParallelEquivalence(t *testing.T) {
+	seq, err := Figure2UnixBench(goldenCfg(1))
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := Figure2UnixBench(goldenCfg(4))
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if seq.Render() != par.Render() {
+		t.Errorf("rendered Figure 2 differs between workers=1 and workers=4")
+	}
+	assertSameJSON(t, seq, par)
+}
+
+func TestGoldenFaultStudyParallelEquivalence(t *testing.T) {
+	seq, err := FaultStudy(goldenCfg(1))
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := FaultStudy(goldenCfg(4))
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if seq != par {
+		t.Errorf("fault study report differs between workers=1 and workers=4:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+}

@@ -115,10 +115,16 @@ func (x *xfer) ackArrive() {
 		return
 	}
 	x.acked = true
-	x.w.cl.Eng.Cancel(x.timer)
+	if x.timer != nil {
+		x.w.cl.Eng.Cancel(x.timer)
+		x.timer = nil
+	}
 }
 
 func (x *xfer) timeout() {
+	// This retransmission timer has fired; drop the handle so an ack
+	// arriving after the final retry cannot cancel a recycled event.
+	x.timer = nil
 	if x.acked {
 		return
 	}

@@ -86,6 +86,7 @@ func (s *Sampler) Stop() {
 }
 
 func (s *Sampler) fire() {
+	s.next = nil // fired: the handle must not reach a later Cancel
 	if !s.running {
 		return
 	}
@@ -106,6 +107,7 @@ func (s *Sampler) fire() {
 }
 
 func (s *Sampler) fireDeferred() {
+	s.next = nil // fired: the handle must not reach a later Cancel
 	if !s.running {
 		return
 	}

@@ -136,6 +136,9 @@ func (a *Agent) Running() bool { return a.running }
 // check runs one measurement (possibly as a chain of chunk SMIs), then
 // re-arms for the next period.
 func (a *Agent) check() {
+	// The armed event has fired; drop the handle so a Stop during the
+	// chunk chain cannot cancel a recycled event.
+	a.next = nil
 	if !a.running {
 		return
 	}

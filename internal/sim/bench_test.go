@@ -1,0 +1,85 @@
+package sim
+
+// Engine hot-path benchmarks: schedule/fire/cancel churn with allocation
+// reporting. The per-event numbers here are the floor under every
+// experiment sweep — a full table regeneration is hundreds of millions
+// of these operations — so the free list keeping steady-state events at
+// 0 allocs/op is what the BENCH_sweeps.json trajectory leans on.
+//
+//	go test ./internal/sim -bench=. -benchmem
+
+import "testing"
+
+// BenchmarkScheduleFire measures the self-rescheduling tick pattern —
+// one push + one pop + one callback per iteration — that clocks, SMI
+// drivers and watchdogs all use.
+func BenchmarkScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, tick)
+	e.Run()
+}
+
+// BenchmarkScheduleCancel measures the armed-timer pattern: schedule a
+// timeout, cancel it before it fires (the reliable transport does this
+// once per acknowledged message).
+func BenchmarkScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	fn := func() {}
+	driver := func() {
+		for i := 0; i < b.N; i++ {
+			ev := e.At(e.Now()+10, fn)
+			e.Cancel(ev)
+			e.At(e.Now()+1, fn)
+			e.RunUntil(e.Now() + 1)
+		}
+	}
+	b.ResetTimer()
+	driver()
+}
+
+// BenchmarkScheduleFireDeep measures heap churn at depth: a standing
+// population of pending events (as in a big cluster: one timer per CPU,
+// flow and driver) with one schedule+fire per iteration at the front.
+func BenchmarkScheduleFireDeep(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	fn := func() {}
+	// Standing background population far in the future.
+	for i := 0; i < 1024; i++ {
+		e.At(Forever/2+Time(i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, fn)
+		e.RunUntil(e.Now() + 1)
+	}
+}
+
+// BenchmarkCancelOfMany measures removeAt on random heap positions.
+func BenchmarkCancelOfMany(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	fn := func() {}
+	const standing = 512
+	evs := make([]*Event, 0, standing)
+	for i := 0; i < standing; i++ {
+		evs = append(evs, e.At(Time(e.Rand().Int63n(1<<40)+1), fn))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % standing
+		e.Cancel(evs[j])
+		evs[j] = e.At(Time(e.Rand().Int63n(1<<40)+1), fn)
+	}
+}

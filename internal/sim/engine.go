@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -9,6 +8,15 @@ import (
 // Event is a scheduled callback. Events are ordered by time, then by
 // scheduling order (FIFO among simultaneous events), which keeps runs
 // deterministic.
+//
+// Lifecycle: the *Event returned by At/After is valid only while the
+// event is pending. Once the event fires or is canceled the engine
+// recycles the object for a later At/After (the free list is what makes
+// steady-state scheduling allocation-free), so holders of a stored
+// handle must drop it — conventionally by nilling their field — when
+// the callback runs or right after Cancel. Canceling from inside the
+// event's own callback is safe (the object is not recycled until the
+// callback returns); canceling a handle kept across a fire is not.
 type Event struct {
 	at       Time
 	seq      uint64
@@ -23,33 +31,96 @@ func (ev *Event) Time() Time { return ev.at }
 // Canceled reports whether the event has been canceled.
 func (ev *Event) Canceled() bool { return ev.canceled }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The sift
+// operations are hand-rolled rather than going through container/heap:
+// push/pop is the hottest path in the simulator and the interface
+// dispatch plus any-boxing of the stdlib API is measurable there.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+
+func (h *eventHeap) push(ev *Event) {
 	ev.index = len(*h)
 	*h = append(*h, ev)
+	h.siftUp(ev.index)
 }
-func (h *eventHeap) Pop() any {
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *Event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	old.swap(0, n)
+	ev := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
 	ev.index = -1
-	*h = old[:n-1]
 	return ev
+}
+
+// removeAt removes the event at heap index i.
+func (h *eventHeap) removeAt(i int) {
+	old := *h
+	n := len(old) - 1
+	ev := old[i]
+	if i != n {
+		old.swap(i, n)
+		old[n] = nil
+		*h = old[:n]
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	} else {
+		old[n] = nil
+		*h = old[:n]
+	}
+	ev.index = -1
+}
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown reports whether the element moved.
+func (h eventHeap) siftDown(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && h.less(right, left) {
+			best = right
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h.swap(i, best)
+		i = best
+	}
+	return i > start
 }
 
 // Engine is a discrete-event simulation kernel. It is not safe for
@@ -58,6 +129,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	queue   eventHeap
+	free    []*Event // recycled Event objects, reused by At/After
 	seq     uint64
 	rng     *rand.Rand
 	running bool
@@ -69,10 +141,18 @@ type Engine struct {
 	nextProcID int
 }
 
+// queueHint presizes the event queue and free list: a cluster run keeps
+// on the order of one pending event per CPU, fabric flow and timer, so
+// starting at this capacity avoids the early append-grow churn without
+// costing meaningful memory on small engines.
+const queueHint = 128
+
 // New returns an engine with its clock at zero and a deterministic RNG
 // derived from seed.
 func New(seed int64) *Engine {
 	return &Engine{
+		queue: make(eventHeap, 0, queueHint),
+		free:  make([]*Event, 0, queueHint),
 		rng:   rand.New(rand.NewSource(seed)),
 		yield: make(chan struct{}),
 		procs: make(map[*Proc]struct{}),
@@ -85,6 +165,26 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// alloc takes an Event from the free list, or makes one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle returns a fired or canceled event to the free list. The
+// canceled flag is deliberately left as-is so a just-canceled handle
+// still answers Canceled() truthfully until the object is reused; At
+// resets every field on reuse.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would silently corrupt causality.
 func (e *Engine) At(t Time, fn func()) *Event {
@@ -92,8 +192,12 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.queue, ev)
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.canceled = false
+	e.queue.push(ev)
 	return ev
 }
 
@@ -115,8 +219,8 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.queue.removeAt(ev.index)
+	e.recycle(ev)
 }
 
 // Stop makes Run return after the current event completes.
@@ -148,9 +252,13 @@ func (e *Engine) RunUntil(limit Time) {
 	defer func() { e.running = false }()
 
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= limit {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.queue.popMin()
 		e.now = ev.at
 		ev.fn()
+		// Recycle only after fn returns: a Cancel of the firing event
+		// from inside its own callback must see the popped (index -1)
+		// object, not a reused one.
+		e.recycle(ev)
 	}
 	if !e.stopped && limit != Forever && limit > e.now {
 		e.now = limit
@@ -158,13 +266,26 @@ func (e *Engine) RunUntil(limit Time) {
 }
 
 // Shutdown terminates all parked processes (via a recovered panic inside
-// each process goroutine) and drains the event queue. It is intended for
-// tests and for aborting simulations early without leaking goroutines.
-func (e *Engine) Shutdown() {
+// each process goroutine), drains the event queue, and clears the
+// stopped/running latches so the engine can schedule and Run again. It
+// returns the number of parked processes it had to kill — a non-zero
+// count after a run that was expected to finish cleanly means the model
+// leaked processes. It is intended for tests and for aborting
+// simulations early without leaking goroutines.
+func (e *Engine) Shutdown() int {
+	if e.running {
+		panic("sim: Shutdown called while running")
+	}
+	leaked := 0
 	for p := range e.procs {
 		if p.state == procParked {
 			p.kill()
+			leaked++
 		}
 	}
-	e.queue = nil
+	for len(e.queue) > 0 {
+		e.recycle(e.queue.popMin())
+	}
+	e.stopped = false
+	return leaked
 }

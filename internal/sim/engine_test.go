@@ -241,6 +241,87 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// Shutdown after a mid-run Stop must leave the engine reusable: clean
+// latches, empty queue, and fresh events must schedule and run.
+func TestShutdownAfterStopReusable(t *testing.T) {
+	e := New(1)
+	e.At(1, func() { e.Stop() })
+	e.At(2, func() { t.Error("event after Stop ran") })
+	e.Go("parked", func(p *Proc) {
+		var sig Signal
+		sig.Wait(p) // parks forever; Shutdown must reap it
+	})
+	e.Run()
+	if leaked := e.Shutdown(); leaked != 1 {
+		t.Fatalf("Shutdown reported %d leaked procs, want 1", leaked)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+	// The engine must now accept and run new work.
+	ran := false
+	e.At(e.Now()+5, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("engine not reusable after Shutdown")
+	}
+	if leaked := e.Shutdown(); leaked != 0 {
+		t.Fatalf("clean engine reported %d leaked procs", leaked)
+	}
+}
+
+// Fired and canceled events must be recycled: steady-state scheduling
+// cannot allocate once the free list is primed.
+func TestEventFreeListReuse(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	ev := e.At(1, fn)
+	e.Run()
+	if ev2 := e.At(2, fn); ev2 != ev {
+		t.Error("fired event not recycled")
+	} else {
+		e.Cancel(ev2)
+	}
+	if ev3 := e.At(3, fn); ev3 != ev {
+		t.Error("canceled event not recycled")
+	}
+	e.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Cancel(e.At(e.Now()+1, fn))
+		e.At(e.Now()+1, fn)
+		e.RunUntil(e.Now() + 2)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule/fire/cancel allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// A canceled handle keeps answering Canceled() until its object is
+// reused, and double-Cancel of a recycled object must not corrupt the
+// free list (no double insertion).
+func TestCancelRecycleNoDoubleFree(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	ev := e.At(5, fn)
+	e.Cancel(ev)
+	if !ev.Canceled() {
+		t.Fatal("canceled event not marked")
+	}
+	e.Cancel(ev) // second cancel: must be a no-op, not a second recycle
+	a := e.At(6, fn)
+	b := e.At(7, fn)
+	if a == b {
+		t.Fatal("free list handed out the same event twice")
+	}
+	fired := 0
+	e.At(8, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
 func TestPeekTime(t *testing.T) {
 	e := New(1)
 	if e.PeekTime() != Forever {

@@ -25,6 +25,10 @@ type Proc struct {
 	resume chan any
 	pval   any  // panic value propagated from the process goroutine
 	dead   bool // killed or finished
+
+	// wakeFn resumes the process with no value. Built once so the
+	// Sleep hot path does not allocate a closure per call.
+	wakeFn func()
 }
 
 // Go spawns a new process executing fn. The process starts at the current
@@ -38,6 +42,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		state:  procNew,
 		resume: make(chan any),
 	}
+	p.wakeFn = func() { e.transfer(p, nil) }
 	e.procs[p] = struct{}{}
 
 	go func() {
@@ -57,7 +62,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 
-	e.At(e.now, func() { e.transfer(p, nil) })
+	e.At(e.now, p.wakeFn)
 	return p
 }
 
@@ -129,7 +134,7 @@ func (p *Proc) Sleep(d Time) {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
 	e := p.eng
-	e.At(e.now+d, func() { e.transfer(p, nil) })
+	e.At(e.now+d, p.wakeFn)
 	p.park()
 }
 
@@ -168,8 +173,7 @@ func (s *Signal) Broadcast(e *Engine) {
 	ws := s.waiters
 	s.waiters = nil
 	for _, p := range ws {
-		proc := p
-		e.At(e.now, func() { e.transfer(proc, nil) })
+		e.At(e.now, p.wakeFn)
 	}
 }
 

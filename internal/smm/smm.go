@@ -272,6 +272,9 @@ func (d *Driver) Reconfigure(cfg DriverConfig) {
 }
 
 func (d *Driver) fire() {
+	// The armed event has fired; drop the handle before anything else
+	// so a Stop during the in-flight SMI cannot cancel a recycled event.
+	d.next = nil
 	if !d.running {
 		return
 	}

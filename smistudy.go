@@ -24,6 +24,7 @@
 package smistudy
 
 import (
+	"context"
 	"fmt"
 
 	"smistudy/internal/cluster"
@@ -34,6 +35,7 @@ import (
 	"smistudy/internal/mpi"
 	"smistudy/internal/nas"
 	"smistudy/internal/noise"
+	"smistudy/internal/parsweep"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 	"smistudy/internal/trace"
@@ -155,6 +157,10 @@ type NASOptions struct {
 	// six). Zero means one.
 	Runs int
 	Seed int64
+	// Workers fans the independent runs over this many OS threads
+	// (each run has its own simulation engine). ≤ 1 runs sequentially;
+	// any value yields bit-identical results.
+	Workers int
 	// Faults, when non-nil and active, arms the fault scenario on every
 	// run. A plan that can lose messages automatically switches the MPI
 	// runtime to its reliable (ack/retransmit) transport, and the
@@ -208,42 +214,81 @@ func RunNAS(o NASOptions) (NASResult, error) {
 		par = mpi.ReliableParams()
 	}
 	par.Watchdog = o.Watchdog
-	res := NASResult{Options: o, Verified: true}
-	var stream metrics.Stream
-	var residency sim.Time
-	for i := 0; i < runs; i++ {
+	// Each run owns a fresh engine and cluster, so runs are fanned over
+	// o.Workers threads and folded back in input order — byte-identical
+	// to the sequential loop this replaces. Errors ride inside the
+	// per-run output (never through the pool) so a failed run's
+	// transport accounting is still folded in, exactly as before.
+	type runOut struct {
+		setupErr error
+		runErr   error
+		ranks    int
+		time     sim.Time
+		verified bool
+		resid    sim.Time
+
+		dropped, retransmits, duplicates int64
+	}
+	idx := make([]int, runs)
+	for i := range idx {
+		idx[i] = i
+	}
+	outs, _ := parsweep.Run(context.Background(), idx, o.Workers, func(i int) (runOut, error) {
+		var out runOut
 		e := sim.New(seed + int64(i))
 		cl, err := cluster.New(e, cluster.Wyeast(o.Nodes, o.HTT, o.SMM))
 		if err != nil {
-			return NASResult{}, err
+			out.setupErr = err
+			return out, nil
 		}
 		cl.StartSMI()
 		w, err := mpi.NewWorld(cl, o.RanksPerNode, par)
 		if err != nil {
-			return NASResult{}, err
+			out.setupErr = err
+			return out, nil
 		}
 		if !sched.Empty() {
 			inj, err := cl.Inject(sched)
 			if err != nil {
-				return NASResult{}, err
+				out.setupErr = err
+				return out, nil
 			}
 			w.SetFaultObserver(inj)
 		}
 		r, runErr := nas.Run(w, nas.Spec{Bench: o.Bench, Class: o.Class})
 		// Transport accounting is valid even for a failed run — report
 		// how much recovery work preceded the failure.
-		res.Dropped += cl.Fabric.Stats().Drops
+		out.dropped = cl.Fabric.Stats().Drops
 		ts := w.TransportStats()
-		res.Retransmits += ts.Retransmits
-		res.Duplicates += ts.Duplicates
-		if runErr != nil {
-			return res, runErr
+		out.retransmits = ts.Retransmits
+		out.duplicates = ts.Duplicates
+		out.runErr = runErr
+		if runErr == nil {
+			out.ranks = r.Ranks
+			out.time = r.Time
+			out.verified = r.Verified
+			out.resid = cl.TotalSMMResidency() / sim.Time(len(cl.Nodes))
 		}
-		res.Ranks = r.Ranks
-		res.Times = append(res.Times, r.Time)
-		res.Verified = res.Verified && r.Verified
-		stream.Add(r.Time.Seconds())
-		residency += cl.TotalSMMResidency() / sim.Time(len(cl.Nodes))
+		return out, nil
+	})
+	res := NASResult{Options: o, Verified: true}
+	var stream metrics.Stream
+	var residency sim.Time
+	for _, out := range outs {
+		if out.setupErr != nil {
+			return NASResult{}, out.setupErr
+		}
+		res.Dropped += out.dropped
+		res.Retransmits += out.retransmits
+		res.Duplicates += out.duplicates
+		if out.runErr != nil {
+			return res, out.runErr
+		}
+		res.Ranks = out.ranks
+		res.Times = append(res.Times, out.time)
+		res.Verified = res.Verified && out.verified
+		stream.Add(out.time.Seconds())
+		residency += out.resid
 	}
 	res.MeanTime = sim.FromSeconds(stream.Mean())
 	res.Residency = residency / sim.Time(runs)
@@ -288,6 +333,9 @@ type ConvolveOptions struct {
 	Runs   int
 	Seed   int64
 	Passes int // repetitions of the convolution; zero = preset default
+	// Workers fans the independent runs over this many OS threads;
+	// ≤ 1 runs sequentially. Results are bit-identical either way.
+	Workers int
 }
 
 // ConvolveResult is one measured Convolve point.
@@ -327,22 +375,39 @@ func RunConvolve(o ConvolveOptions) (ConvolveResult, error) {
 			PhaseJitter:   true,
 		}
 	}
-	res := ConvolveResult{Options: o}
-	var stream metrics.Stream
-	for i := 0; i < runs; i++ {
+	// Independent engines per run: fan over o.Workers threads, fold in
+	// input order — identical to the sequential loop for any worker
+	// count.
+	type runOut struct {
+		elapsed sim.Time
+		threads int
+	}
+	idx := make([]int, runs)
+	for i := range idx {
+		idx[i] = i
+	}
+	outs, err := parsweep.Run(context.Background(), idx, o.Workers, func(i int) (runOut, error) {
 		e := sim.New(seed + int64(i))
 		cl, err := cluster.New(e, cluster.R410(smi))
 		if err != nil {
-			return ConvolveResult{}, err
+			return runOut{}, err
 		}
 		if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
-			return ConvolveResult{}, err
+			return runOut{}, err
 		}
 		cl.StartSMI()
 		r := convolve.RunSim(cl, cfg)
-		res.Times = append(res.Times, r.Elapsed)
-		res.Threads = r.Threads
-		stream.Add(r.Elapsed.Seconds())
+		return runOut{elapsed: r.Elapsed, threads: r.Threads}, nil
+	})
+	if err != nil {
+		return ConvolveResult{}, err
+	}
+	res := ConvolveResult{Options: o}
+	var stream metrics.Stream
+	for _, out := range outs {
+		res.Times = append(res.Times, out.elapsed)
+		res.Threads = out.threads
+		stream.Add(out.elapsed.Seconds())
 	}
 	res.MeanTime = sim.FromSeconds(stream.Mean())
 	res.StdDev = sim.FromSeconds(stream.StdDev())
