@@ -9,6 +9,7 @@
 //	mpibench                       # quiet fabric
 //	mpibench -smm 2 -interval 500  # with long SMIs every 500ms
 //	mpibench -nodes 8 -rpn 4
+//	mpibench -trace t.json -metrics m.json  # per-measurement timelines
 package main
 
 import (
@@ -21,11 +22,21 @@ import (
 	"smistudy/internal/kernel"
 	"smistudy/internal/metrics"
 	"smistudy/internal/mpi"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
 
 var prof = cpu.Profile{CPI: 1}
+
+// bus is non-nil when -trace or -metrics is given; every measurement's
+// fresh engine is wired to it under a distinct run index, so the
+// timeline shows each ping-pong size and collective as its own process
+// group.
+var (
+	bus    *obs.Bus
+	runIdx int32
+)
 
 func main() {
 	nodes := flag.Int("nodes", 4, "cluster nodes")
@@ -33,7 +44,17 @@ func main() {
 	level := flag.Int("smm", 0, "SMM level: 0 none, 1 short, 2 long")
 	interval := flag.Int("interval", 1000, "SMI interval in ms")
 	seed := flag.Int64("seed", 1, "random seed")
+	traceOut := flag.String("trace", "", "stream a Chrome trace-event timeline of every measurement to this file")
+	metricsOut := flag.String("metrics", "", "write the aggregated metrics snapshot as JSON to this file")
+	manifestOut := flag.String("manifest", "", "write a reproducibility manifest (flags + versions) as JSON to this file")
 	flag.Parse()
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpibench:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *level < 0 || *level > 2 {
 		fmt.Fprintln(os.Stderr, "mpibench: -smm must be 0, 1 or 2")
@@ -45,19 +66,59 @@ func main() {
 		PhaseJitter:   true,
 	}
 
+	if *manifestOut != "" {
+		m := obs.Capture("mpibench", flag.CommandLine, "trace", "metrics", "manifest")
+		data, err := m.JSON()
+		fail(err)
+		fail(os.WriteFile(*manifestOut, data, 0o644))
+	}
+	var sink *obs.ChromeSink
+	var traceFile *os.File
+	if *traceOut != "" || *metricsOut != "" {
+		bus = obs.NewBus()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			fail(err)
+			traceFile = f
+			sink = obs.NewChromeSink(f)
+			bus.Attach(sink)
+		}
+		defer func() {
+			if sink != nil {
+				fail(sink.Close())
+				fail(traceFile.Close())
+			}
+			if *metricsOut != "" {
+				data, err := bus.MetricsSnapshot().JSON()
+				fail(err)
+				fail(os.WriteFile(*metricsOut, data, 0o644))
+			}
+		}()
+	}
+
 	fmt.Printf("simulated fabric, %d nodes × %d ranks, %v\n\n", *nodes, *rpn, smi.Level)
 	pingpong(*nodes, *rpn, smi, *seed)
 	collectives(*nodes, *rpn, smi, *seed)
 }
 
-// newWorld builds a fresh world (each measurement gets its own engine).
+// newWorld builds a fresh world (each measurement gets its own engine),
+// wired to the bus under the next run index when tracing is on.
 func newWorld(nodes, rpn int, smi smm.DriverConfig, seed int64) *mpi.World {
 	e := sim.New(seed)
 	par := cluster.Wyeast(nodes, false, smm.SMMNone)
 	par.Node.SMI = smi
 	cl := cluster.MustNew(e, par)
+	var rt obs.Tracer
+	if bus != nil {
+		rt = obs.WithRun(bus, runIdx)
+		runIdx++
+		cl.SetTracer(rt)
+		e.SetProbe(bus)
+	}
 	cl.StartSMI()
-	return mpi.MustNewWorld(cl, rpn, mpi.DefaultParams())
+	w := mpi.MustNewWorld(cl, rpn, mpi.DefaultParams())
+	w.SetTracer(rt)
+	return w
 }
 
 // pingpong measures rank0↔rank1 latency and bandwidth per message size.

@@ -11,6 +11,7 @@
 //	smibench -all -parallel 0  # fan sweep cells over every CPU
 //	smibench -figure 1 -csv    # raw points as CSV
 //	smibench -benchjson results/BENCH_sweeps.json  # perf baseline
+//	smibench -table 1 -trace t.json -metrics m.json -manifest man.json
 //
 // Every run is deterministic for a given -seed; -runs overrides the
 // paper's per-cell averaging (6 for MPI tables, 3 for figures).
@@ -32,6 +33,7 @@ import (
 
 	"smistudy"
 	"smistudy/internal/experiments"
+	"smistudy/internal/obs"
 	"smistudy/internal/parsweep"
 )
 
@@ -48,6 +50,9 @@ func main() {
 	compare := flag.Int("compare", 0, "regenerate table 1-3 and diff against the paper's published values")
 	parallel := flag.Int("parallel", 1, "sweep cells run concurrently (1 = sequential, 0 = all CPUs)")
 	benchJSON := flag.String("benchjson", "", "write the sweep perf baseline (quick scale) as JSON to this file")
+	traceOut := flag.String("trace", "", "stream a Chrome trace-event timeline of every sweep cell to this file")
+	metricsOut := flag.String("metrics", "", "write the aggregated metrics snapshot as JSON to this file")
+	manifestOut := flag.String("manifest", "", "write a reproducibility manifest (flags + versions) as JSON to this file")
 	flag.Parse()
 
 	workers := *parallel
@@ -56,16 +61,49 @@ func main() {
 	}
 	cfg := experiments.Config{Quick: *quick, Runs: *runs, Seed: *seed, Workers: workers}
 
-	if !*all && *table == 0 && *figure == 0 && *ext == "" && *compare == 0 && *benchJSON == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-
 	run := func(err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smibench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *manifestOut != "" {
+		m := obs.Capture("smibench", flag.CommandLine, "trace", "metrics", "manifest")
+		data, err := m.JSON()
+		run(err)
+		run(os.WriteFile(*manifestOut, data, 0o644))
+	}
+	// One bus spans every sweep requested on this invocation; per-run
+	// stamping keeps parallel cells separable in the timeline.
+	var sink *obs.ChromeSink
+	var traceFile *os.File
+	if *traceOut != "" || *metricsOut != "" {
+		bus := obs.NewBus()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			run(err)
+			traceFile = f
+			sink = obs.NewChromeSink(f)
+			bus.Attach(sink)
+		}
+		cfg.Tracer = bus
+		defer func() {
+			if sink != nil {
+				run(sink.Close())
+				run(traceFile.Close())
+			}
+			if *metricsOut != "" {
+				data, err := bus.MetricsSnapshot().JSON()
+				run(err)
+				run(os.WriteFile(*metricsOut, data, 0o644))
+			}
+		}()
+	}
+
+	if !*all && *table == 0 && *figure == 0 && *ext == "" && *compare == 0 && *benchJSON == "" {
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	if *benchJSON != "" {

@@ -16,6 +16,8 @@ import (
 	"os"
 
 	"smistudy"
+	"smistudy/internal/noise"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 )
 
@@ -65,15 +67,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The detector is scored twice: once by DetectSMIs against the SMM
+	// controller's private episode log, and once here against the
+	// episodes reconstructed from the observability bus — the same
+	// ground truth, but via the public trace path, validating that a
+	// captured trace is enough to audit a detector after the fact.
+	ring := obs.NewRingSink(1 << 16)
+	bus := obs.NewBus().Attach(obs.FilterSink{Cat: obs.CatSMM, Sink: ring})
 	rep := smistudy.DetectSMIs(smistudy.DetectOptions{
 		Level:         lv,
 		SMIIntervalMS: *interval,
 		Duration:      sim.FromSeconds(*duration),
 		Seed:          *seed,
+		Tracer:        bus,
 	})
 	fmt.Printf("spin-loop detector: %d detections over %.1fs\n", len(rep.Detections), *duration)
 	fmt.Printf("  ground truth matched: %d   missed: %d   false positives: %d\n",
 		rep.Matched, rep.Missed, rep.FalsePositives)
+	fmt.Printf("  precision: %.2f   recall: %.2f\n", rep.Precision(), rep.Recall())
 	fmt.Printf("  max latency gap: %v\n", rep.MaxLatency)
 	for i, d := range rep.Detections {
 		if i >= 10 {
@@ -81,5 +92,15 @@ func main() {
 			break
 		}
 		fmt.Printf("  gap at %v: %v\n", d.At, d.Latency)
+	}
+
+	eps := noise.EpisodesFromEvents(ring.Events(), 0)
+	overlay := noise.Score(rep.Detections, eps)
+	fmt.Printf("\noverlay vs bus-captured SMM events (%d episodes on the bus):\n", len(eps))
+	fmt.Printf("  matched: %d   missed: %d   false positives: %d\n",
+		overlay.Matched, overlay.Missed, overlay.FalsePositives)
+	fmt.Printf("  precision: %.2f   recall: %.2f\n", overlay.Precision(), overlay.Recall())
+	if ring.Dropped() > 0 {
+		fmt.Printf("  (ring sink dropped %d events; overlay is partial)\n", ring.Dropped())
 	}
 }

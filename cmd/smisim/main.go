@@ -13,6 +13,13 @@
 // The -loss/-crash-*/-hang-*/-storm-* flags inject fabric and node
 // faults into NAS runs; lossy scenarios automatically enable the MPI
 // ack/retransmit transport.
+//
+// Observability:
+//
+//	smisim ... -trace run.json          # Chrome/Perfetto timeline
+//	smisim ... -metrics metrics.json    # counters and histograms
+//	smisim ... -manifest manifest.json  # reproducibility manifest
+//	smisim -replay manifest.json        # re-run exactly that cell
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os"
 
 	"smistudy"
+	"smistudy/internal/obs"
 	"smistudy/internal/parsweep"
 	"smistudy/internal/sim"
 )
@@ -49,18 +57,71 @@ func main() {
 	stormFor := flag.Float64("storm-for", 0, "nas: SMI-storm duration in seconds (0 = to end of run)")
 	watchdog := flag.Float64("watchdog", 0, "nas: progress-watchdog interval in seconds (0 = default, <0 = off)")
 	parallel := flag.Int("parallel", 1, "repeat runs concurrently (1 = sequential, 0 = all CPUs); output is identical either way")
+	traceOut := flag.String("trace", "", "stream a Chrome trace-event timeline (chrome://tracing, Perfetto) to this file")
+	metricsOut := flag.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
+	manifestOut := flag.String("manifest", "", "write a reproducibility manifest (flags + versions) as JSON to this file")
+	replay := flag.String("replay", "", "re-run from a manifest file; flags given on the command line still win")
 	flag.Parse()
-
-	workers := *parallel
-	if workers < 1 {
-		workers = parsweep.Workers(0)
-	}
 
 	fail := func(err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smisim:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *replay != "" {
+		m, err := obs.LoadManifestFile(*replay)
+		fail(err)
+		fail(m.Apply(flag.CommandLine, obs.ExplicitFlags(flag.CommandLine)))
+	}
+	if *manifestOut != "" {
+		m := obs.Capture("smisim", flag.CommandLine, "trace", "metrics", "manifest", "replay")
+		data, err := m.JSON()
+		fail(err)
+		fail(os.WriteFile(*manifestOut, data, 0o644))
+	}
+
+	workers := *parallel
+	if workers < 1 {
+		workers = parsweep.Workers(0)
+	}
+
+	// The bus is shared by all runs of the cell; each run's events are
+	// stamped with its run index, so -parallel does not scramble the
+	// trace. Outputs are written when the measured workload returns —
+	// including when a fault scenario kills the job, which is exactly
+	// when a timeline is most useful.
+	var bus *obs.Bus
+	var sink *obs.ChromeSink
+	var traceFile *os.File
+	if *traceOut != "" || *metricsOut != "" {
+		bus = obs.NewBus()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			fail(err)
+			traceFile = f
+			sink = obs.NewChromeSink(f)
+			bus.Attach(sink)
+		}
+	}
+	finish := func() {
+		if sink != nil {
+			fail(sink.Close())
+			fail(traceFile.Close())
+			fmt.Printf("  trace  → %s\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			data, err := bus.MetricsSnapshot().JSON()
+			fail(err)
+			fail(os.WriteFile(*metricsOut, data, 0o644))
+			fmt.Printf("  metrics → %s\n", *metricsOut)
+		}
+	}
+	defer finish()
+	var tracer smistudy.Tracer
+	if bus != nil {
+		tracer = bus // keep the interface nil when no bus was built
 	}
 
 	switch *workload {
@@ -86,6 +147,7 @@ func main() {
 			Seed:         *seed,
 			Watchdog:     sim.FromSeconds(*watchdog),
 			Workers:      workers,
+			Tracer:       tracer,
 		}
 		if plan.Active() {
 			// Reject malformed fault flags up front: a bad flag value is
@@ -124,7 +186,7 @@ func main() {
 		}
 		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
 			Behavior: beh, CPUs: *cpus, SMIIntervalMS: *interval,
-			Runs: *runs, Seed: *seed, Workers: workers,
+			Runs: *runs, Seed: *seed, Workers: workers, Tracer: tracer,
 		})
 		fail(err)
 		fmt.Printf("convolve %v  cpus=%d interval=%dms threads=%d\n", beh, *cpus, *interval, res.Threads)
@@ -134,7 +196,7 @@ func main() {
 	case "unixbench":
 		res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
 			CPUs: *cpus, SMIIntervalMS: *interval, Level: smistudy.SMM2,
-			Seed: *seed, Duration: 2 * sim.Second,
+			Seed: *seed, Duration: 2 * sim.Second, Tracer: tracer,
 		})
 		fail(err)
 		fmt.Printf("unixbench  cpus=%d interval=%dms\n", *cpus, *interval)

@@ -1,17 +1,18 @@
 package smistudy
 
 import (
+	"bytes"
 	"fmt"
 
 	"smistudy/internal/cluster"
 	"smistudy/internal/cpu"
 	"smistudy/internal/energy"
 	"smistudy/internal/kernel"
+	"smistudy/internal/obs"
 	"smistudy/internal/proftool"
 	"smistudy/internal/rim"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
-	"smistudy/internal/trace"
 )
 
 // This file exposes the study's extensions: the RIM (security
@@ -224,7 +225,11 @@ func MeasureClockDrift(level SMMLevel, intervalMS int, seconds float64, seed int
 // TraceWorkload runs a four-task compute workload under 1/s long SMIs
 // for `seconds` and returns a Chrome trace-event JSON
 // (chrome://tracing, Perfetto) with one track per task plus the SMM
-// episodes — the invisible interrupts, made visible on a timeline.
+// episodes — the invisible interrupts, made visible on a timeline. The
+// timeline is captured live on the observability bus (scheduler, SMM
+// and profiler events included), not reconstructed after the fact; a
+// defer-to-exit sampling profiler rides along so its kept/deferred
+// decisions appear on their own track.
 func TraceWorkload(seconds float64, seed int64) ([]byte, error) {
 	if seconds <= 0 {
 		seconds = 5
@@ -239,21 +244,34 @@ func TraceWorkload(seconds float64, seed int64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	sink.NameProcess(0, 0, "smistudy")
+	bus := obs.NewBus().Attach(sink)
+	cl.SetTracer(bus)
+	e.SetProbe(bus)
 	cl.StartSMI()
 	node := cl.Nodes[0]
-	var rec trace.Recorder
+	prof := proftool.New(e, node.CPU, node.SMM, proftool.Config{Mode: proftool.DeferToExit})
+	prof.SetTracer(bus, 0)
+	prof.Start()
 	work := seconds * node.CPU.Params().BaseHz
 	remaining := 4
 	for i := 0; i < 4; i++ {
 		name := fmt.Sprintf("task%d", i)
+		track := int32(i + 1)
 		node.Kernel.Spawn(name, cpu.Profile{CPI: 1}, func(t *kernel.Task) {
 			start := t.Gettime()
-			// Record compute in slices so the timeline shows phases.
+			// Emit compute in slices so the timeline shows phases.
 			const slices = 10
 			for s := 0; s < slices; s++ {
 				t.Compute(work / slices)
-				rec.Record(name, start, t.Gettime())
-				start = t.Gettime()
+				end := t.Gettime()
+				bus.Emit(obs.Event{
+					Time: end, Dur: end - start, Type: obs.EvUserSpan,
+					Node: 0, Track: track, Name: name,
+				})
+				start = end
 			}
 			remaining--
 			if remaining == 0 {
@@ -262,8 +280,11 @@ func TraceWorkload(seconds float64, seed int64) ([]byte, error) {
 		})
 	}
 	e.Run()
-	rec.RecordSMM(node.SMM.Episodes())
-	return rec.ChromeTrace("smistudy")
+	prof.Stop()
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // ProfilerMode re-exports the sampling-profiler SMM handling modes.

@@ -14,6 +14,7 @@ import (
 	"smistudy/internal/faults"
 	"smistudy/internal/kernel"
 	"smistudy/internal/netsim"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -52,7 +53,25 @@ type Cluster struct {
 	Eng    *sim.Engine
 	Nodes  []*Node
 	Fabric *netsim.Fabric
+
+	tr obs.Tracer // nil unless the run is traced
 }
+
+// SetTracer attaches an observability tracer to the whole machine:
+// every node's SMM controller, kernel and scheduler, the fabric, and
+// any injector armed by a later Inject. Call before the run starts; a
+// nil tracer leaves everything untraced.
+func (c *Cluster) SetTracer(tr obs.Tracer) {
+	c.tr = tr
+	c.Fabric.SetTracer(tr)
+	for _, n := range c.Nodes {
+		n.SMM.SetTracer(tr, n.Index)
+		n.Kernel.SetTracer(tr, n.Index)
+	}
+}
+
+// Tracer reports the cluster's attached tracer (nil when untraced).
+func (c *Cluster) Tracer() obs.Tracer { return c.tr }
 
 // New assembles a cluster on engine e.
 func New(e *sim.Engine, par Params) (*Cluster, error) {
@@ -100,7 +119,14 @@ func (c *Cluster) Inject(sched faults.Schedule) (*faults.Injector, error) {
 	for i, n := range c.Nodes {
 		ctl[i] = faults.NodeControl{CPU: n.CPU, SMI: n.SMI}
 	}
-	return faults.New(c.Eng, c.Fabric, ctl, sched)
+	in, err := faults.New(c.Eng, c.Fabric, ctl, sched)
+	if err != nil {
+		return nil, err
+	}
+	if c.tr != nil {
+		in.SetTracer(c.tr)
+	}
+	return in, nil
 }
 
 // StartSMI arms the SMI driver on every node.

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 )
 
@@ -126,6 +127,10 @@ type Thread struct {
 	osTime   sim.Time
 	trueTime sim.Time
 	done     float64 // total ops completed
+
+	// lastCPU is the logical CPU the tracer last saw the thread on
+	// (-1 = none); only maintained while a tracer is attached.
+	lastCPU int
 }
 
 type job struct {
@@ -149,6 +154,18 @@ type Model struct {
 	lastUpdate sim.Time
 	completion *sim.Event
 	nextTID    int
+
+	tr           obs.Tracer // nil unless the run is traced
+	node         int32
+	schedScratch []*Thread // reused by emitSched to avoid per-reschedule allocs
+}
+
+// SetTracer attaches an observability tracer; scheduling events carry
+// node as their node index. The first reschedule after attaching emits
+// run events for threads already placed, snapshotting current state.
+func (m *Model) SetTracer(tr obs.Tracer, node int) {
+	m.tr = tr
+	m.node = int32(node)
 }
 
 // New builds a processor model attached to engine e. With HTT enabled the
@@ -255,7 +272,7 @@ func (m *Model) schedOrder() []*Logical {
 // NewThread registers a thread with the given workload profile.
 func (m *Model) NewThread(name string, prof Profile) *Thread {
 	m.nextTID++
-	t := &Thread{id: m.nextTID, name: name, prof: prof, model: m, pin: -1}
+	t := &Thread{id: m.nextTID, name: name, prof: prof, model: m, pin: -1, lastCPU: -1}
 	m.threads[t] = struct{}{}
 	return t
 }
@@ -376,8 +393,46 @@ func (m *Model) reconfigure(mutate func()) {
 	}
 	m.finishJobs()
 	m.assign()
+	if m.tr != nil {
+		m.emitSched()
+	}
 	m.rates()
 	m.scheduleCompletion()
+}
+
+// emitSched diffs every thread's placement against what the tracer last
+// saw and emits run/preempt/migrate events. Threads are visited in id
+// order (via a reused scratch slice) so traced runs stay deterministic
+// despite map iteration.
+func (m *Model) emitSched() {
+	now := m.eng.Now()
+	m.schedScratch = m.schedScratch[:0]
+	for t := range m.threads {
+		m.schedScratch = append(m.schedScratch, t)
+	}
+	sort.Slice(m.schedScratch, func(i, j int) bool { return m.schedScratch[i].id < m.schedScratch[j].id })
+	for _, t := range m.schedScratch {
+		cur := -1
+		if t.cpu != nil {
+			cur = t.cpu.ID
+		}
+		last := t.lastCPU
+		if cur == last {
+			continue
+		}
+		t.lastCPU = cur
+		switch {
+		case last < 0:
+			m.tr.Emit(obs.Event{Time: now, Type: obs.EvSchedRun, Node: m.node,
+				Track: int32(cur), A: int64(t.id), Name: t.name})
+		case cur < 0:
+			m.tr.Emit(obs.Event{Time: now, Type: obs.EvSchedPreempt, Node: m.node,
+				Track: int32(last), A: int64(t.id), Name: t.name})
+		default:
+			m.tr.Emit(obs.Event{Time: now, Type: obs.EvSchedMigrate, Node: m.node,
+				Track: int32(cur), A: int64(t.id), B: int64(last), Name: t.name})
+		}
+	}
 }
 
 // advance integrates job progress and accounting from lastUpdate to now.

@@ -33,6 +33,11 @@ type Config struct {
 	// sequentially; the CLIs resolve their -parallel flag to all CPUs
 	// before it reaches here.
 	Workers int
+	// Tracer, when non-nil, is threaded into every cell of every sweep
+	// so one bus observes the whole experiment; cells stamp their
+	// events with per-run indices. Must be concurrency-safe (an
+	// *obs.Bus is) when Workers > 1.
+	Tracer smistudy.Tracer
 }
 
 func (c Config) runs(def int) int {
@@ -118,6 +123,7 @@ func runNASCells(cfg Config, pts []nasCellPoint) ([]float64, error) {
 		res, err := smistudy.RunNAS(smistudy.NASOptions{
 			Bench: p.bench, Class: p.class, Nodes: p.nodes, RanksPerNode: p.rpn,
 			HTT: p.htt, SMM: p.level, Runs: cfg.runs(6), Seed: cfg.seed(),
+			Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return 0, err
@@ -377,6 +383,7 @@ func Figure1Convolve(cfg Config) (Figure1, error) {
 		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
 			Behavior: p.beh, CPUs: p.nc, SMIIntervalMS: p.iv,
 			Runs: cfg.runs(3), Seed: cfg.seed(),
+			Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return ConvolvePoint{}, err
@@ -494,6 +501,7 @@ func Figure2UnixBench(cfg Config) (Figure2, error) {
 			// statistically dependent.
 			Seed:     parsweep.Seed(cfg.seed(), int64(p.nc), int64(p.iv), int64(p.it)),
 			Duration: 2 * sim.Second,
+			Tracer:   cfg.Tracer,
 		})
 		if err != nil {
 			return UnixBenchPoint{}, err

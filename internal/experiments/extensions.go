@@ -154,6 +154,7 @@ func ExtendedNAS(cfg Config) (string, error) {
 			Bench: p.bench, Class: smistudy.ClassA,
 			Nodes: p.nodes, RanksPerNode: 1, SMM: p.level,
 			Runs: cfg.runs(3), Seed: cfg.seed(),
+			Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return 0, err

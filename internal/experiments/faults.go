@@ -69,6 +69,7 @@ func lossSweep(cfg Config) (string, error) {
 		opts := smistudy.NASOptions{
 			Bench: pt.bench, Class: smistudy.ClassA,
 			Nodes: 4, RanksPerNode: 1, Seed: cfg.seed(),
+			Tracer: cfg.Tracer,
 		}
 		if pt.rate > 0 {
 			opts.Faults = &smistudy.FaultPlan{LossProb: pt.rate}
@@ -209,6 +210,7 @@ func crashTiming(cfg Config) (string, error) {
 	base, err := smistudy.RunNAS(smistudy.NASOptions{
 		Bench: smistudy.EP, Class: smistudy.ClassA,
 		Nodes: 4, RanksPerNode: 1, Seed: cfg.seed(),
+		Tracer: cfg.Tracer,
 	})
 	if err != nil {
 		return "", err
@@ -230,6 +232,7 @@ func crashTiming(cfg Config) (string, error) {
 			Nodes: 4, RanksPerNode: 1, Seed: cfg.seed(),
 			Watchdog: 10 * sim.Second,
 			Faults:   &smistudy.FaultPlan{CrashNode: 1, CrashAt: crashAt},
+			Tracer:   cfg.Tracer,
 		})
 		return crashOut{res, err}, nil
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smistudy/internal/netsim"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -42,6 +43,23 @@ type Injector struct {
 	// application progress.
 	pending int
 	stats   Stats
+
+	tr obs.Tracer // nil unless the run is traced
+}
+
+// SetTracer attaches an observability tracer for fault activation and
+// expiry events. Node faults carry their node index; link faults carry
+// Node -1 with the src/dst selectors in A/B.
+func (in *Injector) SetTracer(tr obs.Tracer) { in.tr = tr }
+
+// emit reports a fault going into or out of force.
+func (in *Injector) emit(t obs.Type, f *Fault) {
+	node := int32(f.Node)
+	if f.Kind.isLink() {
+		node = -1
+	}
+	in.tr.Emit(obs.Event{Time: in.eng.Now(), Type: t, Node: node,
+		Track: -1, A: int64(f.Src), B: int64(f.Dst), Name: f.Kind.String()})
 }
 
 // New validates the schedule and arms it: fault start/expiry events are
@@ -96,6 +114,9 @@ func (in *Injector) FaultsPending() bool { return in.pending > 0 }
 // activate puts one fault into force.
 func (in *Injector) activate(f *Fault) {
 	in.stats.Started++
+	if in.tr != nil {
+		in.emit(obs.EvFaultStart, f)
+	}
 	if f.Kind.isLink() {
 		in.active = append(in.active, f)
 		return
@@ -127,6 +148,9 @@ func (in *Injector) activate(f *Fault) {
 // expire takes one bounded fault out of force.
 func (in *Injector) expire(f *Fault) {
 	in.stats.Ended++
+	if in.tr != nil {
+		in.emit(obs.EvFaultEnd, f)
+	}
 	if f.Kind.isLink() {
 		for i, a := range in.active {
 			if a == f {

@@ -19,6 +19,7 @@ import (
 
 	"smistudy/internal/clock"
 	"smistudy/internal/cpu"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 )
 
@@ -47,6 +48,17 @@ type Kernel struct {
 	nextPID int
 	live    int
 	allDone sim.Signal
+
+	tr   obs.Tracer // nil unless the run is traced
+	node int32
+}
+
+// SetTracer attaches an observability tracer for task lifecycle events
+// and forwards it to the processor model for scheduling events.
+func (k *Kernel) SetTracer(tr obs.Tracer, node int) {
+	k.tr = tr
+	k.node = int32(node)
+	k.cpu.SetTracer(tr, node)
 }
 
 // New builds a kernel over the given processor and clocks.
@@ -84,11 +96,19 @@ func (k *Kernel) Spawn(name string, prof cpu.Profile, fn func(t *Task)) *Task {
 	k.live++
 	t := &Task{pid: k.nextPID, name: name, k: k}
 	t.th = k.cpu.NewThread(name, prof)
+	if k.tr != nil {
+		k.tr.Emit(obs.Event{Time: k.eng.Now(), Type: obs.EvTaskSpawn, Node: k.node,
+			Track: -1, A: int64(t.pid), Name: name})
+	}
 	t.proc = k.eng.Go(name, func(p *sim.Proc) {
 		defer func() {
 			t.exited = true
 			t.exitTime = p.Now()
 			k.cpu.Remove(t.th)
+			if k.tr != nil {
+				k.tr.Emit(obs.Event{Time: p.Now(), Type: obs.EvTaskExit, Node: k.node,
+					Track: -1, A: int64(t.pid), Name: name})
+			}
 			t.exitSig.Broadcast(k.eng)
 			k.live--
 			if k.live == 0 {

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStreamMergeMatchesSequential is the property test behind the
+// parallel-sweep reduction: splitting any observation sequence into
+// per-worker streams and merging them must agree with feeding the whole
+// sequence through one Add loop, for every statistic the stream keeps.
+func TestStreamMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Mix magnitudes so catastrophic cancellation would show up.
+			xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(6)))
+		}
+
+		var seq Stream
+		for _, x := range xs {
+			seq.Add(x)
+		}
+
+		// Split into 1..4 chunks (some possibly empty) and merge.
+		workers := 1 + rng.Intn(4)
+		parts := make([]Stream, workers)
+		for i, x := range xs {
+			parts[i%workers].Add(x)
+		}
+		var merged Stream
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+
+		if merged.N() != seq.N() {
+			t.Fatalf("trial %d: N = %d, want %d", trial, merged.N(), seq.N())
+		}
+		if seq.N() == 0 {
+			continue
+		}
+		if !near(merged.Mean(), seq.Mean()) {
+			t.Fatalf("trial %d: mean = %g, want %g", trial, merged.Mean(), seq.Mean())
+		}
+		if !near(merged.Variance(), seq.Variance()) {
+			t.Fatalf("trial %d: variance = %g, want %g", trial, merged.Variance(), seq.Variance())
+		}
+		if merged.Min() != seq.Min() || merged.Max() != seq.Max() {
+			t.Fatalf("trial %d: min/max = %g/%g, want %g/%g",
+				trial, merged.Min(), merged.Max(), seq.Min(), seq.Max())
+		}
+	}
+}
+
+// TestStreamMergeEmpty checks the identity cases: merging an empty
+// stream changes nothing, and merging into an empty stream copies.
+func TestStreamMergeEmpty(t *testing.T) {
+	var a, empty Stream
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Fatal("merging an empty stream changed the receiver")
+	}
+	var b Stream
+	b.Merge(a)
+	if b != a {
+		t.Fatal("merging into an empty stream did not copy")
+	}
+}
+
+// near compares with a relative tolerance loose enough for the float
+// reassociation a merge implies, tight enough to catch real bugs.
+func near(got, want float64) bool {
+	diff := math.Abs(got - want)
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	return diff <= 1e-9*math.Max(scale, 1)
+}

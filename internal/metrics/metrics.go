@@ -38,6 +38,31 @@ func (s *Stream) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Merge folds another stream into s as if every observation fed to o
+// had been fed to s (Chan et al.'s parallel Welford combine). Order
+// independence makes it safe for reducing per-worker streams from a
+// parallel sweep without reordering effects.
+func (s *Stream) Merge(o Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
 // N reports the number of observations.
 func (s *Stream) N() int { return s.n }
 

@@ -16,6 +16,8 @@ func (r *Rank) Gather(t *kernel.Task, root, bytes int) {
 	p := len(r.w.ranks)
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("gather")
+	defer r.collEnd("gather")
 	if p == 1 {
 		return
 	}
@@ -55,6 +57,8 @@ func (r *Rank) Scatter(t *kernel.Task, root, bytes int) {
 	p := len(r.w.ranks)
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("scatter")
+	defer r.collEnd("scatter")
 	if p == 1 {
 		return
 	}
@@ -91,6 +95,8 @@ func (r *Rank) Allgather(t *kernel.Task, bytes int) {
 	p := len(r.w.ranks)
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("allgather")
+	defer r.collEnd("allgather")
 	if p == 1 {
 		return
 	}
@@ -109,6 +115,8 @@ func (r *Rank) ReduceScatter(t *kernel.Task, bytes int) {
 	p := len(r.w.ranks)
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("reduce_scatter")
+	defer r.collEnd("reduce_scatter")
 	if p == 1 {
 		return
 	}
@@ -131,6 +139,8 @@ func (r *Rank) Alltoallv(t *kernel.Task, sizes []int) {
 	}
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("alltoallv")
+	defer r.collEnd("alltoallv")
 	if p == 1 {
 		t.Compute(float64(sizes[0]) * r.w.par.PackOpsPerByte)
 		return

@@ -18,6 +18,7 @@ import (
 	"smistudy/internal/cluster"
 	"smistudy/internal/cpu"
 	"smistudy/internal/kernel"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 )
 
@@ -163,7 +164,14 @@ type World struct {
 	errs     []error
 	wderr    *NoProgressError
 	wdEvent  *sim.Event
+
+	tr obs.Tracer // nil unless the run is traced
 }
+
+// SetTracer attaches an observability tracer for MPI traffic events
+// (send/recv per rank, collective phases, retransmissions). Usually the
+// same tracer the cluster carries.
+func (w *World) SetTracer(tr obs.Tracer) { w.tr = tr }
 
 // bump records forward progress for the watchdog.
 func (w *World) bump() { w.progress++ }
@@ -322,6 +330,23 @@ func (w *World) runRank(r *Rank, t *kernel.Task, main func(r *Rank, t *kernel.Ta
 	main(r, t)
 }
 
+// emitMPI reports one MPI event on the rank's timeline (no-op when the
+// world is untraced).
+func (r *Rank) emitMPI(t obs.Type, a, b int64, name string) {
+	tr := r.w.tr
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.Event{Time: r.w.cl.Eng.Now(), Type: t,
+		Node: int32(r.node.Index), Track: int32(r.id), A: a, B: b, Name: name})
+}
+
+// collBegin/collEnd bracket a collective phase on the rank's timeline.
+// Nested collectives (Allreduce = Reduce + Bcast) nest properly because
+// ranks execute them sequentially.
+func (r *Rank) collBegin(name string) { r.emitMPI(obs.EvCollBegin, 0, 0, name) }
+func (r *Rank) collEnd(name string)   { r.emitMPI(obs.EvCollEnd, 0, 0, name) }
+
 // ID reports the rank number.
 func (r *Rank) ID() int { return r.id }
 
@@ -336,6 +361,7 @@ func (r *Rank) Isend(t *kernel.Task, dst, tag, bytes int) *Request {
 	}
 	par := r.w.par
 	t.Compute(par.SendOps + float64(bytes)*par.PackOpsPerByte)
+	r.emitMPI(obs.EvMPISend, int64(dst), int64(bytes), "")
 	req := &Request{kind: 's', peer: dst, tag: tag}
 	target := r.w.ranks[dst]
 	if bytes <= par.EagerLimit {
@@ -397,6 +423,7 @@ func (r *Rank) consume(m *message, req *Request) {
 	w := r.w
 	w.bump()
 	if !m.rendezvous {
+		r.emitMPI(obs.EvMPIRecv, int64(m.src), int64(m.bytes), "")
 		req.complete(m.src, m.bytes)
 		return
 	}
@@ -412,6 +439,7 @@ func (r *Rank) consume(m *message, req *Request) {
 	// CTS back to the sender, then the payload to us.
 	w.xmit(r, r.node, sender.node, envelopeBytes, func() {
 		w.xmit(sender, sender.node, r.node, m.bytes, func() {
+			r.emitMPI(obs.EvMPIRecv, int64(m.src), int64(m.bytes), "")
 			m.sendReq.complete(m.src, m.bytes)
 			req.complete(m.src, m.bytes)
 		}, failBoth)
@@ -484,6 +512,8 @@ func (r *Rank) Barrier(t *kernel.Task) {
 	p := len(r.w.ranks)
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("barrier")
+	defer r.collEnd("barrier")
 	if p == 1 {
 		return
 	}
@@ -504,6 +534,8 @@ func (r *Rank) Bcast(t *kernel.Task, root, bytes int) {
 	p := len(r.w.ranks)
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("bcast")
+	defer r.collEnd("bcast")
 	if p == 1 {
 		return
 	}
@@ -534,6 +566,8 @@ func (r *Rank) Reduce(t *kernel.Task, root, bytes int) {
 	p := len(r.w.ranks)
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("reduce")
+	defer r.collEnd("reduce")
 	if p == 1 {
 		return
 	}
@@ -559,6 +593,8 @@ func (r *Rank) Reduce(t *kernel.Task, root, bytes int) {
 // Allreduce combines operands on every rank (reduce to 0, then
 // broadcast).
 func (r *Rank) Allreduce(t *kernel.Task, bytes int) {
+	r.collBegin("allreduce")
+	defer r.collEnd("allreduce")
 	r.Reduce(t, 0, bytes)
 	r.Bcast(t, 0, bytes)
 }
@@ -570,6 +606,8 @@ func (r *Rank) Alltoall(t *kernel.Task, bytesPerRank int) {
 	p := len(r.w.ranks)
 	seq := r.collSeq
 	r.collSeq++
+	r.collBegin("alltoall")
+	defer r.collEnd("alltoall")
 	if p == 1 {
 		// Local transpose: just the copy cost.
 		t.Compute(float64(bytesPerRank) * r.w.par.PackOpsPerByte)

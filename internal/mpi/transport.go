@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"smistudy/internal/cluster"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 )
 
@@ -141,6 +142,10 @@ func (x *xfer) timeout() {
 		return
 	}
 	w.net.Retransmits++
+	if w.tr != nil {
+		w.tr.Emit(obs.Event{Time: w.cl.Eng.Now(), Type: obs.EvMPIRetransmit,
+			Node: int32(x.src.Index), Track: -1, A: int64(x.dst.Index), B: int64(x.bytes)})
+	}
 	backoff := w.par.RTOBackoff
 	if backoff < 1 {
 		backoff = 2

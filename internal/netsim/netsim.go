@@ -13,6 +13,7 @@ package netsim
 import (
 	"fmt"
 
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 )
 
@@ -115,7 +116,13 @@ type Fabric struct {
 	pert  Perturber
 	stats Stats
 	links [][]LinkStats
+
+	tr obs.Tracer // nil unless the run is traced
 }
+
+// SetTracer attaches an observability tracer for internode delivery,
+// drop and delay events (the loopback fast path is not traced).
+func (f *Fabric) SetTracer(tr obs.Tracer) { f.tr = tr }
 
 // New builds a fabric for `nodes` nodes.
 func New(eng *sim.Engine, nodes int, par Params) (*Fabric, error) {
@@ -214,9 +221,17 @@ func (f *Fabric) Deliver(src, dst int, bytes int, fn func()) sim.Time {
 		f.stats.Dropped += int64(bytes)
 		f.links[src][dst].Drops++
 		f.links[src][dst].Dropped += int64(bytes)
+		if f.tr != nil {
+			f.tr.Emit(obs.Event{Time: now, Type: obs.EvNetDrop, Node: int32(src),
+				Track: -1, A: int64(dst), B: int64(bytes)})
+		}
 		txEnd := maxTime(now, f.egress[src]) + ser
 		f.egress[src] = txEnd
 		return txEnd
+	}
+	if f.tr != nil && (v.SlowFactor > 1 || v.ExtraLatency > 0) {
+		f.tr.Emit(obs.Event{Time: now, Dur: v.ExtraLatency, Type: obs.EvNetDelay,
+			Node: int32(src), Track: -1, A: int64(dst), B: int64(bytes)})
 	}
 	// Incast congestion: concurrent flows from other nodes toward dst
 	// degrade goodput past the switch-buffer cliff.
@@ -241,6 +256,10 @@ func (f *Fabric) Deliver(src, dst int, bytes int, fn func()) sim.Time {
 	rxStart := maxTime(txStart+f.par.Latency+v.ExtraLatency, f.ingress[dst])
 	rxEnd := rxStart + ser
 	f.ingress[dst] = rxEnd
+	if f.tr != nil {
+		f.tr.Emit(obs.Event{Time: now, Dur: rxEnd - now, Type: obs.EvNetDeliver,
+			Node: int32(src), Track: -1, A: int64(dst), B: int64(bytes)})
+	}
 	f.eng.At(rxEnd, func() {
 		f.flows[src][dst]--
 		if f.flows[src][dst] == 0 {

@@ -18,6 +18,7 @@ import (
 	"smistudy/internal/cluster"
 	"smistudy/internal/cpu"
 	"smistudy/internal/kernel"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -55,6 +56,8 @@ func (c *DetectorConfig) defaults() {
 // DetectorReport summarizes a detector run against ground truth.
 type DetectorReport struct {
 	Detections []Detection
+	// GroundTruth is the number of episodes scored against.
+	GroundTruth int
 	// Matched counts ground-truth episodes the detector saw (within
 	// one chunk of the episode window); Missed are episodes it did not.
 	Matched, Missed int
@@ -62,6 +65,24 @@ type DetectorReport struct {
 	FalsePositives int
 	// MaxLatency is the largest gap observed.
 	MaxLatency sim.Time
+}
+
+// Precision reports the fraction of detections that matched a real
+// episode; 1 when there were no detections (nothing wrongly claimed).
+func (r DetectorReport) Precision() float64 {
+	if r.Matched+r.FalsePositives == 0 {
+		return 1
+	}
+	return float64(r.Matched) / float64(r.Matched+r.FalsePositives)
+}
+
+// Recall reports the fraction of ground-truth episodes detected; 1 when
+// there was nothing to detect.
+func (r DetectorReport) Recall() float64 {
+	if r.GroundTruth == 0 {
+		return 1
+	}
+	return float64(r.Matched) / float64(r.GroundTruth)
 }
 
 // Percentile reports the p-th percentile (0–100) of detected gap
@@ -139,12 +160,29 @@ func RunDetector(cl *cluster.Cluster, cfg DetectorConfig) DetectorReport {
 	if !done {
 		panic("noise: detector never finished")
 	}
-	return score(dets, node.SMM.Episodes())
+	return Score(dets, node.SMM.Episodes())
 }
 
-// score matches detections to ground-truth episodes.
-func score(dets []Detection, eps []smm.Episode) DetectorReport {
-	rep := DetectorReport{Detections: dets}
+// EpisodesFromEvents reconstructs a node's SMM episode log from
+// observability events (obs.EvSMMExit carries the episode end and
+// residency). It lets a detector be scored against a trace captured on
+// the bus instead of reaching into the controller — the overlay path
+// cmd/smidetect uses to validate traces as ground truth.
+func EpisodesFromEvents(evs []obs.Event, node int32) []smm.Episode {
+	var eps []smm.Episode
+	for _, ev := range evs {
+		if ev.Type == obs.EvSMMExit && ev.Node == node {
+			eps = append(eps, smm.Episode{Start: ev.Time - ev.Dur, Duration: ev.Dur})
+		}
+	}
+	return eps
+}
+
+// Score matches detections to ground-truth episodes: each episode
+// consumes at most one detection landing at or shortly after it, leftover
+// detections are false positives.
+func Score(dets []Detection, eps []smm.Episode) DetectorReport {
+	rep := DetectorReport{Detections: dets, GroundTruth: len(eps)}
 	used := make([]bool, len(dets))
 	const slack = 2 * sim.Millisecond
 	for _, ep := range eps {

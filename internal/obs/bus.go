@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+
+	"smistudy/internal/sim"
+)
+
+// Default histogram bucket bounds, in microseconds. Spans the paper's
+// SMM residency range (tens of µs to a few ms) and fabric latencies.
+var defaultUSBounds = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000}
+
+// Bus is the per-run observability hub: it fans events out to attached
+// sinks and derives registry metrics from them centrally, so emit sites
+// stay a single nil-guarded call. Emit serializes internally, making
+// one bus safe to share across parallel sweep workers (wrap each cell
+// with WithRun so their timelines stay separable).
+//
+// Bus also implements sim.Probe, counting engine scheduling operations
+// with plain atomic counters — attach it with Engine.SetProbe to see
+// event-queue traffic in the metrics snapshot without disturbing the
+// engine's zero-allocation hot path.
+type Bus struct {
+	mu    sync.Mutex
+	sinks []Tracer
+	reg   *Registry
+
+	// Pre-fetched engine-probe counters: EngineEvent is on the sim hot
+	// path and must stay a single atomic add.
+	engScheduled *Counter
+	engFired     *Counter
+	engCancelled *Counter
+}
+
+// NewBus returns a bus with its own registry and no sinks.
+func NewBus() *Bus {
+	reg := NewRegistry()
+	return &Bus{
+		reg:          reg,
+		engScheduled: reg.Counter("engine_events_scheduled", -1),
+		engFired:     reg.Counter("engine_events_fired", -1),
+		engCancelled: reg.Counter("engine_events_cancelled", -1),
+	}
+}
+
+// Attach adds a sink. Events already emitted are not replayed; attach
+// sinks before the run starts.
+func (b *Bus) Attach(sink Tracer) *Bus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sinks = append(b.sinks, sink)
+	return b
+}
+
+// Registry exposes the bus's metrics registry.
+func (b *Bus) Registry() *Registry { return b.reg }
+
+// Emit implements Tracer: updates derived metrics and forwards the
+// event to every sink, serialized under the bus lock.
+func (b *Bus) Emit(ev Event) {
+	b.mu.Lock()
+	b.record(ev)
+	for _, s := range b.sinks {
+		s.Emit(ev)
+	}
+	b.mu.Unlock()
+}
+
+// record derives registry metrics from one event. Counters and
+// histograms commute, so parallel sweep cells feeding one bus still
+// produce a deterministic snapshot.
+func (b *Bus) record(ev Event) {
+	node := int(ev.Node)
+	switch ev.Type {
+	case EvSMMExit:
+		b.reg.Counter("smm_episodes", node).Add(1)
+		b.reg.Histogram("smm_residency_us", node, defaultUSBounds).Observe(float64(ev.Dur) / float64(sim.Microsecond))
+	case EvSchedMigrate:
+		b.reg.Counter("sched_migrations", node).Add(1)
+	case EvTaskSpawn:
+		b.reg.Counter("tasks_spawned", node).Add(1)
+	case EvMPISend:
+		b.reg.Counter("mpi_sends", int(ev.Track)).Add(1)
+		b.reg.Counter("mpi_send_bytes", int(ev.Track)).Add(ev.B)
+	case EvMPIRecv:
+		b.reg.Counter("mpi_recvs", int(ev.Track)).Add(1)
+	case EvMPIRetransmit:
+		b.reg.Counter("mpi_retransmits", node).Add(1)
+	case EvCollEnd:
+		b.reg.Counter("mpi_collectives", int(ev.Track)).Add(1)
+	case EvNetDeliver:
+		b.reg.Counter("net_delivered", node).Add(1)
+		b.reg.Histogram("net_latency_us", node, defaultUSBounds).Observe(float64(ev.Dur) / float64(sim.Microsecond))
+	case EvNetDrop:
+		b.reg.Counter("net_drops", node).Add(1)
+	case EvNetDelay:
+		b.reg.Counter("net_delays", node).Add(1)
+	case EvFaultStart:
+		b.reg.Counter("faults_activated", node).Add(1)
+	case EvSweepCellStart:
+		b.reg.Counter("sweep_cells_started", -1).Add(1)
+	case EvSweepCellFinish:
+		b.reg.Counter("sweep_cells_finished", -1).Add(1)
+	case EvProfSample:
+		b.reg.Counter("prof_samples", node).Add(ev.A)
+	case EvProfDrop:
+		b.reg.Counter("prof_samples_lost", node).Add(1)
+	case EvProfDefer:
+		b.reg.Counter("prof_samples_deferred", node).Add(1)
+	}
+}
+
+// EngineEvent implements sim.Probe: one atomic add per engine
+// scheduling operation, no locks, no allocation.
+func (b *Bus) EngineEvent(op sim.ProbeOp) {
+	switch op {
+	case sim.ProbeSchedule:
+		b.engScheduled.Add(1)
+	case sim.ProbeFire:
+		b.engFired.Add(1)
+	case sim.ProbeCancel:
+		b.engCancelled.Add(1)
+	}
+}
+
+// MetricsSnapshot snapshots the bus registry.
+func (b *Bus) MetricsSnapshot() Snapshot { return b.reg.Snapshot() }

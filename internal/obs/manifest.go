@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Manifest is the self-describing record of one run: the command, every
+// input flag at its effective value (defaults included), and the
+// package/toolchain versions. Feeding a manifest back through a
+// command's -replay flag reproduces the run; flags given explicitly on
+// the replaying command line win over manifest values, so a replay can
+// vary one axis while pinning the rest.
+//
+// Serialization is deterministic — Go marshals the flag map with sorted
+// keys and the manifest carries no timestamps — so capture → JSON →
+// Load → JSON is byte-identical, which CI asserts.
+type Manifest struct {
+	Command   string            `json:"command"`
+	Version   string            `json:"version"`    // obs package revision
+	GoVersion string            `json:"go_version"` // toolchain that produced the run
+	Flags     map[string]string `json:"flags"`
+}
+
+// Output flags that describe where a run writes, not what it computes;
+// Capture drops them so a replayed run can choose its own outputs.
+func isOutputFlag(name string, exclude []string) bool {
+	for _, e := range exclude {
+		if name == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Capture records the command and every parsed flag value except the
+// excluded (output) flags. Call after fs.Parse.
+func Capture(command string, fs *flag.FlagSet, exclude ...string) Manifest {
+	m := Manifest{
+		Command:   command,
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		Flags:     map[string]string{},
+	}
+	fs.VisitAll(func(f *flag.Flag) {
+		if isOutputFlag(f.Name, exclude) {
+			return
+		}
+		m.Flags[f.Name] = f.Value.String()
+	})
+	return m
+}
+
+// JSON serializes the manifest deterministically.
+func (m Manifest) JSON() ([]byte, error) {
+	return json.MarshalIndent(m, "", " ")
+}
+
+// LoadManifest parses a manifest document.
+func LoadManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("manifest: %w", err)
+	}
+	if m.Flags == nil {
+		m.Flags = map[string]string{}
+	}
+	return m, nil
+}
+
+// LoadManifestFile reads and parses a manifest from disk.
+func LoadManifestFile(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	return LoadManifest(data)
+}
+
+// Apply sets fs flags from the manifest, skipping flags the user set
+// explicitly (the command line wins) and flag names fs does not define.
+// Call after fs.Parse, with explicit built from fs.Visit.
+func (m Manifest) Apply(fs *flag.FlagSet, explicit map[string]bool) error {
+	names := make([]string, 0, len(m.Flags))
+	for name := range m.Flags {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if explicit[name] || fs.Lookup(name) == nil {
+			continue
+		}
+		if err := fs.Set(name, m.Flags[name]); err != nil {
+			return fmt.Errorf("manifest: flag -%s=%q: %w", name, m.Flags[name], err)
+		}
+	}
+	return nil
+}
+
+// ExplicitFlags reports which flags were set on the command line.
+// Call after fs.Parse.
+func ExplicitFlags(fs *flag.FlagSet) map[string]bool {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}

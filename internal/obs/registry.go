@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics keyed by an integer scope (a node index,
+// a rank id, or -1 for run-global metrics). Metric handles are
+// get-or-create and stable, so hot paths fetch them once; value updates
+// are atomic (counters, gauges) or internally locked (histograms), so
+// parallel sweep workers can share one registry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[metricKey]*Counter
+	gauges     map[metricKey]*Gauge
+	histograms map[metricKey]*Histogram
+}
+
+type metricKey struct {
+	name string
+	id   int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[metricKey]*Counter),
+		gauges:     make(map[metricKey]*Gauge),
+		histograms: make(map[metricKey]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: counts[i] holds observations
+// x < Bounds[i] (and ≥ Bounds[i-1]); counts[len(Bounds)] holds the
+// overflow at or above the last bound. Bounds are fixed at creation, so
+// merging and serializing never rebuckets. The running sum is kept in
+// fixed point (1/1000 of a unit): integer addition commutes, so a
+// snapshot is byte-identical however many workers interleaved their
+// observations — float accumulation would leak the merge order into the
+// low bits.
+type Histogram struct {
+	mu       sync.Mutex
+	bounds   []float64
+	counts   []int64
+	n        int64
+	sumMilli int64
+	max      float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, x)
+	// SearchFloat64s finds the first bound ≥ x; an observation equal to
+	// a bound belongs to the next bucket (buckets are [lo, hi)).
+	if i < len(h.bounds) && h.bounds[i] == x {
+		i++
+	}
+	h.counts[i]++
+	h.n++
+	h.sumMilli += int64(math.Round(x * 1000))
+	if h.n == 1 || x > h.max {
+		h.max = x
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Counter returns the counter for (name, id), creating it on first use.
+func (r *Registry) Counter(name string, id int) *Counter {
+	k := metricKey{name, id}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for (name, id), creating it on first use.
+func (r *Registry) Gauge(name string, id int) *Gauge {
+	k := metricKey{name, id}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for (name, id), creating it with the
+// given bucket bounds on first use (bounds must be sorted ascending;
+// later calls reuse the existing buckets and ignore the argument).
+func (r *Registry) Histogram(name string, id int, bounds []float64) *Histogram {
+	k := metricKey{name, id}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[k]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		r.histograms[k] = h
+	}
+	return h
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	ID    int    `json:"id"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	ID    int    `json:"id"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap is one histogram in a snapshot.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	ID     int       `json:"id"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1, last is overflow
+	N      int64     `json:"n"`
+	Sum    float64   `json:"sum"`
+	Max    float64   `json:"max"`
+}
+
+// Mean reports the histogram's exact running mean (not bucketed).
+func (h HistogramSnap) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Snapshot is a deterministic point-in-time copy of a registry,
+// sorted by (name, id) so serialization is byte-stable regardless of
+// how many workers fed the metrics.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for k, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: k.name, ID: k.id, Value: c.Value()})
+	}
+	for k, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: k.name, ID: k.id, Value: g.Value()})
+	}
+	for k, h := range r.histograms {
+		h.mu.Lock()
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Name:   k.name,
+			ID:     k.id,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			N:      h.n,
+			Sum:    float64(h.sumMilli) / 1000,
+			Max:    h.max,
+		})
+		h.mu.Unlock()
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return lessSnap(s.Counters[i].Name, s.Counters[i].ID, s.Counters[j].Name, s.Counters[j].ID)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return lessSnap(s.Gauges[i].Name, s.Gauges[i].ID, s.Gauges[j].Name, s.Gauges[j].ID)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return lessSnap(s.Histograms[i].Name, s.Histograms[i].ID, s.Histograms[j].Name, s.Histograms[j].ID)
+	})
+	return s
+}
+
+func lessSnap(an string, ai int, bn string, bi int) bool {
+	if an != bn {
+		return an < bn
+	}
+	return ai < bi
+}
+
+// Counter reads one counter from the snapshot (zero when absent).
+func (s Snapshot) Counter(name string, id int) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name && c.ID == id {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// JSON serializes the snapshot.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", " ")
+}

@@ -1,0 +1,70 @@
+package obs
+
+// RingSink keeps the most recent events in a fixed-capacity ring: the
+// cheap always-on sink for tests, the detector overlay, and post-run
+// inspection without streaming anything to disk.
+type RingSink struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRingSink returns a ring holding at most cap events (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, 0, capacity)}
+}
+
+// Emit implements Tracer.
+func (r *RingSink) Emit(ev Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total reports how many events were emitted, including any that have
+// been overwritten.
+func (r *RingSink) Total() int64 { return r.total }
+
+// Dropped reports how many events fell off the ring.
+func (r *RingSink) Dropped() int64 { return r.total - int64(len(r.buf)) }
+
+// Events returns the retained events oldest-first as a fresh slice.
+func (r *RingSink) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns the retained events of one category, oldest-first.
+func (r *RingSink) Filter(cat Category) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.Type.Category() == cat {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// FilterSink forwards only one category's events to an inner sink —
+// e.g. keep every SMM episode in a small ring while the scheduler's far
+// chattier stream passes by.
+type FilterSink struct {
+	Cat  Category
+	Sink Tracer
+}
+
+// Emit implements Tracer.
+func (f FilterSink) Emit(ev Event) {
+	if ev.Type.Category() == f.Cat {
+		f.Sink.Emit(ev)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"smistudy/internal/cpu"
 	"smistudy/internal/metrics"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -51,6 +52,25 @@ type Sampler struct {
 	lost     int // samples dropped inside SMM
 	deferred int // samples taken late, right after SMM exit
 	total    int
+
+	tr   obs.Tracer // nil unless the run is traced
+	node int32
+}
+
+// SetTracer attaches an observability tracer: every sampling decision —
+// kept, dropped inside SMM, deferred to SMM exit — lands on the node's
+// profiler timeline, so profile deficits appear next to the SMM
+// episodes that caused them.
+func (s *Sampler) SetTracer(tr obs.Tracer, node int) {
+	s.tr = tr
+	s.node = int32(node)
+}
+
+func (s *Sampler) emit(t obs.Type, a int64) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Emit(obs.Event{Time: s.eng.Now(), Type: t, Node: s.node, Track: -1, A: a})
 }
 
 // New builds a profiler over a node's processor and SMM controller.
@@ -94,6 +114,7 @@ func (s *Sampler) fire() {
 		switch s.cfg.Mode {
 		case DropInSMM:
 			s.lost++
+			s.emit(obs.EvProfDrop, 0)
 			s.next = s.eng.After(s.cfg.Interval, s.fire)
 		case DeferToExit:
 			// The pending interrupt fires as soon as SMM exits; poll
@@ -116,6 +137,7 @@ func (s *Sampler) fireDeferred() {
 		return
 	}
 	s.deferred++
+	s.emit(obs.EvProfDefer, 0)
 	s.sample()
 	s.next = s.eng.After(s.cfg.Interval, s.fire)
 }
@@ -126,6 +148,7 @@ func (s *Sampler) fireDeferred() {
 func (s *Sampler) sample() {
 	s.cpu.Sync()
 	s.tick++
+	taken := 0
 	for i := 0; i < s.cpu.NumLogical(); i++ {
 		l := s.cpu.Logical(i)
 		if !l.Online() {
@@ -138,7 +161,9 @@ func (s *Sampler) sample() {
 			continue
 		}
 		s.samples[ths[s.tick%len(ths)]]++
+		taken++
 	}
+	s.emit(obs.EvProfSample, int64(taken))
 }
 
 // TaskProfile is one thread's profile line.

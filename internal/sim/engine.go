@@ -139,6 +139,8 @@ type Engine struct {
 	procs map[*Proc]struct{}
 
 	nextProcID int
+
+	probe Probe // optional scheduling-traffic observer, usually nil
 }
 
 // queueHint presizes the event queue and free list: a cluster run keeps
@@ -198,6 +200,9 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev.fn = fn
 	ev.canceled = false
 	e.queue.push(ev)
+	if e.probe != nil {
+		e.probe.EngineEvent(ProbeSchedule)
+	}
 	return ev
 }
 
@@ -221,6 +226,9 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.canceled = true
 	e.queue.removeAt(ev.index)
 	e.recycle(ev)
+	if e.probe != nil {
+		e.probe.EngineEvent(ProbeCancel)
+	}
 }
 
 // Stop makes Run return after the current event completes.
@@ -254,6 +262,9 @@ func (e *Engine) RunUntil(limit Time) {
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= limit {
 		ev := e.queue.popMin()
 		e.now = ev.at
+		if e.probe != nil {
+			e.probe.EngineEvent(ProbeFire)
+		}
 		ev.fn()
 		// Recycle only after fn returns: a Cancel of the firing event
 		// from inside its own callback must see the popped (index -1)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"smistudy/internal/clock"
+	"smistudy/internal/obs"
 	"smistudy/internal/sim"
 )
 
@@ -75,6 +76,16 @@ type Controller struct {
 	stats    Stats
 	episodes []Episode
 	keepLog  bool
+
+	tr   obs.Tracer // nil unless the run is traced
+	node int32
+}
+
+// SetTracer attaches an observability tracer; events carry node as
+// their node index. A nil tracer disables emission.
+func (c *Controller) SetTracer(tr obs.Tracer, node int) {
+	c.tr = tr
+	c.node = int32(node)
 }
 
 // SetPerCPURendezvous sets the additional SMM residency charged per
@@ -117,6 +128,9 @@ func (c *Controller) TriggerSMI(duration sim.Time, onExit func()) {
 	startTSC := c.clk.TSC()
 	c.inSMM = true
 	c.cpu.Stall()
+	if c.tr != nil {
+		c.tr.Emit(obs.Event{Time: start, Type: obs.EvSMMEnter, Node: c.node, Track: -1})
+	}
 	c.eng.After(duration, func() {
 		c.cpu.Unstall()
 		c.inSMM = false
@@ -136,6 +150,9 @@ func (c *Controller) TriggerSMI(duration sim.Time, onExit func()) {
 				Duration: d,
 				TSCDelta: c.clk.TSC() - startTSC,
 			})
+		}
+		if c.tr != nil {
+			c.tr.Emit(obs.Event{Time: end, Dur: d, Type: obs.EvSMMExit, Node: c.node, Track: -1})
 		}
 		if onExit != nil {
 			onExit()

@@ -1,61 +1,47 @@
 package trace
 
 import (
-	"encoding/json"
+	"bytes"
 	"sort"
 
-	"smistudy/internal/sim"
+	"smistudy/internal/obs"
 	"smistudy/internal/smm"
 )
 
 // ChromeTrace renders a Recorder's spans in the Chrome trace-event
-// format (chrome://tracing, Perfetto): one complete event ("ph":"X") per
-// span, grouped into tracks by label. Timestamps are microseconds, as
-// the format requires.
+// format (chrome://tracing, Perfetto) by replaying them through the
+// observability package's streaming sink: one complete event per span,
+// grouped into tracks by label in first-appearance order, under a
+// single process named processName. Live runs should attach
+// obs.ChromeSink to the bus directly; this path serves recorders filled
+// after the fact.
 func (r *Recorder) ChromeTrace(processName string) ([]byte, error) {
-	type event struct {
-		Name string            `json:"name"`
-		Cat  string            `json:"cat"`
-		Ph   string            `json:"ph"`
-		TS   float64           `json:"ts"`
-		Dur  float64           `json:"dur"`
-		PID  int               `json:"pid"`
-		TID  int               `json:"tid"`
-		Args map[string]string `json:"args,omitempty"`
-	}
 	// Stable track ids per label, in first-appearance order.
-	tids := map[string]int{}
-	var order []string
+	tids := map[string]int32{}
 	for _, s := range r.spans {
 		if _, ok := tids[s.Label]; !ok {
-			tids[s.Label] = len(tids) + 1
-			order = append(order, s.Label)
+			tids[s.Label] = int32(len(tids) + 1)
 		}
 	}
-	var events []event
-	// Thread-name metadata events make the tracks readable.
-	for _, label := range order {
-		events = append(events, event{
-			Name: "thread_name", Ph: "M", PID: 1, TID: tids[label],
-			Args: map[string]string{"name": label},
-		})
-	}
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	sink.NameProcess(0, -1, processName)
 	spans := append([]Span(nil), r.spans...)
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
 	for _, s := range spans {
-		events = append(events, event{
-			Name: s.Label,
-			Cat:  processName,
-			Ph:   "X",
-			TS:   float64(s.Start) / float64(sim.Microsecond),
-			Dur:  float64(s.Duration()) / float64(sim.Microsecond),
-			PID:  1,
-			TID:  tids[s.Label],
+		sink.Emit(obs.Event{
+			Time:  s.End,
+			Dur:   s.Duration(),
+			Type:  obs.EvUserSpan,
+			Node:  -1,
+			Track: tids[s.Label],
+			Name:  s.Label,
 		})
 	}
-	return json.MarshalIndent(struct {
-		TraceEvents []event `json:"traceEvents"`
-	}{events}, "", " ")
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // RecordSMM copies a node's ground-truth SMM episodes into the recorder

@@ -25,6 +25,10 @@ type TaskSample struct {
 	OSTime   sim.Time // what the kernel (or any profiler) reports
 	TrueTime sim.Time // what the task actually got
 	Stolen   sim.Time // OSTime − TrueTime: SMM residency misattributed
+	// Anomalous marks a snapshot where kernel accounting lagged ground
+	// truth (OSTime < TrueTime, e.g. a task sampled mid-update). Stolen
+	// is clamped to zero for such samples instead of going negative.
+	Anomalous bool
 }
 
 // StolenPct reports the fraction of the OS-reported time that was
@@ -45,19 +49,19 @@ type Attribution struct {
 	// SMMResidency is the controller's ground-truth total; the stolen
 	// time across tasks is bounded by residency × busy CPUs.
 	SMMResidency sim.Time
+	// Anomalies counts tasks whose accounting lagged ground truth at
+	// snapshot time (see TaskSample.Anomalous).
+	Anomalies int
 }
 
 // Attribute builds the report for the given tasks on a node.
 func Attribute(node *cluster.Node, tasks []*kernel.Task) Attribution {
 	var a Attribution
 	for _, t := range tasks {
-		s := TaskSample{
-			Name:     t.Name(),
-			PID:      t.PID(),
-			OSTime:   t.UTime(),
-			TrueTime: t.TrueCPUTime(),
+		s := sampleTask(t.Name(), t.PID(), t.UTime(), t.TrueCPUTime())
+		if s.Anomalous {
+			a.Anomalies++
 		}
-		s.Stolen = s.OSTime - s.TrueTime
 		a.Tasks = append(a.Tasks, s)
 		a.TotalOS += s.OSTime
 		a.TotalTrue += s.TrueTime
@@ -65,6 +69,20 @@ func Attribute(node *cluster.Node, tasks []*kernel.Task) Attribution {
 	}
 	a.SMMResidency = node.SMM.Stats().TotalResidency
 	return a
+}
+
+// sampleTask builds one TaskSample. Stolen time is OSTime − TrueTime;
+// a negative difference cannot happen physically (the kernel charges at
+// least the time the task progressed), so it is clamped to zero and the
+// sample flagged rather than skewing totals downward.
+func sampleTask(name string, pid int, osTime, trueTime sim.Time) TaskSample {
+	s := TaskSample{Name: name, PID: pid, OSTime: osTime, TrueTime: trueTime}
+	s.Stolen = s.OSTime - s.TrueTime
+	if s.Stolen < 0 {
+		s.Stolen = 0
+		s.Anomalous = true
+	}
+	return s
 }
 
 // Table renders the report as an aligned text table.

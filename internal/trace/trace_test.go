@@ -124,9 +124,9 @@ func TestChromeTraceExport(t *testing.T) {
 	if err := json.Unmarshal(out, &doc); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	// 2 metadata events (2 labels) + 3 spans.
-	if len(doc.TraceEvents) != 5 {
-		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	// 1 process + 2 thread metadata events (2 labels) + 3 spans.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(doc.TraceEvents))
 	}
 	var spans, meta int
 	for _, ev := range doc.TraceEvents {
@@ -140,7 +140,7 @@ func TestChromeTraceExport(t *testing.T) {
 			meta++
 		}
 	}
-	if spans != 3 || meta != 2 {
+	if spans != 3 || meta != 3 {
 		t.Fatalf("spans=%d meta=%d", spans, meta)
 	}
 }
@@ -159,5 +159,58 @@ func TestRecordSMMFromController(t *testing.T) {
 	}
 	if r.TotalByLabel()["smm"] != cl.Nodes[0].SMM.Stats().TotalResidency {
 		t.Fatal("recorded SMM spans do not sum to residency")
+	}
+}
+
+func TestOverlappingBoundaries(t *testing.T) {
+	var r Recorder
+	r.Record("left", 0, 10)    // touches query start
+	r.Record("right", 20, 30)  // touches query end
+	r.Record("inside", 12, 18) // strictly inside
+	r.Record("point", 15, 15)  // zero-length span inside
+	r.Record("edge", 10, 10)   // zero-length span on the boundary
+
+	// Half-open semantics: spans that merely touch an endpoint of
+	// [10, 20) do not intersect it; zero-length spans strictly inside do.
+	got := map[string]bool{}
+	for _, s := range r.Overlapping(10, 20) {
+		got[s.Label] = true
+	}
+	if got["left"] || got["right"] {
+		t.Fatalf("touching spans reported as overlapping: %v", got)
+	}
+	if !got["inside"] {
+		t.Fatal("interior span missed")
+	}
+	if !got["point"] {
+		t.Fatal("zero-length interior span missed")
+	}
+	if got["edge"] {
+		t.Fatal("zero-length span at the boundary should not overlap")
+	}
+
+	// A zero-length query window intersects exactly the spans that
+	// strictly contain the instant.
+	if ov := r.Overlapping(5, 5); len(ov) != 1 || ov[0].Label != "left" {
+		t.Fatalf("point query = %v, want just the covering span", ov)
+	}
+	if len(r.Overlapping(10, 10)) != 0 {
+		t.Fatal("point query at a span edge should be empty")
+	}
+}
+
+func TestSampleClampsNegativeStolen(t *testing.T) {
+	// OSTime < TrueTime cannot happen physically (the kernel charges at
+	// least the time the task progressed); a sample caught mid-update
+	// must clamp to zero stolen time and be flagged, never go negative.
+	s := sampleTask("odd", 7, 10*sim.Millisecond, 12*sim.Millisecond)
+	if s.Stolen != 0 {
+		t.Fatalf("stolen = %v, want clamped 0", s.Stolen)
+	}
+	if !s.Anomalous {
+		t.Fatalf("anomaly not flagged: %+v", s)
+	}
+	if ok := sampleTask("fine", 8, 12*sim.Millisecond, 10*sim.Millisecond); ok.Anomalous || ok.Stolen != 2*sim.Millisecond {
+		t.Fatalf("healthy sample misflagged: %+v", ok)
 	}
 }

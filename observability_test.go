@@ -1,0 +1,111 @@
+package smistudy_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"smistudy"
+	"smistudy/internal/obs"
+)
+
+// TestTracedNASRun is the end-to-end acceptance check for the
+// observability bus: a lossy NAS run under long SMIs must put events of
+// all five core categories on the bus (smm, sched, mpi, net, fault),
+// derive non-trivial metrics, render a valid Chrome trace, and leave
+// the measured result untouched.
+func TestTracedNASRun(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	ring := obs.NewRingSink(1 << 18)
+	bus := obs.NewBus().Attach(sink).Attach(ring)
+
+	opts := smistudy.NASOptions{
+		Bench: smistudy.EP, Class: smistudy.ClassA,
+		Nodes: 2, RanksPerNode: 2, SMM: smistudy.SMM2,
+		Runs: 2, Seed: 1,
+		Faults: &smistudy.FaultPlan{LossProb: 0.02},
+	}
+	traced := opts
+	traced.Tracer = bus
+	res, err := smistudy.RunNAS(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing must not perturb the simulation.
+	plain, err := smistudy.RunNAS(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanTime != plain.MeanTime || res.Dropped != plain.Dropped {
+		t.Fatalf("tracing changed the result: %v/%d vs %v/%d",
+			res.MeanTime, res.Dropped, plain.MeanTime, plain.Dropped)
+	}
+
+	cats := map[obs.Category]int{}
+	runs := map[int32]bool{}
+	for _, ev := range ring.Events() {
+		cats[ev.Type.Category()]++
+		runs[ev.Run] = true
+	}
+	for _, want := range []obs.Category{
+		obs.CatSMM, obs.CatSched, obs.CatMPI, obs.CatNet, obs.CatFault, obs.CatSweep,
+	} {
+		if cats[want] == 0 {
+			t.Errorf("no %v events on the bus (got %v)", want, cats)
+		}
+	}
+	if !runs[0] || !runs[1] {
+		t.Errorf("per-run stamping missing: %v", runs)
+	}
+
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("Chrome trace is not valid JSON")
+	}
+
+	snap := bus.MetricsSnapshot()
+	if snap.Counter("smm_episodes", 0) == 0 {
+		t.Error("no SMM episodes in metrics despite SMM2")
+	}
+	if snap.Counter("engine_events_fired", -1) == 0 {
+		t.Error("engine probe not wired")
+	}
+	var sends int64
+	for _, c := range snap.Counters {
+		if c.Name == "mpi_sends" {
+			sends += c.Value
+		}
+	}
+	if sends == 0 {
+		t.Error("no MPI sends in metrics")
+	}
+}
+
+// TestTracedSweepDeterminism: running the same traced configuration with
+// 1 and 4 workers must yield identical metrics snapshots — counters
+// commute, and per-run stamping keeps the interleaving irrelevant.
+func TestTracedSweepDeterminism(t *testing.T) {
+	snapshot := func(workers int) []byte {
+		bus := obs.NewBus()
+		_, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
+			Behavior: smistudy.CacheFriendly, CPUs: 2,
+			SMIIntervalMS: 500, Runs: 4, Seed: 3,
+			Workers: workers, Tracer: bus,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := bus.MetricsSnapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if seq, par := snapshot(1), snapshot(4); !bytes.Equal(seq, par) {
+		t.Fatalf("metrics differ across worker counts:\n%s\n----\n%s", seq, par)
+	}
+}

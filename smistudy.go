@@ -35,6 +35,7 @@ import (
 	"smistudy/internal/mpi"
 	"smistudy/internal/nas"
 	"smistudy/internal/noise"
+	"smistudy/internal/obs"
 	"smistudy/internal/parsweep"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
@@ -53,6 +54,44 @@ type NoProgressError = mpi.NoProgressError
 // FaultSchedule re-exports the fault timeline type for callers who want
 // scenarios beyond what FaultPlan describes.
 type FaultSchedule = faults.Schedule
+
+// Tracer re-exports the observability event consumer. Attach an
+// *obs.Bus (metrics + sinks) or any custom sink via the Tracer field of
+// the option structs; a nil Tracer costs nothing — every emit site is a
+// single nil check and the simulation hot path stays allocation-free.
+type Tracer = obs.Tracer
+
+// wireRun scopes tr to one sweep cell and threads it through a freshly
+// built engine and cluster: all SMM, scheduler, network and fault events
+// flow to it stamped with the run index, and — when tr is a bus — the
+// engine's event counters feed its registry. Returns the scoped tracer
+// for the caller's own emissions (nil stays nil).
+func wireRun(tr Tracer, run int, e *sim.Engine, cl *cluster.Cluster) Tracer {
+	if tr == nil {
+		return nil
+	}
+	if b, ok := tr.(*obs.Bus); ok {
+		e.SetProbe(b)
+	}
+	rt := obs.WithRun(tr, int32(run))
+	cl.SetTracer(rt)
+	return rt
+}
+
+// cellStart marks a sweep cell's beginning on the bus; seed identifies
+// the cell in the trace.
+func cellStart(rt Tracer, seed int64) {
+	if rt != nil {
+		rt.Emit(obs.Event{Type: obs.EvSweepCellStart, Node: -1, A: seed})
+	}
+}
+
+// cellFinish marks a sweep cell's end; the span covers the whole run.
+func cellFinish(rt Tracer, e *sim.Engine, seed int64) {
+	if rt != nil {
+		rt.Emit(obs.Event{Time: e.Now(), Dur: e.Now(), Type: obs.EvSweepCellFinish, Node: -1, A: seed})
+	}
+}
 
 // SMMLevel selects the SMI injection level, exactly as in the paper:
 // SMM0 = none, SMM1 = short (1–3 ms), SMM2 = long (100–110 ms), fired
@@ -170,6 +209,12 @@ type NASOptions struct {
 	// Watchdog overrides the MPI progress-watchdog interval (zero =
 	// default, negative = disabled).
 	Watchdog sim.Time
+	// Tracer, when non-nil, receives every observability event from
+	// every run (SMM episodes, scheduling, MPI traffic, network drops,
+	// fault activations), each stamped with its run index. Safe with
+	// Workers > 1 when the tracer is an *obs.Bus or otherwise
+	// concurrency-safe.
+	Tracer Tracer
 }
 
 // NASResult is a measured cell.
@@ -241,12 +286,15 @@ func RunNAS(o NASOptions) (NASResult, error) {
 			out.setupErr = err
 			return out, nil
 		}
+		rt := wireRun(o.Tracer, i, e, cl)
+		cellStart(rt, seed+int64(i))
 		cl.StartSMI()
 		w, err := mpi.NewWorld(cl, o.RanksPerNode, par)
 		if err != nil {
 			out.setupErr = err
 			return out, nil
 		}
+		w.SetTracer(rt)
 		if !sched.Empty() {
 			inj, err := cl.Inject(sched)
 			if err != nil {
@@ -256,6 +304,7 @@ func RunNAS(o NASOptions) (NASResult, error) {
 			w.SetFaultObserver(inj)
 		}
 		r, runErr := nas.Run(w, nas.Spec{Bench: o.Bench, Class: o.Class})
+		cellFinish(rt, e, seed+int64(i))
 		// Transport accounting is valid even for a failed run — report
 		// how much recovery work preceded the failure.
 		out.dropped = cl.Fabric.Stats().Drops
@@ -336,6 +385,10 @@ type ConvolveOptions struct {
 	// Workers fans the independent runs over this many OS threads;
 	// ≤ 1 runs sequentially. Results are bit-identical either way.
 	Workers int
+	// Tracer, when non-nil, receives every run's observability events,
+	// stamped with the run index. Must be concurrency-safe (an
+	// *obs.Bus is) when Workers > 1.
+	Tracer Tracer
 }
 
 // ConvolveResult is one measured Convolve point.
@@ -395,8 +448,11 @@ func RunConvolve(o ConvolveOptions) (ConvolveResult, error) {
 		if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
 			return runOut{}, err
 		}
+		rt := wireRun(o.Tracer, i, e, cl)
+		cellStart(rt, seed+int64(i))
 		cl.StartSMI()
 		r := convolve.RunSim(cl, cfg)
+		cellFinish(rt, e, seed+int64(i))
 		return runOut{elapsed: r.Elapsed, threads: r.Threads}, nil
 	})
 	if err != nil {
@@ -423,6 +479,8 @@ type UnixBenchOptions struct {
 	Seed          int64
 	// Duration per micro-benchmark window; zero = 4 s.
 	Duration sim.Time
+	// Tracer, when non-nil, receives the run's observability events.
+	Tracer Tracer
 }
 
 // UnixBenchResult is one iteration's scores.
@@ -457,12 +515,15 @@ func RunUnixBench(o UnixBenchOptions) (UnixBenchResult, error) {
 	if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
 		return UnixBenchResult{}, err
 	}
+	rt := wireRun(o.Tracer, 0, e, cl)
+	cellStart(rt, seed)
 	cl.StartSMI()
 	cfg := ubench.DefaultConfig()
 	if o.Duration > 0 {
 		cfg.Duration = o.Duration
 	}
 	r := ubench.Run(cl, cfg)
+	cellFinish(rt, e, seed)
 	return UnixBenchResult{Options: o, Score: r.Score, Tests: r.Tests}, nil
 }
 
@@ -472,6 +533,10 @@ type DetectOptions struct {
 	SMIIntervalMS int
 	Duration      sim.Time
 	Seed          int64
+	// Tracer, when non-nil, receives the run's observability events —
+	// notably the ground-truth SMM episodes, which cmd/smidetect
+	// overlays against the detector's findings.
+	Tracer Tracer
 }
 
 // DetectSMIs runs the hwlat-style spin-loop detector on a machine with
@@ -491,6 +556,7 @@ func DetectSMIs(o DetectOptions) noise.DetectorReport {
 	}
 	e := sim.New(seed)
 	cl := cluster.MustNew(e, cluster.R410(smi))
+	wireRun(o.Tracer, 0, e, cl)
 	cl.StartSMI()
 	return noise.RunDetector(cl, noise.DetectorConfig{Duration: o.Duration})
 }
