@@ -60,6 +60,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpibench: -smm must be 0, 1 or 2")
 		os.Exit(2)
 	}
+	if err := validateShape(*nodes, *rpn, *interval); err != nil {
+		fmt.Fprintln(os.Stderr, "mpibench:", err)
+		os.Exit(2)
+	}
 	smi := smm.DriverConfig{
 		Level:         smm.Level(*level),
 		PeriodJiffies: uint64(*interval),
@@ -99,6 +103,23 @@ func main() {
 	fmt.Printf("simulated fabric, %d nodes × %d ranks, %v\n\n", *nodes, *rpn, smi.Level)
 	pingpong(*nodes, *rpn, smi, *seed)
 	collectives(*nodes, *rpn, smi, *seed)
+}
+
+// validateShape rejects cluster shapes the measurements cannot run on:
+// ping-pong needs ranks 0 and 1 to exist, and a non-positive SMI period
+// or node/rank count would panic deep inside the cluster constructor
+// instead of telling the operator which flag was wrong.
+func validateShape(nodes, rpn, intervalMS int) error {
+	if nodes < 1 || rpn < 1 {
+		return fmt.Errorf("-nodes and -rpn must be at least 1 (got %d and %d)", nodes, rpn)
+	}
+	if nodes*rpn < 2 {
+		return fmt.Errorf("ping-pong needs at least 2 ranks (got %d node × %d rank)", nodes, rpn)
+	}
+	if intervalMS < 1 {
+		return fmt.Errorf("-interval must be at least 1 ms (got %d)", intervalMS)
+	}
+	return nil
 }
 
 // newWorld builds a fresh world (each measurement gets its own engine),

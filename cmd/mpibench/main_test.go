@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestValidateShape(t *testing.T) {
+	ok := [][3]int{{4, 1, 1000}, {2, 1, 1}, {1, 2, 500}}
+	for _, c := range ok {
+		if err := validateShape(c[0], c[1], c[2]); err != nil {
+			t.Fatalf("validateShape(%v) = %v", c, err)
+		}
+	}
+	bad := [][3]int{
+		{0, 1, 1000},  // no nodes
+		{4, 0, 1000},  // no ranks per node
+		{1, 1, 1000},  // single rank: ping-pong has no peer
+		{4, 1, 0},     // SMI period of zero would never fire (or divide by zero)
+		{-2, -2, 100}, // negatives must not sneak through via the product
+	}
+	for _, c := range bad {
+		if err := validateShape(c[0], c[1], c[2]); err == nil {
+			t.Fatalf("validateShape(%v) accepted", c)
+		}
+	}
+}

@@ -30,6 +30,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
+	// Validate before the -trace/-attribution early returns so a bad
+	// flag always errors instead of being silently ignored on those
+	// paths.
+	lv, err := parseLevel(*level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smidetect:", err)
+		os.Exit(2)
+	}
+	if *interval < 1 || *duration <= 0 {
+		fmt.Fprintf(os.Stderr, "smidetect: -interval must be ≥ 1 ms and -duration > 0 s (got %d, %g)\n",
+			*interval, *duration)
+		os.Exit(2)
+	}
+
 	if *traceOut != "" {
 		data, err := smistudy.TraceWorkload(*duration, *seed)
 		if err != nil {
@@ -52,19 +66,6 @@ func main() {
 		fmt.Println()
 		fmt.Print(a.Table())
 		return
-	}
-
-	var lv smistudy.SMMLevel
-	switch *level {
-	case "none":
-		lv = smistudy.SMM0
-	case "short":
-		lv = smistudy.SMM1
-	case "long":
-		lv = smistudy.SMM2
-	default:
-		fmt.Fprintf(os.Stderr, "smidetect: unknown level %q\n", *level)
-		os.Exit(2)
 	}
 
 	// The detector is scored twice: once by DetectSMIs against the SMM
@@ -103,4 +104,17 @@ func main() {
 	if ring.Dropped() > 0 {
 		fmt.Printf("  (ring sink dropped %d events; overlay is partial)\n", ring.Dropped())
 	}
+}
+
+// parseLevel maps the -level flag to an injection level.
+func parseLevel(s string) (smistudy.SMMLevel, error) {
+	switch s {
+	case "none":
+		return smistudy.SMM0, nil
+	case "short":
+		return smistudy.SMM1, nil
+	case "long":
+		return smistudy.SMM2, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want none, short or long)", s)
 }

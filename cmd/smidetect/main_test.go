@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"smistudy"
+)
+
+func TestParseLevel(t *testing.T) {
+	want := map[string]smistudy.SMMLevel{
+		"none":  smistudy.SMM0,
+		"short": smistudy.SMM1,
+		"long":  smistudy.SMM2,
+	}
+	for s, w := range want {
+		lv, err := parseLevel(s)
+		if err != nil || lv != w {
+			t.Fatalf("parseLevel(%q) = %v, %v", s, lv, err)
+		}
+	}
+	for _, s := range []string{"", "LONG", "2", "medium"} {
+		if _, err := parseLevel(s); err == nil {
+			t.Fatalf("parseLevel(%q) accepted", s)
+		}
+	}
+}

@@ -69,11 +69,48 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	usage := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smisim:", err)
+			os.Exit(2)
+		}
+	}
 
 	if *replay != "" {
 		m, err := obs.LoadManifestFile(*replay)
 		fail(err)
 		fail(m.Apply(flag.CommandLine, obs.ExplicitFlags(flag.CommandLine)))
+	}
+
+	// Validate the flag surface up front — after -replay may have
+	// rewritten it, before any output file is created — so operator
+	// typos exit 2 instead of panicking or silently meaning a default.
+	var (
+		nasBench smistudy.Benchmark
+		nasClass smistudy.Class
+		nasSMM   smistudy.SMMLevel
+		cacheBeh smistudy.CacheBehavior
+	)
+	switch *workload {
+	case "nas":
+		var err error
+		if nasBench, err = parseBench(*bench); err != nil {
+			usage(err)
+		}
+		if nasClass, err = parseClass(*class); err != nil {
+			usage(err)
+		}
+		if nasSMM, err = parseSMM(*smmLevel); err != nil {
+			usage(err)
+		}
+	case "convolve":
+		var err error
+		if cacheBeh, err = parseCache(*cacheB); err != nil {
+			usage(err)
+		}
+	case "unixbench":
+	default:
+		usage(fmt.Errorf("unknown -workload %q (want nas, convolve or unixbench)", *workload))
 	}
 	if *manifestOut != "" {
 		m := obs.Capture("smisim", flag.CommandLine, "trace", "metrics", "manifest", "replay")
@@ -126,10 +163,6 @@ func main() {
 
 	switch *workload {
 	case "nas":
-		levels := []smistudy.SMMLevel{smistudy.SMM0, smistudy.SMM1, smistudy.SMM2}
-		if *smmLevel < 0 || *smmLevel > 2 {
-			fail(fmt.Errorf("smm level %d", *smmLevel))
-		}
 		plan := smistudy.FaultPlan{
 			LossProb:  *loss,
 			CrashNode: *crashNode, CrashAt: sim.FromSeconds(*crashAt),
@@ -137,12 +170,12 @@ func main() {
 			StormNode: *stormNode, StormAt: sim.FromSeconds(*stormAt), StormFor: sim.FromSeconds(*stormFor),
 		}
 		opts := smistudy.NASOptions{
-			Bench:        smistudy.Benchmark(*bench),
-			Class:        smistudy.Class((*class)[0]),
+			Bench:        nasBench,
+			Class:        nasClass,
 			Nodes:        *nodes,
 			RanksPerNode: *rpn,
 			HTT:          *htt,
-			SMM:          levels[*smmLevel],
+			SMM:          nasSMM,
 			Runs:         *runs,
 			Seed:         *seed,
 			Watchdog:     sim.FromSeconds(*watchdog),
@@ -169,7 +202,7 @@ func main() {
 		}
 		fail(err)
 		fmt.Printf("%s.%s  ranks=%d nodes=%d rpn=%d htt=%v smm=%v\n",
-			*bench, *class, res.Ranks, *nodes, *rpn, *htt, levels[*smmLevel])
+			*bench, *class, res.Ranks, *nodes, *rpn, *htt, nasSMM)
 		fmt.Printf("  time   = %.2fs (mean of %d)\n", res.Seconds(), len(res.Times))
 		fmt.Printf("  mops   = %.1f\n", res.MOPs)
 		fmt.Printf("  smm    = %v mean per-node residency\n", res.Residency)
@@ -180,10 +213,7 @@ func main() {
 		}
 
 	case "convolve":
-		beh := smistudy.CacheFriendly
-		if *cacheB == "unfriendly" {
-			beh = smistudy.CacheUnfriendly
-		}
+		beh := cacheBeh
 		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
 			Behavior: beh, CPUs: *cpus, SMIIntervalMS: *interval,
 			Runs: *runs, Seed: *seed, Workers: workers, Tracer: tracer,

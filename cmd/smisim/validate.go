@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+
+	"smistudy"
+)
+
+// parseBench validates the -bench flag against the three NAS kernels
+// the study models.
+func parseBench(s string) (smistudy.Benchmark, error) {
+	switch b := smistudy.Benchmark(s); b {
+	case smistudy.EP, smistudy.BT, smistudy.FT:
+		return b, nil
+	}
+	return "", fmt.Errorf("unknown -bench %q (want EP, BT or FT)", s)
+}
+
+// parseClass validates the -class flag. Indexing the raw string would
+// panic on -class "" and silently accept "AB" as class A.
+func parseClass(s string) (smistudy.Class, error) {
+	if len(s) == 1 {
+		switch c := smistudy.Class(s[0]); c {
+		case smistudy.ClassS, smistudy.ClassA, smistudy.ClassB, smistudy.ClassC:
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown -class %q (want S, A, B or C)", s)
+}
+
+// parseCache validates the -cache flag; anything but the two known
+// behaviors is an operator typo, not a request for the default.
+func parseCache(s string) (smistudy.CacheBehavior, error) {
+	switch s {
+	case "friendly":
+		return smistudy.CacheFriendly, nil
+	case "unfriendly":
+		return smistudy.CacheUnfriendly, nil
+	}
+	return 0, fmt.Errorf("unknown -cache %q (want friendly or unfriendly)", s)
+}
+
+// parseSMM validates the -smm flag shared by the NAS workload path.
+func parseSMM(level int) (smistudy.SMMLevel, error) {
+	levels := []smistudy.SMMLevel{smistudy.SMM0, smistudy.SMM1, smistudy.SMM2}
+	if level < 0 || level >= len(levels) {
+		return 0, fmt.Errorf("-smm must be 0, 1 or 2 (got %d)", level)
+	}
+	return levels[level], nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"smistudy"
+)
+
+func TestParseBench(t *testing.T) {
+	for _, s := range []string{"EP", "BT", "FT"} {
+		b, err := parseBench(s)
+		if err != nil || string(b) != s {
+			t.Fatalf("parseBench(%q) = %v, %v", s, b, err)
+		}
+	}
+	for _, s := range []string{"", "ep", "CG", "EP "} {
+		if _, err := parseBench(s); err == nil {
+			t.Fatalf("parseBench(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, s := range []string{"S", "A", "B", "C"} {
+		c, err := parseClass(s)
+		if err != nil || byte(c) != s[0] {
+			t.Fatalf("parseClass(%q) = %v, %v", s, c, err)
+		}
+	}
+	// The empty string used to panic via (*class)[0]; "AB" used to
+	// silently truncate to class A.
+	for _, s := range []string{"", "AB", "a", "D"} {
+		if _, err := parseClass(s); err == nil {
+			t.Fatalf("parseClass(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseCache(t *testing.T) {
+	if b, err := parseCache("friendly"); err != nil || b != smistudy.CacheFriendly {
+		t.Fatalf("friendly: %v, %v", b, err)
+	}
+	if b, err := parseCache("unfriendly"); err != nil || b != smistudy.CacheUnfriendly {
+		t.Fatalf("unfriendly: %v, %v", b, err)
+	}
+	// Anything else used to silently mean "friendly".
+	for _, s := range []string{"", "Unfriendly", "hostile"} {
+		if _, err := parseCache(s); err == nil {
+			t.Fatalf("parseCache(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseSMM(t *testing.T) {
+	want := []smistudy.SMMLevel{smistudy.SMM0, smistudy.SMM1, smistudy.SMM2}
+	for i, w := range want {
+		lv, err := parseSMM(i)
+		if err != nil || lv != w {
+			t.Fatalf("parseSMM(%d) = %v, %v", i, lv, err)
+		}
+	}
+	for _, n := range []int{-1, 3, 99} {
+		if _, err := parseSMM(n); err == nil {
+			t.Fatalf("parseSMM(%d) accepted", n)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives run() with captured streams.
+func runCLI(args ...string) (code int, out, errOut string) {
+	var stdout, stderr bytes.Buffer
+	code = run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageErrorsExit2(t *testing.T) {
+	cases := [][]string{
+		{"-quick", "-full"},                  // mutually exclusive tiers
+		{"-bench-baseline", "only-one.json"}, // bench flags must pair
+		{"-bench-new", "only-one.json"},
+		{"-seeds", "1,zebra"}, // unparseable seed
+		{"-seeds", "0"},       // seed 0 aliases the default seed
+		{"-nosuchflag"},       // flag package's own parse error
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(args...); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestUnknownArtifactExits1(t *testing.T) {
+	code, _, errOut := runCLI("-quick", "-only", "table9")
+	if code != 1 || !strings.Contains(errOut, "unknown artifact") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestQuickArtifactPassesAndWritesJSON(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	code, out, errOut := runCLI("-quick", "-only", "faults", "-seeds", "1", "-json", jsonPath)
+	if code != 0 {
+		t.Fatalf("code=%d stdout=%q stderr=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "faults") {
+		t.Fatalf("report table missing artifact name:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"tier": "quick"`) {
+		t.Fatalf("JSON report missing tier: %s", data)
+	}
+}
+
+func TestPerturbedPhysicsExits1(t *testing.T) {
+	code, out, _ := runCLI("-quick", "-only", "table2", "-seeds", "1", "-smi-scale", "2")
+	if code != 1 {
+		t.Fatalf("doubled SMI duration must exit 1, got %d\n%s", code, out)
+	}
+}
+
+func TestBenchModeExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	same := filepath.Join(dir, "same.json")
+	slow := filepath.Join(dir, "slow.json")
+	doc := `{"sweeps":[{"name":"table1","workers":1,"wall_ms":100,"mallocs":1000}]}`
+	slowDoc := `{"sweeps":[{"name":"table1","workers":1,"wall_ms":200,"mallocs":1000}]}`
+	for path, body := range map[string]string{base: doc, same: doc, slow: slowDoc} {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code, out, _ := runCLI("-bench-baseline", base, "-bench-new", same); code != 0 {
+		t.Fatalf("identical bench run must pass, got %d\n%s", code, out)
+	}
+	if code, _, _ := runCLI("-bench-baseline", base, "-bench-new", slow); code != 1 {
+		t.Fatal("100% wall regression must exit 1")
+	}
+	if code, _, _ := runCLI("-bench-baseline", base, "-bench-new", filepath.Join(dir, "absent.json")); code != 1 {
+		t.Fatal("unreadable bench file must exit 1")
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseSeeds = %v, %v", got, err)
+	}
+	if got, err := parseSeeds(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	for _, s := range []string{"x", "1,0", "9999999999999999999999"} {
+		if _, err := parseSeeds(s); err == nil {
+			t.Fatalf("parseSeeds(%q) accepted", s)
+		}
+	}
+}
+
+func TestSplitListAndWorkers(t *testing.T) {
+	if got := splitList(" a, ,b ,"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("empty splitList must be nil")
+	}
+	if workerCount(3) != 3 {
+		t.Fatal("explicit -parallel must win")
+	}
+	if workerCount(0) < 1 || workerCount(-1) < 1 {
+		t.Fatal("defaulted worker count must be positive")
+	}
+}

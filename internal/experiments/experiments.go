@@ -33,6 +33,11 @@ type Config struct {
 	// sequentially; the CLIs resolve their -parallel flag to all CPUs
 	// before it reaches here.
 	Workers int
+	// SMIScale multiplies every injected SMI's duration range when > 0
+	// and ≠ 1. The fidelity harness uses it as a deliberate physics
+	// perturbation to prove its tolerance gates trip; zero reproduces
+	// the paper's calibrated durations byte-for-byte.
+	SMIScale float64
 	// Tracer, when non-nil, is threaded into every cell of every sweep
 	// so one bus observes the whole experiment; cells stamp their
 	// events with per-run indices. Must be concurrency-safe (an
@@ -123,7 +128,7 @@ func runNASCells(cfg Config, pts []nasCellPoint) ([]float64, error) {
 		res, err := smistudy.RunNAS(smistudy.NASOptions{
 			Bench: p.bench, Class: p.class, Nodes: p.nodes, RanksPerNode: p.rpn,
 			HTT: p.htt, SMM: p.level, Runs: cfg.runs(6), Seed: cfg.seed(),
-			Tracer: cfg.Tracer,
+			SMIScale: cfg.SMIScale, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return 0, err
@@ -383,7 +388,7 @@ func Figure1Convolve(cfg Config) (Figure1, error) {
 		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
 			Behavior: p.beh, CPUs: p.nc, SMIIntervalMS: p.iv,
 			Runs: cfg.runs(3), Seed: cfg.seed(),
-			Tracer: cfg.Tracer,
+			SMIScale: cfg.SMIScale, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return ConvolvePoint{}, err
@@ -501,6 +506,7 @@ func Figure2UnixBench(cfg Config) (Figure2, error) {
 			// statistically dependent.
 			Seed:     parsweep.Seed(cfg.seed(), int64(p.nc), int64(p.iv), int64(p.it)),
 			Duration: 2 * sim.Second,
+			SMIScale: cfg.SMIScale,
 			Tracer:   cfg.Tracer,
 		})
 		if err != nil {

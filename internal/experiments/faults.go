@@ -127,14 +127,34 @@ func faultedNASRun(seed int64, spec nas.Spec, nodes int, sched faults.Schedule) 
 	return res, cl.TotalSMMResidency(), err
 }
 
-// degradeAmplification demonstrates the max-over-nodes shape on a
-// synchronized benchmark: degrading the links into ONE of n nodes costs
-// nearly as much as degrading every link, because each iteration's
-// exchange ends at the slowest link either way. It then cross-checks
-// the same shape with an SMI storm on one node: the whole job pays that
-// node's residency in full (amplification ≈ 1 × the faulty node's bill,
-// not 1/n of it).
-func degradeAmplification(cfg Config) (string, error) {
+// DegradeResult is the structured single-node fault-amplification
+// study: one degraded node vs a fully degraded fabric vs an SMI storm
+// on one node, all against the clean baseline. OneShare near 1 is the
+// max-over-nodes shape the analytic model predicts (one bad node bills
+// the whole cluster); 1/Nodes would be proportional resource sharing.
+type DegradeResult struct {
+	Spec       string  `json:"spec"`
+	Nodes      int     `json:"nodes"`
+	CleanS     float64 `json:"clean_s"`
+	OneS       float64 `json:"one_degraded_s"`
+	AllS       float64 `json:"all_degraded_s"`
+	StormS     float64 `json:"storm_s"`
+	StormResid float64 `json:"storm_residency_s"`
+	// OneShare is (one − clean) / (all − clean): the fraction of the
+	// whole-fabric cost a single bad node already causes.
+	OneShare float64 `json:"one_share"`
+	// StormShare is (storm − clean) / injected residency on the noisy
+	// node: ≈1 when the job pays that node's bill in full.
+	StormShare float64 `json:"storm_share"`
+}
+
+// DegradeData measures the max-over-nodes shape on a synchronized
+// benchmark: degrading the links into ONE of n nodes costs nearly as
+// much as degrading every link, because each iteration's exchange ends
+// at the slowest link either way. It cross-checks the same shape with
+// an SMI storm on one node: the whole job pays that node's residency in
+// full (amplification ≈ 1 × the faulty node's bill, not 1/n of it).
+func DegradeData(cfg Config) (DegradeResult, error) {
 	const nodes = 4
 	spec := nas.Spec{Bench: nas.BT, Class: nas.ClassA}
 	if cfg.Quick {
@@ -161,7 +181,7 @@ func degradeAmplification(cfg Config) (string, error) {
 		return faultedOut{res, residency}, err
 	})
 	if err != nil {
-		return "", err
+		return DegradeResult{}, err
 	}
 	clean, oneRes, allRes, stormRes := outs[0].res, outs[1].res, outs[2].res, outs[3].res
 	stormResidency := outs[3].residency
@@ -170,23 +190,31 @@ func degradeAmplification(cfg Config) (string, error) {
 	if stormResidency > 0 {
 		stormShare = stormExtra.Seconds() / stormResidency.Seconds()
 	}
-
-	tab := metrics.NewTable("scenario", "time (s)", "slowdown %")
-	baseSec := clean.Time.Seconds()
-	tab.AddRow("clean", baseSec, 0.0)
-	tab.AddRow("degrade links into node 1 (4x + 200 us)", oneRes.Time.Seconds(),
-		metrics.PercentChange(baseSec, oneRes.Time.Seconds()))
-	tab.AddRow("degrade every link", allRes.Time.Seconds(),
-		metrics.PercentChange(baseSec, allRes.Time.Seconds()))
-	tab.AddRow("SMI storm on node 1 (short SMI / 10 jiffies)", stormRes.Time.Seconds(),
-		metrics.PercentChange(baseSec, stormRes.Time.Seconds()))
-
 	oneExtra := (oneRes.Time - clean.Time).Seconds()
 	allExtra := (allRes.Time - clean.Time).Seconds()
 	ratio := 0.0
 	if allExtra > 0 {
 		ratio = oneExtra / allExtra
 	}
+	return DegradeResult{
+		Spec: spec.String(), Nodes: nodes,
+		CleanS: clean.Time.Seconds(), OneS: oneRes.Time.Seconds(),
+		AllS: allRes.Time.Seconds(), StormS: stormRes.Time.Seconds(),
+		StormResid: stormResidency.Seconds(),
+		OneShare:   ratio, StormShare: stormShare,
+	}, nil
+}
+
+// Render prints the study in its report layout.
+func (d DegradeResult) Render() string {
+	tab := metrics.NewTable("scenario", "time (s)", "slowdown %")
+	tab.AddRow("clean", d.CleanS, 0.0)
+	tab.AddRow("degrade links into node 1 (4x + 200 us)", d.OneS,
+		metrics.PercentChange(d.CleanS, d.OneS))
+	tab.AddRow("degrade every link", d.AllS,
+		metrics.PercentChange(d.CleanS, d.AllS))
+	tab.AddRow("SMI storm on node 1 (short SMI / 10 jiffies)", d.StormS,
+		metrics.PercentChange(d.CleanS, d.StormS))
 	return fmt.Sprintf(
 		"Single-node fault amplification (%s, %d nodes):\n\n%s\n"+
 			"One degraded node costs %.0f%% of degrading the whole fabric\n"+
@@ -195,9 +223,18 @@ func degradeAmplification(cfg Config) (string, error) {
 			"storm confirms it: the job stretched by %.2f s against %.2f s of\n"+
 			"residency injected on one node (share %.2f; 1/n sharing would\n"+
 			"predict %.2f).\n",
-		spec, nodes, tab.String(),
-		ratio*100, 100.0/nodes,
-		stormExtra.Seconds(), stormResidency.Seconds(), stormShare, 1.0/nodes), nil
+		d.Spec, d.Nodes, tab.String(),
+		d.OneShare*100, 100.0/float64(d.Nodes),
+		d.StormS-d.CleanS, d.StormResid, d.StormShare, 1.0/float64(d.Nodes))
+}
+
+// degradeAmplification renders DegradeData for FaultStudy.
+func degradeAmplification(cfg Config) (string, error) {
+	d, err := DegradeData(cfg)
+	if err != nil {
+		return "", err
+	}
+	return d.Render(), nil
 }
 
 // crashTiming crashes one node at several points of an EP run and

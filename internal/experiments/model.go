@@ -11,11 +11,38 @@ import (
 	"smistudy/internal/smm"
 )
 
-// ModelStudy compares the closed-form analytic noise models
+// ModelRow is one simulated-vs-analytic comparison cell: a
+// barrier-synchronized workload measured by the simulator next to the
+// closed-form prediction for the same schedule.
+type ModelRow struct {
+	Nodes    int     `json:"nodes"`
+	Step     string  `json:"superstep"`
+	Serial   bool    `json:"serial"`
+	BaseS    float64 `json:"base_s"`
+	SimRunS  float64 `json:"simulated_s"`
+	PredictS float64 `json:"analytic_s"`
+	Residual float64 `json:"sim_over_model"`
+}
+
+// ModelResult is the structured model-vs-simulator study.
+type ModelResult struct {
+	Rows []ModelRow `json:"rows"`
+}
+
+// Residuals exposes the rows as analytic residual checks.
+func (m ModelResult) Residuals() []analytic.Residual {
+	rs := make([]analytic.Residual, 0, len(m.Rows))
+	for _, r := range m.Rows {
+		rs = append(rs, analytic.Residual{Simulated: r.SimRunS, Predicted: r.PredictS})
+	}
+	return rs
+}
+
+// ModelData measures the closed-form analytic noise models
 // (internal/analytic) against the simulator across superstep lengths and
-// node counts — the cross-validation that ties the whole platform to
-// first principles.
-func ModelStudy(cfg Config) (string, error) {
+// node counts, returning the per-cell results for programmatic
+// consumption (the fidelity harness gates on the residuals).
+func ModelData(cfg Config) (ModelResult, error) {
 	type cell struct {
 		nodes  int
 		step   sim.Time
@@ -39,11 +66,11 @@ func ModelStudy(cfg Config) (string, error) {
 		seeds = seeds[:1]
 	}
 
-	tab := metrics.NewTable("nodes", "superstep", "base (s)", "simulated (s)", "analytic (s)", "sim/model")
+	var out ModelResult
 	for _, c := range cells {
 		var meas metrics.Stream
 		for _, seed := range seeds {
-			meas.Add(simulateBSP(seed+cfg.seed()-1, c.nodes, c.step, c.steps).Seconds())
+			meas.Add(simulateBSP(seed+cfg.seed()-1, c.nodes, c.step, c.steps, cfg.SMIScale).Seconds())
 		}
 		var predicted, base float64
 		if c.serial {
@@ -54,22 +81,47 @@ func ModelStudy(cfg Config) (string, error) {
 			base = m.BaseTime().Seconds()
 			predicted = m.ExpectedTime(sched).Seconds()
 		}
-		tab.AddRow(c.nodes, c.step.String(), base, meas.Mean(), predicted, meas.Mean()/predicted)
+		out.Rows = append(out.Rows, ModelRow{
+			Nodes: c.nodes, Step: c.step.String(), Serial: c.serial,
+			BaseS: base, SimRunS: meas.Mean(), PredictS: predicted,
+			Residual: meas.Mean() / predicted,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the study in its report layout.
+func (m ModelResult) Render() string {
+	tab := metrics.NewTable("nodes", "superstep", "base (s)", "simulated (s)", "analytic (s)", "sim/model")
+	for _, r := range m.Rows {
+		tab.AddRow(r.Nodes, r.Step, r.BaseS, r.SimRunS, r.PredictS, r.Residual)
 	}
 	return "Closed-form noise models vs the simulator (long SMIs at 1/s,\n" +
 		"fixed 105 ms duration, barrier-synchronized supersteps):\n\n" +
 		tab.String() +
 		"\nsim/model ≈ 1 everywhere means the discrete-event platform and the\n" +
 		"analytic theory agree on how SMM noise scales with superstep length\n" +
-		"and node count.\n", nil
+		"and node count.\n"
+}
+
+// ModelStudy compares the closed-form analytic noise models against the
+// simulator — the cross-validation that ties the whole platform to
+// first principles — and renders the comparison.
+func ModelStudy(cfg Config) (string, error) {
+	m, err := ModelData(cfg)
+	if err != nil {
+		return "", err
+	}
+	return m.Render(), nil
 }
 
 // simulateBSP runs a synthetic barrier-synchronized workload.
-func simulateBSP(seed int64, nodes int, step sim.Time, steps int) sim.Time {
+func simulateBSP(seed int64, nodes int, step sim.Time, steps int, smiScale float64) sim.Time {
 	e := sim.New(seed)
 	par := cluster.Wyeast(nodes, false, smm.SMMLong)
 	par.Node.SMI.DurMin = 105 * sim.Millisecond
 	par.Node.SMI.DurMax = 105 * sim.Millisecond
+	par.Node.SMI.DurationScale = smiScale
 	par.Node.PerCPURendezvous = 0
 	cl := cluster.MustNew(e, par)
 	cl.StartSMI()

@@ -1,0 +1,220 @@
+package paperdata
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Band is a declarative tolerance band. A measured value passes when
+// |got − want| ≤ Abs + Rel·|want|; the boundary itself passes, so a
+// value exactly at tolerance is accepted. Zero-valued bands are invalid
+// — an expectation that tolerates nothing would only ever pass by
+// floating-point accident, which is a spec bug, not a gate.
+type Band struct {
+	// Rel is the relative half-width (0.10 = ±10% of |want|).
+	Rel float64 `json:"rel,omitempty"`
+	// Abs is the absolute half-width, in the metric's own unit.
+	Abs float64 `json:"abs,omitempty"`
+}
+
+// Width reports the band's half-width around want.
+func (b Band) Width(want float64) float64 {
+	return b.Abs + b.Rel*math.Abs(want)
+}
+
+// Within reports whether got lies inside the band around want.
+func (b Band) Within(got, want float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return false
+	}
+	return math.Abs(got-want) <= b.Width(want)
+}
+
+// Margin reports how far outside the band got sits, as a fraction of
+// the band's half-width: ≤ 1 passes, 2 means twice the tolerance. The
+// fidelity report ranks failures by this.
+func (b Band) Margin(got, want float64) float64 {
+	w := b.Width(want)
+	if w <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / w
+}
+
+// Metric names the quantity an Expectation pins. The values mirror the
+// columns of the paper's tables: the unperturbed runtime and the
+// percent impact of the short and long SMM schedules.
+const (
+	MetricBaseSeconds = "base_s"
+	MetricShortPct    = "short_pct"
+	MetricLongPct     = "long_pct"
+)
+
+// Expectation pins one metric of one reproduced cell to a paper value
+// within a tolerance band.
+type Expectation struct {
+	// Artifact is the reproduced artifact, e.g. "table2".
+	Artifact string `json:"artifact"`
+	// Cell addresses the cell inside the artifact, e.g. "EP.A.n1.r4".
+	Cell string `json:"cell"`
+	// Metric is one of the Metric* names.
+	Metric string `json:"metric"`
+	// Want is the paper's value.
+	Want float64 `json:"want"`
+	// Band is the acceptance band around Want.
+	Band Band `json:"band"`
+}
+
+func (e Expectation) key() string { return e.Artifact + "/" + e.Cell + "/" + e.Metric }
+
+// String renders the expectation for reports.
+func (e Expectation) String() string {
+	return fmt.Sprintf("%s %s %s = %g ± (%g + %g·|want|)", e.Artifact, e.Cell, e.Metric, e.Want, e.Band.Abs, e.Band.Rel)
+}
+
+// ExpectationSet is a validated collection of expectations.
+type ExpectationSet struct {
+	Expectations []Expectation `json:"expectations"`
+}
+
+// Validate rejects structurally broken sets: expectations with missing
+// artifact/cell/metric fields, non-finite targets, empty tolerance
+// bands, or duplicate (artifact, cell, metric) keys.
+func (s ExpectationSet) Validate() error {
+	seen := make(map[string]bool, len(s.Expectations))
+	for i, e := range s.Expectations {
+		switch {
+		case e.Artifact == "":
+			return fmt.Errorf("paperdata: expectation %d: missing artifact", i)
+		case e.Cell == "":
+			return fmt.Errorf("paperdata: expectation %d (%s): missing cell", i, e.Artifact)
+		case e.Metric == "":
+			return fmt.Errorf("paperdata: expectation %d (%s/%s): missing metric", i, e.Artifact, e.Cell)
+		case math.IsNaN(e.Want) || math.IsInf(e.Want, 0):
+			return fmt.Errorf("paperdata: expectation %s: non-finite want %v", e.key(), e.Want)
+		case e.Band.Rel < 0 || e.Band.Abs < 0:
+			return fmt.Errorf("paperdata: expectation %s: negative band", e.key())
+		case e.Band.Rel == 0 && e.Band.Abs == 0:
+			return fmt.Errorf("paperdata: expectation %s: empty band", e.key())
+		}
+		if seen[e.key()] {
+			return fmt.Errorf("paperdata: duplicate expectation %s", e.key())
+		}
+		seen[e.key()] = true
+	}
+	return nil
+}
+
+// Find returns the expectation for a key, or nil.
+func (s ExpectationSet) Find(artifact, cell, metric string) *Expectation {
+	for i := range s.Expectations {
+		e := &s.Expectations[i]
+		if e.Artifact == artifact && e.Cell == cell && e.Metric == metric {
+			return e
+		}
+	}
+	return nil
+}
+
+// ForArtifact returns the expectations pinned to one artifact.
+func (s ExpectationSet) ForArtifact(artifact string) []Expectation {
+	var out []Expectation
+	for _, e := range s.Expectations {
+		if e.Artifact == artifact {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ParseExpectations decodes and validates a JSON expectation set, so an
+// externally supplied file goes through the same structural checks as
+// the built-in one.
+func ParseExpectations(data []byte) (ExpectationSet, error) {
+	var s ExpectationSet
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("paperdata: parse expectations: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// MarshalIndent encodes the set for storage.
+func (s ExpectationSet) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// CellKey builds the canonical cell address used by Expectations and
+// the fidelity harness: bench.class.n<nodes>.r<ranks-per-node>.
+func CellKey(bench string, class byte, nodes, rpn int) string {
+	return fmt.Sprintf("%s.%c.n%d.r%d", bench, class, nodes, rpn)
+}
+
+// tableArtifact maps a bench name to its table artifact name.
+func tableArtifact(bench string) string {
+	switch bench {
+	case "BT":
+		return "table1"
+	case "EP":
+		return "table2"
+	case "FT":
+		return "table3"
+	}
+	return ""
+}
+
+// baselineBand is the calibrated per-cell acceptance band on the
+// unperturbed runtime. Only single-node cells carry per-cell bands: the
+// reproduction's communication model is calibrated against the paper's
+// single-node runs, while its multi-node scaling diverges from the
+// Wyeast cluster's measured network (the paper's own Tables 1 and 3
+// show non-monotone multi-node artifacts the authors attribute to the
+// machine, not to SMM). Multi-node fidelity is judged by the aggregate
+// and ordering gates in internal/fidelity instead.
+func baselineBand(bench string, rpn int) Band {
+	switch bench {
+	case "EP":
+		// Embarrassingly parallel: no communication to mis-model.
+		return Band{Rel: 0.10}
+	case "BT":
+		if rpn == 1 {
+			return Band{Rel: 0.05}
+		}
+		return Band{Rel: 0.20}
+	case "FT":
+		if rpn == 1 {
+			return Band{Rel: 0.10}
+		}
+		return Band{Rel: 0.35}
+	}
+	return Band{}
+}
+
+// Expectations returns the built-in expectation set: every single-node
+// cell of Tables 1–3, pinned on its unperturbed runtime and on the
+// short/long SMM percent impacts. The percent bands are absolute — the
+// paper's long-SMM impact on one node clusters near the analytic
+// duty-cycle bound (~10.5%), and the short impact near zero, so a
+// relative band would be degenerate for the short column.
+func Expectations() ExpectationSet {
+	var s ExpectationSet
+	for _, c := range Tables1to3 {
+		if c.Nodes != 1 {
+			continue
+		}
+		art := tableArtifact(c.Bench)
+		cell := CellKey(c.Bench, c.Class, c.Nodes, c.RanksPerNode)
+		s.Expectations = append(s.Expectations,
+			Expectation{Artifact: art, Cell: cell, Metric: MetricBaseSeconds,
+				Want: c.SMM0, Band: baselineBand(c.Bench, c.RanksPerNode)},
+			Expectation{Artifact: art, Cell: cell, Metric: MetricShortPct,
+				Want: c.PctShort(), Band: Band{Abs: 1.6}},
+			Expectation{Artifact: art, Cell: cell, Metric: MetricLongPct,
+				Want: c.PctLong(), Band: Band{Abs: 3.0}},
+		)
+	}
+	return s
+}

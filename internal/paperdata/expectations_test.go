@@ -1,0 +1,126 @@
+package paperdata
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBandBoundary(t *testing.T) {
+	b := Band{Rel: 0.10}
+	// Exactly at tolerance passes, in both directions.
+	if !b.Within(110, 100) || !b.Within(90, 100) {
+		t.Fatal("boundary must pass")
+	}
+	if b.Within(110.01, 100) || b.Within(89.99, 100) {
+		t.Fatal("beyond the band must fail")
+	}
+	abs := Band{Abs: 1.5}
+	if !abs.Within(-1.5, 0) || !abs.Within(1.5, 0) || abs.Within(1.51, 0) {
+		t.Fatal("absolute band misjudged around zero")
+	}
+	mixed := Band{Rel: 0.05, Abs: 1}
+	if !mixed.Within(106, 100) || mixed.Within(106.01, 100) {
+		t.Fatal("mixed band must sum components")
+	}
+	if b.Within(math.NaN(), 100) || b.Within(100, math.NaN()) {
+		t.Fatal("NaN must never pass")
+	}
+}
+
+func TestBandMargin(t *testing.T) {
+	b := Band{Rel: 0.10}
+	if m := b.Margin(110, 100); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("at-tolerance margin = %v", m)
+	}
+	if m := b.Margin(120, 100); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("double-tolerance margin = %v", m)
+	}
+	if !math.IsInf(Band{}.Margin(1, 1), 1) {
+		t.Fatal("empty band must have infinite margin")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	good := Expectation{Artifact: "table2", Cell: "EP.A.n1.r1", Metric: MetricBaseSeconds, Want: 23.12, Band: Band{Rel: 0.1}}
+	cases := []struct {
+		name string
+		mut  func(*Expectation)
+		want string
+	}{
+		{"missing artifact", func(e *Expectation) { e.Artifact = "" }, "missing artifact"},
+		{"missing cell", func(e *Expectation) { e.Cell = "" }, "missing cell"},
+		{"missing metric", func(e *Expectation) { e.Metric = "" }, "missing metric"},
+		{"NaN want", func(e *Expectation) { e.Want = math.NaN() }, "non-finite want"},
+		{"infinite want", func(e *Expectation) { e.Want = math.Inf(1) }, "non-finite want"},
+		{"empty band", func(e *Expectation) { e.Band = Band{} }, "empty band"},
+		{"negative band", func(e *Expectation) { e.Band = Band{Rel: -0.1} }, "negative band"},
+	}
+	for _, tc := range cases {
+		e := good
+		tc.mut(&e)
+		err := ExpectationSet{Expectations: []Expectation{e}}.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (ExpectationSet{Expectations: []Expectation{good, good}}).Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate accepted: %v", err)
+	}
+	if err := (ExpectationSet{Expectations: []Expectation{good}}).Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s := Expectations()
+	data, err := s.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseExpectations(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Expectations) != len(s.Expectations) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(back.Expectations), len(s.Expectations))
+	}
+	for i := range s.Expectations {
+		if back.Expectations[i] != s.Expectations[i] {
+			t.Fatalf("entry %d changed: %+v vs %+v", i, back.Expectations[i], s.Expectations[i])
+		}
+	}
+	if _, err := ParseExpectations([]byte(`{"expectations": [{"artifact": ""}]}`)); err == nil {
+		t.Fatal("malformed entry must fail parse")
+	}
+	if _, err := ParseExpectations([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON must fail parse")
+	}
+}
+
+func TestBuiltinExpectations(t *testing.T) {
+	s := Expectations()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("built-in set invalid: %v", err)
+	}
+	// Every single-node Tables 1–3 cell is pinned on all three metrics.
+	n := 0
+	for _, c := range Tables1to3 {
+		if c.Nodes == 1 {
+			n++
+		}
+	}
+	if len(s.Expectations) != 3*n {
+		t.Fatalf("expected %d expectations, got %d", 3*n, len(s.Expectations))
+	}
+	e := s.Find("table2", CellKey("EP", 'A', 1, 1), MetricBaseSeconds)
+	if e == nil || e.Want != 23.12 {
+		t.Fatalf("EP.A.n1.r1 base lookup: %+v", e)
+	}
+	if got := len(s.ForArtifact("table1")); got == 0 {
+		t.Fatal("table1 has no expectations")
+	}
+	if s.Find("table9", "x", "y") != nil {
+		t.Fatal("unknown key must return nil")
+	}
+}

@@ -203,6 +203,13 @@ type DriverConfig struct {
 	PeriodJiffies uint64
 	// DurMin/DurMax override the Level's duration range when non-zero.
 	DurMin, DurMax sim.Time
+	// DurationScale multiplies the resolved duration range when > 0 and
+	// ≠ 1. It exists for sensitivity studies and for the fidelity
+	// harness, which deliberately perturbs the physics (e.g. doubles the
+	// long-SMI residency) to prove its tolerance gates trip. Scaling
+	// happens after range resolution, so the driver draws the same
+	// random sequence at any scale.
+	DurationScale float64
 	// PhaseJitter randomizes the first trigger within one period so
 	// that multiple nodes do not fire in lockstep (true on real
 	// clusters: SMI phase is uncorrelated across machines).
@@ -211,6 +218,15 @@ type DriverConfig struct {
 
 // durations resolves the effective duration range.
 func (cfg DriverConfig) durations() (sim.Time, sim.Time) {
+	lo, hi := cfg.rawDurations()
+	if cfg.DurationScale > 0 && cfg.DurationScale != 1 {
+		lo = sim.Time(float64(lo) * cfg.DurationScale)
+		hi = sim.Time(float64(hi) * cfg.DurationScale)
+	}
+	return lo, hi
+}
+
+func (cfg DriverConfig) rawDurations() (sim.Time, sim.Time) {
 	if cfg.DurMin > 0 && cfg.DurMax >= cfg.DurMin {
 		return cfg.DurMin, cfg.DurMax
 	}

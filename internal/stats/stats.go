@@ -1,0 +1,142 @@
+// Package stats provides the per-cell statistics the fidelity harness
+// computes across repeated seeds: sample summaries (mean, 95% CI via the
+// Welford streams in internal/metrics), relative error against an
+// expectation, and the ordering/monotonicity predicates the paper's
+// qualitative claims reduce to (slowdown grows with SMI frequency,
+// impact grows with node count, scores grow with SMI interval).
+//
+// Hunold & Carpen-Amarie's point — benchmark claims need explicit
+// acceptance criteria over repeated runs, not single-shot numbers — is
+// the reason this package exists as a seam of its own: every judgment
+// smivalidate makes goes through a Sample, never through one raw value.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"smistudy/internal/metrics"
+)
+
+// Sample accumulates repeated observations of one measured cell.
+type Sample struct {
+	s metrics.Stream
+}
+
+// Add feeds one observation.
+func (s *Sample) Add(x float64) { s.s.Add(x) }
+
+// AddAll feeds every observation.
+func (s *Sample) AddAll(xs ...float64) {
+	for _, x := range xs {
+		s.s.Add(x)
+	}
+}
+
+// Merge folds another sample into s (order-independent Welford combine).
+func (s *Sample) Merge(o Sample) { s.s.Merge(o.s) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return s.s.N() }
+
+// Mean reports the arithmetic mean.
+func (s *Sample) Mean() float64 { return s.s.Mean() }
+
+// StdDev reports the sample standard deviation.
+func (s *Sample) StdDev() float64 { return s.s.StdDev() }
+
+// CI95 reports the half-width of the normal-approximation 95%
+// confidence interval on the mean (zero below two observations).
+func (s *Sample) CI95() float64 { return s.s.CI95() }
+
+// Summarize builds a Sample from a slice.
+func Summarize(xs []float64) Sample {
+	var s Sample
+	s.AddAll(xs...)
+	return s
+}
+
+// RelErr reports |got−want| / |want|; NaN when want is zero.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.NaN()
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// String renders the sample as "mean ± ci95 (n=k)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.N())
+}
+
+// Direction selects the sense of an ordering predicate.
+type Direction int
+
+// The two ordering senses.
+const (
+	Increasing Direction = +1
+	Decreasing Direction = -1
+)
+
+// Inversions counts adjacent pairs of xs that move against dir by more
+// than slackRel (relative to the earlier point). A clean monotone series
+// scores zero; slack absorbs measurement jitter without letting a real
+// trend reversal pass.
+func Inversions(xs []float64, dir Direction, slackRel float64) int {
+	n := 0
+	for i := 1; i < len(xs); i++ {
+		prev, cur := xs[i-1], xs[i]
+		slack := slackRel * math.Abs(prev)
+		switch dir {
+		case Increasing:
+			if cur < prev-slack {
+				n++
+			}
+		case Decreasing:
+			if cur > prev+slack {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Monotone reports whether xs moves in dir end to end, tolerating
+// per-step jitter up to slackRel but requiring the endpoints to respect
+// the direction strictly — and requiring the series to end at its
+// extreme (within slack): a curve that climbs and then falls off its
+// peak is not a reproduction of a monotone trend.
+func Monotone(xs []float64, dir Direction, slackRel float64) bool {
+	if len(xs) < 2 {
+		return true
+	}
+	first, last := xs[0], xs[len(xs)-1]
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	switch dir {
+	case Increasing:
+		if last <= first || last < hi-slackRel*math.Abs(hi) {
+			return false
+		}
+	case Decreasing:
+		if last >= first || last > lo+slackRel*math.Abs(lo) {
+			return false
+		}
+	}
+	// Allow at most a quarter of the steps to invert within slack — a
+	// figure with the right endpoints but a scrambled middle is not a
+	// reproduction of a monotone curve.
+	return Inversions(xs, dir, slackRel) <= len(xs)/4
+}
+
+// SameSign reports whether two percentage effects agree in direction,
+// treating anything within ±eps of zero on both sides as agreement
+// (near-zero cells have no meaningful direction).
+func SameSign(a, b, eps float64) bool {
+	if math.Abs(a) < eps && math.Abs(b) < eps {
+		return true
+	}
+	return a*b > 0
+}

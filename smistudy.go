@@ -209,6 +209,11 @@ type NASOptions struct {
 	// Watchdog overrides the MPI progress-watchdog interval (zero =
 	// default, negative = disabled).
 	Watchdog sim.Time
+	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 — a
+	// deliberate physics perturbation for sensitivity studies and for
+	// the fidelity harness's negative tests. Zero leaves the paper's
+	// calibrated durations untouched.
+	SMIScale float64
 	// Tracer, when non-nil, receives every observability event from
 	// every run (SMM episodes, scheduling, MPI traffic, network drops,
 	// fault activations), each stamped with its run index. Safe with
@@ -281,7 +286,9 @@ func RunNAS(o NASOptions) (NASResult, error) {
 	outs, _ := parsweep.Run(context.Background(), idx, o.Workers, func(i int) (runOut, error) {
 		var out runOut
 		e := sim.New(seed + int64(i))
-		cl, err := cluster.New(e, cluster.Wyeast(o.Nodes, o.HTT, o.SMM))
+		cp := cluster.Wyeast(o.Nodes, o.HTT, o.SMM)
+		cp.Node.SMI.DurationScale = o.SMIScale
+		cl, err := cluster.New(e, cp)
 		if err != nil {
 			out.setupErr = err
 			return out, nil
@@ -385,6 +392,9 @@ type ConvolveOptions struct {
 	// Workers fans the independent runs over this many OS threads;
 	// ≤ 1 runs sequentially. Results are bit-identical either way.
 	Workers int
+	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
+	// NASOptions.SMIScale).
+	SMIScale float64
 	// Tracer, when non-nil, receives every run's observability events,
 	// stamped with the run index. Must be concurrency-safe (an
 	// *obs.Bus is) when Workers > 1.
@@ -425,6 +435,7 @@ func RunConvolve(o ConvolveOptions) (ConvolveResult, error) {
 		smi = smm.DriverConfig{
 			Level:         smm.SMMLong,
 			PeriodJiffies: uint64(o.SMIIntervalMS),
+			DurationScale: o.SMIScale,
 			PhaseJitter:   true,
 		}
 	}
@@ -479,6 +490,9 @@ type UnixBenchOptions struct {
 	Seed          int64
 	// Duration per micro-benchmark window; zero = 4 s.
 	Duration sim.Time
+	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
+	// NASOptions.SMIScale).
+	SMIScale float64
 	// Tracer, when non-nil, receives the run's observability events.
 	Tracer Tracer
 }
@@ -504,6 +518,7 @@ func RunUnixBench(o UnixBenchOptions) (UnixBenchResult, error) {
 		smi = smm.DriverConfig{
 			Level:         o.Level,
 			PeriodJiffies: uint64(o.SMIIntervalMS),
+			DurationScale: o.SMIScale,
 			PhaseJitter:   true,
 		}
 	}
