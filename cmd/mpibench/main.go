@@ -17,12 +17,12 @@ import (
 	"fmt"
 	"os"
 
-	"smistudy/internal/cluster"
 	"smistudy/internal/cpu"
 	"smistudy/internal/kernel"
 	"smistudy/internal/metrics"
 	"smistudy/internal/mpi"
 	"smistudy/internal/obs"
+	"smistudy/internal/runner"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -122,24 +122,19 @@ func validateShape(nodes, rpn, intervalMS int) error {
 	return nil
 }
 
-// newWorld builds a fresh world (each measurement gets its own engine),
-// wired to the bus under the next run index when tracing is on.
+// newWorld builds a fresh world (each measurement gets its own engine)
+// through internal/runner's provisioning path, wired to the bus under
+// the next run index when tracing is on.
 func newWorld(nodes, rpn int, smi smm.DriverConfig, seed int64) *mpi.World {
-	e := sim.New(seed)
-	par := cluster.Wyeast(nodes, false, smm.SMMNone)
-	par.Node.SMI = smi
-	cl := cluster.MustNew(e, par)
-	var rt obs.Tracer
-	if bus != nil {
-		rt = obs.WithRun(bus, runIdx)
-		runIdx++
-		cl.SetTracer(rt)
-		e.SetProbe(bus)
+	c := runner.MPIWorldConfig{
+		Nodes: nodes, RanksPerNode: rpn, SMI: smi, Seed: seed,
 	}
-	cl.StartSMI()
-	w := mpi.MustNewWorld(cl, rpn, mpi.DefaultParams())
-	w.SetTracer(rt)
-	return w
+	if bus != nil {
+		c.Tracer = bus
+		c.Run = runIdx
+		runIdx++
+	}
+	return runner.MPIWorld(c)
 }
 
 // pingpong measures rank0↔rank1 latency and bandwidth per message size.

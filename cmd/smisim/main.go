@@ -14,6 +14,19 @@
 // faults into NAS runs; lossy scenarios automatically enable the MPI
 // ack/retransmit transport.
 //
+// Scenario files:
+//
+//	smisim -scenario examples/scenarios/table1-bt-a.json
+//	smisim -list-workloads
+//
+// A scenario file is the declarative twin of the flag surface
+// (internal/scenario): the same cell, measured byte-for-byte
+// identically, but serializable, diffable and reachable for every
+// registered workload — including the ones the flag surface does not
+// cover (rim, energy, drift, profiler). Flags that describe the cell
+// cannot be combined with -scenario; execution flags (-parallel,
+// -trace, -metrics, -manifest, -replay) still apply.
+//
 // Observability:
 //
 //	smisim ... -trace run.json          # Chrome/Perfetto timeline
@@ -25,103 +38,211 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"smistudy"
 	"smistudy/internal/obs"
 	"smistudy/internal/parsweep"
-	"smistudy/internal/sim"
+	"smistudy/internal/runner"
+	"smistudy/internal/scenario"
 )
 
 func main() {
-	workload := flag.String("workload", "nas", "nas, convolve or unixbench")
-	bench := flag.String("bench", "EP", "NAS benchmark: EP, BT, FT")
-	class := flag.String("class", "A", "NAS class: S, A, B, C")
-	nodes := flag.Int("nodes", 1, "cluster nodes")
-	rpn := flag.Int("rpn", 1, "MPI ranks per node")
-	htt := flag.Bool("htt", false, "enable hyper-threading")
-	smmLevel := flag.Int("smm", 0, "SMM level: 0 none, 1 short, 2 long")
-	cacheB := flag.String("cache", "friendly", "convolve cache behavior: friendly, unfriendly")
-	cpus := flag.Int("cpus", 4, "online logical CPUs (convolve/unixbench)")
-	interval := flag.Int("interval", 0, "SMI interval ms (convolve/unixbench; 0 = off)")
-	runs := flag.Int("runs", 1, "runs to average")
-	seed := flag.Int64("seed", 1, "random seed")
-	loss := flag.Float64("loss", 0, "nas: uniform message-loss probability (0-1)")
-	crashNode := flag.Int("crash-node", 0, "nas: node to crash when -crash-at > 0")
-	crashAt := flag.Float64("crash-at", 0, "nas: crash time in seconds (0 = no crash)")
-	hangNode := flag.Int("hang-node", 0, "nas: node to hang when -hang-at > 0")
-	hangAt := flag.Float64("hang-at", 0, "nas: hang time in seconds (0 = no hang)")
-	hangFor := flag.Float64("hang-for", 0, "nas: hang duration in seconds (0 = forever)")
-	stormNode := flag.Int("storm-node", 0, "nas: node for an SMI storm when -storm-at > 0")
-	stormAt := flag.Float64("storm-at", 0, "nas: SMI-storm start in seconds (0 = no storm)")
-	stormFor := flag.Float64("storm-for", 0, "nas: SMI-storm duration in seconds (0 = to end of run)")
-	watchdog := flag.Float64("watchdog", 0, "nas: progress-watchdog interval in seconds (0 = default, <0 = off)")
-	parallel := flag.Int("parallel", 1, "repeat runs concurrently (1 = sequential, 0 = all CPUs); output is identical either way")
-	traceOut := flag.String("trace", "", "stream a Chrome trace-event timeline (chrome://tracing, Perfetto) to this file")
-	metricsOut := flag.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
-	manifestOut := flag.String("manifest", "", "write a reproducibility manifest (flags + versions) as JSON to this file")
-	replay := flag.String("replay", "", "re-run from a manifest file; flags given on the command line still win")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "smisim:", err)
-			os.Exit(1)
-		}
+// cellFlags are the flags that describe the measured cell itself; they
+// are the legacy spelling of a scenario file, so combining them with
+// -scenario would make the file an incomplete description of the run.
+// Execution and output flags (parallel, trace, metrics, manifest,
+// replay) stay valid either way.
+var cellFlags = map[string]bool{
+	"workload": true, "bench": true, "class": true, "nodes": true,
+	"rpn": true, "htt": true, "smm": true, "cache": true, "cpus": true,
+	"interval": true, "runs": true, "seed": true, "loss": true,
+	"crash-node": true, "crash-at": true, "hang-node": true,
+	"hang-at": true, "hang-for": true, "storm-node": true,
+	"storm-at": true, "storm-for": true, "watchdog": true,
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smisim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "nas", "nas, convolve or unixbench")
+	bench := fs.String("bench", "EP", "NAS benchmark: EP, BT, FT")
+	class := fs.String("class", "A", "NAS class: S, A, B, C")
+	nodes := fs.Int("nodes", 1, "cluster nodes")
+	rpn := fs.Int("rpn", 1, "MPI ranks per node")
+	htt := fs.Bool("htt", false, "enable hyper-threading")
+	smmLevel := fs.Int("smm", 0, "SMM level: 0 none, 1 short, 2 long")
+	cacheB := fs.String("cache", "friendly", "convolve cache behavior: friendly, unfriendly")
+	cpus := fs.Int("cpus", 4, "online logical CPUs (convolve/unixbench)")
+	interval := fs.Int("interval", 0, "SMI interval ms (convolve/unixbench; 0 = off)")
+	runs := fs.Int("runs", 1, "runs to average")
+	seed := fs.Int64("seed", 1, "random seed")
+	loss := fs.Float64("loss", 0, "nas: uniform message-loss probability (0-1)")
+	crashNode := fs.Int("crash-node", 0, "nas: node to crash when -crash-at > 0")
+	crashAt := fs.Float64("crash-at", 0, "nas: crash time in seconds (0 = no crash)")
+	hangNode := fs.Int("hang-node", 0, "nas: node to hang when -hang-at > 0")
+	hangAt := fs.Float64("hang-at", 0, "nas: hang time in seconds (0 = no hang)")
+	hangFor := fs.Float64("hang-for", 0, "nas: hang duration in seconds (0 = forever)")
+	stormNode := fs.Int("storm-node", 0, "nas: node for an SMI storm when -storm-at > 0")
+	stormAt := fs.Float64("storm-at", 0, "nas: SMI-storm start in seconds (0 = no storm)")
+	stormFor := fs.Float64("storm-for", 0, "nas: SMI-storm duration in seconds (0 = to end of run)")
+	watchdog := fs.Float64("watchdog", 0, "nas: progress-watchdog interval in seconds (0 = default, <0 = off)")
+	parallel := fs.Int("parallel", 1, "repeat runs concurrently (1 = sequential, 0 = all CPUs); output is identical either way")
+	traceOut := fs.String("trace", "", "stream a Chrome trace-event timeline (chrome://tracing, Perfetto) to this file")
+	metricsOut := fs.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
+	manifestOut := fs.String("manifest", "", "write a reproducibility manifest (flags + versions) as JSON to this file")
+	replay := fs.String("replay", "", "re-run from a manifest file; flags given on the command line still win")
+	scenarioFile := fs.String("scenario", "", "run a declarative scenario file (JSON) instead of the cell flags")
+	listWorkloads := fs.Bool("list-workloads", false, "list the registered workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	usage := func(err error) {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "smisim:", err)
-			os.Exit(2)
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "smisim:", err)
+		return 1
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "smisim:", err)
+		return 2
+	}
+
+	if *listWorkloads {
+		for _, name := range runner.Names() {
+			w, _ := runner.Lookup(name)
+			fmt.Fprintf(stdout, "%-10s %s\n", name, w.Summary)
+		}
+		return 0
+	}
+
+	// Record what the command line itself set before -replay rewrites the
+	// flag set programmatically: the conflict check below and the replay
+	// precedence rule ("explicit flags win") both need the original set.
+	explicit := obs.ExplicitFlags(fs)
+	if *scenarioFile != "" {
+		for name := range explicit {
+			if cellFlags[name] {
+				return usage(fmt.Errorf("-%s cannot be combined with -scenario (the file is the complete cell description)", name))
+			}
 		}
 	}
 
 	if *replay != "" {
 		m, err := obs.LoadManifestFile(*replay)
-		fail(err)
-		fail(m.Apply(flag.CommandLine, obs.ExplicitFlags(flag.CommandLine)))
+		if err != nil {
+			return fail(err)
+		}
+		if err := m.Apply(fs, explicit); err != nil {
+			return fail(err)
+		}
 	}
 
-	// Validate the flag surface up front — after -replay may have
-	// rewritten it, before any output file is created — so operator
-	// typos exit 2 instead of panicking or silently meaning a default.
-	var (
-		nasBench smistudy.Benchmark
-		nasClass smistudy.Class
-		nasSMM   smistudy.SMMLevel
-		cacheBeh smistudy.CacheBehavior
-	)
-	switch *workload {
-	case "nas":
-		var err error
-		if nasBench, err = parseBench(*bench); err != nil {
-			usage(err)
+	// Build the cell spec — from the scenario file, or by lowering the
+	// legacy flag surface onto the same declarative form — and validate
+	// it up front, after -replay may have rewritten the flags and before
+	// any output file is created, so operator typos exit 2 instead of
+	// panicking or silently meaning a default.
+	var spec scenario.Spec
+	if *scenarioFile != "" {
+		sp, err := scenario.Load(*scenarioFile)
+		if err != nil {
+			return usage(err)
 		}
-		if nasClass, err = parseClass(*class); err != nil {
-			usage(err)
+		spec = sp
+	} else {
+		switch *workload {
+		case "nas":
+			if _, err := parseBench(*bench); err != nil {
+				return usage(err)
+			}
+			if _, err := parseClass(*class); err != nil {
+				return usage(err)
+			}
+			if _, err := parseSMM(*smmLevel); err != nil {
+				return usage(err)
+			}
+			spec = scenario.Spec{
+				Workload: "nas",
+				Machine:  scenario.Machine{Nodes: *nodes, RanksPerNode: *rpn, HTT: *htt},
+				SMM:      scenario.SMMPlan{Level: []string{"none", "short", "long"}[*smmLevel]},
+				Runs:     *runs, Seed: *seed, WatchdogS: *watchdog,
+				Params: scenario.Params{Bench: *bench, Class: *class},
+			}
+			plan := scenario.FaultPlan{
+				LossProb:  *loss,
+				CrashNode: *crashNode, CrashAtS: *crashAt,
+				HangNode: *hangNode, HangAtS: *hangAt, HangForS: *hangFor,
+				StormNode: *stormNode, StormAtS: *stormAt, StormForS: *stormFor,
+			}
+			if plan.Active() {
+				spec.Faults = &plan
+			}
+		case "convolve":
+			if _, err := parseCache(*cacheB); err != nil {
+				return usage(err)
+			}
+			spec = scenario.Spec{
+				Workload: "convolve",
+				Machine:  scenario.Machine{CPUs: *cpus},
+				SMM:      scenario.SMMPlan{IntervalMS: *interval},
+				Runs:     *runs, Seed: *seed,
+				Params: scenario.Params{Cache: *cacheB},
+			}
+		case "unixbench":
+			// An iteration is a single 2 s-per-test run at long SMIs, as
+			// the legacy surface always ran it; -runs is not a knob here.
+			spec = scenario.Spec{
+				Workload: "unixbench",
+				Machine:  scenario.Machine{CPUs: *cpus},
+				SMM:      scenario.SMMPlan{Level: "long", IntervalMS: *interval},
+				Seed:     *seed,
+				Params:   scenario.Params{DurationS: 2},
+			}
+		default:
+			return usage(fmt.Errorf("unknown -workload %q (want nas, convolve or unixbench; -scenario reaches every registered workload)", *workload))
 		}
-		if nasSMM, err = parseSMM(*smmLevel); err != nil {
-			usage(err)
-		}
-	case "convolve":
-		var err error
-		if cacheBeh, err = parseCache(*cacheB); err != nil {
-			usage(err)
-		}
-	case "unixbench":
-	default:
-		usage(fmt.Errorf("unknown -workload %q (want nas, convolve or unixbench)", *workload))
 	}
+	if err := runner.Validate(spec); err != nil {
+		return usage(err)
+	}
+	// Reject malformed fault plans up front: a bad fault flag or field is
+	// an operator error, not a fault-scenario outcome.
+	if spec.Workload == "nas" {
+		if plan := runner.LowerFaults(spec.Faults); plan != nil {
+			if err := plan.Schedule().Validate(specNodes(spec)); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
 	if *manifestOut != "" {
-		m := obs.Capture("smisim", flag.CommandLine, "trace", "metrics", "manifest", "replay")
+		m := obs.Capture("smisim", fs, "trace", "metrics", "manifest", "replay")
 		data, err := m.JSON()
-		fail(err)
-		fail(os.WriteFile(*manifestOut, data, 0o644))
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(*manifestOut, data, 0o644); err != nil {
+			return fail(err)
+		}
 	}
 
 	workers := *parallel
 	if workers < 1 {
 		workers = parsweep.Workers(0)
+	}
+
+	// Output destinations: explicit flags win, then the scenario file's
+	// obs section, then none.
+	traceDest := *traceOut
+	if traceDest == "" {
+		traceDest = spec.Obs.Trace
+	}
+	metricsDest := *metricsOut
+	if metricsDest == "" {
+		metricsDest = spec.Obs.Metrics
 	}
 
 	// The bus is shared by all runs of the cell; each run's events are
@@ -132,111 +253,129 @@ func main() {
 	var bus *obs.Bus
 	var sink *obs.ChromeSink
 	var traceFile *os.File
-	if *traceOut != "" || *metricsOut != "" {
+	if traceDest != "" || metricsDest != "" {
 		bus = obs.NewBus()
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			fail(err)
+		if traceDest != "" {
+			f, err := os.Create(traceDest)
+			if err != nil {
+				return fail(err)
+			}
 			traceFile = f
 			sink = obs.NewChromeSink(f)
 			bus.Attach(sink)
 		}
 	}
-	finish := func() {
+	finish := func() error {
 		if sink != nil {
-			fail(sink.Close())
-			fail(traceFile.Close())
-			fmt.Printf("  trace  → %s\n", *traceOut)
+			if err := sink.Close(); err != nil {
+				return err
+			}
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "  trace  → %s\n", traceDest)
 		}
-		if *metricsOut != "" {
+		if metricsDest != "" {
 			data, err := bus.MetricsSnapshot().JSON()
-			fail(err)
-			fail(os.WriteFile(*metricsOut, data, 0o644))
-			fmt.Printf("  metrics → %s\n", *metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(metricsDest, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "  metrics → %s\n", metricsDest)
 		}
-	}
-	defer finish()
-	var tracer smistudy.Tracer
-	if bus != nil {
-		tracer = bus // keep the interface nil when no bus was built
+		return nil
 	}
 
-	switch *workload {
-	case "nas":
-		plan := smistudy.FaultPlan{
-			LossProb:  *loss,
-			CrashNode: *crashNode, CrashAt: sim.FromSeconds(*crashAt),
-			HangNode: *hangNode, HangAt: sim.FromSeconds(*hangAt), HangFor: sim.FromSeconds(*hangFor),
-			StormNode: *stormNode, StormAt: sim.FromSeconds(*stormAt), StormFor: sim.FromSeconds(*stormFor),
+	x := runner.Exec{Workers: workers}
+	if bus != nil {
+		x.Tracer = bus // keep the interface nil when no bus was built
+	}
+	m, err := runner.RunWith(spec, x)
+	if err != nil && spec.Workload == "nas" && spec.Faults.Active() {
+		// A fault scenario that kills the job is a result, not a tool
+		// failure: report the attributed error and the recovery work that
+		// preceded it.
+		fmt.Fprintf(stdout, "%s.%s  nodes=%d rpn=%d: job failed under faults\n",
+			spec.Params.Bench, spec.Params.Class, specNodes(spec), specRPN(spec))
+		fmt.Fprintf(stdout, "  error       = %v\n", err)
+		if m.NAS != nil {
+			fmt.Fprintf(stdout, "  drops       = %d\n", m.NAS.Dropped)
+			fmt.Fprintf(stdout, "  retransmits = %d\n", m.NAS.Retransmits)
 		}
-		opts := smistudy.NASOptions{
-			Bench:        nasBench,
-			Class:        nasClass,
-			Nodes:        *nodes,
-			RanksPerNode: *rpn,
-			HTT:          *htt,
-			SMM:          nasSMM,
-			Runs:         *runs,
-			Seed:         *seed,
-			Watchdog:     sim.FromSeconds(*watchdog),
-			Workers:      workers,
-			Tracer:       tracer,
+		if err := finish(); err != nil {
+			return fail(err)
 		}
-		if plan.Active() {
-			// Reject malformed fault flags up front: a bad flag value is
-			// an operator error, not a fault-scenario outcome.
-			fail(plan.Schedule().Validate(*nodes))
-			opts.Faults = &plan
-		}
-		res, err := smistudy.RunNAS(opts)
-		if err != nil && opts.Faults != nil {
-			// A fault scenario that kills the job is a result, not a
-			// tool failure: report the attributed error and the recovery
-			// work that preceded it.
-			fmt.Printf("%s.%s  nodes=%d rpn=%d: job failed under faults\n",
-				*bench, *class, *nodes, *rpn)
-			fmt.Printf("  error       = %v\n", err)
-			fmt.Printf("  drops       = %d\n", res.Dropped)
-			fmt.Printf("  retransmits = %d\n", res.Retransmits)
-			return
-		}
-		fail(err)
-		fmt.Printf("%s.%s  ranks=%d nodes=%d rpn=%d htt=%v smm=%v\n",
-			*bench, *class, res.Ranks, *nodes, *rpn, *htt, nasSMM)
-		fmt.Printf("  time   = %.2fs (mean of %d)\n", res.Seconds(), len(res.Times))
-		fmt.Printf("  mops   = %.1f\n", res.MOPs)
-		fmt.Printf("  smm    = %v mean per-node residency\n", res.Residency)
-		fmt.Printf("  verify = %v\n", res.Verified)
-		if opts.Faults != nil {
-			fmt.Printf("  faults = %d drops, %d retransmits, %d duplicates\n",
+		return 0
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if err := printMeasurement(stdout, spec, m); err != nil {
+		return fail(err)
+	}
+	if err := finish(); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// specNodes is the spec's node count after the runner's default.
+func specNodes(sp scenario.Spec) int {
+	if sp.Machine.Nodes == 0 {
+		return 1
+	}
+	return sp.Machine.Nodes
+}
+
+// specRPN is the spec's ranks-per-node after the runner's default.
+func specRPN(sp scenario.Spec) int {
+	if sp.Machine.RanksPerNode == 0 {
+		return 1
+	}
+	return sp.Machine.RanksPerNode
+}
+
+// printMeasurement renders one measurement in the cell's report layout;
+// workloads without a bespoke layout print their canonical JSON.
+func printMeasurement(w io.Writer, spec scenario.Spec, m runner.Measurement) error {
+	switch {
+	case m.NAS != nil:
+		res := m.NAS
+		fmt.Fprintf(w, "%s.%s  ranks=%d nodes=%d rpn=%d htt=%v smm=%v\n",
+			spec.Params.Bench, spec.Params.Class, res.Ranks,
+			specNodes(spec), specRPN(spec), spec.Machine.HTT, res.Options.SMM)
+		fmt.Fprintf(w, "  time   = %.2fs (mean of %d)\n", res.Seconds(), len(res.Times))
+		fmt.Fprintf(w, "  mops   = %.1f\n", res.MOPs)
+		fmt.Fprintf(w, "  smm    = %v mean per-node residency\n", res.Residency)
+		fmt.Fprintf(w, "  verify = %v\n", res.Verified)
+		if spec.Faults.Active() {
+			fmt.Fprintf(w, "  faults = %d drops, %d retransmits, %d duplicates\n",
 				res.Dropped, res.Retransmits, res.Duplicates)
 		}
-
-	case "convolve":
-		beh := cacheBeh
-		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
-			Behavior: beh, CPUs: *cpus, SMIIntervalMS: *interval,
-			Runs: *runs, Seed: *seed, Workers: workers, Tracer: tracer,
-		})
-		fail(err)
-		fmt.Printf("convolve %v  cpus=%d interval=%dms threads=%d\n", beh, *cpus, *interval, res.Threads)
-		fmt.Printf("  time = %.3fs ± %.3fs (mean of %d)\n",
+	case m.Convolve != nil:
+		res := m.Convolve
+		fmt.Fprintf(w, "convolve %v  cpus=%d interval=%dms threads=%d\n",
+			res.Options.Behavior, res.Options.CPUs, res.Options.SMIIntervalMS, res.Threads)
+		fmt.Fprintf(w, "  time = %.3fs ± %.3fs (mean of %d)\n",
 			res.MeanTime.Seconds(), res.StdDev.Seconds(), len(res.Times))
-
-	case "unixbench":
-		res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
-			CPUs: *cpus, SMIIntervalMS: *interval, Level: smistudy.SMM2,
-			Seed: *seed, Duration: 2 * sim.Second, Tracer: tracer,
-		})
-		fail(err)
-		fmt.Printf("unixbench  cpus=%d interval=%dms\n", *cpus, *interval)
+	case m.UnixBench != nil:
+		res := m.UnixBench
+		fmt.Fprintf(w, "unixbench  cpus=%d interval=%dms\n",
+			res.Options.CPUs, res.Options.SMIIntervalMS)
 		for _, ts := range res.Tests {
-			fmt.Printf("  %-30s single %12.1f %-6s multi(%d) %12.1f\n",
+			fmt.Fprintf(w, "  %-30s single %12.1f %-6s multi(%d) %12.1f\n",
 				ts.Name, ts.SingleRate, ts.Unit, ts.MultiCopies, ts.MultiRate)
 		}
-		fmt.Printf("  total index score: %.1f\n", res.Score)
-
+		fmt.Fprintf(w, "  total index score: %.1f\n", res.Score)
 	default:
-		fail(fmt.Errorf("unknown workload %q", *workload))
+		data, err := m.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
 	}
+	return nil
 }

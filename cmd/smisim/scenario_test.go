@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smistudy/internal/runner"
+	"smistudy/internal/scenario"
+)
+
+// runCLI invokes the command exactly as main would, capturing output.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// writeScenario drops a scenario document into a temp dir.
+func writeScenario(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cell.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioMatchesFlags pins the acceptance contract of the
+// refactor: a scenario file reproduces the legacy flag path's stdout
+// byte for byte, for each workload family.
+func TestScenarioMatchesFlags(t *testing.T) {
+	cases := []struct {
+		name  string
+		flags []string
+		doc   string
+	}{
+		{
+			"table-cell",
+			[]string{"-workload", "nas", "-bench", "BT", "-class", "S", "-nodes", "4", "-rpn", "1", "-smm", "2", "-runs", "2"},
+			`{"workload": "nas", "machine": {"nodes": 4}, "smm": {"level": "long"},
+			  "runs": 2, "params": {"bench": "BT", "class": "S"}}`,
+		},
+		{
+			"faulted-cell",
+			[]string{"-workload", "nas", "-bench", "BT", "-class", "S", "-nodes", "4", "-loss", "0.05", "-watchdog", "5"},
+			`{"workload": "nas", "machine": {"nodes": 4}, "faults": {"loss_prob": 0.05},
+			  "watchdog_s": 5, "params": {"bench": "BT", "class": "S"}}`,
+		},
+		{
+			"convolve",
+			[]string{"-workload", "convolve", "-cache", "unfriendly", "-cpus", "6", "-interval", "150", "-runs", "2"},
+			`{"workload": "convolve", "machine": {"cpus": 6}, "smm": {"interval_ms": 150},
+			  "runs": 2, "params": {"cache": "unfriendly"}}`,
+		},
+		{
+			"unixbench",
+			[]string{"-workload", "unixbench", "-cpus", "2", "-interval", "600"},
+			`{"workload": "unixbench", "machine": {"cpus": 2},
+			  "smm": {"level": "long", "interval_ms": 600}, "params": {"duration_s": 2}}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, legacyOut, legacyErr := runCLI(t, tc.flags...)
+			if code != 0 {
+				t.Fatalf("legacy path exit %d: %s", code, legacyErr)
+			}
+			path := writeScenario(t, tc.doc)
+			code, scenarioOut, scenarioErr := runCLI(t, "-scenario", path)
+			if code != 0 {
+				t.Fatalf("scenario path exit %d: %s", code, scenarioErr)
+			}
+			if scenarioOut != legacyOut {
+				t.Fatalf("outputs diverge:\nlegacy:\n%s\nscenario:\n%s", legacyOut, scenarioOut)
+			}
+		})
+	}
+}
+
+// TestScenarioRejectsCellFlags pins the conflict rule: flags describing
+// the cell cannot ride along with a scenario file.
+func TestScenarioRejectsCellFlags(t *testing.T) {
+	path := writeScenario(t, `{"workload": "nas", "params": {"bench": "EP", "class": "S"}}`)
+	code, _, stderr := runCLI(t, "-scenario", path, "-bench", "EP")
+	if code != 2 || !strings.Contains(stderr, "cannot be combined") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	// Execution and output flags stay legal.
+	if code, _, stderr := runCLI(t, "-scenario", path, "-parallel", "2"); code != 0 {
+		t.Fatalf("-parallel rejected: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestScenarioUsageErrors pins exit code 2 for unreadable or invalid
+// scenario documents and unknown workloads.
+func TestScenarioUsageErrors(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unknown workload": `{"workload": "tetris"}`,
+		"unknown field":    `{"workload": "nas", "bogus": 1, "params": {"bench": "EP", "class": "S"}}`,
+		"bad class":        `{"workload": "nas", "params": {"bench": "EP", "class": "Z"}}`,
+	} {
+		path := writeScenario(t, doc)
+		if code, _, _ := runCLI(t, "-scenario", path); code != 2 {
+			t.Errorf("%s: exit %d, want 2", name, code)
+		}
+	}
+	if code, _, _ := runCLI(t, "-scenario", filepath.Join(t.TempDir(), "missing.json")); code != 2 {
+		t.Error("missing scenario file should exit 2")
+	}
+}
+
+// TestFaultFailureExitsZero pins the fault-scenario contract: a job the
+// fault plan kills is a reported result (exit 0), not a tool failure.
+func TestFaultFailureExitsZero(t *testing.T) {
+	path := writeScenario(t, `{"workload": "nas", "machine": {"nodes": 4},
+	  "faults": {"crash_node": 1, "crash_at_s": 0.001}, "watchdog_s": 2,
+	  "params": {"bench": "BT", "class": "S"}}`)
+	code, stdout, stderr := runCLI(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "job failed under faults") {
+		t.Fatalf("missing failure report:\n%s", stdout)
+	}
+	// An invalid fault plan, by contrast, is an operator error: exit 1.
+	bad := writeScenario(t, `{"workload": "nas", "machine": {"nodes": 2},
+	  "faults": {"crash_node": 9, "crash_at_s": 1}, "params": {"bench": "EP", "class": "S"}}`)
+	if code, _, _ := runCLI(t, "-scenario", bad); code != 1 {
+		t.Errorf("invalid fault plan: exit %d, want 1", code)
+	}
+}
+
+// TestListWorkloads pins that every registered workload is listed.
+func TestListWorkloads(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list-workloads")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, w := range []string{"nas", "convolve", "unixbench", "rim", "energy", "drift", "profiler"} {
+		if !strings.Contains(stdout, w) {
+			t.Errorf("workload %q missing from listing:\n%s", w, stdout)
+		}
+	}
+}
+
+// TestExampleScenarios pins that every shipped example parses and
+// validates (running them all here would be too slow; CI's smoke job
+// executes one end to end).
+func TestExampleScenarios(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no example scenarios found (err=%v)", err)
+	}
+	for _, path := range matches {
+		sp, err := scenario.Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		if err := runner.Validate(sp); err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+		}
+	}
+}

@@ -1,225 +1,45 @@
 package smistudy
 
 import (
-	"bytes"
-	"fmt"
-
-	"smistudy/internal/cluster"
-	"smistudy/internal/cpu"
-	"smistudy/internal/energy"
-	"smistudy/internal/kernel"
-	"smistudy/internal/obs"
 	"smistudy/internal/proftool"
-	"smistudy/internal/rim"
-	"smistudy/internal/sim"
-	"smistudy/internal/smm"
+	"smistudy/internal/runner"
 )
 
 // This file exposes the study's extensions: the RIM (security
 // introspection) workload that motivates the paper, the energy and
 // timekeeping effects established by the prior work it builds on
 // (Delgado & Karavanic, IISWC'13), and the profiler-skew demonstration
-// aimed at tool developers.
+// aimed at tool developers. Like the main facade, every entry point
+// delegates to internal/runner's single provisioning path.
 
 // RIMOptions configures an integrity-measurement interference run.
-type RIMOptions struct {
-	// PeriodMS between integrity checks (HyperSentry-class agents run
-	// ~1/s to ~1/16s). Zero means 1000.
-	PeriodMS int
-	// MegaBytes measured per check. Zero means 25 (≈100 ms in SMM at
-	// the default scan rate — the paper's "long SMI" regime).
-	MegaBytes int
-	// ChunkKB splits checks into bounded SMIs; zero scans whole
-	// measurements in one SMI.
-	ChunkKB int
-	// WorkSeconds of application compute to push through. Zero means 5.
-	WorkSeconds float64
-	Seed        int64
-}
+type RIMOptions = runner.RIMOptions
 
 // RIMResult quantifies the interference of an integrity agent.
-type RIMResult struct {
-	Options      RIMOptions
-	BaseTime     sim.Time // app runtime without the agent
-	NoisyTime    sim.Time // app runtime with the agent
-	SlowdownPct  float64
-	Checks       int      // completed integrity checks during the run
-	WorstStall   sim.Time // longest single SMM residency
-	CheckLatency sim.Time // worst start-to-finish check latency
-}
+type RIMResult = runner.RIMResult
 
 // RunRIM measures how an SMM-based integrity agent perturbs a
 // multithreaded compute application on the R410-class machine.
-func RunRIM(o RIMOptions) (RIMResult, error) {
-	if o.PeriodMS <= 0 {
-		o.PeriodMS = 1000
-	}
-	if o.MegaBytes <= 0 {
-		o.MegaBytes = 25
-	}
-	if o.WorkSeconds <= 0 {
-		o.WorkSeconds = 5
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.ChunkKB < 0 {
-		return RIMResult{}, fmt.Errorf("smistudy: negative ChunkKB")
-	}
-	res := RIMResult{Options: o}
-
-	run := func(withAgent bool) (sim.Time, *rim.Agent, *cluster.Cluster, error) {
-		e := sim.New(o.Seed)
-		cl, err := cluster.New(e, cluster.R410(smm.DriverConfig{}))
-		if err != nil {
-			return 0, nil, nil, err
-		}
-		var agent *rim.Agent
-		if withAgent {
-			agent, err = rim.NewAgent(e, cl.Nodes[0].SMM, rim.Config{
-				Period:     sim.Time(o.PeriodMS) * sim.Millisecond,
-				Bytes:      int64(o.MegaBytes) << 20,
-				ChunkBytes: int64(o.ChunkKB) << 10,
-			})
-			if err != nil {
-				return 0, nil, nil, err
-			}
-			agent.Start()
-		}
-		node := cl.Nodes[0]
-		work := o.WorkSeconds * node.CPU.Params().BaseHz
-		var end sim.Time
-		remaining := 4
-		for i := 0; i < 4; i++ {
-			node.Kernel.Spawn(fmt.Sprintf("app%d", i), cpu.Profile{CPI: 1}, func(t *kernel.Task) {
-				t.Compute(work) // WorkSeconds per core: wall time ≈ WorkSeconds
-				remaining--
-				if remaining == 0 {
-					end = t.Gettime()
-					e.Stop()
-				}
-			})
-		}
-		e.Run()
-		return end, agent, cl, nil
-	}
-
-	base, _, _, err := run(false)
-	if err != nil {
-		return res, err
-	}
-	noisy, agent, cl, err := run(true)
-	if err != nil {
-		return res, err
-	}
-	res.BaseTime = base
-	res.NoisyTime = noisy
-	res.SlowdownPct = (float64(noisy)/float64(base) - 1) * 100
-	res.Checks = agent.Stats().Checks
-	res.CheckLatency = agent.Stats().MaxCheckLatency
-	res.WorstStall = cl.Nodes[0].SMM.Stats().MaxLatency
-	return res, nil
-}
+func RunRIM(o RIMOptions) (RIMResult, error) { return runner.RunRIM(o) }
 
 // EnergyResult quantifies SMM's energy cost for a fixed amount of work.
-type EnergyResult struct {
-	Level       SMMLevel
-	QuietJoules float64
-	NoisyJoules float64
-	QuietTime   sim.Time
-	NoisyTime   sim.Time
-	// EnergyIncreasePct is the extra energy to complete the same work.
-	EnergyIncreasePct float64
-}
+type EnergyResult = runner.EnergyResult
 
 // MeasureEnergy reproduces the prior work's finding that SMIs increase
 // the energy needed to complete the same work (one-per-second injection
 // of the given level, R410 node, four-way compute).
 func MeasureEnergy(level SMMLevel, seed int64) (EnergyResult, error) {
-	if seed == 0 {
-		seed = 1
-	}
-	run := func(lv SMMLevel) (float64, sim.Time, error) {
-		e := sim.New(seed)
-		smi := smm.DriverConfig{}
-		if lv != smm.SMMNone {
-			smi = smm.DriverConfig{Level: lv, PeriodJiffies: 1000, PhaseJitter: true}
-		}
-		cl, err := cluster.New(e, cluster.R410(smi))
-		if err != nil {
-			return 0, 0, err
-		}
-		cl.StartSMI()
-		node := cl.Nodes[0]
-		meter := energy.NewMeter(e, node.CPU, energy.NehalemServer())
-		work := 5 * node.CPU.Params().BaseHz // 5 s per core
-		var end sim.Time
-		remaining := 4
-		for i := 0; i < 4; i++ {
-			node.Kernel.Spawn(fmt.Sprintf("app%d", i), cpu.Profile{CPI: 1}, func(t *kernel.Task) {
-				t.Compute(work) // WorkSeconds per core: wall time ≈ WorkSeconds
-				remaining--
-				if remaining == 0 {
-					end = t.Gettime()
-					e.Stop()
-				}
-			})
-		}
-		e.Run()
-		return meter.Read().Joules, end, nil
-	}
-	res := EnergyResult{Level: level}
-	var err error
-	if res.QuietJoules, res.QuietTime, err = run(smm.SMMNone); err != nil {
-		return res, err
-	}
-	if res.NoisyJoules, res.NoisyTime, err = run(level); err != nil {
-		return res, err
-	}
-	res.EnergyIncreasePct = (res.NoisyJoules/res.QuietJoules - 1) * 100
-	return res, nil
+	return runner.MeasureEnergy(level, seed)
 }
 
 // DriftResult quantifies tick-clock drift under SMIs.
-type DriftResult struct {
-	Elapsed  sim.Time // true elapsed time
-	TickTime sim.Time // what a tick-counted clock shows
-	Drift    sim.Time
-	PPM      float64
-}
+type DriftResult = runner.DriftResult
 
 // MeasureClockDrift runs an idle machine under the given injection for
 // `seconds` and reports how far a tick-counted wall clock falls behind —
 // the prior work's "time scaling discrepancy".
 func MeasureClockDrift(level SMMLevel, intervalMS int, seconds float64, seed int64) (DriftResult, error) {
-	if seed == 0 {
-		seed = 1
-	}
-	if intervalMS <= 0 {
-		intervalMS = 1000
-	}
-	if seconds <= 0 {
-		seconds = 10
-	}
-	e := sim.New(seed)
-	smi := smm.DriverConfig{}
-	if level != smm.SMMNone {
-		smi = smm.DriverConfig{Level: level, PeriodJiffies: uint64(intervalMS), PhaseJitter: true}
-	}
-	cl, err := cluster.New(e, cluster.R410(smi))
-	if err != nil {
-		return DriftResult{}, err
-	}
-	cl.StartSMI()
-	node := cl.Nodes[0]
-	tc := node.Clock.NewTickClock(node.CPU)
-	e.RunUntil(sim.FromSeconds(seconds))
-	return DriftResult{
-		Elapsed:  e.Now(),
-		TickTime: tc.Time(),
-		Drift:    tc.Drift(),
-		PPM:      tc.DriftPPM(),
-	}, nil
+	return runner.MeasureClockDrift(level, intervalMS, seconds, seed)
 }
 
 // TraceWorkload runs a four-task compute workload under 1/s long SMIs
@@ -231,60 +51,7 @@ func MeasureClockDrift(level SMMLevel, intervalMS int, seconds float64, seed int
 // defer-to-exit sampling profiler rides along so its kept/deferred
 // decisions appear on their own track.
 func TraceWorkload(seconds float64, seed int64) ([]byte, error) {
-	if seconds <= 0 {
-		seconds = 5
-	}
-	if seed == 0 {
-		seed = 1
-	}
-	e := sim.New(seed)
-	cl, err := cluster.New(e, cluster.R410(smm.DriverConfig{
-		Level: smm.SMMLong, PeriodJiffies: 1000, PhaseJitter: true,
-	}))
-	if err != nil {
-		return nil, err
-	}
-	var buf bytes.Buffer
-	sink := obs.NewChromeSink(&buf)
-	sink.NameProcess(0, 0, "smistudy")
-	bus := obs.NewBus().Attach(sink)
-	cl.SetTracer(bus)
-	e.SetProbe(bus)
-	cl.StartSMI()
-	node := cl.Nodes[0]
-	prof := proftool.New(e, node.CPU, node.SMM, proftool.Config{Mode: proftool.DeferToExit})
-	prof.SetTracer(bus, 0)
-	prof.Start()
-	work := seconds * node.CPU.Params().BaseHz
-	remaining := 4
-	for i := 0; i < 4; i++ {
-		name := fmt.Sprintf("task%d", i)
-		track := int32(i + 1)
-		node.Kernel.Spawn(name, cpu.Profile{CPI: 1}, func(t *kernel.Task) {
-			start := t.Gettime()
-			// Emit compute in slices so the timeline shows phases.
-			const slices = 10
-			for s := 0; s < slices; s++ {
-				t.Compute(work / slices)
-				end := t.Gettime()
-				bus.Emit(obs.Event{
-					Time: end, Dur: end - start, Type: obs.EvUserSpan,
-					Node: 0, Track: track, Name: name,
-				})
-				start = end
-			}
-			remaining--
-			if remaining == 0 {
-				e.Stop()
-			}
-		})
-	}
-	e.Run()
-	prof.Stop()
-	if err := sink.Close(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return runner.TraceWorkload(seconds, seed)
 }
 
 // ProfilerMode re-exports the sampling-profiler SMM handling modes.
@@ -300,21 +67,5 @@ const (
 // sampling profiler in the given mode and returns the profiler's report
 // (including sample loss and worst-case share skew vs ground truth).
 func ProfileWorkload(mode ProfilerMode, seed int64) proftool.Report {
-	if seed == 0 {
-		seed = 1
-	}
-	e := sim.New(seed)
-	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{
-		Level: smm.SMMLong, PeriodJiffies: 500, PhaseJitter: true,
-	}))
-	cl.StartSMI()
-	node := cl.Nodes[0]
-	s := proftool.New(e, node.CPU, node.SMM, proftool.Config{Mode: mode})
-	s.Start()
-	hz := node.CPU.Params().BaseHz
-	node.Kernel.Spawn("heavy", cpu.Profile{CPI: 1}, func(t *kernel.Task) { t.Compute(4 * hz) })
-	node.Kernel.Spawn("light", cpu.Profile{CPI: 1}, func(t *kernel.Task) { t.Compute(2 * hz) })
-	e.RunUntil(6 * sim.Second)
-	s.Stop()
-	return s.Report()
+	return runner.ProfileWorkload(mode, seed)
 }

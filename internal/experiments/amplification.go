@@ -5,11 +5,9 @@ import (
 	"fmt"
 
 	"smistudy"
-	"smistudy/internal/cluster"
 	"smistudy/internal/metrics"
-	"smistudy/internal/mpi"
-	"smistudy/internal/nas"
 	"smistudy/internal/parsweep"
+	"smistudy/internal/runner"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -127,21 +125,5 @@ func AmplificationStudy(cfg Config) (string, error) {
 // amplifyRun measures one benchmark run under the given SMM level on a
 // fresh engine, returning the run time and the per-node SMM residency.
 func amplifyRun(cfg Config, b smistudy.Benchmark, class smistudy.Class, nodes int, level smm.Level) (sim.Time, sim.Time, error) {
-	e := sim.New(cfg.seed())
-	par := cluster.Wyeast(nodes, false, level)
-	par.Node.SMI.DurationScale = cfg.SMIScale
-	cl, err := cluster.New(e, par)
-	if err != nil {
-		return 0, 0, err
-	}
-	cl.StartSMI()
-	w, err := mpi.NewWorld(cl, 1, mpi.DefaultParams())
-	if err != nil {
-		return 0, 0, err
-	}
-	res, err := nas.Run(w, nas.Spec{Bench: nas.Benchmark(b), Class: nas.Class(class)})
-	if err != nil {
-		return 0, 0, err
-	}
-	return res.Time, cl.TotalSMMResidency() / sim.Time(len(cl.Nodes)), nil
+	return runner.AmplifyRun(cfg.seed(), b, class, nodes, level, cfg.SMIScale)
 }

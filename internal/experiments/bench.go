@@ -96,36 +96,6 @@ func BenchSweeps(cfg Config, workerSets []int) (BenchReport, error) {
 			})
 		}
 	}
-	rep.EngineEventNS, rep.EngineEventAllocs = benchEngineEvent()
+	rep.EngineEventNS, rep.EngineEventAllocs = sim.MeasureEventCost()
 	return rep, nil
-}
-
-// benchEngineEvent measures a warm engine's schedule+fire cost: the
-// self-rescheduling tick pattern every clock and SMI driver uses. The
-// first tick warms the free list; the measured window is steady state.
-func benchEngineEvent() (nsPerEvent, allocsPerEvent float64) {
-	const events = 1 << 20
-	e := sim.New(1)
-	count := 0
-	var tick func()
-	tick = func() {
-		count++
-		if count < events {
-			e.After(1, tick)
-		}
-	}
-	// Warm-up: allocate the one event the pattern needs, then recycle it.
-	e.After(1, func() {})
-	e.Run()
-
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	e.After(1, tick)
-	e.Run()
-	wall := time.Since(start)
-	runtime.ReadMemStats(&after)
-	return float64(wall.Nanoseconds()) / events,
-		float64(after.Mallocs-before.Mallocs) / events
 }

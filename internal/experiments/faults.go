@@ -7,14 +7,12 @@ import (
 	"strings"
 
 	"smistudy"
-	"smistudy/internal/cluster"
 	"smistudy/internal/faults"
 	"smistudy/internal/metrics"
-	"smistudy/internal/mpi"
 	"smistudy/internal/nas"
 	"smistudy/internal/parsweep"
+	"smistudy/internal/runner"
 	"smistudy/internal/sim"
-	"smistudy/internal/smm"
 )
 
 // FaultStudy extends the paper's noise framework from SMIs to cluster
@@ -100,31 +98,10 @@ func lossSweep(cfg Config) (string, error) {
 }
 
 // faultedNASRun runs one benchmark over an explicit fault schedule,
-// reporting the result plus the per-node SMM residency the faults
+// reporting the result plus the total SMM residency the faults
 // injected.
 func faultedNASRun(seed int64, spec nas.Spec, nodes int, sched faults.Schedule) (nas.Result, sim.Time, error) {
-	e := sim.New(seed)
-	cl, err := cluster.New(e, cluster.Wyeast(nodes, false, smm.SMMNone))
-	if err != nil {
-		return nas.Result{}, 0, err
-	}
-	par := mpi.DefaultParams()
-	if sched.Lossy() {
-		par = mpi.ReliableParams()
-	}
-	w, err := mpi.NewWorld(cl, 1, par)
-	if err != nil {
-		return nas.Result{}, 0, err
-	}
-	if !sched.Empty() {
-		inj, err := cl.Inject(sched)
-		if err != nil {
-			return nas.Result{}, 0, err
-		}
-		w.SetFaultObserver(inj)
-	}
-	res, err := nas.Run(w, spec)
-	return res, cl.TotalSMMResidency(), err
+	return runner.FaultedNAS(seed, spec, nodes, sched)
 }
 
 // DegradeResult is the structured single-node fault-amplification

@@ -2,13 +2,9 @@ package experiments
 
 import (
 	"smistudy/internal/analytic"
-	"smistudy/internal/cluster"
-	"smistudy/internal/cpu"
-	"smistudy/internal/kernel"
 	"smistudy/internal/metrics"
-	"smistudy/internal/mpi"
+	"smistudy/internal/runner"
 	"smistudy/internal/sim"
-	"smistudy/internal/smm"
 )
 
 // ModelRow is one simulated-vs-analytic comparison cell: a
@@ -117,32 +113,5 @@ func ModelStudy(cfg Config) (string, error) {
 
 // simulateBSP runs a synthetic barrier-synchronized workload.
 func simulateBSP(seed int64, nodes int, step sim.Time, steps int, smiScale float64) sim.Time {
-	e := sim.New(seed)
-	par := cluster.Wyeast(nodes, false, smm.SMMLong)
-	par.Node.SMI.DurMin = 105 * sim.Millisecond
-	par.Node.SMI.DurMax = 105 * sim.Millisecond
-	par.Node.SMI.DurationScale = smiScale
-	par.Node.PerCPURendezvous = 0
-	cl := cluster.MustNew(e, par)
-	cl.StartSMI()
-	stepOps := step.Seconds() * par.Node.CPU.BaseHz
-	if nodes == 1 {
-		var end sim.Time
-		cl.Nodes[0].Kernel.Spawn("w", cpu.Profile{CPI: 1}, func(tk *kernel.Task) {
-			for i := 0; i < steps; i++ {
-				tk.Compute(stepOps)
-			}
-			end = tk.Gettime()
-			e.Stop()
-		})
-		e.Run()
-		return end
-	}
-	w := mpi.MustNewWorld(cl, 1, mpi.DefaultParams())
-	return w.Run(cpu.Profile{CPI: 1}, func(r *mpi.Rank, tk *kernel.Task) {
-		for i := 0; i < steps; i++ {
-			tk.Compute(stepOps)
-			r.Barrier(tk)
-		}
-	})
+	return runner.SimulateBSP(seed, nodes, step, steps, smiScale)
 }

@@ -1,0 +1,13 @@
+package nas
+
+// MOPs converts a measured runtime in seconds into the model's million
+// operations per second for the spec — the figure of merit the NPB
+// suite reports. Unknown specs and non-positive runtimes yield 0, so a
+// failed or unmeasured cell never divides by zero.
+func MOPs(spec Spec, seconds float64) float64 {
+	ops := TotalOps(spec)
+	if ops == 0 || seconds <= 0 {
+		return 0
+	}
+	return ops / 1e6 / seconds
+}

@@ -1,0 +1,34 @@
+package nas
+
+import "testing"
+
+// TestMOPsMatchesTotalOps pins MOPs to the conversion the facade used
+// inline before it moved here: TotalOps(spec)/1e6/seconds, with zero
+// for unknown specs and non-positive runtimes.
+func TestMOPsMatchesTotalOps(t *testing.T) {
+	classes := append([]Class{ClassS}, Classes...)
+	for _, b := range AllBenchmarks {
+		for _, c := range classes {
+			spec := Spec{Bench: b, Class: c}
+			for _, seconds := range []float64{0.5, 1, 7.25, 1234.5} {
+				want := TotalOps(spec) / 1e6 / seconds
+				if got := MOPs(spec, seconds); got != want {
+					t.Errorf("MOPs(%v, %g) = %g, want %g", spec, seconds, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMOPsGuards(t *testing.T) {
+	spec := Spec{Bench: EP, Class: ClassA}
+	if got := MOPs(spec, 0); got != 0 {
+		t.Errorf("MOPs at 0 s = %g, want 0", got)
+	}
+	if got := MOPs(spec, -1); got != 0 {
+		t.Errorf("MOPs at -1 s = %g, want 0", got)
+	}
+	if got := MOPs(Spec{Bench: "XX", Class: ClassA}, 1); got != 0 {
+		t.Errorf("MOPs for unknown spec = %g, want 0", got)
+	}
+}

@@ -1,0 +1,198 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/convolve"
+	"smistudy/internal/metrics"
+	"smistudy/internal/obs"
+	"smistudy/internal/parsweep"
+	"smistudy/internal/scenario"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// CacheBehavior selects a Convolve configuration.
+type CacheBehavior int
+
+// The paper's two Convolve configurations.
+const (
+	CacheFriendly CacheBehavior = iota
+	CacheUnfriendly
+)
+
+// String implements fmt.Stringer.
+func (c CacheBehavior) String() string {
+	if c == CacheFriendly {
+		return "CacheFriendly"
+	}
+	return "CacheUnfriendly"
+}
+
+// ConvolveOptions configures one Convolve run (Figure 1).
+type ConvolveOptions struct {
+	Behavior CacheBehavior
+	CPUs     int // online logical CPUs, 1–8
+	// SMIIntervalMS is the gap between long SMIs in milliseconds
+	// (paper: 50–1500); zero disables injection.
+	SMIIntervalMS int
+	// Runs averages this many runs (paper: three). Zero means one.
+	Runs   int
+	Seed   int64
+	Passes int // repetitions of the convolution; zero = preset default
+	// Workers fans the independent runs over this many OS threads;
+	// ≤ 1 runs sequentially. Results are bit-identical either way.
+	Workers int
+	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
+	// NASOptions.SMIScale).
+	SMIScale float64
+	// Tracer, when non-nil, receives every run's observability events,
+	// stamped with the run index. Must be concurrency-safe (an
+	// *obs.Bus is) when Workers > 1.
+	Tracer obs.Tracer
+}
+
+// ConvolveResult is one measured Convolve point.
+type ConvolveResult struct {
+	Options  ConvolveOptions
+	MeanTime sim.Time
+	Times    []sim.Time
+	StdDev   sim.Time // across runs
+	Threads  int
+}
+
+// RunConvolve executes one Convolve configuration.
+func RunConvolve(o ConvolveOptions) (ConvolveResult, error) {
+	if o.CPUs < 1 || o.CPUs > 8 {
+		return ConvolveResult{}, fmt.Errorf("smistudy: Convolve CPUs = %d, want 1–8", o.CPUs)
+	}
+	cfg := convolve.CacheFriendly()
+	if o.Behavior == CacheUnfriendly {
+		cfg = convolve.CacheUnfriendly()
+	}
+	if o.Passes > 0 {
+		cfg.Passes = o.Passes
+	}
+	runs := o.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	smi := smm.DriverConfig{}
+	if o.SMIIntervalMS > 0 {
+		smi = smm.DriverConfig{
+			Level:         smm.SMMLong,
+			PeriodJiffies: uint64(o.SMIIntervalMS),
+			DurationScale: o.SMIScale,
+			PhaseJitter:   true,
+		}
+	}
+	// Independent engines per run: fan over o.Workers threads, fold in
+	// input order — identical to the sequential loop for any worker
+	// count.
+	type runOut struct {
+		elapsed sim.Time
+		threads int
+	}
+	idx := make([]int, runs)
+	for i := range idx {
+		idx[i] = i
+	}
+	outs, err := parsweep.Run(context.Background(), idx, o.Workers, func(i int) (runOut, error) {
+		e := sim.New(seed + int64(i))
+		cl, err := cluster.New(e, cluster.R410(smi))
+		if err != nil {
+			return runOut{}, err
+		}
+		if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
+			return runOut{}, err
+		}
+		rt := wireRun(o.Tracer, i, e, cl)
+		cellStart(rt, seed+int64(i))
+		cl.StartSMI()
+		r := convolve.RunSim(cl, cfg)
+		cellFinish(rt, e, seed+int64(i))
+		return runOut{elapsed: r.Elapsed, threads: r.Threads}, nil
+	})
+	if err != nil {
+		return ConvolveResult{}, err
+	}
+	res := ConvolveResult{Options: o}
+	var stream metrics.Stream
+	for _, out := range outs {
+		res.Times = append(res.Times, out.elapsed)
+		res.Threads = out.threads
+		stream.Add(out.elapsed.Seconds())
+	}
+	res.MeanTime = sim.FromSeconds(stream.Mean())
+	res.StdDev = sim.FromSeconds(stream.StdDev())
+	return res, nil
+}
+
+func init() {
+	Register(Workload{
+		Name:     "convolve",
+		Summary:  "multithreaded Convolve kernel on the R410 machine (Figure 1)",
+		Validate: validateConvolveSpec,
+		Run: func(sp scenario.Spec, x Exec) (Measurement, error) {
+			o, err := convolveOptions(sp, x)
+			if err != nil {
+				return Measurement{}, err
+			}
+			res, err := RunConvolve(o)
+			if err != nil {
+				return Measurement{}, err
+			}
+			return Measurement{Convolve: &res}, nil
+		},
+	})
+}
+
+func validateConvolveSpec(sp scenario.Spec) error {
+	_, err := convolveOptions(sp, Exec{})
+	return err
+}
+
+// convolveOptions lowers a scenario spec onto the typed Convolve entry
+// point.
+func convolveOptions(sp scenario.Spec, x Exec) (ConvolveOptions, error) {
+	if err := singleNode(sp); err != nil {
+		return ConvolveOptions{}, err
+	}
+	var beh CacheBehavior
+	switch sp.Params.Cache {
+	case "", "friendly":
+		beh = CacheFriendly
+	case "unfriendly":
+		beh = CacheUnfriendly
+	default:
+		return ConvolveOptions{}, fmt.Errorf("unknown params.cache %q (want friendly or unfriendly)", sp.Params.Cache)
+	}
+	// Convolve's injection is always long SMIs (the paper varies only
+	// their interval); a level in the spec must agree.
+	switch sp.SMM.Level {
+	case "", "long":
+	case "none":
+		if sp.SMM.IntervalMS > 0 {
+			return ConvolveOptions{}, fmt.Errorf("smm.level none contradicts smm.interval_ms=%d", sp.SMM.IntervalMS)
+		}
+	default:
+		return ConvolveOptions{}, fmt.Errorf("convolve injects long SMIs only (got smm.level %q)", sp.SMM.Level)
+	}
+	return ConvolveOptions{
+		Behavior:      beh,
+		CPUs:          specCPUs(sp),
+		SMIIntervalMS: sp.SMM.IntervalMS,
+		Runs:          sp.Runs,
+		Seed:          sp.Seed,
+		Passes:        sp.Params.Passes,
+		Workers:       x.Workers,
+		SMIScale:      sp.SMM.SMIScale,
+		Tracer:        x.Tracer,
+	}, nil
+}

@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"fmt"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/kernel"
+	"smistudy/internal/nas"
+	"smistudy/internal/noise"
+	"smistudy/internal/obs"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+	"smistudy/internal/trace"
+)
+
+// DetectOptions configures the SMI detector demonstration.
+type DetectOptions struct {
+	Level         smm.Level
+	SMIIntervalMS int
+	Duration      sim.Time
+	Seed          int64
+	// Tracer, when non-nil, receives the run's observability events —
+	// notably the ground-truth SMM episodes, which cmd/smidetect
+	// overlays against the detector's findings.
+	Tracer obs.Tracer
+}
+
+// DetectSMIs runs the hwlat-style spin-loop detector on a machine with
+// the given injection and scores it against ground truth.
+func DetectSMIs(o DetectOptions) noise.DetectorReport {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	interval := o.SMIIntervalMS
+	if interval <= 0 {
+		interval = 1000
+	}
+	smi := smm.DriverConfig{}
+	if o.Level != smm.SMMNone {
+		smi = smm.DriverConfig{Level: o.Level, PeriodJiffies: uint64(interval), PhaseJitter: true}
+	}
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.R410(smi))
+	wireRun(o.Tracer, 0, e, cl)
+	cl.StartSMI()
+	return noise.RunDetector(cl, noise.DetectorConfig{Duration: o.Duration})
+}
+
+// AttributeNAS runs an EP-style workload under long SMIs and reports the
+// per-task time misattribution a profiler would commit (§II's warning to
+// tool developers).
+func AttributeNAS(seed int64) trace.Attribution {
+	if seed == 0 {
+		seed = 1
+	}
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.Wyeast(1, false, smm.SMMLong))
+	cl.StartSMI()
+	node := cl.Nodes[0]
+	var tasks []*kernel.Task
+	remaining := 4
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, node.Kernel.Spawn(fmt.Sprintf("rank%d", i), nas.Profile(nas.EP), func(t *kernel.Task) {
+			t.Compute(1e10)
+			remaining--
+			if remaining == 0 {
+				cl.Eng.Stop()
+			}
+		}))
+	}
+	cl.Eng.Run()
+	return trace.Attribute(node, tasks)
+}

@@ -1,0 +1,142 @@
+package runner_test
+
+// Equivalence pins of the tentpole refactor: the declarative scenario
+// path (scenario.Spec → runner.Run) and the typed facade path
+// (smistudy.Run*) must produce byte-identical results for the same
+// cell, because both lower onto the same provisioning code. The facade
+// is imported here — an external test package may import the root
+// package even though the library under test is internal to it.
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"smistudy"
+	"smistudy/internal/runner"
+	"smistudy/internal/scenario"
+	"smistudy/internal/sim"
+)
+
+// mustJSON marshals a result for byte comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestNASEquivalence pins a Table 1-shaped cell: the scenario path and
+// the facade path measure the same bytes.
+func TestNASEquivalence(t *testing.T) {
+	m, err := runner.Run(scenario.Spec{
+		Workload: "nas",
+		Machine:  scenario.Machine{Nodes: 2, RanksPerNode: 2, HTT: true},
+		SMM:      scenario.SMMPlan{Level: "long"},
+		Runs:     2, Seed: 3,
+		Params: scenario.Params{Bench: "BT", Class: "S"},
+	})
+	if err != nil {
+		t.Fatalf("scenario path: %v", err)
+	}
+	res, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.BT, Class: smistudy.ClassS,
+		Nodes: 2, RanksPerNode: 2, HTT: true,
+		SMM: smistudy.SMM2, Runs: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("facade path: %v", err)
+	}
+	if got, want := mustJSON(t, m.NAS), mustJSON(t, &res); got != want {
+		t.Fatalf("paths diverge:\nscenario: %s\nfacade:   %s", got, want)
+	}
+}
+
+// TestNASFaultEquivalence pins the fault lowering: a float-seconds
+// fault plan in a spec and the equivalent sim.Time plan in the facade
+// measure the same bytes, including transport accounting.
+func TestNASFaultEquivalence(t *testing.T) {
+	m, err := runner.Run(scenario.Spec{
+		Workload: "nas",
+		Machine:  scenario.Machine{Nodes: 4},
+		Faults:   &scenario.FaultPlan{LossProb: 0.05},
+		Seed:     1,
+		Params:   scenario.Params{Bench: "BT", Class: "S"},
+	})
+	if err != nil {
+		t.Fatalf("scenario path: %v", err)
+	}
+	res, err := smistudy.RunNAS(smistudy.NASOptions{
+		Bench: smistudy.BT, Class: smistudy.ClassS,
+		Nodes: 4, RanksPerNode: 1, Seed: 1,
+		Faults: &smistudy.FaultPlan{LossProb: 0.05},
+	})
+	if err != nil {
+		t.Fatalf("facade path: %v", err)
+	}
+	if m.NAS.Dropped == 0 || m.NAS.Retransmits == 0 {
+		t.Fatalf("lossy run recorded no transport activity: %+v", m.NAS)
+	}
+	if got, want := mustJSON(t, m.NAS), mustJSON(t, &res); got != want {
+		t.Fatalf("paths diverge:\nscenario: %s\nfacade:   %s", got, want)
+	}
+}
+
+// TestConvolveEquivalence pins a Figure 1-shaped cell.
+func TestConvolveEquivalence(t *testing.T) {
+	m, err := runner.Run(scenario.Spec{
+		Workload: "convolve",
+		Machine:  scenario.Machine{CPUs: 6},
+		SMM:      scenario.SMMPlan{IntervalMS: 150},
+		Runs:     2, Seed: 2,
+		Params: scenario.Params{Cache: "unfriendly"},
+	})
+	if err != nil {
+		t.Fatalf("scenario path: %v", err)
+	}
+	res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
+		Behavior: smistudy.CacheUnfriendly, CPUs: 6,
+		SMIIntervalMS: 150, Runs: 2, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("facade path: %v", err)
+	}
+	if got, want := mustJSON(t, m.Convolve), mustJSON(t, &res); got != want {
+		t.Fatalf("paths diverge:\nscenario: %s\nfacade:   %s", got, want)
+	}
+}
+
+// TestUnixBenchEquivalence pins a Figure 2-shaped cell.
+func TestUnixBenchEquivalence(t *testing.T) {
+	m, err := runner.Run(scenario.Spec{
+		Workload: "unixbench",
+		Machine:  scenario.Machine{CPUs: 2},
+		SMM:      scenario.SMMPlan{IntervalMS: 600},
+		Seed:     1,
+		Params:   scenario.Params{DurationS: 1},
+	})
+	if err != nil {
+		t.Fatalf("scenario path: %v", err)
+	}
+	res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
+		CPUs: 2, SMIIntervalMS: 600, Level: smistudy.SMM2,
+		Seed: 1, Duration: sim.FromSeconds(1),
+	})
+	if err != nil {
+		t.Fatalf("facade path: %v", err)
+	}
+	if got, want := mustJSON(t, m.UnixBench), mustJSON(t, &res); got != want {
+		t.Fatalf("paths diverge:\nscenario: %s\nfacade:   %s", got, want)
+	}
+}
+
+// TestUnknownWorkload pins the registry rejection through the public
+// entry point.
+func TestUnknownWorkload(t *testing.T) {
+	_, err := runner.Run(scenario.Spec{Workload: "tetris"})
+	if err == nil || !errors.Is(err, runner.ErrInvalidSpec) {
+		t.Fatalf("unknown workload: err = %v", err)
+	}
+}

@@ -1,0 +1,459 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/cpu"
+	"smistudy/internal/energy"
+	"smistudy/internal/kernel"
+	"smistudy/internal/obs"
+	"smistudy/internal/proftool"
+	"smistudy/internal/rim"
+	"smistudy/internal/scenario"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+// This file holds the study's extension workloads: the RIM (security
+// introspection) workload that motivates the paper, the energy and
+// timekeeping effects established by the prior work it builds on
+// (Delgado & Karavanic, IISWC'13), and the profiler-skew demonstration
+// aimed at tool developers.
+
+// RIMOptions configures an integrity-measurement interference run.
+type RIMOptions struct {
+	// PeriodMS between integrity checks (HyperSentry-class agents run
+	// ~1/s to ~1/16s). Zero means 1000.
+	PeriodMS int
+	// MegaBytes measured per check. Zero means 25 (≈100 ms in SMM at
+	// the default scan rate — the paper's "long SMI" regime).
+	MegaBytes int
+	// ChunkKB splits checks into bounded SMIs; zero scans whole
+	// measurements in one SMI.
+	ChunkKB int
+	// WorkSeconds of application compute to push through. Zero means 5.
+	WorkSeconds float64
+	Seed        int64
+}
+
+// RIMResult quantifies the interference of an integrity agent.
+type RIMResult struct {
+	Options      RIMOptions
+	BaseTime     sim.Time // app runtime without the agent
+	NoisyTime    sim.Time // app runtime with the agent
+	SlowdownPct  float64
+	Checks       int      // completed integrity checks during the run
+	WorstStall   sim.Time // longest single SMM residency
+	CheckLatency sim.Time // worst start-to-finish check latency
+}
+
+// RunRIM measures how an SMM-based integrity agent perturbs a
+// multithreaded compute application on the R410-class machine.
+func RunRIM(o RIMOptions) (RIMResult, error) {
+	if o.PeriodMS <= 0 {
+		o.PeriodMS = 1000
+	}
+	if o.MegaBytes <= 0 {
+		o.MegaBytes = 25
+	}
+	if o.WorkSeconds <= 0 {
+		o.WorkSeconds = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ChunkKB < 0 {
+		return RIMResult{}, fmt.Errorf("smistudy: negative ChunkKB")
+	}
+	res := RIMResult{Options: o}
+
+	run := func(withAgent bool) (sim.Time, *rim.Agent, *cluster.Cluster, error) {
+		e := sim.New(o.Seed)
+		cl, err := cluster.New(e, cluster.R410(smm.DriverConfig{}))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		var agent *rim.Agent
+		if withAgent {
+			agent, err = rim.NewAgent(e, cl.Nodes[0].SMM, rim.Config{
+				Period:     sim.Time(o.PeriodMS) * sim.Millisecond,
+				Bytes:      int64(o.MegaBytes) << 20,
+				ChunkBytes: int64(o.ChunkKB) << 10,
+			})
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			agent.Start()
+		}
+		node := cl.Nodes[0]
+		work := o.WorkSeconds * node.CPU.Params().BaseHz
+		var end sim.Time
+		remaining := 4
+		for i := 0; i < 4; i++ {
+			node.Kernel.Spawn(fmt.Sprintf("app%d", i), cpu.Profile{CPI: 1}, func(t *kernel.Task) {
+				t.Compute(work) // WorkSeconds per core: wall time ≈ WorkSeconds
+				remaining--
+				if remaining == 0 {
+					end = t.Gettime()
+					e.Stop()
+				}
+			})
+		}
+		e.Run()
+		return end, agent, cl, nil
+	}
+
+	base, _, _, err := run(false)
+	if err != nil {
+		return res, err
+	}
+	noisy, agent, cl, err := run(true)
+	if err != nil {
+		return res, err
+	}
+	res.BaseTime = base
+	res.NoisyTime = noisy
+	res.SlowdownPct = (float64(noisy)/float64(base) - 1) * 100
+	res.Checks = agent.Stats().Checks
+	res.CheckLatency = agent.Stats().MaxCheckLatency
+	res.WorstStall = cl.Nodes[0].SMM.Stats().MaxLatency
+	return res, nil
+}
+
+// EnergyResult quantifies SMM's energy cost for a fixed amount of work.
+type EnergyResult struct {
+	Level       smm.Level
+	QuietJoules float64
+	NoisyJoules float64
+	QuietTime   sim.Time
+	NoisyTime   sim.Time
+	// EnergyIncreasePct is the extra energy to complete the same work.
+	EnergyIncreasePct float64
+}
+
+// MeasureEnergy reproduces the prior work's finding that SMIs increase
+// the energy needed to complete the same work (one-per-second injection
+// of the given level, R410 node, four-way compute).
+func MeasureEnergy(level smm.Level, seed int64) (EnergyResult, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	run := func(lv smm.Level) (float64, sim.Time, error) {
+		e := sim.New(seed)
+		smi := smm.DriverConfig{}
+		if lv != smm.SMMNone {
+			smi = smm.DriverConfig{Level: lv, PeriodJiffies: 1000, PhaseJitter: true}
+		}
+		cl, err := cluster.New(e, cluster.R410(smi))
+		if err != nil {
+			return 0, 0, err
+		}
+		cl.StartSMI()
+		node := cl.Nodes[0]
+		meter := energy.NewMeter(e, node.CPU, energy.NehalemServer())
+		work := 5 * node.CPU.Params().BaseHz // 5 s per core
+		var end sim.Time
+		remaining := 4
+		for i := 0; i < 4; i++ {
+			node.Kernel.Spawn(fmt.Sprintf("app%d", i), cpu.Profile{CPI: 1}, func(t *kernel.Task) {
+				t.Compute(work) // WorkSeconds per core: wall time ≈ WorkSeconds
+				remaining--
+				if remaining == 0 {
+					end = t.Gettime()
+					e.Stop()
+				}
+			})
+		}
+		e.Run()
+		return meter.Read().Joules, end, nil
+	}
+	res := EnergyResult{Level: level}
+	var err error
+	if res.QuietJoules, res.QuietTime, err = run(smm.SMMNone); err != nil {
+		return res, err
+	}
+	if res.NoisyJoules, res.NoisyTime, err = run(level); err != nil {
+		return res, err
+	}
+	res.EnergyIncreasePct = (res.NoisyJoules/res.QuietJoules - 1) * 100
+	return res, nil
+}
+
+// DriftResult quantifies tick-clock drift under SMIs.
+type DriftResult struct {
+	Elapsed  sim.Time // true elapsed time
+	TickTime sim.Time // what a tick-counted clock shows
+	Drift    sim.Time
+	PPM      float64
+}
+
+// MeasureClockDrift runs an idle machine under the given injection for
+// `seconds` and reports how far a tick-counted wall clock falls behind —
+// the prior work's "time scaling discrepancy".
+func MeasureClockDrift(level smm.Level, intervalMS int, seconds float64, seed int64) (DriftResult, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	if intervalMS <= 0 {
+		intervalMS = 1000
+	}
+	if seconds <= 0 {
+		seconds = 10
+	}
+	e := sim.New(seed)
+	smi := smm.DriverConfig{}
+	if level != smm.SMMNone {
+		smi = smm.DriverConfig{Level: level, PeriodJiffies: uint64(intervalMS), PhaseJitter: true}
+	}
+	cl, err := cluster.New(e, cluster.R410(smi))
+	if err != nil {
+		return DriftResult{}, err
+	}
+	cl.StartSMI()
+	node := cl.Nodes[0]
+	tc := node.Clock.NewTickClock(node.CPU)
+	e.RunUntil(sim.FromSeconds(seconds))
+	return DriftResult{
+		Elapsed:  e.Now(),
+		TickTime: tc.Time(),
+		Drift:    tc.Drift(),
+		PPM:      tc.DriftPPM(),
+	}, nil
+}
+
+// TraceWorkload runs a four-task compute workload under 1/s long SMIs
+// for `seconds` and returns a Chrome trace-event JSON
+// (chrome://tracing, Perfetto) with one track per task plus the SMM
+// episodes — the invisible interrupts, made visible on a timeline. The
+// timeline is captured live on the observability bus (scheduler, SMM
+// and profiler events included), not reconstructed after the fact; a
+// defer-to-exit sampling profiler rides along so its kept/deferred
+// decisions appear on their own track.
+func TraceWorkload(seconds float64, seed int64) ([]byte, error) {
+	if seconds <= 0 {
+		seconds = 5
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	e := sim.New(seed)
+	cl, err := cluster.New(e, cluster.R410(smm.DriverConfig{
+		Level: smm.SMMLong, PeriodJiffies: 1000, PhaseJitter: true,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	sink.NameProcess(0, 0, "smistudy")
+	bus := obs.NewBus().Attach(sink)
+	cl.SetTracer(bus)
+	e.SetProbe(bus)
+	cl.StartSMI()
+	node := cl.Nodes[0]
+	prof := proftool.New(e, node.CPU, node.SMM, proftool.Config{Mode: proftool.DeferToExit})
+	prof.SetTracer(bus, 0)
+	prof.Start()
+	work := seconds * node.CPU.Params().BaseHz
+	remaining := 4
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("task%d", i)
+		track := int32(i + 1)
+		node.Kernel.Spawn(name, cpu.Profile{CPI: 1}, func(t *kernel.Task) {
+			start := t.Gettime()
+			// Emit compute in slices so the timeline shows phases.
+			const slices = 10
+			for s := 0; s < slices; s++ {
+				t.Compute(work / slices)
+				end := t.Gettime()
+				bus.Emit(obs.Event{
+					Time: end, Dur: end - start, Type: obs.EvUserSpan,
+					Node: 0, Track: track, Name: name,
+				})
+				start = end
+			}
+			remaining--
+			if remaining == 0 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	prof.Stop()
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ProfileWorkload runs a skewed two-task workload under long SMIs with a
+// sampling profiler in the given mode and returns the profiler's report
+// (including sample loss and worst-case share skew vs ground truth).
+func ProfileWorkload(mode proftool.Mode, seed int64) proftool.Report {
+	if seed == 0 {
+		seed = 1
+	}
+	e := sim.New(seed)
+	cl := cluster.MustNew(e, cluster.R410(smm.DriverConfig{
+		Level: smm.SMMLong, PeriodJiffies: 500, PhaseJitter: true,
+	}))
+	cl.StartSMI()
+	node := cl.Nodes[0]
+	s := proftool.New(e, node.CPU, node.SMM, proftool.Config{Mode: mode})
+	s.Start()
+	hz := node.CPU.Params().BaseHz
+	node.Kernel.Spawn("heavy", cpu.Profile{CPI: 1}, func(t *kernel.Task) { t.Compute(4 * hz) })
+	node.Kernel.Spawn("light", cpu.Profile{CPI: 1}, func(t *kernel.Task) { t.Compute(2 * hz) })
+	e.RunUntil(6 * sim.Second)
+	s.Stop()
+	return s.Report()
+}
+
+func init() {
+	Register(Workload{
+		Name:     "rim",
+		Summary:  "SMM integrity-agent (RIM) interference on a multithreaded app",
+		Validate: validateRIMSpec,
+		Run: func(sp scenario.Spec, x Exec) (Measurement, error) {
+			o, err := rimOptions(sp)
+			if err != nil {
+				return Measurement{}, err
+			}
+			res, err := RunRIM(o)
+			if err != nil {
+				return Measurement{}, err
+			}
+			return Measurement{RIM: &res}, nil
+		},
+	})
+	Register(Workload{
+		Name:     "energy",
+		Summary:  "energy cost of completing fixed work under SMI injection",
+		Validate: validateEnergySpec,
+		Run: func(sp scenario.Spec, x Exec) (Measurement, error) {
+			level, err := energyLevel(sp)
+			if err != nil {
+				return Measurement{}, err
+			}
+			res, err := MeasureEnergy(level, sp.Seed)
+			if err != nil {
+				return Measurement{}, err
+			}
+			return Measurement{Energy: &res}, nil
+		},
+	})
+	Register(Workload{
+		Name:     "drift",
+		Summary:  "tick-clock drift on an idle machine under SMI injection",
+		Validate: validateDriftSpec,
+		Run: func(sp scenario.Spec, x Exec) (Measurement, error) {
+			level, err := driftLevel(sp)
+			if err != nil {
+				return Measurement{}, err
+			}
+			res, err := MeasureClockDrift(level, sp.SMM.IntervalMS, sp.Params.DurationS, sp.Seed)
+			if err != nil {
+				return Measurement{}, err
+			}
+			return Measurement{Drift: &res}, nil
+		},
+	})
+	Register(Workload{
+		Name:     "profiler",
+		Summary:  "sampling-profiler skew under long SMIs (drop vs defer modes)",
+		Validate: validateProfilerSpec,
+		Run: func(sp scenario.Spec, x Exec) (Measurement, error) {
+			mode, err := profilerMode(sp)
+			if err != nil {
+				return Measurement{}, err
+			}
+			res := ProfileWorkload(mode, sp.Seed)
+			return Measurement{Profiler: &res}, nil
+		},
+	})
+}
+
+func validateRIMSpec(sp scenario.Spec) error {
+	_, err := rimOptions(sp)
+	return err
+}
+
+// rimOptions lowers a scenario spec onto the RIM entry point. The RIM
+// agent is itself the SMI source, so an SMM plan in the spec is a
+// contradiction.
+func rimOptions(sp scenario.Spec) (RIMOptions, error) {
+	if err := singleNode(sp); err != nil {
+		return RIMOptions{}, err
+	}
+	if sp.SMM.Level != "" || sp.SMM.IntervalMS != 0 {
+		return RIMOptions{}, fmt.Errorf("the RIM agent drives its own SMIs (set params.period_ms, not an smm plan)")
+	}
+	if sp.Params.ChunkKB < 0 {
+		return RIMOptions{}, fmt.Errorf("params.chunk_kb must be ≥ 0 (got %d)", sp.Params.ChunkKB)
+	}
+	return RIMOptions{
+		PeriodMS:    sp.Params.PeriodMS,
+		MegaBytes:   sp.Params.MegaBytes,
+		ChunkKB:     sp.Params.ChunkKB,
+		WorkSeconds: sp.Params.WorkSeconds,
+		Seed:        sp.Seed,
+	}, nil
+}
+
+func validateEnergySpec(sp scenario.Spec) error {
+	_, err := energyLevel(sp)
+	return err
+}
+
+// energyLevel lowers the spec's SMM plan for the energy study, which
+// injects at the paper's fixed 1/s; an unset level means long SMIs.
+func energyLevel(sp scenario.Spec) (smm.Level, error) {
+	if err := singleNode(sp); err != nil {
+		return 0, err
+	}
+	if sp.SMM.IntervalMS != 0 && sp.SMM.IntervalMS != 1000 {
+		return 0, fmt.Errorf("the energy study injects at a fixed 1000 ms (got smm.interval_ms=%d)", sp.SMM.IntervalMS)
+	}
+	if sp.SMM.Level == "" {
+		return smm.SMMLong, nil
+	}
+	return parseLevel(sp.SMM.Level)
+}
+
+func validateDriftSpec(sp scenario.Spec) error {
+	_, err := driftLevel(sp)
+	return err
+}
+
+// driftLevel lowers the spec's SMM plan for the clock-drift study; an
+// unset level means long SMIs.
+func driftLevel(sp scenario.Spec) (smm.Level, error) {
+	if err := singleNode(sp); err != nil {
+		return 0, err
+	}
+	if sp.SMM.Level == "" {
+		return smm.SMMLong, nil
+	}
+	return parseLevel(sp.SMM.Level)
+}
+
+func validateProfilerSpec(sp scenario.Spec) error {
+	_, err := profilerMode(sp)
+	return err
+}
+
+// profilerMode lowers the spec's params.mode for the profiler study.
+func profilerMode(sp scenario.Spec) (proftool.Mode, error) {
+	if err := singleNode(sp); err != nil {
+		return 0, err
+	}
+	switch sp.Params.Mode {
+	case "", "defer":
+		return proftool.DeferToExit, nil
+	case "drop":
+		return proftool.DropInSMM, nil
+	}
+	return 0, fmt.Errorf("unknown params.mode %q (want defer or drop)", sp.Params.Mode)
+}

@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"smistudy/internal/faults"
+	"smistudy/internal/sim"
+)
+
+// FaultPlan describes the fault scenario of a NAS run. Each fault is
+// enabled by its probability or start time: LossProb > 0 arms uniform
+// message loss, CrashAt/HangAt/StormAt/DegradeAt > 0 arm the
+// corresponding node fault at that simulated time. The zero plan
+// injects nothing. Scenarios beyond this shape can be built directly
+// with faults.Schedule and the internal cluster API.
+type FaultPlan struct {
+	// LossProb drops every fabric message with this probability.
+	LossProb float64
+
+	// CrashAt > 0 crashes CrashNode at that time, permanently: CPUs
+	// halt, the SMI driver disarms, all its traffic is lost.
+	CrashNode int
+	CrashAt   sim.Time
+
+	// HangAt > 0 hangs HangNode for HangFor (0 = forever): CPUs halt
+	// but the node stays on the fabric and still acknowledges.
+	HangNode int
+	HangAt   sim.Time
+	HangFor  sim.Time
+
+	// StormAt > 0 reconfigures StormNode's SMI driver to one short SMI
+	// every StormPeriodJiffies jiffies (0 = 10) for StormFor.
+	StormNode          int
+	StormAt            sim.Time
+	StormFor           sim.Time
+	StormPeriodJiffies uint64
+
+	// DegradeAt > 0 degrades all traffic into DegradeNode for
+	// DegradeFor: serialization × DegradeSlow plus DegradeLatency.
+	DegradeNode    int
+	DegradeAt      sim.Time
+	DegradeFor     sim.Time
+	DegradeSlow    float64
+	DegradeLatency sim.Time
+}
+
+// Schedule lowers the plan to a fault timeline. RunNAS lowers the plan
+// exactly once per invocation and threads the schedule through world
+// construction and injection; callers that only need to know whether a
+// plan does anything should use Active, which never builds a schedule.
+func (p FaultPlan) Schedule() faults.Schedule {
+	var s faults.Schedule
+	if p.LossProb > 0 {
+		s.Add(faults.UniformLoss(p.LossProb))
+	}
+	if p.CrashAt > 0 {
+		s.Add(faults.CrashAt(p.CrashNode, p.CrashAt))
+	}
+	if p.HangAt > 0 {
+		s.Add(faults.HangAt(p.HangNode, p.HangAt, p.HangFor))
+	}
+	if p.StormAt > 0 {
+		s.Add(faults.StormAt(p.StormNode, p.StormAt, p.StormFor, p.StormPeriodJiffies))
+	}
+	if p.DegradeAt > 0 {
+		s.Add(faults.DegradeNodeLinks(p.DegradeNode, p.DegradeAt, p.DegradeFor, p.DegradeSlow, p.DegradeLatency))
+	}
+	return s
+}
+
+// Active reports whether the plan injects anything. It mirrors the arm
+// conditions of Schedule field-by-field instead of lowering a schedule
+// just to test it for emptiness.
+func (p FaultPlan) Active() bool {
+	return p.LossProb > 0 || p.CrashAt > 0 || p.HangAt > 0 || p.StormAt > 0 || p.DegradeAt > 0
+}

@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"smistudy/internal/proftool"
+)
+
+// Measurement is the result of executing one scenario spec: exactly one
+// workload section is populated (two runs of the same spec produce
+// byte-identical JSON — the determinism contract the equivalence tests
+// pin). On a fault-scenario failure the NAS section may be present
+// alongside the error, carrying the partial result's transport
+// accounting.
+type Measurement struct {
+	// Name echoes the spec's label.
+	Name string `json:"name,omitempty"`
+	// Workload names the section that is populated.
+	Workload string `json:"workload"`
+
+	NAS       *NASResult       `json:"nas,omitempty"`
+	Convolve  *ConvolveResult  `json:"convolve,omitempty"`
+	UnixBench *UnixBenchResult `json:"unixbench,omitempty"`
+	RIM       *RIMResult       `json:"rim,omitempty"`
+	Energy    *EnergyResult    `json:"energy,omitempty"`
+	Drift     *DriftResult     `json:"drift,omitempty"`
+	Profiler  *proftool.Report `json:"profiler,omitempty"`
+}
+
+// JSON renders the measurement deterministically.
+func (m Measurement) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+	return append(data, '\n'), nil
+}

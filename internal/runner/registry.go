@@ -1,0 +1,67 @@
+package runner
+
+import (
+	"sort"
+	"sync"
+
+	"smistudy/internal/scenario"
+)
+
+// Workload is one registered experiment kind. Workloads self-register
+// from init functions in this package; the registry is the single
+// dispatch table behind Run, so adding a workload automatically makes
+// it reachable from scenario files, the smisim -scenario flag and the
+// -list-workloads listing.
+type Workload struct {
+	// Name is the scenario.Spec.Workload key (lower-case).
+	Name string
+	// Summary is a one-line description for listings.
+	Summary string
+	// Validate rejects specs this workload cannot execute, before any
+	// engine is built. Errors are wrapped in ErrInvalidSpec by RunWith.
+	Validate func(scenario.Spec) error
+	// Run lowers the spec to the workload's typed entry point and
+	// executes it. On error the returned Measurement may still carry a
+	// partial section (the NAS workload reports fault-scenario
+	// accounting for failed runs).
+	Run func(scenario.Spec, Exec) (Measurement, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Workload{}
+)
+
+// Register adds a workload to the registry; duplicate or empty names
+// are programming errors.
+func Register(w Workload) {
+	if w.Name == "" || w.Run == nil {
+		panic("runner: Register needs a name and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[w.Name]; dup {
+		panic("runner: duplicate workload " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// Lookup returns the named workload.
+func Lookup(name string) (Workload, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"fmt"
+
+	"smistudy/internal/cluster"
+	"smistudy/internal/obs"
+	"smistudy/internal/scenario"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+	"smistudy/internal/ubench"
+)
+
+// UnixBenchOptions configures one UnixBench iteration (Figure 2).
+type UnixBenchOptions struct {
+	CPUs int // online logical CPUs, 1–8
+	// SMIIntervalMS is the gap between SMIs in ms; zero disables.
+	SMIIntervalMS int
+	Level         smm.Level // SMM1 or SMM2 when injecting
+	Seed          int64
+	// Duration per micro-benchmark window; zero = 4 s.
+	Duration sim.Time
+	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
+	// NASOptions.SMIScale).
+	SMIScale float64
+	// Tracer, when non-nil, receives the run's observability events.
+	Tracer obs.Tracer
+}
+
+// UnixBenchResult is one iteration's scores.
+type UnixBenchResult struct {
+	Options UnixBenchOptions
+	Score   float64
+	Tests   []ubench.TestScore
+}
+
+// RunUnixBench executes one UnixBench iteration.
+func RunUnixBench(o UnixBenchOptions) (UnixBenchResult, error) {
+	if o.CPUs < 1 || o.CPUs > 8 {
+		return UnixBenchResult{}, fmt.Errorf("smistudy: UnixBench CPUs = %d, want 1–8", o.CPUs)
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	smi := smm.DriverConfig{}
+	if o.SMIIntervalMS > 0 && o.Level != smm.SMMNone {
+		smi = smm.DriverConfig{
+			Level:         o.Level,
+			PeriodJiffies: uint64(o.SMIIntervalMS),
+			DurationScale: o.SMIScale,
+			PhaseJitter:   true,
+		}
+	}
+	e := sim.New(seed)
+	cl, err := cluster.New(e, cluster.R410(smi))
+	if err != nil {
+		return UnixBenchResult{}, err
+	}
+	if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
+		return UnixBenchResult{}, err
+	}
+	rt := wireRun(o.Tracer, 0, e, cl)
+	cellStart(rt, seed)
+	cl.StartSMI()
+	cfg := ubench.DefaultConfig()
+	if o.Duration > 0 {
+		cfg.Duration = o.Duration
+	}
+	r := ubench.Run(cl, cfg)
+	cellFinish(rt, e, seed)
+	return UnixBenchResult{Options: o, Score: r.Score, Tests: r.Tests}, nil
+}
+
+func init() {
+	Register(Workload{
+		Name:     "unixbench",
+		Summary:  "UnixBench index run on the R410 machine (Figure 2)",
+		Validate: validateUnixBenchSpec,
+		Run: func(sp scenario.Spec, x Exec) (Measurement, error) {
+			o, err := unixBenchOptions(sp, x)
+			if err != nil {
+				return Measurement{}, err
+			}
+			res, err := RunUnixBench(o)
+			if err != nil {
+				return Measurement{}, err
+			}
+			return Measurement{UnixBench: &res}, nil
+		},
+	})
+}
+
+func validateUnixBenchSpec(sp scenario.Spec) error {
+	_, err := unixBenchOptions(sp, Exec{})
+	return err
+}
+
+// unixBenchOptions lowers a scenario spec onto the typed UnixBench
+// entry point. A UnixBench iteration is a single run; sweeps iterate
+// specs with distinct seeds instead of a Runs count.
+func unixBenchOptions(sp scenario.Spec, x Exec) (UnixBenchOptions, error) {
+	if err := singleNode(sp); err != nil {
+		return UnixBenchOptions{}, err
+	}
+	if sp.Runs > 1 {
+		return UnixBenchOptions{}, fmt.Errorf("a UnixBench iteration is one run (got runs=%d); sweep seeds instead", sp.Runs)
+	}
+	level, err := parseLevel(sp.SMM.Level)
+	if err != nil {
+		return UnixBenchOptions{}, err
+	}
+	// The paper's Figure 2 injects long SMIs; an unstated level with an
+	// interval set means exactly that.
+	if sp.SMM.Level == "" && sp.SMM.IntervalMS > 0 {
+		level = smm.SMMLong
+	}
+	return UnixBenchOptions{
+		CPUs:          specCPUs(sp),
+		SMIIntervalMS: sp.SMM.IntervalMS,
+		Level:         level,
+		Seed:          sp.Seed,
+		Duration:      sim.FromSeconds(sp.Params.DurationS),
+		SMIScale:      sp.SMM.SMIScale,
+		Tracer:        x.Tracer,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package runner_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoWiringOutsideRunner enforces the tentpole invariant of the
+// scenario/runner refactor: internal/runner is the ONLY place that
+// provisions experiment machinery. No non-test source in the root
+// package, internal/experiments or cmd/ may construct an engine,
+// cluster or MPI world, or start SMI injection, directly — everything
+// routes through the runner's entry points. (Model-layer packages and
+// tests are out of scope: building small worlds directly is exactly
+// what unit tests should do.)
+func TestNoWiringOutsideRunner(t *testing.T) {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	repo := filepath.Dir(filepath.Dir(filepath.Dir(thisFile))) // internal/runner/ → repo root
+
+	wiring := regexp.MustCompile(
+		`\bsim\.New\(|\bcluster\.New\(|\bcluster\.MustNew\(|\bmpi\.NewWorld\(|\bmpi\.MustNewWorld\(|\.StartSMI\(`)
+
+	var scanned, offending []string
+	scan := func(dir string) {
+		err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() {
+				// Root scan: descend into nothing — internal/ and cmd/ get
+				// their own explicit scans below.
+				if path != dir {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(repo, path)
+			scanned = append(scanned, rel)
+			if loc := wiring.FindIndex(data); loc != nil {
+				line := 1 + strings.Count(string(data[:loc[0]]), "\n")
+				offending = append(offending,
+					rel+":"+string(wiring.Find(data))+" (line "+strconv.Itoa(line)+")")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("scan %s: %v", dir, err)
+		}
+	}
+
+	scan(repo) // root facade files only (non-recursive)
+	scan(filepath.Join(repo, "internal", "experiments"))
+	entries, err := os.ReadDir(filepath.Join(repo, "cmd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			scan(filepath.Join(repo, "cmd", e.Name()))
+		}
+	}
+
+	if len(scanned) < 10 {
+		t.Fatalf("scan looks wrong: only %d files visited (%v)", len(scanned), scanned)
+	}
+	if len(offending) > 0 {
+		t.Fatalf("direct engine/cluster/SMM wiring outside internal/runner:\n  %s",
+			strings.Join(offending, "\n  "))
+	}
+}

@@ -1,0 +1,250 @@
+// Package scenario defines the declarative run specification shared by
+// every experiment path in the repository. A Spec captures, as plain
+// serializable data, everything that determines a measurement's result:
+// the simulated machine topology, the SMM injection plan, an optional
+// fault scenario, the workload name with its parameters, and the
+// seed/repetition schedule. Execution-only concerns that cannot change
+// a result — worker counts, tracers, output files — live outside the
+// Spec (internal/runner.Exec), so a Spec is a complete, reproducible
+// description of *what* was measured.
+//
+// Specs are JSON documents with a byte-stable canonical form:
+// Parse(s.JSON()) returns s unchanged, and JSON(Parse(doc)) is the
+// canonical re-encoding of doc. Parsing is strict — unknown fields are
+// rejected so a typo in a scenario file fails loudly instead of
+// silently meaning a default.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Spec is one declarative experiment cell. The zero value of every
+// field means "workload default": the runner's defaulting rules (seed
+// 1, one run, one node, the workload's own interval and duration
+// presets) are applied at execution time, never by mutating the Spec,
+// so round-trips stay byte-stable.
+type Spec struct {
+	// Name is a free-form label for reports and manifests.
+	Name string `json:"name,omitempty"`
+	// Workload selects a registered workload (internal/runner's
+	// registry): nas, convolve, unixbench, rim, energy, drift,
+	// profiler, ...
+	Workload string `json:"workload"`
+	// Machine describes the simulated platform topology.
+	Machine Machine `json:"machine"`
+	// SMM describes the SMI injection plan.
+	SMM SMMPlan `json:"smm"`
+	// Faults, when non-nil and active, arms a fault scenario.
+	Faults *FaultPlan `json:"faults,omitempty"`
+	// Runs averages this many repetitions with derived seeds (0 = 1).
+	Runs int `json:"runs,omitempty"`
+	// Seed bases the deterministic seeds (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// WatchdogS overrides the MPI progress-watchdog interval in seconds
+	// (0 = default, negative = disabled). NAS-family workloads only.
+	WatchdogS float64 `json:"watchdog_s,omitempty"`
+	// Params carries the workload-specific knobs.
+	Params Params `json:"params"`
+	// Obs names default observability outputs for CLI runs.
+	Obs ObsPlan `json:"obs"`
+}
+
+// Machine is the simulated platform topology.
+type Machine struct {
+	// Nodes is the cluster node count (0 = 1).
+	Nodes int `json:"nodes,omitempty"`
+	// RanksPerNode is the MPI ranks per node (NAS; 0 = 1).
+	RanksPerNode int `json:"ranks_per_node,omitempty"`
+	// HTT enables hyper-threading (NAS Wyeast nodes; the R410 single
+	// node always has HTT and exposes it via CPUs instead).
+	HTT bool `json:"htt,omitempty"`
+	// CPUs is the online logical CPU count for single-node workloads
+	// (convolve/unixbench, 1–8; 0 = 4, the paper's physical core count).
+	CPUs int `json:"cpus,omitempty"`
+}
+
+// SMMPlan is the SMI injection plan.
+type SMMPlan struct {
+	// Level is the injection level: "" or "none" (SMM0), "short"
+	// (SMM1), "long" (SMM2). Workloads that imply a level (convolve
+	// always injects long SMIs when an interval is set) validate it.
+	Level string `json:"level,omitempty"`
+	// IntervalMS is the gap between SMIs in milliseconds (0 = the
+	// workload's default: off for convolve/unixbench, 1000 for NAS).
+	IntervalMS int `json:"interval_ms,omitempty"`
+	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 — the
+	// deliberate physics perturbation used by sensitivity studies and
+	// the fidelity harness's negative tests.
+	SMIScale float64 `json:"smi_scale,omitempty"`
+}
+
+// FaultPlan describes a fault scenario in wall-clock seconds. It is
+// the serializable twin of internal/runner.FaultPlan; each fault is
+// armed by its probability or start time and the zero plan injects
+// nothing.
+type FaultPlan struct {
+	// LossProb drops every fabric message with this probability.
+	LossProb float64 `json:"loss_prob,omitempty"`
+
+	// CrashAtS > 0 crashes CrashNode at that time, permanently.
+	CrashNode int     `json:"crash_node,omitempty"`
+	CrashAtS  float64 `json:"crash_at_s,omitempty"`
+
+	// HangAtS > 0 hangs HangNode for HangForS (0 = forever).
+	HangNode int     `json:"hang_node,omitempty"`
+	HangAtS  float64 `json:"hang_at_s,omitempty"`
+	HangForS float64 `json:"hang_for_s,omitempty"`
+
+	// StormAtS > 0 reconfigures StormNode's SMI driver to one short SMI
+	// every StormPeriodJiffies jiffies (0 = 10) for StormForS.
+	StormNode          int     `json:"storm_node,omitempty"`
+	StormAtS           float64 `json:"storm_at_s,omitempty"`
+	StormForS          float64 `json:"storm_for_s,omitempty"`
+	StormPeriodJiffies uint64  `json:"storm_period_jiffies,omitempty"`
+
+	// DegradeAtS > 0 degrades all traffic into DegradeNode for
+	// DegradeForS: serialization × DegradeSlow plus DegradeLatencyS.
+	DegradeNode     int     `json:"degrade_node,omitempty"`
+	DegradeAtS      float64 `json:"degrade_at_s,omitempty"`
+	DegradeForS     float64 `json:"degrade_for_s,omitempty"`
+	DegradeSlow     float64 `json:"degrade_slow,omitempty"`
+	DegradeLatencyS float64 `json:"degrade_latency_s,omitempty"`
+}
+
+// Active reports whether the plan injects anything. It is a plain
+// field check — no schedule is built — so call sites can consult it
+// freely; the runner lowers the plan to a fault schedule exactly once
+// per run.
+func (p *FaultPlan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.LossProb > 0 || p.CrashAtS > 0 || p.HangAtS > 0 ||
+		p.StormAtS > 0 || p.DegradeAtS > 0
+}
+
+// Params is the union of workload-specific knobs. Each workload
+// consumes its own subset and rejects values that make no sense for
+// it; unrelated zero fields are simply absent from the JSON.
+type Params struct {
+	// Bench is the NAS benchmark: EP, BT, FT, CG, MG, IS, LU, SP.
+	Bench string `json:"bench,omitempty"`
+	// Class is the NPB problem class: S, A, B or C.
+	Class string `json:"class,omitempty"`
+	// Cache is the convolve cache behavior: "friendly" (default) or
+	// "unfriendly".
+	Cache string `json:"cache,omitempty"`
+	// Passes overrides the convolve pass count (0 = preset default).
+	Passes int `json:"passes,omitempty"`
+	// DurationS is a workload duration in seconds: the per-test window
+	// for unixbench (0 = 4), the measurement run for drift (0 = 10).
+	DurationS float64 `json:"duration_s,omitempty"`
+	// PeriodMS is the RIM integrity-check period (0 = 1000).
+	PeriodMS int `json:"period_ms,omitempty"`
+	// MegaBytes is the RIM measurement size per check (0 = 25).
+	MegaBytes int `json:"megabytes,omitempty"`
+	// ChunkKB splits RIM checks into bounded SMIs (0 = whole checks).
+	ChunkKB int `json:"chunk_kb,omitempty"`
+	// WorkSeconds is the RIM app compute per core (0 = 5).
+	WorkSeconds float64 `json:"work_seconds,omitempty"`
+	// Mode is the profiler SMM handling mode: "defer" (default) or
+	// "drop".
+	Mode string `json:"mode,omitempty"`
+}
+
+// ObsPlan names default observability outputs. CLI flags win over
+// these; they exist so a scenario file can ship with its preferred
+// artifact paths.
+type ObsPlan struct {
+	// Trace is a Chrome trace-event timeline output path.
+	Trace string `json:"trace,omitempty"`
+	// Metrics is a metrics-snapshot JSON output path.
+	Metrics string `json:"metrics,omitempty"`
+}
+
+// Parse decodes a scenario document strictly: unknown fields anywhere
+// in the tree are errors, so typos fail instead of meaning defaults.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	// Reject trailing garbage after the document.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("scenario: trailing data after spec document")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}
+
+// JSON renders the spec in its canonical byte-stable form.
+func (s Spec) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Validate checks the workload-independent shape of the spec. The
+// runner layers workload-specific validation (known workload name,
+// bench/class/cache values, CPU ranges) on top.
+func (s Spec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("scenario: workload is required")
+	}
+	if s.Machine.Nodes < 0 || s.Machine.RanksPerNode < 0 || s.Machine.CPUs < 0 {
+		return fmt.Errorf("scenario: machine counts must be ≥ 0 (nodes=%d, ranks_per_node=%d, cpus=%d)",
+			s.Machine.Nodes, s.Machine.RanksPerNode, s.Machine.CPUs)
+	}
+	if s.Runs < 0 {
+		return fmt.Errorf("scenario: runs must be ≥ 0 (got %d)", s.Runs)
+	}
+	if s.SMM.IntervalMS < 0 {
+		return fmt.Errorf("scenario: smm.interval_ms must be ≥ 0 (got %d)", s.SMM.IntervalMS)
+	}
+	if s.SMM.SMIScale < 0 {
+		return fmt.Errorf("scenario: smm.smi_scale must be ≥ 0 (got %g)", s.SMM.SMIScale)
+	}
+	switch s.SMM.Level {
+	case "", "none", "short", "long":
+	default:
+		return fmt.Errorf("scenario: unknown smm.level %q (want none, short or long)", s.SMM.Level)
+	}
+	if f := s.Faults; f != nil {
+		if f.LossProb < 0 || f.LossProb > 1 {
+			return fmt.Errorf("scenario: faults.loss_prob must be in [0,1] (got %g)", f.LossProb)
+		}
+		for _, t := range []struct {
+			name string
+			v    float64
+		}{
+			{"crash_at_s", f.CrashAtS}, {"hang_at_s", f.HangAtS},
+			{"hang_for_s", f.HangForS}, {"storm_at_s", f.StormAtS},
+			{"storm_for_s", f.StormForS}, {"degrade_at_s", f.DegradeAtS},
+			{"degrade_for_s", f.DegradeForS}, {"degrade_latency_s", f.DegradeLatencyS},
+		} {
+			if t.v < 0 {
+				return fmt.Errorf("scenario: faults.%s must be ≥ 0 (got %g)", t.name, t.v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fullSpec exercises every field group of the spec.
+func fullSpec() Spec {
+	return Spec{
+		Name:     "kitchen-sink",
+		Workload: "nas",
+		Machine:  Machine{Nodes: 8, RanksPerNode: 4, HTT: true},
+		SMM:      SMMPlan{Level: "long", IntervalMS: 1000, SMIScale: 1.5},
+		Faults: &FaultPlan{
+			LossProb:  0.01,
+			CrashNode: 1, CrashAtS: 5,
+			HangNode: 2, HangAtS: 6, HangForS: 1,
+			StormNode: 3, StormAtS: 7, StormForS: 2, StormPeriodJiffies: 10,
+			DegradeNode: 1, DegradeAtS: 8, DegradeForS: 3, DegradeSlow: 4, DegradeLatencyS: 0.0002,
+		},
+		Runs: 6, Seed: 42, WatchdogS: 10,
+		Params: Params{Bench: "BT", Class: "A"},
+		Obs:    ObsPlan{Trace: "t.json", Metrics: "m.json"},
+	}
+}
+
+// TestRoundTripByteStable pins the canonical-form contract:
+// Parse(s.JSON()) == s, and re-encoding what was parsed reproduces the
+// encoding byte for byte.
+func TestRoundTripByteStable(t *testing.T) {
+	for name, sp := range map[string]Spec{
+		"full":    fullSpec(),
+		"minimal": {Workload: "convolve"},
+		"typical": {
+			Workload: "unixbench",
+			Machine:  Machine{CPUs: 8},
+			SMM:      SMMPlan{Level: "long", IntervalMS: 600},
+			Params:   Params{DurationS: 2},
+		},
+	} {
+		doc, err := sp.JSON()
+		if err != nil {
+			t.Fatalf("%s: JSON: %v", name, err)
+		}
+		got, err := Parse(doc)
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", name, err)
+		}
+		doc2, err := got.JSON()
+		if err != nil {
+			t.Fatalf("%s: re-JSON: %v", name, err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Errorf("%s: round trip not byte-stable:\n%s\nvs\n%s", name, doc, doc2)
+		}
+	}
+}
+
+// TestParseRejectsUnknownFields pins strict decoding: a typo anywhere in
+// the tree is an error, not a silently-applied default.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	for name, doc := range map[string]string{
+		"top level": `{"workload": "nas", "bogus": 1, "params": {"bench": "EP", "class": "A"}}`,
+		"nested":    `{"workload": "nas", "machine": {"nodez": 4}, "params": {"bench": "EP", "class": "A"}}`,
+		"in faults": `{"workload": "nas", "faults": {"loss": 0.1}, "params": {"bench": "EP", "class": "A"}}`,
+	} {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: unknown field accepted", name)
+		}
+	}
+}
+
+// TestParseRejectsTrailingData pins that a concatenation of documents is
+// not silently truncated to its first.
+func TestParseRejectsTrailingData(t *testing.T) {
+	doc := `{"workload": "nas", "params": {"bench": "EP", "class": "A"}}{"workload": "convolve"}`
+	if _, err := Parse([]byte(doc)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing document accepted (err = %v)", err)
+	}
+}
+
+// TestValidateRejections pins the workload-independent shape rules.
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]Spec{
+		"no workload":    {},
+		"negative nodes": {Workload: "nas", Machine: Machine{Nodes: -1}},
+		"negative rpn":   {Workload: "nas", Machine: Machine{RanksPerNode: -1}},
+		"negative cpus":  {Workload: "convolve", Machine: Machine{CPUs: -4}},
+		"negative runs":  {Workload: "nas", Runs: -1},
+		"negative ival":  {Workload: "convolve", SMM: SMMPlan{IntervalMS: -1}},
+		"negative scale": {Workload: "nas", SMM: SMMPlan{SMIScale: -0.5}},
+		"bad level":      {Workload: "nas", SMM: SMMPlan{Level: "loud"}},
+		"loss > 1":       {Workload: "nas", Faults: &FaultPlan{LossProb: 1.5}},
+		"loss < 0":       {Workload: "nas", Faults: &FaultPlan{LossProb: -0.5}},
+		"negative time":  {Workload: "nas", Faults: &FaultPlan{CrashAtS: -3}},
+	}
+	for name, sp := range cases {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := Spec{
+		Workload:  "nas",
+		SMM:       SMMPlan{Level: "short"},
+		WatchdogS: -1, // negative = watchdog disabled, deliberately legal
+		Params:    Params{Bench: "EP", Class: "A"},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestFaultPlanActive pins the nil-safe field-check semantics.
+func TestFaultPlanActive(t *testing.T) {
+	var nilPlan *FaultPlan
+	if nilPlan.Active() {
+		t.Fatal("nil plan active")
+	}
+	if (&FaultPlan{}).Active() {
+		t.Fatal("zero plan active")
+	}
+	// A node selector without its arming time stays inert, matching the
+	// runner's Schedule lowering.
+	if (&FaultPlan{CrashNode: 3}).Active() {
+		t.Fatal("unarmed crash selector active")
+	}
+	for name, p := range map[string]*FaultPlan{
+		"loss":    {LossProb: 0.01},
+		"crash":   {CrashAtS: 1},
+		"hang":    {HangAtS: 1},
+		"storm":   {StormAtS: 1},
+		"degrade": {DegradeAtS: 1, DegradeSlow: 2},
+	} {
+		if !p.Active() {
+			t.Errorf("%s plan inactive", name)
+		}
+	}
+}
+
+// TestLoad pins file loading and its error paths.
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/cell.json"
+	sp := fullSpec()
+	doc, err := sp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Name != sp.Name || got.Faults == nil || got.Faults.LossProb != sp.Faults.LossProb {
+		t.Fatalf("Load mismatch: %+v", got)
+	}
+	if _, err := Load(dir + "/missing.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

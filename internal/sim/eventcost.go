@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"runtime"
+	"time"
+)
+
+// MeasureEventCost measures a warm engine's schedule+fire cost: the
+// self-rescheduling tick pattern every clock and SMI driver uses. The
+// first tick warms the free list; the measured window is steady state.
+// It backs the committed perf baseline's engine_event_ns /
+// engine_event_allocs entries (the free list should hold allocations
+// at zero).
+func MeasureEventCost() (nsPerEvent, allocsPerEvent float64) {
+	const events = 1 << 20
+	e := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < events {
+			e.After(1, tick)
+		}
+	}
+	// Warm-up: allocate the one event the pattern needs, then recycle it.
+	e.After(1, func() {})
+	e.Run()
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	e.After(1, tick)
+	e.Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(wall.Nanoseconds()) / events,
+		float64(after.Mallocs-before.Mallocs) / events
+}

@@ -21,26 +21,23 @@
 //
 // Every run is deterministic for a given seed; the paper's six-run
 // averages are reproduced by averaging seeds 1..6.
+//
+// This package is a facade: every entry point is an alias for — or a
+// one-line delegation to — internal/runner, the single
+// engine-provisioning path shared with the declarative scenario layer
+// (internal/scenario) and every CLI. New studies can therefore run
+// from a JSON spec file (smisim -scenario) with no new Go code.
 package smistudy
 
 import (
-	"context"
-	"fmt"
-
-	"smistudy/internal/cluster"
-	"smistudy/internal/convolve"
 	"smistudy/internal/faults"
-	"smistudy/internal/kernel"
-	"smistudy/internal/metrics"
 	"smistudy/internal/mpi"
 	"smistudy/internal/nas"
 	"smistudy/internal/noise"
 	"smistudy/internal/obs"
-	"smistudy/internal/parsweep"
-	"smistudy/internal/sim"
+	"smistudy/internal/runner"
 	"smistudy/internal/smm"
 	"smistudy/internal/trace"
-	"smistudy/internal/ubench"
 )
 
 // ErrPeerUnreachable is returned (wrapped) by RunNAS when the MPI
@@ -60,38 +57,6 @@ type FaultSchedule = faults.Schedule
 // the option structs; a nil Tracer costs nothing — every emit site is a
 // single nil check and the simulation hot path stays allocation-free.
 type Tracer = obs.Tracer
-
-// wireRun scopes tr to one sweep cell and threads it through a freshly
-// built engine and cluster: all SMM, scheduler, network and fault events
-// flow to it stamped with the run index, and — when tr is a bus — the
-// engine's event counters feed its registry. Returns the scoped tracer
-// for the caller's own emissions (nil stays nil).
-func wireRun(tr Tracer, run int, e *sim.Engine, cl *cluster.Cluster) Tracer {
-	if tr == nil {
-		return nil
-	}
-	if b, ok := tr.(*obs.Bus); ok {
-		e.SetProbe(b)
-	}
-	rt := obs.WithRun(tr, int32(run))
-	cl.SetTracer(rt)
-	return rt
-}
-
-// cellStart marks a sweep cell's beginning on the bus; seed identifies
-// the cell in the trace.
-func cellStart(rt Tracer, seed int64) {
-	if rt != nil {
-		rt.Emit(obs.Event{Type: obs.EvSweepCellStart, Node: -1, A: seed})
-	}
-}
-
-// cellFinish marks a sweep cell's end; the span covers the whole run.
-func cellFinish(rt Tracer, e *sim.Engine, seed int64) {
-	if rt != nil {
-		rt.Emit(obs.Event{Time: e.Now(), Dur: e.Now(), Type: obs.EvSweepCellFinish, Node: -1, A: seed})
-	}
-}
 
 // SMMLevel selects the SMI injection level, exactly as in the paper:
 // SMM0 = none, SMM1 = short (1–3 ms), SMM2 = long (100–110 ms), fired
@@ -123,481 +88,56 @@ const (
 	ClassC = nas.ClassC
 )
 
-// FaultPlan describes the fault scenario of a NAS run. Each fault is
-// enabled by its probability or start time: LossProb > 0 arms uniform
-// message loss, CrashAt/HangAt/StormAt/DegradeAt > 0 arm the
-// corresponding node fault at that simulated time. The zero plan
+// FaultPlan re-exports the runner's fault scenario description: each
+// fault is enabled by its probability or start time, and the zero plan
 // injects nothing. Scenarios beyond this shape can be built directly
 // with FaultSchedule and the internal cluster API.
-type FaultPlan struct {
-	// LossProb drops every fabric message with this probability.
-	LossProb float64
-
-	// CrashAt > 0 crashes CrashNode at that time, permanently: CPUs
-	// halt, the SMI driver disarms, all its traffic is lost.
-	CrashNode int
-	CrashAt   sim.Time
-
-	// HangAt > 0 hangs HangNode for HangFor (0 = forever): CPUs halt
-	// but the node stays on the fabric and still acknowledges.
-	HangNode int
-	HangAt   sim.Time
-	HangFor  sim.Time
-
-	// StormAt > 0 reconfigures StormNode's SMI driver to one short SMI
-	// every StormPeriodJiffies jiffies (0 = 10) for StormFor.
-	StormNode          int
-	StormAt            sim.Time
-	StormFor           sim.Time
-	StormPeriodJiffies uint64
-
-	// DegradeAt > 0 degrades all traffic into DegradeNode for
-	// DegradeFor: serialization × DegradeSlow plus DegradeLatency.
-	DegradeNode    int
-	DegradeAt      sim.Time
-	DegradeFor     sim.Time
-	DegradeSlow    float64
-	DegradeLatency sim.Time
-}
-
-// Schedule lowers the plan to a fault timeline.
-func (p FaultPlan) Schedule() faults.Schedule {
-	var s faults.Schedule
-	if p.LossProb > 0 {
-		s.Add(faults.UniformLoss(p.LossProb))
-	}
-	if p.CrashAt > 0 {
-		s.Add(faults.CrashAt(p.CrashNode, p.CrashAt))
-	}
-	if p.HangAt > 0 {
-		s.Add(faults.HangAt(p.HangNode, p.HangAt, p.HangFor))
-	}
-	if p.StormAt > 0 {
-		s.Add(faults.StormAt(p.StormNode, p.StormAt, p.StormFor, p.StormPeriodJiffies))
-	}
-	if p.DegradeAt > 0 {
-		s.Add(faults.DegradeNodeLinks(p.DegradeNode, p.DegradeAt, p.DegradeFor, p.DegradeSlow, p.DegradeLatency))
-	}
-	return s
-}
-
-// Active reports whether the plan injects anything.
-func (p FaultPlan) Active() bool { return !p.Schedule().Empty() }
+type FaultPlan = runner.FaultPlan
 
 // NASOptions configures one cell of the paper's MPI study.
-type NASOptions struct {
-	Bench        Benchmark
-	Class        Class
-	Nodes        int // cluster nodes (paper: 1–16)
-	RanksPerNode int // 1 or 4 in the paper
-	HTT          bool
-	SMM          SMMLevel
-	// Runs averages this many runs with seeds Seed, Seed+1, ... (paper:
-	// six). Zero means one.
-	Runs int
-	Seed int64
-	// Workers fans the independent runs over this many OS threads
-	// (each run has its own simulation engine). ≤ 1 runs sequentially;
-	// any value yields bit-identical results.
-	Workers int
-	// Faults, when non-nil and active, arms the fault scenario on every
-	// run. A plan that can lose messages automatically switches the MPI
-	// runtime to its reliable (ack/retransmit) transport, and the
-	// progress watchdog is armed so faulted runs fail in bounded
-	// simulated time instead of hanging.
-	Faults *FaultPlan
-	// Watchdog overrides the MPI progress-watchdog interval (zero =
-	// default, negative = disabled).
-	Watchdog sim.Time
-	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 — a
-	// deliberate physics perturbation for sensitivity studies and for
-	// the fidelity harness's negative tests. Zero leaves the paper's
-	// calibrated durations untouched.
-	SMIScale float64
-	// Tracer, when non-nil, receives every observability event from
-	// every run (SMM episodes, scheduling, MPI traffic, network drops,
-	// fault activations), each stamped with its run index. Safe with
-	// Workers > 1 when the tracer is an *obs.Bus or otherwise
-	// concurrency-safe.
-	Tracer Tracer
-}
+type NASOptions = runner.NASOptions
 
 // NASResult is a measured cell.
-type NASResult struct {
-	Options   NASOptions
-	Ranks     int
-	MeanTime  sim.Time
-	Times     []sim.Time
-	MOPs      float64 // from the mean time
-	Verified  bool
-	Residency sim.Time // mean per-node SMM residency per run
-
-	// Fault-scenario accounting, summed over runs: messages the fabric
-	// dropped and the reliable transport's recovery activity.
-	Dropped     int64
-	Retransmits int64
-	Duplicates  int64
-}
-
-// Seconds is shorthand for MeanTime in seconds.
-func (r NASResult) Seconds() float64 { return r.MeanTime.Seconds() }
+type NASResult = runner.NASResult
 
 // RunNAS executes one configuration of the MPI study.
-func RunNAS(o NASOptions) (NASResult, error) {
-	if o.Nodes <= 0 || o.RanksPerNode <= 0 {
-		return NASResult{}, fmt.Errorf("smistudy: need Nodes and RanksPerNode ≥ 1")
-	}
-	runs := o.Runs
-	if runs <= 0 {
-		runs = 1
-	}
-	seed := o.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	var sched faults.Schedule
-	if o.Faults != nil {
-		sched = o.Faults.Schedule()
-	}
-	par := mpi.DefaultParams()
-	if sched.Lossy() {
-		par = mpi.ReliableParams()
-	}
-	par.Watchdog = o.Watchdog
-	// Each run owns a fresh engine and cluster, so runs are fanned over
-	// o.Workers threads and folded back in input order — byte-identical
-	// to the sequential loop this replaces. Errors ride inside the
-	// per-run output (never through the pool) so a failed run's
-	// transport accounting is still folded in, exactly as before.
-	type runOut struct {
-		setupErr error
-		runErr   error
-		ranks    int
-		time     sim.Time
-		verified bool
-		resid    sim.Time
-
-		dropped, retransmits, duplicates int64
-	}
-	idx := make([]int, runs)
-	for i := range idx {
-		idx[i] = i
-	}
-	outs, _ := parsweep.Run(context.Background(), idx, o.Workers, func(i int) (runOut, error) {
-		var out runOut
-		e := sim.New(seed + int64(i))
-		cp := cluster.Wyeast(o.Nodes, o.HTT, o.SMM)
-		cp.Node.SMI.DurationScale = o.SMIScale
-		cl, err := cluster.New(e, cp)
-		if err != nil {
-			out.setupErr = err
-			return out, nil
-		}
-		rt := wireRun(o.Tracer, i, e, cl)
-		cellStart(rt, seed+int64(i))
-		cl.StartSMI()
-		w, err := mpi.NewWorld(cl, o.RanksPerNode, par)
-		if err != nil {
-			out.setupErr = err
-			return out, nil
-		}
-		w.SetTracer(rt)
-		if !sched.Empty() {
-			inj, err := cl.Inject(sched)
-			if err != nil {
-				out.setupErr = err
-				return out, nil
-			}
-			w.SetFaultObserver(inj)
-		}
-		r, runErr := nas.Run(w, nas.Spec{Bench: o.Bench, Class: o.Class})
-		cellFinish(rt, e, seed+int64(i))
-		// Transport accounting is valid even for a failed run — report
-		// how much recovery work preceded the failure.
-		out.dropped = cl.Fabric.Stats().Drops
-		ts := w.TransportStats()
-		out.retransmits = ts.Retransmits
-		out.duplicates = ts.Duplicates
-		out.runErr = runErr
-		if runErr == nil {
-			out.ranks = r.Ranks
-			out.time = r.Time
-			out.verified = r.Verified
-			out.resid = cl.TotalSMMResidency() / sim.Time(len(cl.Nodes))
-		}
-		return out, nil
-	})
-	res := NASResult{Options: o, Verified: true}
-	var stream metrics.Stream
-	var residency sim.Time
-	for _, out := range outs {
-		if out.setupErr != nil {
-			return NASResult{}, out.setupErr
-		}
-		res.Dropped += out.dropped
-		res.Retransmits += out.retransmits
-		res.Duplicates += out.duplicates
-		if out.runErr != nil {
-			return res, out.runErr
-		}
-		res.Ranks = out.ranks
-		res.Times = append(res.Times, out.time)
-		res.Verified = res.Verified && out.verified
-		stream.Add(out.time.Seconds())
-		residency += out.resid
-	}
-	res.MeanTime = sim.FromSeconds(stream.Mean())
-	res.Residency = residency / sim.Time(runs)
-	res.MOPs = nasMOPs(o.Bench, o.Class, stream.Mean())
-	return res, nil
-}
-
-// nasMOPs converts a runtime into model MOPs for the spec.
-func nasMOPs(b Benchmark, c Class, seconds float64) float64 {
-	ops := nas.TotalOps(nas.Spec{Bench: b, Class: c})
-	if ops == 0 || seconds <= 0 {
-		return 0
-	}
-	return ops / 1e6 / seconds
-}
+func RunNAS(o NASOptions) (NASResult, error) { return runner.RunNAS(o) }
 
 // CacheBehavior selects a Convolve configuration.
-type CacheBehavior int
+type CacheBehavior = runner.CacheBehavior
 
 // The paper's two Convolve configurations.
 const (
-	CacheFriendly CacheBehavior = iota
-	CacheUnfriendly
+	CacheFriendly   = runner.CacheFriendly
+	CacheUnfriendly = runner.CacheUnfriendly
 )
 
-// String implements fmt.Stringer.
-func (c CacheBehavior) String() string {
-	if c == CacheFriendly {
-		return "CacheFriendly"
-	}
-	return "CacheUnfriendly"
-}
-
 // ConvolveOptions configures one Convolve run (Figure 1).
-type ConvolveOptions struct {
-	Behavior CacheBehavior
-	CPUs     int // online logical CPUs, 1–8
-	// SMIIntervalMS is the gap between long SMIs in milliseconds
-	// (paper: 50–1500); zero disables injection.
-	SMIIntervalMS int
-	// Runs averages this many runs (paper: three). Zero means one.
-	Runs   int
-	Seed   int64
-	Passes int // repetitions of the convolution; zero = preset default
-	// Workers fans the independent runs over this many OS threads;
-	// ≤ 1 runs sequentially. Results are bit-identical either way.
-	Workers int
-	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
-	// NASOptions.SMIScale).
-	SMIScale float64
-	// Tracer, when non-nil, receives every run's observability events,
-	// stamped with the run index. Must be concurrency-safe (an
-	// *obs.Bus is) when Workers > 1.
-	Tracer Tracer
-}
+type ConvolveOptions = runner.ConvolveOptions
 
 // ConvolveResult is one measured Convolve point.
-type ConvolveResult struct {
-	Options  ConvolveOptions
-	MeanTime sim.Time
-	Times    []sim.Time
-	StdDev   sim.Time // across runs
-	Threads  int
-}
+type ConvolveResult = runner.ConvolveResult
 
 // RunConvolve executes one Convolve configuration.
-func RunConvolve(o ConvolveOptions) (ConvolveResult, error) {
-	if o.CPUs < 1 || o.CPUs > 8 {
-		return ConvolveResult{}, fmt.Errorf("smistudy: Convolve CPUs = %d, want 1–8", o.CPUs)
-	}
-	cfg := convolve.CacheFriendly()
-	if o.Behavior == CacheUnfriendly {
-		cfg = convolve.CacheUnfriendly()
-	}
-	if o.Passes > 0 {
-		cfg.Passes = o.Passes
-	}
-	runs := o.Runs
-	if runs <= 0 {
-		runs = 1
-	}
-	seed := o.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	smi := smm.DriverConfig{}
-	if o.SMIIntervalMS > 0 {
-		smi = smm.DriverConfig{
-			Level:         smm.SMMLong,
-			PeriodJiffies: uint64(o.SMIIntervalMS),
-			DurationScale: o.SMIScale,
-			PhaseJitter:   true,
-		}
-	}
-	// Independent engines per run: fan over o.Workers threads, fold in
-	// input order — identical to the sequential loop for any worker
-	// count.
-	type runOut struct {
-		elapsed sim.Time
-		threads int
-	}
-	idx := make([]int, runs)
-	for i := range idx {
-		idx[i] = i
-	}
-	outs, err := parsweep.Run(context.Background(), idx, o.Workers, func(i int) (runOut, error) {
-		e := sim.New(seed + int64(i))
-		cl, err := cluster.New(e, cluster.R410(smi))
-		if err != nil {
-			return runOut{}, err
-		}
-		if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
-			return runOut{}, err
-		}
-		rt := wireRun(o.Tracer, i, e, cl)
-		cellStart(rt, seed+int64(i))
-		cl.StartSMI()
-		r := convolve.RunSim(cl, cfg)
-		cellFinish(rt, e, seed+int64(i))
-		return runOut{elapsed: r.Elapsed, threads: r.Threads}, nil
-	})
-	if err != nil {
-		return ConvolveResult{}, err
-	}
-	res := ConvolveResult{Options: o}
-	var stream metrics.Stream
-	for _, out := range outs {
-		res.Times = append(res.Times, out.elapsed)
-		res.Threads = out.threads
-		stream.Add(out.elapsed.Seconds())
-	}
-	res.MeanTime = sim.FromSeconds(stream.Mean())
-	res.StdDev = sim.FromSeconds(stream.StdDev())
-	return res, nil
-}
+func RunConvolve(o ConvolveOptions) (ConvolveResult, error) { return runner.RunConvolve(o) }
 
 // UnixBenchOptions configures one UnixBench iteration (Figure 2).
-type UnixBenchOptions struct {
-	CPUs int // online logical CPUs, 1–8
-	// SMIIntervalMS is the gap between SMIs in ms; zero disables.
-	SMIIntervalMS int
-	Level         SMMLevel // SMM1 or SMM2 when injecting
-	Seed          int64
-	// Duration per micro-benchmark window; zero = 4 s.
-	Duration sim.Time
-	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
-	// NASOptions.SMIScale).
-	SMIScale float64
-	// Tracer, when non-nil, receives the run's observability events.
-	Tracer Tracer
-}
+type UnixBenchOptions = runner.UnixBenchOptions
 
 // UnixBenchResult is one iteration's scores.
-type UnixBenchResult struct {
-	Options UnixBenchOptions
-	Score   float64
-	Tests   []ubench.TestScore
-}
+type UnixBenchResult = runner.UnixBenchResult
 
 // RunUnixBench executes one UnixBench iteration.
-func RunUnixBench(o UnixBenchOptions) (UnixBenchResult, error) {
-	if o.CPUs < 1 || o.CPUs > 8 {
-		return UnixBenchResult{}, fmt.Errorf("smistudy: UnixBench CPUs = %d, want 1–8", o.CPUs)
-	}
-	seed := o.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	smi := smm.DriverConfig{}
-	if o.SMIIntervalMS > 0 && o.Level != smm.SMMNone {
-		smi = smm.DriverConfig{
-			Level:         o.Level,
-			PeriodJiffies: uint64(o.SMIIntervalMS),
-			DurationScale: o.SMIScale,
-			PhaseJitter:   true,
-		}
-	}
-	e := sim.New(seed)
-	cl, err := cluster.New(e, cluster.R410(smi))
-	if err != nil {
-		return UnixBenchResult{}, err
-	}
-	if err := cl.Nodes[0].Kernel.OnlineCPUs(o.CPUs); err != nil {
-		return UnixBenchResult{}, err
-	}
-	rt := wireRun(o.Tracer, 0, e, cl)
-	cellStart(rt, seed)
-	cl.StartSMI()
-	cfg := ubench.DefaultConfig()
-	if o.Duration > 0 {
-		cfg.Duration = o.Duration
-	}
-	r := ubench.Run(cl, cfg)
-	cellFinish(rt, e, seed)
-	return UnixBenchResult{Options: o, Score: r.Score, Tests: r.Tests}, nil
-}
+func RunUnixBench(o UnixBenchOptions) (UnixBenchResult, error) { return runner.RunUnixBench(o) }
 
 // DetectOptions configures the SMI detector demonstration.
-type DetectOptions struct {
-	Level         SMMLevel
-	SMIIntervalMS int
-	Duration      sim.Time
-	Seed          int64
-	// Tracer, when non-nil, receives the run's observability events —
-	// notably the ground-truth SMM episodes, which cmd/smidetect
-	// overlays against the detector's findings.
-	Tracer Tracer
-}
+type DetectOptions = runner.DetectOptions
 
 // DetectSMIs runs the hwlat-style spin-loop detector on a machine with
 // the given injection and scores it against ground truth.
-func DetectSMIs(o DetectOptions) noise.DetectorReport {
-	seed := o.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	interval := o.SMIIntervalMS
-	if interval <= 0 {
-		interval = 1000
-	}
-	smi := smm.DriverConfig{}
-	if o.Level != smm.SMMNone {
-		smi = smm.DriverConfig{Level: o.Level, PeriodJiffies: uint64(interval), PhaseJitter: true}
-	}
-	e := sim.New(seed)
-	cl := cluster.MustNew(e, cluster.R410(smi))
-	wireRun(o.Tracer, 0, e, cl)
-	cl.StartSMI()
-	return noise.RunDetector(cl, noise.DetectorConfig{Duration: o.Duration})
-}
+func DetectSMIs(o DetectOptions) noise.DetectorReport { return runner.DetectSMIs(o) }
 
 // AttributeNAS runs an EP-style workload under long SMIs and reports the
 // per-task time misattribution a profiler would commit (§II's warning to
 // tool developers).
-func AttributeNAS(seed int64) trace.Attribution {
-	if seed == 0 {
-		seed = 1
-	}
-	e := sim.New(seed)
-	cl := cluster.MustNew(e, cluster.Wyeast(1, false, smm.SMMLong))
-	cl.StartSMI()
-	node := cl.Nodes[0]
-	var tasks []*kernel.Task
-	remaining := 4
-	for i := 0; i < 4; i++ {
-		tasks = append(tasks, node.Kernel.Spawn(fmt.Sprintf("rank%d", i), nas.Profile(nas.EP), func(t *kernel.Task) {
-			t.Compute(1e10)
-			remaining--
-			if remaining == 0 {
-				cl.Eng.Stop()
-			}
-		}))
-	}
-	cl.Eng.Run()
-	return trace.Attribute(node, tasks)
-}
+func AttributeNAS(seed int64) trace.Attribution { return runner.AttributeNAS(seed) }
