@@ -12,6 +12,7 @@
 //	smibench -figure 1 -csv    # raw points as CSV
 //	smibench -benchjson results/BENCH_sweeps.json  # perf baseline
 //	smibench -table 1 -trace t.json -metrics m.json -manifest man.json
+//	smibench -all -store results/store -resume     # durable, resumable
 //
 // Every run is deterministic for a given -seed; -runs overrides the
 // paper's per-cell averaging (6 for MPI tables, 3 for figures).
@@ -23,21 +24,42 @@
 // the -parallel worker count, recording wall time and allocations per
 // sweep plus the sim engine's per-event cost, and writes the report as
 // JSON to the given file.
+//
+// -store checkpoints every finished sweep cell in a content-addressed
+// result store; with -resume a rerun replays the checkpointed cells
+// byte-identically and only simulates what is missing, so a killed
+// regeneration picks up where it stopped. -cell-timeout and -retries
+// bound and retry individual cells. SIGINT cancels the sweep cleanly:
+// sinks are flushed and the exit code is 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"smistudy"
+	"smistudy/internal/durable"
 	"smistudy/internal/experiments"
 	"smistudy/internal/obs"
 	"smistudy/internal/parsweep"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(benchMain(ctx))
+}
+
+// exitCode is the sentinel benchMain panics with to unwind through the
+// deferred sink flushes before exiting; run() raises it on any error.
+type exitCode int
+
+func benchMain(ctx context.Context) (code int) {
 	table := flag.Int("table", 0, "regenerate paper table 1-5")
 	figure := flag.Int("figure", 0, "regenerate paper figure 1-2")
 	ext := flag.String("ext", "", "extension experiment: rim, energy, drift, profiler, nasx, amplify, model or all")
@@ -53,23 +75,56 @@ func main() {
 	traceOut := flag.String("trace", "", "stream a Chrome trace-event timeline of every sweep cell to this file")
 	metricsOut := flag.String("metrics", "", "write the aggregated metrics snapshot as JSON to this file")
 	manifestOut := flag.String("manifest", "", "write a reproducibility manifest (flags + versions) as JSON to this file")
+	storeDir := flag.String("store", "", "checkpoint every finished sweep cell in this content-addressed result store directory")
+	resume := flag.Bool("resume", false, "replay cells the -store already holds instead of re-running them")
+	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock deadline per sweep cell (0 = none); timed-out cells fail, they are not retried")
+	retries := flag.Int("retries", 0, "re-run transiently-failed cells up to this many times with exponential backoff")
 	flag.Parse()
 
+	// The recover must be registered before the sink-flush defers below
+	// so that flushes run first while an exitCode panic unwinds.
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(exitCode)
+			if !ok {
+				panic(r)
+			}
+			code = int(c)
+		}
+	}()
+	run := func(err error) {
+		if err == nil {
+			return
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "smibench: interrupted")
+			panic(exitCode(130))
+		}
+		fmt.Fprintln(os.Stderr, "smibench:", err)
+		panic(exitCode(1))
+	}
+
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "smibench: -resume requires -store")
+		return 2
+	}
 	workers := *parallel
 	if workers < 1 {
 		workers = parsweep.Workers(0)
 	}
-	cfg := experiments.Config{Quick: *quick, Runs: *runs, Seed: *seed, Workers: workers}
-
-	run := func(err error) {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "smibench:", err)
-			os.Exit(1)
-		}
+	cfg := experiments.Config{
+		Quick: *quick, Runs: *runs, Seed: *seed, Workers: workers,
+		Ctx: ctx, Resume: *resume, CellTimeout: *cellTimeout, Retries: *retries,
+	}
+	if *storeDir != "" {
+		s, err := durable.Open(*storeDir)
+		run(err)
+		defer s.Close()
+		cfg.Store = s
 	}
 
 	if *manifestOut != "" {
-		m := obs.Capture("smibench", flag.CommandLine, "trace", "metrics", "manifest")
+		m := obs.Capture("smibench", flag.CommandLine, "trace", "metrics", "manifest", "store", "resume")
 		data, err := m.JSON()
 		run(err)
 		run(os.WriteFile(*manifestOut, data, 0o644))
@@ -103,7 +158,7 @@ func main() {
 
 	if !*all && *table == 0 && *figure == 0 && *ext == "" && *compare == 0 && *benchJSON == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	if *benchJSON != "" {
@@ -251,4 +306,5 @@ func main() {
 		run(err)
 		fmt.Println(out)
 	}
+	return 0
 }

@@ -33,14 +33,32 @@
 //	smisim ... -metrics metrics.json    # counters and histograms
 //	smisim ... -manifest manifest.json  # reproducibility manifest
 //	smisim -replay manifest.json        # re-run exactly that cell
+//
+// Durability:
+//
+//	smisim -scenario cell.json -store results/store          # checkpoint cells
+//	smisim -scenario cell.json -store results/store -resume  # replay + finish
+//	smisim ... -cell-timeout 5m -retries 3                   # per-cell limits
+//
+// With -store every finished repetition is checkpointed in a
+// content-addressed store keyed by the cell's canonical spec, so a run
+// killed at any instant — Ctrl-C, OOM, kill -9 — resumes with -resume
+// from exactly the repetitions it completed and reproduces the
+// uninterrupted output byte-for-byte. SIGINT cancels cleanly: sinks
+// are flushed, the manifest records how far the sweep got, and the
+// exit code is 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
+	"smistudy/internal/durable"
 	"smistudy/internal/obs"
 	"smistudy/internal/parsweep"
 	"smistudy/internal/runner"
@@ -48,7 +66,9 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // cellFlags are the flags that describe the measured cell itself; they
@@ -65,7 +85,7 @@ var cellFlags = map[string]bool{
 	"storm-at": true, "storm-for": true, "watchdog": true,
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("smisim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workload := fs.String("workload", "nas", "nas, convolve or unixbench")
@@ -95,6 +115,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsOut := fs.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
 	manifestOut := fs.String("manifest", "", "write a reproducibility manifest (flags + versions) as JSON to this file")
 	replay := fs.String("replay", "", "re-run from a manifest file; flags given on the command line still win")
+	storeDir := fs.String("store", "", "checkpoint every finished repetition in this content-addressed result store directory")
+	resume := fs.Bool("resume", false, "replay repetitions the -store already holds instead of re-running them")
+	cellTimeout := fs.Duration("cell-timeout", 0, "wall-clock deadline per repetition cell (0 = none); timed-out cells fail, they are not retried")
+	retries := fs.Int("retries", 0, "re-run transiently-failed cells up to this many times with exponential backoff")
 	scenarioFile := fs.String("scenario", "", "run a declarative scenario file (JSON) instead of the cell flags")
 	listWorkloads := fs.Bool("list-workloads", false, "list the registered workloads and exit")
 	if err := fs.Parse(args); err != nil {
@@ -218,15 +242,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *manifestOut != "" {
-		m := obs.Capture("smisim", fs, "trace", "metrics", "manifest", "replay")
-		data, err := m.JSON()
+	// The manifest is written before the run (so a killed run still has
+	// one) and rewritten afterwards with the durable sweep's accounting.
+	// Store flags are excluded: the store is a local cache location, not
+	// part of what the run measures.
+	manifest := obs.Capture("smisim", fs, "trace", "metrics", "manifest", "replay", "store", "resume")
+	writeManifest := func() int {
+		if *manifestOut == "" {
+			return 0
+		}
+		data, err := manifest.JSON()
 		if err != nil {
 			return fail(err)
 		}
 		if err := os.WriteFile(*manifestOut, data, 0o644); err != nil {
 			return fail(err)
 		}
+		return 0
+	}
+	if code := writeManifest(); code != 0 {
+		return code
 	}
 
 	workers := *parallel
@@ -288,11 +323,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return nil
 	}
 
-	x := runner.Exec{Workers: workers}
-	if bus != nil {
-		x.Tracer = bus // keep the interface nil when no bus was built
+	dopts := durable.Options{
+		Workers:     workers,
+		CellTimeout: *cellTimeout,
+		Retry:       durable.Policy{MaxRetries: *retries},
 	}
-	m, err := runner.RunWith(spec, x)
+	if bus != nil {
+		dopts.Tracer = bus // keep the interface nil when no bus was built
+	}
+	if *resume && *storeDir == "" {
+		return usage(fmt.Errorf("-resume needs a -store to resume from"))
+	}
+	if *storeDir != "" {
+		s, err := durable.Open(*storeDir)
+		if err != nil {
+			return fail(err)
+		}
+		defer s.Close()
+		dopts.Store = s
+		dopts.Resume = *resume
+	}
+
+	m, st, err := durable.RunSpec(ctx, spec, dopts)
+	manifest.Durable = st
+	if dopts.Store != nil {
+		fmt.Fprintf(stderr, "durable: %d cells, %d cached, %d executed, %d failed\n",
+			st.Cells, st.Cached, st.Executed, st.Failed)
+	}
+	if err != nil && errors.Is(err, context.Canceled) && ctx.Err() != nil {
+		// Interrupted: flush what the run produced so far — the partial
+		// trace, the manifest with the sweep's progress — and exit 130
+		// like a conventionally killed process.
+		fmt.Fprintln(stderr, "smisim: interrupted")
+		if ferr := finish(); ferr != nil {
+			return fail(ferr)
+		}
+		writeManifest()
+		return 130
+	}
+	if code := writeManifest(); code != 0 {
+		return code
+	}
 	if err != nil && spec.Workload == "nas" && spec.Faults.Active() {
 		// A fault scenario that kills the job is a result, not a tool
 		// failure: report the attributed error and the recovery work that

@@ -1,0 +1,211 @@
+package durable
+
+// Chaos harness: a child process (this test binary re-exec'd through
+// the TestMain hook below) runs a multi-repetition sweep against a
+// durable store while the parent SIGKILLs it when the store's journal
+// reaches a randomly chosen byte offset — the moments a naive
+// checkpointer corrupts state. The parent keeps killing and resuming
+// until a run completes, then asserts the surviving output is
+// byte-identical to an uninterrupted in-process run, and that one more
+// warm pass replays entirely from cache with zero simulations.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"smistudy/internal/runner"
+	"smistudy/internal/scenario"
+)
+
+const (
+	chaosChildEnv = "SMISTUDY_DURABLE_CHAOS_CHILD"
+	chaosStoreEnv = "SMISTUDY_DURABLE_CHAOS_STORE"
+	chaosOutEnv   = "SMISTUDY_DURABLE_CHAOS_OUT"
+	chaosStatsEnv = "SMISTUDY_DURABLE_CHAOS_STATS"
+	chaosDelayEnv = "SMISTUDY_DURABLE_CHAOS_DELAY_MS"
+)
+
+// TestMain lets the test binary double as the chaos child: with the
+// child env set it runs one durable sweep and exits instead of running
+// the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv(chaosChildEnv) == "1" {
+		chaosChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// chaosSpec is the sweep under chaos: enough repetitions that kills
+// land between checkpoints, cheap enough that the whole dance stays
+// inside a unit-test budget.
+func chaosSpec() scenario.Spec {
+	return scenario.Spec{
+		Workload: "nas",
+		Machine:  scenario.Machine{Nodes: 2, RanksPerNode: 1},
+		Runs:     8,
+		Seed:     42,
+		Params:   scenario.Params{Bench: "EP", Class: "S"},
+	}
+}
+
+// chaosChild runs the sweep durably and writes the final measurement
+// and stats; it is the process the parent kills.
+func chaosChild() {
+	if ms, _ := strconv.Atoi(os.Getenv(chaosDelayEnv)); ms > 0 {
+		// Pace each cell so the parent's journal watcher has a window to
+		// land its kill between checkpoints.
+		real := execute
+		execute = func(sp scenario.Spec, x runner.Exec) (runner.Measurement, error) {
+			m, err := real(sp, x)
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+			return m, err
+		}
+	}
+	s, err := Open(os.Getenv(chaosStoreEnv))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer s.Close()
+	m, st, err := RunSpec(context.Background(), chaosSpec(), Options{Store: s, Resume: true, Workers: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := m.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(os.Getenv(chaosOutEnv), data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stats, _ := json.Marshal(st)
+	if err := os.WriteFile(os.Getenv(chaosStatsEnv), stats, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runChaosChild starts one child pass. killAtOffset ≥ 0 SIGKILLs the
+// child once the journal file reaches that many bytes; the return
+// reports whether the child completed (wrote its output) or was killed.
+func runChaosChild(t *testing.T, dir string, killAtOffset int64, delayMS int) bool {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		chaosChildEnv+"=1",
+		chaosStoreEnv+"="+filepath.Join(dir, "store"),
+		chaosOutEnv+"="+filepath.Join(dir, "out.json"),
+		chaosStatsEnv+"="+filepath.Join(dir, "stats.json"),
+		chaosDelayEnv+"="+strconv.Itoa(delayMS),
+	)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	journal := filepath.Join(dir, "store", "journal.jsonl")
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	deadline := time.After(2 * time.Minute)
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("chaos child failed: %v\n%s", err, stderr.String())
+			}
+			return true
+		case <-tick.C:
+			if killAtOffset < 0 {
+				continue
+			}
+			if fi, err := os.Stat(journal); err == nil && fi.Size() >= killAtOffset {
+				cmd.Process.Kill()
+				<-done
+				return false
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			<-done
+			t.Fatal("chaos child wedged")
+		}
+	}
+}
+
+func TestChaosKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness re-executes the test binary")
+	}
+	// Reference: the same sweep uninterrupted, no store involved.
+	ref, err := runner.Run(chaosSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ref.JSON()
+
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1)) // reproducible kill schedule
+	// A journal entry is ~100 bytes and the sweep writes eight, so
+	// offsets up to ~1 KiB land kills before, between and inside entries
+	// across passes. Each pass resumes the last one's store.
+	completed := false
+	for pass := 0; pass < 12 && !completed; pass++ {
+		offset := int64(rng.Intn(1024))
+		completed = runChaosChild(t, dir, offset, 25)
+	}
+	if !completed {
+		// Every pass was killed before finishing; one clean pass resumes
+		// whatever the kills left behind.
+		if !runChaosChild(t, dir, -1, 0) {
+			t.Fatal("unkilled chaos pass did not complete")
+		}
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output after kill/resume differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+
+	// Warm pass over the now-complete store: zero simulations, every
+	// cell replayed, output still byte-identical.
+	if err := os.Remove(filepath.Join(dir, "out.json")); err != nil {
+		t.Fatal(err)
+	}
+	if !runChaosChild(t, dir, -1, 0) {
+		t.Fatal("warm chaos pass did not complete")
+	}
+	got, err = os.ReadFile(filepath.Join(dir, "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("warm replay output differs from uninterrupted run")
+	}
+	stats, err := os.ReadFile(filepath.Join(dir, "stats.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != 0 || st.Cached != 8 {
+		t.Errorf("warm pass stats = %+v, want 8 cached / 0 executed", st)
+	}
+}

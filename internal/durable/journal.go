@@ -1,0 +1,123 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// entry is one completion record: cell (Key, Run) finished and its
+// object bytes hash to Sum.
+type entry struct {
+	Key string `json:"key"`
+	Run int    `json:"run"`
+	Sum string `json:"sum"`
+}
+
+type cellID struct {
+	key string
+	run int
+}
+
+// journal is an append-only JSONL file of completion entries plus its
+// in-memory index. Appends are serialized under mu; each entry is one
+// Write call, so a killed process tears at most the final line.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[cellID]entry
+	// needNL records that the existing file ends mid-line (the torn
+	// tail of a killed append); the next append starts a fresh line
+	// first so the fragment stays inert.
+	needNL bool
+}
+
+// openJournal loads the journal at path (which need not exist) and
+// opens it for appending. Recovery is lenient by construction: the
+// trailing fragment after the last newline is a torn append and is
+// dropped; a complete line that does not parse is a neutralized
+// fragment from an earlier recovery and is skipped.
+func openJournal(path string) (*journal, error) {
+	j := &journal{done: map[cellID]entry{}}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	j.needNL = len(data) > 0 && data[len(data)-1] != '\n'
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		var e entry
+		if len(line) == 0 || json.Unmarshal(line, &e) != nil || e.Key == "" {
+			continue
+		}
+		j.done[cellID{e.Key, e.Run}] = e
+	}
+	// A torn tail is not an entry: bytes.Split surfaces it as the final
+	// segment and the Unmarshal above rejects it, so nothing extra to do
+	// beyond starting the next append on a fresh line.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+func (j *journal) len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+func (j *journal) has(key string, run int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[cellID{key, run}]
+	return ok
+}
+
+func (j *journal) lookup(key string, run int) (entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.done[cellID{key, run}]
+	return e, ok
+}
+
+// append records a completion. The line lands in one Write call (plus a
+// leading newline when recovering a torn tail) so concurrent appends
+// never interleave and a kill tears at most this line.
+func (j *journal) append(e entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("durable: journal is closed")
+	}
+	buf := make([]byte, 0, len(line)+2)
+	if j.needNL {
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	j.needNL = false
+	j.done[cellID{e.Key, e.Run}] = e
+	return nil
+}

@@ -1,0 +1,94 @@
+package durable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"smistudy/internal/mpi"
+)
+
+// ErrCellTimeout marks a cell that exceeded its wall-clock deadline.
+// Timeouts are terminal, not retried: the simulation is deterministic,
+// so a cell that hung once hangs again.
+var ErrCellTimeout = errors.New("durable: cell deadline exceeded")
+
+// Policy bounds the retry behavior for transient cell failures.
+type Policy struct {
+	// MaxRetries is how many times a transiently-failed cell is re-run
+	// after its first attempt. Zero disables retries.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it. Zero means 10 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Zero means 1 s.
+	MaxBackoff time.Duration
+}
+
+// backoff is the delay before retry n (1-based): BaseBackoff·2^(n-1),
+// capped at MaxBackoff.
+func (p Policy) backoff(n int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= max || d <= 0 {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Transient reports whether a cell error is worth retrying: anything
+// that declares itself via a `Transient() bool` method (see
+// MarkTransient), plus the MPI runtime's peer-unreachable failure — the
+// canonical "the fabric ate it" error of the fault studies.
+func Transient(err error) bool {
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return errors.Is(err, mpi.ErrPeerUnreachable)
+}
+
+// MarkTransient wraps err so Transient reports it retryable. Nil stays
+// nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+type transientErr struct{ err error }
+
+func (t *transientErr) Error() string   { return fmt.Sprintf("transient: %v", t.err) }
+func (t *transientErr) Unwrap() error   { return t.err }
+func (t *transientErr) Transient() bool { return true }
+
+// sleep waits d or until ctx is done, reporting whether the full delay
+// elapsed. A variable so tests can collapse backoff to zero time.
+var sleep = func(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,148 @@
+// Package durable makes sweeps crash-safe: a content-addressed result
+// store checkpoints every finished cell, so a sweep killed at any
+// instant — including mid-write — resumes exactly where it stopped and
+// replays finished cells byte-identically; per-cell isolation turns
+// panics, hangs and transient faults into structured per-cell errors
+// instead of lost sweeps.
+//
+// The store is addressed by measurement identity, not by invocation:
+// the key is the SHA-256 of the parent spec's canonical JSON (the same
+// byte-stable encoding scenario.Spec.JSON pins), and each repetition
+// cell is filed under that key plus its run index. Two sweeps that
+// measure the same spec — different machines, different worker counts,
+// different flag spellings that lower to the same spec — share cache
+// entries; any change to what is measured changes the key.
+//
+// Crash safety is layered:
+//
+//   - Object files (the measurement JSON) are written to a temp file in
+//     the destination directory and renamed into place, so a reader
+//     never observes a half-written object.
+//   - Completion is recorded by appending one JSONL entry (with the
+//     object's checksum) to the journal. A kill mid-append tears at
+//     most the journal's last line; recovery drops the torn tail, and
+//     the cell — whose journal entry never completed — simply re-runs.
+//
+// The journal is the authority: an object without a journal entry is
+// invisible, and a journal entry whose object is missing or fails its
+// checksum is treated as absent so the cell re-executes rather than
+// replaying corrupt bytes.
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"smistudy/internal/scenario"
+)
+
+// Key derives a spec's content address: the SHA-256 of its canonical
+// JSON encoding, hex-encoded. Execution-only knobs (workers, tracers)
+// are not part of scenario.Spec, so the key is a pure function of what
+// is measured.
+func Key(sp scenario.Spec) (string, error) {
+	data, err := sp.JSON()
+	if err != nil {
+		return "", fmt.Errorf("durable: keying spec: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Store is a content-addressed result store rooted at one directory:
+//
+//	<dir>/journal.jsonl                    completion journal (JSONL)
+//	<dir>/objects/<kk>/<key>-r<run>.json   measurement bytes per cell
+//
+// where <kk> is the key's first two hex digits (fan-out) and <run> the
+// cell's repetition index within its parent spec. A Store is safe for
+// concurrent use by the sweep workers of one process; it does not
+// arbitrate between processes.
+type Store struct {
+	dir     string
+	journal *journal
+}
+
+// Open opens (creating if needed) the store rooted at dir, recovering
+// the journal: complete entries index the finished cells, a torn final
+// line from a killed writer is dropped.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	j, err := openJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, journal: j}, nil
+}
+
+// Close releases the journal handle. The store's on-disk state is
+// consistent at every instant regardless; Close only matters for file
+// handles.
+func (s *Store) Close() error { return s.journal.close() }
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports how many finished cells the journal records.
+func (s *Store) Len() int { return s.journal.len() }
+
+func (s *Store) objectPath(key string, run int) string {
+	return filepath.Join(s.dir, "objects", key[:2], fmt.Sprintf("%s-r%d.json", key, run))
+}
+
+// Has reports whether the journal records cell (key, run) as finished.
+func (s *Store) Has(key string, run int) bool { return s.journal.has(key, run) }
+
+// Get loads a finished cell's measurement bytes, verifying them against
+// the journaled checksum. Missing or corrupt objects return an error;
+// callers treat that as a cache miss and re-execute.
+func (s *Store) Get(key string, run int) ([]byte, error) {
+	e, ok := s.journal.lookup(key, run)
+	if !ok {
+		return nil, fmt.Errorf("durable: no journal entry for %s run %d", key, run)
+	}
+	data, err := os.ReadFile(s.objectPath(key, run))
+	if err != nil {
+		return nil, fmt.Errorf("durable: journaled object unreadable: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return nil, fmt.Errorf("durable: object %s run %d fails its checksum", key, run)
+	}
+	return data, nil
+}
+
+// Put persists a finished cell: the object lands via temp-file +
+// rename (atomic against kills), then the completion entry is appended
+// to the journal. Only after both steps is the cell visible to Has/Get,
+// so a kill between them costs one re-run, never a corrupt replay.
+func (s *Store) Put(key string, run int, data []byte) error {
+	p := s.objectPath(key, run)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("durable: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return s.journal.append(entry{Key: key, Run: run, Sum: hex.EncodeToString(sum[:])})
+}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"smistudy"
@@ -77,7 +76,7 @@ func AmplificationData(cfg Config) (AmpResult, error) {
 		time      sim.Time
 		residency sim.Time
 	}
-	outs, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p ampPoint) (ampOut, error) {
+	outs, err := parsweep.Run(cfg.ctx(), pts, cfg.Workers, func(p ampPoint) (ampOut, error) {
 		t, res, err := amplifyRun(cfg, p.cell.bench, p.cell.class, p.cell.nodes, p.level)
 		return ampOut{t, res}, err
 	})

@@ -1,0 +1,69 @@
+package experiments
+
+// Durable-path equivalence: the table/figure generators route their
+// sweeps through internal/durable, so a store-backed run, a resumed
+// warm run and a plain run must all render identical output — and the
+// warm run must do zero simulation work.
+
+import (
+	"context"
+	"testing"
+
+	"smistudy/internal/durable"
+)
+
+func TestTable2DurableStoreEquivalence(t *testing.T) {
+	plain, err := Table2(goldenCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	s, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenCfg(2)
+	cfg.Store = s
+	cfg.Resume = true
+	cold, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Render() != plain.Render() {
+		t.Errorf("store-backed run differs from plain run:\n%s\nvs\n%s", cold.Render(), plain.Render())
+	}
+	cells := s.Len()
+	if cells == 0 {
+		t.Fatal("store-backed run checkpointed nothing")
+	}
+	s.Close()
+
+	// Warm pass over a fresh store handle replays every cell.
+	s, err = durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg.Store = s
+	warm, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Render() != plain.Render() {
+		t.Errorf("warm resumed run differs from plain run:\n%s\nvs\n%s", warm.Render(), plain.Render())
+	}
+	if s.Len() != cells {
+		t.Errorf("warm run grew the store from %d to %d cells", cells, s.Len())
+	}
+}
+
+func TestTableCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := goldenCfg(1)
+	cfg.Ctx = ctx
+	if _, err := Table2(cfg); err == nil {
+		t.Fatal("canceled context must abort the regeneration")
+	}
+}

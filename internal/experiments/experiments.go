@@ -10,11 +10,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"smistudy"
+	"smistudy/internal/durable"
 	"smistudy/internal/metrics"
 	"smistudy/internal/parsweep"
-	"smistudy/internal/sim"
+	"smistudy/internal/scenario"
 )
 
 // Config scopes a regeneration run.
@@ -43,6 +45,41 @@ type Config struct {
 	// events with per-run indices. Must be concurrency-safe (an
 	// *obs.Bus is) when Workers > 1.
 	Tracer smistudy.Tracer
+	// Ctx cancels the run: a canceled context stops claiming new sweep
+	// cells and the generators return the context error. Nil means
+	// context.Background().
+	Ctx context.Context
+	// Store, when non-nil, checkpoints every finished sweep cell of the
+	// table/figure generators so a killed regeneration resumes instead
+	// of restarting (see internal/durable).
+	Store *durable.Store
+	// Resume permits replaying store-cached cells byte-identically.
+	Resume bool
+	// CellTimeout bounds each durable cell's wall-clock time (0 = none).
+	CellTimeout time.Duration
+	// Retries re-runs transiently-failed cells with exponential backoff.
+	Retries int
+}
+
+// ctx resolves the run's context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// durableOptions lowers the Config's robustness knobs for the durable
+// sweep layer.
+func (c Config) durableOptions() durable.Options {
+	return durable.Options{
+		Store:       c.Store,
+		Resume:      c.Resume,
+		Workers:     c.Workers,
+		CellTimeout: c.CellTimeout,
+		Retry:       durable.Policy{MaxRetries: c.Retries},
+		Tracer:      c.Tracer,
+	}
 }
 
 func (c Config) runs(def int) int {
@@ -121,20 +158,44 @@ func levels(b smistudy.Benchmark, cl smistudy.Class, nodes, rpn int, htt bool) [
 	return pts
 }
 
-// runNASCells measures every point, in parallel when cfg.Workers > 1,
-// returning each point's mean runtime in seconds in input order.
+// levelName maps an injection level to its scenario spelling.
+func levelName(lv smistudy.SMMLevel) string {
+	switch lv {
+	case smistudy.SMM1:
+		return "short"
+	case smistudy.SMM2:
+		return "long"
+	default:
+		return "none"
+	}
+}
+
+// runNASCells measures every point through the durable sweep layer —
+// per-cell isolation, optional checkpoint/resume — returning each
+// point's mean runtime in seconds in input order. The declarative specs
+// lower onto exactly the typed RunNAS call this replaces, so the output
+// is byte-identical with or without a store, for any worker count.
 func runNASCells(cfg Config, pts []nasCellPoint) ([]float64, error) {
-	return parsweep.Run(context.Background(), pts, cfg.Workers, func(p nasCellPoint) (float64, error) {
-		res, err := smistudy.RunNAS(smistudy.NASOptions{
-			Bench: p.bench, Class: p.class, Nodes: p.nodes, RanksPerNode: p.rpn,
-			HTT: p.htt, SMM: p.level, Runs: cfg.runs(6), Seed: cfg.seed(),
-			SMIScale: cfg.SMIScale, Tracer: cfg.Tracer,
-		})
-		if err != nil {
-			return 0, err
+	specs := make([]scenario.Spec, len(pts))
+	for i, p := range pts {
+		specs[i] = scenario.Spec{
+			Workload: "nas",
+			Machine:  scenario.Machine{Nodes: p.nodes, RanksPerNode: p.rpn, HTT: p.htt},
+			SMM:      scenario.SMMPlan{Level: levelName(p.level), SMIScale: cfg.SMIScale},
+			Runs:     cfg.runs(6),
+			Seed:     cfg.seed(),
+			Params:   scenario.Params{Bench: string(p.bench), Class: string(p.class)},
 		}
-		return res.Seconds(), nil
-	})
+	}
+	ms, errs, _ := durable.RunSpecs(cfg.ctx(), specs, cfg.durableOptions())
+	if err := parsweep.FirstError(errs); err != nil {
+		return nil, err
+	}
+	secs := make([]float64, len(ms))
+	for i, m := range ms {
+		secs[i] = m.NAS.Seconds()
+	}
+	return secs, nil
 }
 
 // tripleReader walks a runNASCells result slice three seconds at a time.
@@ -384,25 +445,35 @@ func Figure1Convolve(cfg Config) (Figure1, error) {
 		}
 	}
 	var fig Figure1
-	points, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p convPoint) (ConvolvePoint, error) {
-		res, err := smistudy.RunConvolve(smistudy.ConvolveOptions{
-			Behavior: p.beh, CPUs: p.nc, SMIIntervalMS: p.iv,
-			Runs: cfg.runs(3), Seed: cfg.seed(),
-			SMIScale: cfg.SMIScale, Tracer: cfg.Tracer,
-		})
-		if err != nil {
-			return ConvolvePoint{}, err
+	cacheName := func(beh smistudy.CacheBehavior) string {
+		if beh == smistudy.CacheUnfriendly {
+			return "unfriendly"
 		}
-		return ConvolvePoint{
-			Behavior: p.beh, CPUs: p.nc, IntervalMS: p.iv,
-			Seconds: res.MeanTime.Seconds(),
-			StdDev:  res.StdDev.Seconds(),
-		}, nil
-	})
-	if err != nil {
+		return "friendly"
+	}
+	specs := make([]scenario.Spec, len(pts))
+	for i, p := range pts {
+		specs[i] = scenario.Spec{
+			Workload: "convolve",
+			Machine:  scenario.Machine{CPUs: p.nc},
+			SMM:      scenario.SMMPlan{IntervalMS: p.iv, SMIScale: cfg.SMIScale},
+			Runs:     cfg.runs(3),
+			Seed:     cfg.seed(),
+			Params:   scenario.Params{Cache: cacheName(p.beh)},
+		}
+	}
+	ms, errs, _ := durable.RunSpecs(cfg.ctx(), specs, cfg.durableOptions())
+	if err := parsweep.FirstError(errs); err != nil {
 		return fig, err
 	}
-	fig.Points = points
+	fig.Points = make([]ConvolvePoint, len(ms))
+	for i, m := range ms {
+		fig.Points[i] = ConvolvePoint{
+			Behavior: pts[i].beh, CPUs: pts[i].nc, IntervalMS: pts[i].iv,
+			Seconds: m.Convolve.MeanTime.Seconds(),
+			StdDev:  m.Convolve.StdDev.Seconds(),
+		}
+	}
 	return fig, nil
 }
 
@@ -497,29 +568,30 @@ func Figure2UnixBench(cfg Config) (Figure2, error) {
 		}
 	}
 	var fig Figure2
-	points, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p ubPoint) (UnixBenchPoint, error) {
-		res, err := smistudy.RunUnixBench(smistudy.UnixBenchOptions{
-			CPUs: p.nc, SMIIntervalMS: p.iv, Level: smistudy.SMM2,
+	specs := make([]scenario.Spec, len(pts))
+	for i, p := range pts {
+		specs[i] = scenario.Spec{
+			Workload: "unixbench",
+			Machine:  scenario.Machine{CPUs: p.nc},
+			SMM:      scenario.SMMPlan{Level: "long", IntervalMS: p.iv, SMIScale: cfg.SMIScale},
 			// Mix the cell coordinates into the derived seed: the old
 			// base+iteration derivation reused identical seeds across
 			// every (CPUs, interval) cell, making sibling cells
 			// statistically dependent.
-			Seed:     parsweep.Seed(cfg.seed(), int64(p.nc), int64(p.iv), int64(p.it)),
-			Duration: 2 * sim.Second,
-			SMIScale: cfg.SMIScale,
-			Tracer:   cfg.Tracer,
-		})
-		if err != nil {
-			return UnixBenchPoint{}, err
+			Seed:   parsweep.Seed(cfg.seed(), int64(p.nc), int64(p.iv), int64(p.it)),
+			Params: scenario.Params{DurationS: 2},
 		}
-		return UnixBenchPoint{
-			CPUs: p.nc, IntervalMS: p.iv, Iteration: p.it, Score: res.Score,
-		}, nil
-	})
-	if err != nil {
+	}
+	ms, errs, _ := durable.RunSpecs(cfg.ctx(), specs, cfg.durableOptions())
+	if err := parsweep.FirstError(errs); err != nil {
 		return fig, err
 	}
-	fig.Points = points
+	fig.Points = make([]UnixBenchPoint, len(ms))
+	for i, m := range ms {
+		fig.Points[i] = UnixBenchPoint{
+			CPUs: pts[i].nc, IntervalMS: pts[i].iv, Iteration: pts[i].it, Score: m.UnixBench.Score,
+		}
+	}
 	return fig, nil
 }
 

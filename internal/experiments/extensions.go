@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -23,7 +22,7 @@ func RIMTradeoff(cfg Config) (string, error) {
 	if cfg.Quick {
 		chunks = []int{0, 256}
 	}
-	results, err := parsweep.Run(context.Background(), chunks, cfg.Workers, func(kb int) (smistudy.RIMResult, error) {
+	results, err := parsweep.Run(cfg.ctx(), chunks, cfg.Workers, func(kb int) (smistudy.RIMResult, error) {
 		return smistudy.RunRIM(smistudy.RIMOptions{ChunkKB: kb, Seed: cfg.seed()})
 	})
 	if err != nil {
@@ -50,7 +49,7 @@ func RIMTradeoff(cfg Config) (string, error) {
 // each SMI level (the IISWC'13 finding).
 func EnergyStudy(cfg Config) (string, error) {
 	lvls := []smistudy.SMMLevel{smistudy.SMM1, smistudy.SMM2}
-	results, err := parsweep.Run(context.Background(), lvls, cfg.Workers, func(lv smistudy.SMMLevel) (smistudy.EnergyResult, error) {
+	results, err := parsweep.Run(cfg.ctx(), lvls, cfg.Workers, func(lv smistudy.SMMLevel) (smistudy.EnergyResult, error) {
 		return smistudy.MeasureEnergy(lv, cfg.seed())
 	})
 	if err != nil {
@@ -83,7 +82,7 @@ func DriftStudy(cfg Config) (string, error) {
 			pts = append(pts, driftPoint{lv, iv})
 		}
 	}
-	results, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p driftPoint) (smistudy.DriftResult, error) {
+	results, err := parsweep.Run(cfg.ctx(), pts, cfg.Workers, func(p driftPoint) (smistudy.DriftResult, error) {
 		return smistudy.MeasureClockDrift(p.lv, p.iv, 10, cfg.seed())
 	})
 	if err != nil {
@@ -107,7 +106,7 @@ func ProfilerStudy(cfg Config) (string, error) {
 		{"drop-in-SMM (NMI profiler)", smistudy.ProfilerDropInSMM},
 		{"defer-to-exit (timer profiler)", smistudy.ProfilerDeferToExit},
 	}
-	chunks, err := parsweep.Run(context.Background(), modes, cfg.Workers, func(mode profMode) (string, error) {
+	chunks, err := parsweep.Run(cfg.ctx(), modes, cfg.Workers, func(mode profMode) (string, error) {
 		rep := smistudy.ProfileWorkload(mode.m, cfg.seed())
 		var c strings.Builder
 		fmt.Fprintf(&c, "[%s]  samples=%d lost=%d deferred=%d max share skew=%.1f%%\n",
@@ -149,7 +148,7 @@ func ExtendedNAS(cfg Config) (string, error) {
 			}
 		}
 	}
-	secs, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(p extPoint) (float64, error) {
+	secs, err := parsweep.Run(cfg.ctx(), pts, cfg.Workers, func(p extPoint) (float64, error) {
 		res, err := smistudy.RunNAS(smistudy.NASOptions{
 			Bench: p.bench, Class: smistudy.ClassA,
 			Nodes: p.nodes, RanksPerNode: 1, SMM: p.level,

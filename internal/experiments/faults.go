@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -63,7 +62,7 @@ func lossSweep(cfg Config) (string, error) {
 			pts = append(pts, lossPoint{bench, p})
 		}
 	}
-	results, err := parsweep.Run(context.Background(), pts, cfg.Workers, func(pt lossPoint) (smistudy.NASResult, error) {
+	results, err := parsweep.Run(cfg.ctx(), pts, cfg.Workers, func(pt lossPoint) (smistudy.NASResult, error) {
 		opts := smistudy.NASOptions{
 			Bench: pt.bench, Class: smistudy.ClassA,
 			Nodes: 4, RanksPerNode: 1, Seed: cfg.seed(),
@@ -153,7 +152,7 @@ func DegradeData(cfg Config) (DegradeResult, error) {
 		residency sim.Time
 	}
 	scheds := []faults.Schedule{{}, one, all, storm}
-	outs, err := parsweep.Run(context.Background(), scheds, cfg.Workers, func(s faults.Schedule) (faultedOut, error) {
+	outs, err := parsweep.Run(cfg.ctx(), scheds, cfg.Workers, func(s faults.Schedule) (faultedOut, error) {
 		res, residency, err := faultedNASRun(cfg.seed(), spec, nodes, s)
 		return faultedOut{res, residency}, err
 	})
@@ -239,7 +238,7 @@ func crashTiming(cfg Config) (string, error) {
 		res smistudy.NASResult
 		err error
 	}
-	outs, poolErr := parsweep.Run(context.Background(), fractions, cfg.Workers, func(frac float64) (crashOut, error) {
+	outs, poolErr := parsweep.Run(cfg.ctx(), fractions, cfg.Workers, func(frac float64) (crashOut, error) {
 		crashAt := sim.FromSeconds(base.MeanTime.Seconds() * frac)
 		res, err := smistudy.RunNAS(smistudy.NASOptions{
 			Bench: smistudy.EP, Class: smistudy.ClassA,

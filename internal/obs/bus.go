@@ -101,6 +101,14 @@ func (b *Bus) record(ev Event) {
 		b.reg.Counter("sweep_cells_started", -1).Add(1)
 	case EvSweepCellFinish:
 		b.reg.Counter("sweep_cells_finished", -1).Add(1)
+	case EvSweepCellCached:
+		b.reg.Counter("sweep_cells_cached", -1).Add(1)
+	case EvSweepCellRetry:
+		b.reg.Counter("sweep_cell_retries", -1).Add(1)
+	case EvSweepCellTimeout:
+		b.reg.Counter("sweep_cell_timeouts", -1).Add(1)
+	case EvSweepCellFail:
+		b.reg.Counter("sweep_cells_failed", -1).Add(1)
 	case EvProfSample:
 		b.reg.Counter("prof_samples", node).Add(ev.A)
 	case EvProfDrop:

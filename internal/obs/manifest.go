@@ -24,6 +24,40 @@ type Manifest struct {
 	Version   string            `json:"version"`    // obs package revision
 	GoVersion string            `json:"go_version"` // toolchain that produced the run
 	Flags     map[string]string `json:"flags"`
+	// Durable, when present, records the durable sweep layer's execution
+	// accounting for the run: attempts, retries, timeouts and store
+	// cache activity. It is attached after the run finishes (or is
+	// interrupted), so a manifest flushed mid-sweep documents exactly
+	// how far the sweep got. Absent for non-durable runs, keeping legacy
+	// manifests byte-identical.
+	Durable *DurableStats `json:"durable,omitempty"`
+}
+
+// DurableStats is the durable sweep layer's per-run accounting, as
+// recorded in the run manifest: every attempt, retry, timeout and
+// cache replay, plus how many cells failed permanently. Cells = Cached
+// + Executed + Failed + Skipped.
+type DurableStats struct {
+	// Cells is the total number of durable execution units (content-
+	// addressed (spec, run-index) cells) the sweep covered.
+	Cells int64 `json:"cells"`
+	// Cached cells were replayed byte-identically from the store with
+	// zero simulation work.
+	Cached int64 `json:"cached"`
+	// Executed cells ran to a successful measurement this run.
+	Executed int64 `json:"executed"`
+	// Failed cells exhausted their attempts (or failed terminally).
+	Failed int64 `json:"failed"`
+	// Skipped cells were never attempted (cancellation mid-sweep).
+	Skipped int64 `json:"skipped"`
+	// Attempts counts every execution attempt, including retries.
+	Attempts int64 `json:"attempts"`
+	// Retries counts re-attempts after transient failures.
+	Retries int64 `json:"retries"`
+	// Timeouts counts attempts abandoned at the per-cell deadline.
+	Timeouts int64 `json:"timeouts"`
+	// Panics counts attempts that panicked and were isolated.
+	Panics int64 `json:"panics"`
 }
 
 // Output flags that describe where a run writes, not what it computes;

@@ -89,6 +89,10 @@ type Type uint8
 //	FaultEnd        same as FaultStart
 //	SweepCellStart  Run, A = cell seed
 //	SweepCellFinish Run, A = cell seed, Dur = simulated cell length
+//	SweepCellCached  Run                       cell replayed from the durable store
+//	SweepCellRetry   Run, A = next attempt (1-based), Name = cause
+//	SweepCellTimeout Run, A = attempt (1-based)     cell hit its wall-clock deadline
+//	SweepCellFail    Run, A = attempts, Name = cause cell failed permanently
 //	ProfSample      Node, A = CPU samples taken this tick
 //	ProfDrop        Node                       tick lost inside SMM
 //	ProfDefer       Node                       tick taken late at SMM exit
@@ -114,6 +118,10 @@ const (
 	EvFaultEnd
 	EvSweepCellStart
 	EvSweepCellFinish
+	EvSweepCellCached
+	EvSweepCellRetry
+	EvSweepCellTimeout
+	EvSweepCellFail
 	EvProfSample
 	EvProfDrop
 	EvProfDefer
@@ -141,9 +149,13 @@ var typeNames = [numTypes]string{
 	EvNetDelay:        "delay",
 	EvFaultStart:      "fault",
 	EvFaultEnd:        "fault_end",
-	EvSweepCellStart:  "cell",
-	EvSweepCellFinish: "cell",
-	EvProfSample:      "sample",
+	EvSweepCellStart:   "cell",
+	EvSweepCellFinish:  "cell",
+	EvSweepCellCached:  "cell_cached",
+	EvSweepCellRetry:   "cell_retry",
+	EvSweepCellTimeout: "cell_timeout",
+	EvSweepCellFail:    "cell_fail",
+	EvProfSample:       "sample",
 	EvProfDrop:        "sample_lost",
 	EvProfDefer:       "sample_deferred",
 	EvUserSpan:        "span",
@@ -167,9 +179,13 @@ var typeCats = [numTypes]Category{
 	EvNetDelay:        CatNet,
 	EvFaultStart:      CatFault,
 	EvFaultEnd:        CatFault,
-	EvSweepCellStart:  CatSweep,
-	EvSweepCellFinish: CatSweep,
-	EvProfSample:      CatProf,
+	EvSweepCellStart:   CatSweep,
+	EvSweepCellFinish:  CatSweep,
+	EvSweepCellCached:  CatSweep,
+	EvSweepCellRetry:   CatSweep,
+	EvSweepCellTimeout: CatSweep,
+	EvSweepCellFail:    CatSweep,
+	EvProfSample:       CatProf,
 	EvProfDrop:        CatProf,
 	EvProfDefer:       CatProf,
 	EvUserSpan:        CatTask,
@@ -214,6 +230,14 @@ type Event struct {
 type Tracer interface {
 	Emit(Event)
 }
+
+// TracerFunc adapts a plain function to the Tracer interface. The
+// function must tolerate concurrent calls under the same conditions a
+// Tracer must.
+type TracerFunc func(Event)
+
+// Emit implements Tracer.
+func (f TracerFunc) Emit(ev Event) { f(ev) }
 
 // runScope stamps a run index onto every event, so concurrent sweep
 // cells sharing one bus land on disjoint (Run, Node) timelines.

@@ -18,7 +18,9 @@ package parsweep
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -31,6 +33,65 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError is a panic from a sweep function, captured and converted
+// to that point's error instead of crashing the whole process: a single
+// misbehaving cell must not throw away every other cell's work.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parsweep: cell panicked: %v", p.Value)
+}
+
+// CellError attributes a failure to one sweep point. RunPartial reports
+// every failed index as a CellError so callers can retry, skip or
+// persist around individual cells; Unwrap exposes the cause for
+// errors.Is/As classification (transient faults, timeouts, panics).
+type CellError struct {
+	// Index is the failed point's position in the input slice.
+	Index int
+	// Err is the cause: fn's error, a *PanicError, or the context error
+	// for points never attempted after cancellation.
+	Err error
+}
+
+// Error implements error.
+func (c *CellError) Error() string {
+	return fmt.Sprintf("parsweep: cell %d: %v", c.Index, c.Err)
+}
+
+// Unwrap exposes the cause.
+func (c *CellError) Unwrap() error { return c.Err }
+
+// FirstError returns the lowest-index non-nil error from a RunPartial
+// error slice — the error a sequential, abort-on-first-failure loop
+// would have reported — or nil when every cell succeeded.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// safeCall invokes fn(p), converting a panic into a *PanicError so one
+// exploding cell surfaces as that point's error instead of killing the
+// process.
+func safeCall[P, R any](fn func(P) (R, error), p P) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(p)
+}
+
 // Run evaluates fn over points and returns the results in input order.
 // workers ≤ 1 runs sequentially on the calling goroutine, stopping at
 // the first error exactly like a plain loop (results past the failed
@@ -39,7 +100,9 @@ func Workers(n int) int {
 // reported as the lowest-index error among those observed, so a
 // deterministic fn yields a deterministic error too. A canceled ctx
 // stops the sweep and returns the context error unless a point error
-// takes precedence.
+// takes precedence. A panicking fn is recovered and surfaces as that
+// point's error (a *PanicError), with the same lowest-index semantics
+// as any other failure.
 func Run[P, R any](ctx context.Context, points []P, workers int, fn func(P) (R, error)) ([]R, error) {
 	results := make([]R, len(points))
 	if len(points) == 0 {
@@ -53,7 +116,7 @@ func Run[P, R any](ctx context.Context, points []P, workers int, fn func(P) (R, 
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
-			r, err := fn(p)
+			r, err := safeCall(fn, p)
 			if err != nil {
 				return results, err
 			}
@@ -102,7 +165,7 @@ func Run[P, R any](ctx context.Context, points []P, workers int, fn func(P) (R, 
 				if !ok {
 					return
 				}
-				r, err := fn(points[i])
+				r, err := safeCall(fn, points[i])
 				if err != nil {
 					fail(i, err)
 					return
@@ -116,6 +179,83 @@ func Run[P, R any](ctx context.Context, points []P, workers int, fn func(P) (R, 
 		return results, firstErr
 	}
 	return results, ctx.Err()
+}
+
+// RunPartial evaluates fn over points like Run but never aborts the
+// sweep on failure: every point is attempted, results land at their
+// input index, and errs[i] carries point i's failure as a *CellError
+// (nil for successes). Panics are isolated per point exactly as in Run.
+// This is the graceful-degradation contract durable sweeps need — one
+// crashing, hanging or faulted cell costs exactly that cell, and every
+// finished cell's result is returned.
+//
+// A canceled ctx stops claiming new points; points never attempted get
+// a *CellError wrapping the context error, so the caller can tell
+// "failed" from "not reached" and a resumed sweep knows exactly what
+// remains. workers follows Run's rules (≤ 1 sequential, capped at
+// len(points)).
+func RunPartial[P, R any](ctx context.Context, points []P, workers int, fn func(P) (R, error)) ([]R, []error) {
+	results := make([]R, len(points))
+	errs := make([]error, len(points))
+	if len(points) == 0 {
+		return results, errs
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	attempt := func(i int) {
+		r, err := safeCall(fn, points[i])
+		if err != nil {
+			errs[i] = &CellError{Index: i, Err: err}
+			return
+		}
+		results[i] = r
+	}
+	if workers <= 1 {
+		for i := range points {
+			if err := ctx.Err(); err != nil {
+				errs[i] = &CellError{Index: i, Err: err}
+				continue
+			}
+			attempt(i)
+		}
+		return results, errs
+	}
+
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(points) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = &CellError{Index: i, Err: err}
+					continue
+				}
+				attempt(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errs
 }
 
 // Seed mixes a base seed with sweep-cell coordinates into an

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -109,6 +110,172 @@ func TestRunContextCancel(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
 		}
+	}
+}
+
+// TestRunPanicIsolated pins the panic semantics of Run: a panicking
+// cell must surface as that point's error — with the same lowest-index
+// precedence as a returned error — instead of crashing the process.
+func TestRunPanicIsolated(t *testing.T) {
+	points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Run(context.Background(), points, workers, func(p int) (int, error) {
+			if p >= 2 {
+				panic(fmt.Sprintf("cell %d exploded", p))
+			}
+			return p, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "cell 2 exploded" {
+			t.Errorf("workers=%d: panic value = %v, want cell 2's (lowest index)", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: panic stack not captured", workers)
+		}
+	}
+}
+
+// TestRunContextCancelMidSweep: a context canceled partway through a
+// sequential sweep returns ctx.Err() with the already-finished prefix
+// intact and untouched zero values past the cancellation point.
+func TestRunContextCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	out, err := Run(ctx, points, 1, func(p int) (int, error) {
+		if p == 4 {
+			cancel() // takes effect before point 5 is attempted
+		}
+		return p + 10, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := 0; i <= 4; i++ {
+		if out[i] != i+10 {
+			t.Errorf("out[%d] = %d, want %d (finished prefix must survive)", i, out[i], i+10)
+		}
+	}
+	for i := 5; i < len(points); i++ {
+		if out[i] != 0 {
+			t.Errorf("out[%d] = %d, want zero value past cancellation", i, out[i])
+		}
+	}
+}
+
+// TestRunWorkersEdgeCases: Workers(0) resolves to a sane parallel
+// default that Run accepts, and worker counts far beyond len(points)
+// behave identically to exactly-len(points) workers.
+func TestRunWorkersEdgeCases(t *testing.T) {
+	points := []int{1, 2}
+	for _, workers := range []int{Workers(0), len(points), len(points) * 50} {
+		out, err := Run(context.Background(), points, workers, func(p int) (int, error) {
+			return p * 3, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if out[0] != 3 || out[1] != 6 {
+			t.Fatalf("workers=%d: out = %v", workers, out)
+		}
+	}
+	// A single point with many workers must not spin up excess claims.
+	out, err := Run(context.Background(), []int{9}, 64, func(p int) (int, error) { return p, nil })
+	if err != nil || out[0] != 9 {
+		t.Fatalf("single point: out=%v err=%v", out, err)
+	}
+}
+
+func TestRunPartialKeepsFinishedCells(t *testing.T) {
+	points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 3, 8} {
+		out, errs := RunPartial(context.Background(), points, workers, func(p int) (int, error) {
+			if p%3 == 1 {
+				return 0, fmt.Errorf("point %d failed", p)
+			}
+			return p * 2, nil
+		})
+		for i := range points {
+			if i%3 == 1 {
+				var ce *CellError
+				if !errors.As(errs[i], &ce) || ce.Index != i {
+					t.Fatalf("workers=%d: errs[%d] = %v, want CellError for index %d", workers, i, errs[i], i)
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: errs[%d] = %v, want nil", workers, i, errs[i])
+			}
+			if out[i] != i*2 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i*2)
+			}
+		}
+		if err := FirstError(errs); err == nil || !strings.Contains(err.Error(), "cell 1") {
+			t.Fatalf("workers=%d: FirstError = %v, want cell 1's", workers, err)
+		}
+	}
+}
+
+func TestRunPartialPanicIsolated(t *testing.T) {
+	points := []int{0, 1, 2, 3}
+	out, errs := RunPartial(context.Background(), points, 2, func(p int) (int, error) {
+		if p == 2 {
+			panic("boom")
+		}
+		return p + 1, nil
+	})
+	var pe *PanicError
+	if !errors.As(errs[2], &pe) || pe.Value != "boom" {
+		t.Fatalf("errs[2] = %v, want *PanicError(boom)", errs[2])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if errs[i] != nil || out[i] != i+1 {
+			t.Fatalf("cell %d: out=%d errs=%v, want %d/nil", i, out[i], errs[i], i+1)
+		}
+	}
+}
+
+// TestRunPartialCancelMarksUnattempted: cancellation mid-sweep leaves
+// finished results in place and marks every unattempted point with a
+// CellError wrapping the context error, so resumable callers can tell
+// "failed" from "never reached".
+func TestRunPartialCancelMarksUnattempted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	points := make([]int, 16)
+	for i := range points {
+		points[i] = i
+	}
+	out, errs := RunPartial(ctx, points, 1, func(p int) (int, error) {
+		if p == 3 {
+			cancel()
+		}
+		return p + 100, nil
+	})
+	for i := 0; i <= 3; i++ {
+		if errs[i] != nil || out[i] != i+100 {
+			t.Fatalf("finished cell %d lost: out=%d errs=%v", i, out[i], errs[i])
+		}
+	}
+	for i := 4; i < len(points); i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want wrapped context.Canceled", i, errs[i])
+		}
+		var ce *CellError
+		if !errors.As(errs[i], &ce) || ce.Index != i {
+			t.Fatalf("errs[%d] = %v, want CellError with index", i, errs[i])
+		}
+	}
+}
+
+func TestRunPartialEmpty(t *testing.T) {
+	out, errs := RunPartial(context.Background(), nil, 4, func(int) (int, error) { return 0, nil })
+	if len(out) != 0 || len(errs) != 0 {
+		t.Fatalf("empty sweep: out=%v errs=%v", out, errs)
+	}
+	if err := FirstError(errs); err != nil {
+		t.Fatalf("FirstError on empty = %v", err)
 	}
 }
 

@@ -44,14 +44,16 @@ type ConvolveOptions struct {
 	Passes int // repetitions of the convolution; zero = preset default
 	// Workers fans the independent runs over this many OS threads;
 	// ≤ 1 runs sequentially. Results are bit-identical either way.
-	Workers int
+	// Execution-only: excluded from the serialized measurement.
+	Workers int `json:"-"`
 	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
 	// NASOptions.SMIScale).
 	SMIScale float64
 	// Tracer, when non-nil, receives every run's observability events,
 	// stamped with the run index. Must be concurrency-safe (an
-	// *obs.Bus is) when Workers > 1.
-	Tracer obs.Tracer
+	// *obs.Bus is) when Workers > 1. Execution-only: excluded from the
+	// serialized measurement.
+	Tracer obs.Tracer `json:"-"`
 }
 
 // ConvolveResult is one measured Convolve point.
@@ -150,7 +152,32 @@ func init() {
 			}
 			return Measurement{Convolve: &res}, nil
 		},
+		Split: SplitRuns,
+		Merge: mergeConvolveSpec,
 	})
+}
+
+// mergeConvolveSpec reassembles a Convolve measurement from its
+// per-repetition cells with exactly RunConvolve's own fold, so the
+// merged result is byte-identical to an unsplit run.
+func mergeConvolveSpec(sp scenario.Spec, parts []Measurement) (Measurement, error) {
+	o, err := convolveOptions(sp, Exec{})
+	if err != nil {
+		return Measurement{}, err
+	}
+	res := ConvolveResult{Options: o}
+	var stream metrics.Stream
+	for i, p := range parts {
+		if p.Convolve == nil || len(p.Convolve.Times) != 1 {
+			return Measurement{}, fmt.Errorf("runner: convolve merge: cell %d is not a single-run Convolve measurement", i)
+		}
+		res.Times = append(res.Times, p.Convolve.Times[0])
+		res.Threads = p.Convolve.Threads
+		stream.Add(p.Convolve.Times[0].Seconds())
+	}
+	res.MeanTime = sim.FromSeconds(stream.Mean())
+	res.StdDev = sim.FromSeconds(stream.StdDev())
+	return Measurement{Name: sp.Name, Workload: sp.Workload, Convolve: &res}, nil
 }
 
 func validateConvolveSpec(sp scenario.Spec) error {

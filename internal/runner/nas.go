@@ -30,8 +30,10 @@ type NASOptions struct {
 	Seed int64
 	// Workers fans the independent runs over this many OS threads
 	// (each run has its own simulation engine). ≤ 1 runs sequentially;
-	// any value yields bit-identical results.
-	Workers int
+	// any value yields bit-identical results. Execution-only: excluded
+	// from the serialized measurement so stored results are a pure
+	// function of the measured cell.
+	Workers int `json:"-"`
 	// Faults, when non-nil and active, arms the fault scenario on every
 	// run. A plan that can lose messages automatically switches the MPI
 	// runtime to its reliable (ack/retransmit) transport, and the
@@ -50,8 +52,9 @@ type NASOptions struct {
 	// every run (SMM episodes, scheduling, MPI traffic, network drops,
 	// fault activations), each stamped with its run index. Safe with
 	// Workers > 1 when the tracer is an *obs.Bus or otherwise
-	// concurrency-safe.
-	Tracer obs.Tracer
+	// concurrency-safe. Execution-only: excluded from the serialized
+	// measurement (tracing cannot change a result).
+	Tracer obs.Tracer `json:"-"`
 }
 
 // NASResult is a measured cell.
@@ -205,7 +208,50 @@ func init() {
 			}
 			return Measurement{NAS: &res}, err
 		},
+		Split: splitNASSpec,
+		Merge: mergeNASSpec,
 	})
+}
+
+// splitNASSpec decomposes a multi-run NAS spec into per-repetition
+// cells. Fault scenarios are not split: a faulted job's abort
+// semantics (stop at the first failing repetition, accumulate partial
+// transport accounting) are defined over the whole repetition sequence.
+func splitNASSpec(sp scenario.Spec) []scenario.Spec {
+	if sp.Faults.Active() {
+		return nil
+	}
+	return SplitRuns(sp)
+}
+
+// mergeNASSpec reassembles a NAS measurement from its per-repetition
+// cells with exactly the arithmetic RunNAS applies to its own runs, so
+// the merged result is byte-identical to an unsplit run.
+func mergeNASSpec(sp scenario.Spec, parts []Measurement) (Measurement, error) {
+	o, err := nasOptions(sp, Exec{})
+	if err != nil {
+		return Measurement{}, err
+	}
+	res := NASResult{Options: o, Verified: true}
+	var stream metrics.Stream
+	var residency sim.Time
+	for i, p := range parts {
+		if p.NAS == nil || len(p.NAS.Times) != 1 {
+			return Measurement{}, fmt.Errorf("runner: nas merge: cell %d is not a single-run NAS measurement", i)
+		}
+		res.Dropped += p.NAS.Dropped
+		res.Retransmits += p.NAS.Retransmits
+		res.Duplicates += p.NAS.Duplicates
+		res.Ranks = p.NAS.Ranks
+		res.Times = append(res.Times, p.NAS.Times[0])
+		res.Verified = res.Verified && p.NAS.Verified
+		stream.Add(p.NAS.Times[0].Seconds())
+		residency += p.NAS.Residency
+	}
+	res.MeanTime = sim.FromSeconds(stream.Mean())
+	res.Residency = residency / sim.Time(len(parts))
+	res.MOPs = nas.MOPs(nas.Spec{Bench: o.Bench, Class: o.Class}, stream.Mean())
+	return Measurement{Name: sp.Name, Workload: sp.Workload, NAS: &res}, nil
 }
 
 func validateNASSpec(sp scenario.Spec) error {

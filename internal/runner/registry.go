@@ -25,6 +25,42 @@ type Workload struct {
 	// partial section (the NAS workload reports fault-scenario
 	// accounting for failed runs).
 	Run func(scenario.Spec, Exec) (Measurement, error)
+	// Split, when non-nil, decomposes a multi-repetition spec into
+	// independent single-repetition cell specs whose seeds match the
+	// workload's internal derivation, so the durable sweep layer can
+	// checkpoint, cache and resume at repetition granularity. Returns
+	// nil when the spec is not splittable (one run, fault scenarios
+	// whose abort semantics span repetitions, ...); the spec then
+	// executes as a single durable cell.
+	Split func(scenario.Spec) []scenario.Spec
+	// Merge reassembles the parent spec's Measurement from its split
+	// cells' measurements, in cell order. The result must be
+	// byte-identical (canonical JSON) to running the parent spec
+	// directly — the equivalence tests pin this per workload.
+	Merge func(parent scenario.Spec, parts []Measurement) (Measurement, error)
+}
+
+// SplitRuns is the shared repetition-split rule: R > 1 repetitions
+// become R copies of the spec with Runs = 1 and seeds base, base+1, ...
+// — exactly the derivation the typed entry points use internally, so a
+// split cell measures byte-for-byte what repetition i of the parent
+// measures.
+func SplitRuns(sp scenario.Spec) []scenario.Spec {
+	if sp.Runs <= 1 {
+		return nil
+	}
+	seed := sp.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cells := make([]scenario.Spec, sp.Runs)
+	for i := range cells {
+		c := sp
+		c.Runs = 1
+		c.Seed = seed + int64(i)
+		cells[i] = c
+	}
+	return cells
 }
 
 var (

@@ -1,0 +1,163 @@
+package runner_test
+
+// Split/merge equivalence: the durable sweep layer decomposes a
+// multi-repetition spec into single-repetition cells and reassembles
+// the parent measurement from their results. These tests pin the
+// byte-level contract that makes checkpoint/resume sound: for every
+// workload that registers Split/Merge, running the cells individually
+// and merging MUST produce canonical JSON identical to running the
+// parent spec directly.
+
+import (
+	"bytes"
+	"testing"
+
+	"smistudy/internal/runner"
+	"smistudy/internal/scenario"
+)
+
+func splitMergeJSON(t *testing.T, sp scenario.Spec) (direct, merged []byte) {
+	t.Helper()
+	w, ok := runner.Lookup(sp.Workload)
+	if !ok {
+		t.Fatalf("workload %q not registered", sp.Workload)
+	}
+	if w.Split == nil || w.Merge == nil {
+		t.Fatalf("workload %q has no split/merge hooks", sp.Workload)
+	}
+	dm, err := runner.Run(sp)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	direct, err = dm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := w.Split(sp)
+	if len(cells) != sp.Runs {
+		t.Fatalf("Split produced %d cells, want %d", len(cells), sp.Runs)
+	}
+	parts := make([]runner.Measurement, len(cells))
+	for i, c := range cells {
+		pm, err := runner.Run(c)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		parts[i] = pm
+	}
+	mm, err := w.Merge(sp, parts)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	merged, err = mm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return direct, merged
+}
+
+func TestNASSplitMergeByteIdentical(t *testing.T) {
+	sp := scenario.Spec{
+		Workload: "nas",
+		Machine:  scenario.Machine{Nodes: 2, RanksPerNode: 2},
+		SMM:      scenario.SMMPlan{Level: "long"},
+		Runs:     4,
+		Seed:     3,
+		Params:   scenario.Params{Bench: "EP", Class: "S"},
+	}
+	direct, merged := splitMergeJSON(t, sp)
+	if !bytes.Equal(direct, merged) {
+		t.Errorf("split+merge differs from direct run:\ndirect:\n%s\nmerged:\n%s", direct, merged)
+	}
+}
+
+func TestNASSplitMergeDefaultSeed(t *testing.T) {
+	// Seed 0 means 1; the split cells must inherit the *effective* base
+	// so cell seeds line up with the internal derivation.
+	sp := scenario.Spec{
+		Workload: "nas",
+		Machine:  scenario.Machine{Nodes: 1, RanksPerNode: 1},
+		Runs:     3,
+		Params:   scenario.Params{Bench: "EP", Class: "S"},
+	}
+	direct, merged := splitMergeJSON(t, sp)
+	if !bytes.Equal(direct, merged) {
+		t.Errorf("split+merge differs from direct run under default seed")
+	}
+}
+
+func TestConvolveSplitMergeByteIdentical(t *testing.T) {
+	sp := scenario.Spec{
+		Workload: "convolve",
+		Machine:  scenario.Machine{CPUs: 2},
+		SMM:      scenario.SMMPlan{IntervalMS: 500},
+		Runs:     3,
+		Seed:     7,
+		Params:   scenario.Params{Cache: "unfriendly"},
+	}
+	direct, merged := splitMergeJSON(t, sp)
+	if !bytes.Equal(direct, merged) {
+		t.Errorf("split+merge differs from direct run:\ndirect:\n%s\nmerged:\n%s", direct, merged)
+	}
+}
+
+func TestFaultedNASSpecNotSplit(t *testing.T) {
+	w, _ := runner.Lookup("nas")
+	sp := scenario.Spec{
+		Workload: "nas",
+		Machine:  scenario.Machine{Nodes: 2, RanksPerNode: 1},
+		Runs:     4,
+		Params:   scenario.Params{Bench: "EP", Class: "S"},
+		Faults:   &scenario.FaultPlan{LossProb: 0.1},
+	}
+	if cells := w.Split(sp); cells != nil {
+		t.Fatalf("faulted spec split into %d cells; abort semantics span repetitions", len(cells))
+	}
+}
+
+func TestSingleRunSpecNotSplit(t *testing.T) {
+	for _, workload := range []string{"nas", "convolve"} {
+		w, _ := runner.Lookup(workload)
+		sp := scenario.Spec{Workload: workload, Runs: 1}
+		if cells := w.Split(sp); cells != nil {
+			t.Errorf("%s: single-run spec split into %d cells", workload, len(cells))
+		}
+	}
+}
+
+// TestMeasurementJSONExecFree pins that execution-only knobs (workers,
+// tracers) never appear in a serialized measurement: the content-
+// addressed store relies on measurement bytes being a pure function of
+// the spec.
+func TestMeasurementJSONExecFree(t *testing.T) {
+	sp := scenario.Spec{
+		Workload: "nas",
+		Machine:  scenario.Machine{Nodes: 1, RanksPerNode: 1},
+		Runs:     2,
+		Params:   scenario.Params{Bench: "EP", Class: "S"},
+	}
+	seq, err := runner.RunWith(sp, runner.Exec{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner.RunWith(sp, runner.Exec{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := par.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("measurement JSON depends on Exec.Workers:\n%s\nvs\n%s", sj, pj)
+	}
+	for _, leak := range []string{"\"Workers\"", "\"Tracer\""} {
+		if bytes.Contains(sj, []byte(leak)) {
+			t.Errorf("measurement JSON leaks execution field %s:\n%s", leak, sj)
+		}
+	}
+}

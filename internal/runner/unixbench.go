@@ -24,7 +24,8 @@ type UnixBenchOptions struct {
 	// NASOptions.SMIScale).
 	SMIScale float64
 	// Tracer, when non-nil, receives the run's observability events.
-	Tracer obs.Tracer
+	// Execution-only: excluded from the serialized measurement.
+	Tracer obs.Tracer `json:"-"`
 }
 
 // UnixBenchResult is one iteration's scores.

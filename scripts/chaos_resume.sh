@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Chaos kill-resume-diff harness for the durable result store.
+#
+# Runs a scenario to completion once without a store to get the
+# reference output, then repeatedly starts the same sweep against a
+# persistent store and SIGKILLs it when the journal reaches a chosen
+# byte offset — landing kills between cells, mid-journal-append and
+# mid-object-write. After the kill schedule, one uninterrupted resume
+# must reproduce the reference stdout byte for byte, and a final warm
+# pass must replay every cell from the store without simulating
+# anything ("0 executed" on stderr).
+#
+# Usage:
+#   scripts/chaos_resume.sh [scenario.json]
+#
+# Environment:
+#   CHAOS_DIR   working directory (default: mktemp -d; kept on failure
+#               when set explicitly, so CI can upload the journal)
+#   OFFSETS     space-separated journal byte offsets to kill at
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCENARIO=${1:-examples/scenarios/table1-bt-a.json}
+OFFSETS=${OFFSETS:-"150 700 310 450"}
+
+if [ -n "${CHAOS_DIR:-}" ]; then
+  WORK=$CHAOS_DIR
+  mkdir -p "$WORK"
+else
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+fi
+
+STORE="$WORK/store"
+JOURNAL="$STORE/journal.jsonl"
+
+go build -o "$WORK/smisim" ./cmd/smisim
+
+echo "== reference: uninterrupted run, no store =="
+"$WORK/smisim" -scenario "$SCENARIO" > "$WORK/ref.txt"
+
+round=0
+for offset in $OFFSETS; do
+  round=$((round + 1))
+  echo "== round $round: SIGKILL when journal reaches $offset bytes =="
+  "$WORK/smisim" -scenario "$SCENARIO" -store "$STORE" -resume \
+    > "$WORK/out.txt" 2> "$WORK/err.txt" &
+  pid=$!
+  while kill -0 "$pid" 2>/dev/null; do
+    size=$(stat -c %s "$JOURNAL" 2>/dev/null || echo 0)
+    if [ "$size" -ge "$offset" ]; then
+      kill -9 "$pid" 2>/dev/null || true
+      break
+    fi
+    sleep 0.01
+  done
+  wait "$pid" 2>/dev/null && echo "   (finished before the kill landed)" || true
+  echo "   journal: $(stat -c %s "$JOURNAL" 2>/dev/null || echo 0) bytes"
+done
+
+echo "== final resume to completion =="
+"$WORK/smisim" -scenario "$SCENARIO" -store "$STORE" -resume \
+  > "$WORK/final.txt" 2> "$WORK/final.err"
+cat "$WORK/final.err" >&2
+diff "$WORK/ref.txt" "$WORK/final.txt"
+echo "resumed output is byte-identical to the uninterrupted run"
+
+echo "== warm pass: every cell replayed, zero simulations =="
+"$WORK/smisim" -scenario "$SCENARIO" -store "$STORE" -resume \
+  > "$WORK/warm.txt" 2> "$WORK/warm.err"
+cat "$WORK/warm.err" >&2
+grep -q ", 0 executed," "$WORK/warm.err" || {
+  echo "FAIL: warm pass re-simulated cells" >&2
+  exit 1
+}
+diff "$WORK/ref.txt" "$WORK/warm.txt"
+echo "warm replay is byte-identical with zero simulations"
+echo "chaos kill-resume harness: OK"
