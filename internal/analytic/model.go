@@ -1,0 +1,62 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"smistudy/internal/sim"
+)
+
+// Closed-form cell models for the fast-path dispatcher (the inversion
+// of this package: instead of validating the simulator against the
+// theory after the fact, the dispatcher uses the theory to *replace*
+// simulation where the residual gate proves it equivalent).
+//
+// Only the embarrassingly-parallel regime is modeled here, because only
+// there is the closed form tight enough to certify against: compute is
+// perfectly divisible across ranks, and communication is a handful of
+// latency-bound collective rounds. Everything with nearest-neighbor
+// exchanges, transposes or congestion stays on the simulator.
+
+// EPCell describes one steady-state embarrassingly-parallel cell.
+type EPCell struct {
+	// TotalOps is the kernel's calibrated total model operations,
+	// divided evenly over Ranks.
+	TotalOps float64
+	// Ranks is the total MPI rank count.
+	Ranks int
+	// RatePerRank is each rank's sustained execution rate in model
+	// operations per second (every rank on its own core, solo cache
+	// profile).
+	RatePerRank float64
+	// Latency is the fabric's one-way message latency.
+	Latency sim.Time
+	// Collectives is the number of small all-reduce style collectives
+	// the kernel ends with; each costs reduce+broadcast trees of
+	// ⌈log₂ Ranks⌉ latency-bound rounds.
+	Collectives int
+}
+
+// Time predicts the cell's runtime in seconds: perfectly-parallel
+// compute plus the latency-bound collective tail. The collective term
+// is an upper-bound sketch (every round charged one inter-node
+// latency); for EP-style kernels it is orders of magnitude below the
+// compute term, which is exactly why the shape is certifiable.
+func (c EPCell) Time() (float64, error) {
+	if c.Ranks <= 0 {
+		return 0, fmt.Errorf("analytic: EP cell needs ranks ≥ 1 (got %d)", c.Ranks)
+	}
+	if c.RatePerRank <= 0 {
+		return 0, fmt.Errorf("analytic: EP cell needs a positive per-rank rate")
+	}
+	if c.TotalOps <= 0 {
+		return 0, fmt.Errorf("analytic: EP cell needs calibrated total ops")
+	}
+	compute := c.TotalOps / float64(c.Ranks) / c.RatePerRank
+	rounds := 0.0
+	if c.Ranks > 1 {
+		rounds = 2 * math.Ceil(math.Log2(float64(c.Ranks))) * float64(c.Collectives)
+	}
+	comm := rounds * c.Latency.Seconds()
+	return compute + comm, nil
+}

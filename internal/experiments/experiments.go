@@ -16,6 +16,7 @@ import (
 	"smistudy/internal/durable"
 	"smistudy/internal/metrics"
 	"smistudy/internal/parsweep"
+	"smistudy/internal/runner"
 	"smistudy/internal/scenario"
 )
 
@@ -59,6 +60,17 @@ type Config struct {
 	CellTimeout time.Duration
 	// Retries re-runs transiently-failed cells with exponential backoff.
 	Retries int
+	// Dispatch, when non-nil, is the analytic fast-path dispatcher every
+	// sweep cell consults before building an engine (see runner
+	// dispatch.go). One dispatcher spans the whole run so region
+	// evidence is shared across sweeps. Nil means -fastpath off.
+	Dispatch *runner.Dispatcher
+	// Stats, when non-nil, accumulates execution accounting across every
+	// cell of every sweep: cells dispatched, simulated runs, engine
+	// events, fast-path hits and misses.
+	Stats *runner.ExecStats
+	// Shards is the per-cell engine shard count (see runner.Exec.Shards).
+	Shards int
 }
 
 // ctx resolves the run's context.
@@ -79,6 +91,9 @@ func (c Config) durableOptions() durable.Options {
 		CellTimeout: c.CellTimeout,
 		Retry:       durable.Policy{MaxRetries: c.Retries},
 		Tracer:      c.Tracer,
+		Dispatch:    c.Dispatch,
+		Stats:       c.Stats,
+		Shards:      c.Shards,
 	}
 }
 

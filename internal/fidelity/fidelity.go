@@ -22,6 +22,7 @@ import (
 	"smistudy/internal/experiments"
 	"smistudy/internal/obs"
 	"smistudy/internal/paperdata"
+	"smistudy/internal/runner"
 )
 
 // Config scopes one validation run.
@@ -48,6 +49,16 @@ type Config struct {
 	// against <dir>/<artifact>.json. Quick tier with default seeds
 	// only: goldens pin the deterministic quick run.
 	GoldenDir string
+	// Dispatch, when non-nil, is the analytic fast-path dispatcher every
+	// sweep cell consults (see runner dispatch.go). Auto mode is
+	// byte-identical to simulation, so goldens must pass unchanged with
+	// it on — exactly what CI asserts.
+	Dispatch *runner.Dispatcher
+	// Stats, when non-nil, accumulates execution accounting across every
+	// artifact's cells.
+	Stats *runner.ExecStats
+	// Shards is the per-cell engine shard count (see runner.Exec.Shards).
+	Shards int
 }
 
 // Tier names the configured tier.
@@ -83,6 +94,9 @@ func (c Config) expCfg(seed int64) experiments.Config {
 		Quick:    !c.Full,
 		Workers:  c.Workers,
 		SMIScale: c.SMIScale,
+		Dispatch: c.Dispatch,
+		Stats:    c.Stats,
+		Shards:   c.Shards,
 	}
 }
 
@@ -195,6 +209,7 @@ func Validate(cfg Config) (*Report, error) {
 	if len(rep.Artifacts) == 0 {
 		return nil, fmt.Errorf("fidelity: no artifacts selected")
 	}
+	rep.FastPath = cfg.Dispatch.Stats()
 	return rep, nil
 }
 

@@ -82,19 +82,19 @@ func (w *World) armWatchdog() {
 	if iv == 0 {
 		iv = DefaultWatchdogInterval
 	}
-	last := w.progress
+	last := w.progress.Load()
 	var tick func()
 	tick = func() {
 		w.wdEvent = nil
 		if w.remaining == 0 || w.wderr != nil {
 			return
 		}
-		if w.progress == last && w.allBlocked() && !w.faultsPending() {
+		if w.progress.Load() == last && w.allBlocked() && !w.faultsPending() {
 			w.wderr = w.noProgress(iv)
 			w.cl.Eng.Stop()
 			return
 		}
-		last = w.progress
+		last = w.progress.Load()
 		w.wdEvent = w.cl.Eng.After(iv, tick)
 	}
 	w.wdEvent = w.cl.Eng.After(iv, tick)

@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"smistudy/internal/sim"
+)
+
+// Sharded operation: the fabric's node set is partitioned over the
+// engines of a sim.ShardGroup, each shard owning the egress side of its
+// nodes. During a window a Deliver call runs on the sending node's
+// engine and performs only sender-local bookkeeping (egress link time,
+// per-source link counters, per-shard totals); the receive side — the
+// ingress link, incast flow tracking and the delivery callback — is
+// queued and applied by Flush, single-threaded at the window barrier, in
+// a schedule-independent order (send time, then shard, then per-shard
+// issue order). Whenever the sequential engine would have resolved an
+// ordering by global scheduling order that the flush cannot reconstruct
+// — incast congestion inflating a serialization already committed to the
+// sender's link, two shards sending to one node at the same instant, a
+// flow expiring exactly when a new message arrives, or a delivery
+// landing at the same instant as a shard-local event — the fabric aborts
+// the group and the caller reruns sequentially.
+
+// shardSend is one queued internode message: everything the flush needs
+// to replay the receive side exactly as the sequential fabric would.
+type shardSend struct {
+	shard   int
+	seq     uint64   // per-shard issue order
+	sent    sim.Time // engine time at Deliver
+	src     int
+	dst     int
+	ser     sim.Time // uncongested serialization, already on the egress link
+	txStart sim.Time
+	fn      func()
+}
+
+// shardFlow is an in-flight internode message for incast bookkeeping;
+// the flush expires it lazily against later sends.
+type shardFlow struct {
+	rxEnd    sim.Time
+	src, dst int
+}
+
+// fabricShards is the sharded-mode state hanging off a Fabric.
+type fabricShards struct {
+	group   *sim.ShardGroup
+	engOf   []*sim.Engine // per node
+	shardOf []int         // per node
+
+	queues [][]shardSend // per shard, filled during windows
+	seqs   []uint64      // per shard
+	stats  []Stats       // per shard
+
+	flows  []shardFlow // in-flight, kept sorted by rxEnd (small)
+	merged []shardSend // flush scratch
+}
+
+// Shard switches the fabric to sharded operation over the group's
+// engines, with node i owned by engOf[i] (= group engine shardOf[i]).
+// The fabric must be untraced and unperturbed — sharded runs are
+// steady-state only — and must not have carried traffic yet.
+func (f *Fabric) Shard(group *sim.ShardGroup, engOf []*sim.Engine, shardOf []int) error {
+	if len(engOf) != len(f.egress) || len(shardOf) != len(f.egress) {
+		return fmt.Errorf("netsim: shard map covers %d of %d nodes", len(engOf), len(f.egress))
+	}
+	if f.tr != nil || f.pert != nil {
+		return fmt.Errorf("netsim: sharded fabric must be untraced and unperturbed")
+	}
+	if f.stats.Messages != 0 {
+		return fmt.Errorf("netsim: fabric already carried traffic")
+	}
+	n := len(group.Engines())
+	f.sh = &fabricShards{
+		group:   group,
+		engOf:   engOf,
+		shardOf: shardOf,
+		queues:  make([][]shardSend, n),
+		seqs:    make([]uint64, n),
+		stats:   make([]Stats, n),
+	}
+	return nil
+}
+
+// deliverSharded is Deliver's sharded-mode path; it runs on the sending
+// node's engine goroutine.
+func (f *Fabric) deliverSharded(src, dst, bytes int, fn func()) sim.Time {
+	s := f.sh
+	shard := s.shardOf[src]
+	st := &s.stats[shard]
+	st.Messages++
+	st.Bytes += int64(bytes)
+	f.links[src][dst].Messages++
+	f.links[src][dst].Bytes += int64(bytes)
+	eng := s.engOf[src]
+	now := eng.Now()
+
+	if src == dst {
+		d := f.par.IntraLatency + serialize(bytes, f.par.IntraBytesPerSec)
+		at := now + d
+		eng.At(at, fn)
+		return at
+	}
+	ser := serialize(bytes, f.par.BytesPerSec)
+	if ser <= 0 {
+		// A zero-serialization message could land exactly on the window
+		// horizon, where its order against already-fired events is lost.
+		s.group.Abort()
+		return now
+	}
+	txStart := maxTime(now, f.egress[src])
+	txEnd := txStart + ser
+	f.egress[src] = txEnd
+	s.seqs[shard]++
+	s.queues[shard] = append(s.queues[shard], shardSend{
+		shard: shard, seq: s.seqs[shard], sent: now,
+		src: src, dst: dst, ser: ser, txStart: txStart, fn: fn,
+	})
+	// The sequential Deliver returns the arrival time; the receive side
+	// is not computed until the flush, so sharded mode can only report
+	// when the sender's link is free. The MPI runtime ignores the value.
+	return txEnd
+}
+
+// Flush applies the queued receive sides at a window barrier. It runs
+// single-threaded; no shard engine is executing. No-op when unsharded.
+func (f *Fabric) Flush() {
+	s := f.sh
+	if s == nil {
+		return
+	}
+	s.merged = s.merged[:0]
+	for i := range s.queues {
+		s.merged = append(s.merged, s.queues[i]...)
+		s.queues[i] = s.queues[i][:0]
+	}
+	if len(s.merged) == 0 {
+		return
+	}
+	// Schedule-independent order: send time, then shard, then issue
+	// order. Within one shard this preserves program order; across
+	// shards simultaneous sends only commute when they touch different
+	// receivers, which the collision checks below enforce.
+	sort.Slice(s.merged, func(i, j int) bool {
+		a, b := s.merged[i], s.merged[j]
+		if a.sent != b.sent {
+			return a.sent < b.sent
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.seq < b.seq
+	})
+	for i, sd := range s.merged {
+		// Expire flows that ended strictly before this send; a flow
+		// ending exactly at the send instant toward the same receiver is
+		// an ordering the sequential engine resolves by scheduling order.
+		kept := s.flows[:0]
+		abort := false
+		for _, fl := range s.flows {
+			switch {
+			case fl.rxEnd < sd.sent:
+				f.flows[fl.src][fl.dst]--
+				if f.flows[fl.src][fl.dst] == 0 {
+					f.inFlows[fl.dst]--
+				}
+			case fl.rxEnd == sd.sent && fl.dst == sd.dst:
+				abort = true
+				kept = append(kept, fl)
+			default:
+				kept = append(kept, fl)
+			}
+		}
+		s.flows = kept
+		if abort {
+			s.group.Abort()
+			return
+		}
+		// Two shards sending to one receiver at the same instant: the
+		// ingress serialization order is the sequential engine's global
+		// scheduling order, which is not reconstructible here.
+		if i > 0 {
+			if p := s.merged[i-1]; p.sent == sd.sent && p.dst == sd.dst && p.shard != sd.shard {
+				s.group.Abort()
+				return
+			}
+		}
+		// Incast congestion would inflate a serialization the sender's
+		// shard already committed to its egress link mid-window.
+		if f.par.CongestionBeta > 0 {
+			c := f.inFlows[sd.dst]
+			if f.flows[sd.src][sd.dst] > 0 {
+				c--
+			}
+			if c > 0 {
+				s.group.Abort()
+				return
+			}
+		}
+		if f.flows[sd.src][sd.dst] == 0 {
+			f.inFlows[sd.dst]++
+		}
+		f.flows[sd.src][sd.dst]++
+		rxStart := maxTime(sd.txStart+f.par.Latency, f.ingress[sd.dst])
+		rxEnd := rxStart + sd.ser
+		f.ingress[sd.dst] = rxEnd
+		dstEng := s.engOf[sd.dst]
+		// The lookahead guarantees rxEnd is past every window the
+		// receiver has run; landing at the same instant as a pending
+		// shard-local event would still be an unresolvable tie.
+		if rxEnd < dstEng.Now() || dstEng.HasPendingAt(rxEnd) {
+			s.group.Abort()
+			return
+		}
+		dstEng.At(rxEnd, sd.fn)
+		s.flows = append(s.flows, shardFlow{rxEnd: rxEnd, src: sd.src, dst: sd.dst})
+	}
+}

@@ -31,6 +31,47 @@ type Manifest struct {
 	// how far the sweep got. Absent for non-durable runs, keeping legacy
 	// manifests byte-identical.
 	Durable *DurableStats `json:"durable,omitempty"`
+	// FastPath, when present, records the analytic fast-path
+	// dispatcher's accounting for the run: which cells were served
+	// without simulation, why the rest declined, and the residual
+	// evidence behind every certified region. Attached after the run so
+	// smivalidate can audit exactly what the fast path did. Absent when
+	// the run dispatched with -fastpath off, keeping legacy manifests
+	// byte-identical.
+	FastPath *FastPathStats `json:"fastpath,omitempty"`
+}
+
+// FastPathStats is the analytic fast-path dispatcher's per-run
+// accounting, as recorded in the run manifest. Cells = Hits + Misses;
+// Regions = Certified + Rejected once the run finishes.
+type FastPathStats struct {
+	// Mode is the dispatch mode the run used (off, auto or model).
+	Mode string `json:"mode"`
+	// Hits counts cells served without discrete simulation; Misses
+	// counts cells that simulated (with per-reason breakdown below).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Probes and Shadows count the certification simulations the
+	// dispatcher spent proving regions.
+	Probes  int64 `json:"probes"`
+	Shadows int64 `json:"shadows"`
+	// Regions counts distinct spec shapes the dispatcher examined;
+	// Certified passed the seed-independence and residual gates,
+	// Rejected failed one of them.
+	Regions   int64 `json:"regions"`
+	Certified int64 `json:"certified"`
+	Rejected  int64 `json:"rejected"`
+	// MissReasons breaks Misses down by decline reason. Go serializes
+	// the map with sorted keys, keeping manifests deterministic.
+	MissReasons map[string]int64 `json:"miss_reasons,omitempty"`
+}
+
+// HitRate reports Hits/(Hits+Misses), or 0 for an idle dispatcher.
+func (f *FastPathStats) HitRate() float64 {
+	if f == nil || f.Hits+f.Misses == 0 {
+		return 0
+	}
+	return float64(f.Hits) / float64(f.Hits+f.Misses)
 }
 
 // DurableStats is the durable sweep layer's per-run accounting, as

@@ -96,6 +96,9 @@ type Type uint8
 //	ProfSample      Node, A = CPU samples taken this tick
 //	ProfDrop        Node                       tick lost inside SMM
 //	ProfDefer       Node                       tick taken late at SMM exit
+//	FastPathHit     Name = replicate|merge|model, A = residual log-error (ppm), B = tolerance (ppm)
+//	FastPathMiss    Name = decline reason (workload, smm, faults, runs, ...)
+//	FastPathCertify Name = certified | rejected:<reason>, A = residual log-error (ppm), B = tolerance (ppm)
 //	UserSpan        Track, Name, Dur           caller-defined span [Time-Dur, Time]
 const (
 	EvNone Type = iota
@@ -125,6 +128,9 @@ const (
 	EvProfSample
 	EvProfDrop
 	EvProfDefer
+	EvFastPathHit
+	EvFastPathMiss
+	EvFastPathCertify
 	EvUserSpan
 
 	numTypes // sentinel
@@ -158,6 +164,9 @@ var typeNames = [numTypes]string{
 	EvProfSample:       "sample",
 	EvProfDrop:        "sample_lost",
 	EvProfDefer:       "sample_deferred",
+	EvFastPathHit:     "fastpath_hit",
+	EvFastPathMiss:    "fastpath_miss",
+	EvFastPathCertify: "fastpath_certify",
 	EvUserSpan:        "span",
 }
 
@@ -188,6 +197,9 @@ var typeCats = [numTypes]Category{
 	EvProfSample:       CatProf,
 	EvProfDrop:        CatProf,
 	EvProfDefer:       CatProf,
+	EvFastPathHit:     CatSweep,
+	EvFastPathMiss:    CatSweep,
+	EvFastPathCertify: CatSweep,
 	EvUserSpan:        CatTask,
 }
 

@@ -33,6 +33,19 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// clampWorkers caps a worker request at the number of OS threads the
+// runtime will actually run in parallel. Beyond that cap extra workers
+// only add goroutine churn and claim-lock contention — on a 1-CPU
+// machine a 4-worker pool was measurably *slower* than the sequential
+// loop — and because results are byte-identical for any worker count,
+// capping is free. The cap never drops a request below 1.
+func clampWorkers(n int) int {
+	if p := runtime.GOMAXPROCS(0); n > p {
+		return p
+	}
+	return n
+}
+
 // PanicError is a panic from a sweep function, captured and converted
 // to that point's error instead of crashing the whole process: a single
 // misbehaving cell must not throw away every other cell's work.
@@ -111,6 +124,7 @@ func Run[P, R any](ctx context.Context, points []P, workers int, fn func(P) (R, 
 	if workers > len(points) {
 		workers = len(points)
 	}
+	workers = clampWorkers(workers)
 	if workers <= 1 {
 		for i, p := range points {
 			if err := ctx.Err(); err != nil {
@@ -203,6 +217,7 @@ func RunPartial[P, R any](ctx context.Context, points []P, workers int, fn func(
 	if workers > len(points) {
 		workers = len(points)
 	}
+	workers = clampWorkers(workers)
 	attempt := func(i int) {
 		r, err := safeCall(fn, points[i])
 		if err != nil {

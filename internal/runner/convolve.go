@@ -54,6 +54,9 @@ type ConvolveOptions struct {
 	// *obs.Bus is) when Workers > 1. Execution-only: excluded from the
 	// serialized measurement.
 	Tracer obs.Tracer `json:"-"`
+	// Stats, when non-nil, accumulates simulated-run and engine-event
+	// counts. Execution-only accounting: cannot change a result.
+	Stats *ExecStats `json:"-"`
 }
 
 // ConvolveResult is one measured Convolve point.
@@ -119,6 +122,7 @@ func RunConvolve(o ConvolveOptions) (ConvolveResult, error) {
 		cl.StartSMI()
 		r := convolve.RunSim(cl, cfg)
 		cellFinish(rt, e, seed+int64(i))
+		o.Stats.AddRun(e.Events())
 		return runOut{elapsed: r.Elapsed, threads: r.Threads}, nil
 	})
 	if err != nil {
@@ -221,5 +225,6 @@ func convolveOptions(sp scenario.Spec, x Exec) (ConvolveOptions, error) {
 		Workers:       x.Workers,
 		SMIScale:      sp.SMM.SMIScale,
 		Tracer:        x.Tracer,
+		Stats:         x.Stats,
 	}, nil
 }

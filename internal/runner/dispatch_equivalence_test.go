@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"smistudy/internal/scenario"
+)
+
+// TestScenarioDispatchEquivalence is the dispatch-equivalence table of
+// the fast-path/sharding contract: every example scenario, run under
+// -fastpath off and auto and forced shard counts 1, 2 and 4, serializes
+// byte-identically — auto mode and sharding either decline (and the
+// sequential path trivially matches) or serve with provably identical
+// bytes. Scenarios whose runs fail (the faulted example) must fail
+// identically in every variant.
+func TestScenarioDispatchEquivalence(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example scenarios found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			sp, err := scenario.Load(file)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			type variant struct {
+				name     string
+				fastpath FastPathMode
+				shards   int
+			}
+			variants := []variant{
+				{"off_shards1", FastOff, 1},
+				{"off_shards2", FastOff, 2},
+				{"off_shards4", FastOff, 4},
+				{"auto_shards1", FastAuto, 1},
+				{"auto_shards2", FastAuto, 2},
+				{"auto_shards4", FastAuto, 4},
+			}
+			var want []byte
+			var wantErr string
+			for i, v := range variants {
+				x := Exec{Workers: 1, Shards: v.shards}
+				if v.fastpath != FastOff {
+					x.Dispatch = NewDispatcher(v.fastpath, 0)
+				}
+				m, err := RunWith(sp, x)
+				errStr := ""
+				if err != nil {
+					errStr = err.Error()
+				}
+				data, jerr := m.JSON()
+				if jerr != nil {
+					t.Fatalf("%s: encode: %v", v.name, jerr)
+				}
+				if i == 0 {
+					want, wantErr = data, errStr
+					continue
+				}
+				if errStr != wantErr {
+					t.Errorf("%s: error %q, want %q", v.name, errStr, wantErr)
+				}
+				if !bytes.Equal(data, want) {
+					t.Errorf("%s: measurement differs from off_shards1 baseline", v.name)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioModelResidual: on the steady-state example the opt-in
+// approximate tier must land within the dispatcher's residual tolerance
+// of the simulated baseline — the bound the certification gate enforces
+// before any analytic serve.
+func TestScenarioModelResidual(t *testing.T) {
+	sp, err := scenario.Load(filepath.Join("..", "..", "examples", "scenarios", "steady-ep.json"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	base, err := RunWith(sp, Exec{Workers: 1})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	d := NewDispatcher(FastModel, 0)
+	got, err := RunWith(sp, Exec{Workers: 1, Dispatch: d})
+	if err != nil {
+		t.Fatalf("model tier: %v", err)
+	}
+	if d.Stats().Hits == 0 {
+		t.Fatalf("model tier declined the steady-state scenario: %+v", d.Stats().MissReasons)
+	}
+	if base.NAS == nil || got.NAS == nil {
+		t.Fatalf("missing NAS sections")
+	}
+	logErr := math.Abs(math.Log(got.NAS.Seconds() / base.NAS.Seconds()))
+	if limit := math.Log(1 + DefaultResidualTol); logErr > limit {
+		t.Errorf("model residual |log err| = %.4f exceeds tolerance %.4f (model %.6fs vs simulated %.6fs)",
+			logErr, limit, got.NAS.Seconds(), base.NAS.Seconds())
+	}
+}

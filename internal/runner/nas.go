@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"smistudy/internal/analytic"
 	"smistudy/internal/cluster"
 	"smistudy/internal/faults"
 	"smistudy/internal/metrics"
@@ -55,6 +56,15 @@ type NASOptions struct {
 	// concurrency-safe. Execution-only: excluded from the serialized
 	// measurement (tracing cannot change a result).
 	Tracer obs.Tracer `json:"-"`
+	// Stats, when non-nil, accumulates simulated-run and engine-event
+	// counts. Execution-only accounting: cannot change a result.
+	Stats *ExecStats `json:"-"`
+	// Shards > 1 asks each run to partition its per-node event streams
+	// over that many engine shards (see internal/sim), falling back to
+	// the sequential engine when the run cannot be sharded
+	// byte-identically. Execution-only: any value yields bit-identical
+	// results.
+	Shards int `json:"-"`
 }
 
 // NASResult is a measured cell.
@@ -123,6 +133,16 @@ func RunNAS(o NASOptions) (NASResult, error) {
 	}
 	outs, _ := parsweep.Run(context.Background(), idx, o.Workers, func(i int) (runOut, error) {
 		var out runOut
+		if shardableNAS(o, sched) {
+			if r, resid, events, ok := tryShardedNAS(o, par, seed+int64(i)); ok {
+				o.Stats.AddRun(events)
+				out.ranks = r.Ranks
+				out.time = r.Time
+				out.verified = r.Verified
+				out.resid = resid
+				return out, nil
+			}
+		}
 		e := sim.New(seed + int64(i))
 		cp := cluster.Wyeast(o.Nodes, o.HTT, o.SMM)
 		cp.Node.SMI.DurationScale = o.SMIScale
@@ -150,6 +170,7 @@ func RunNAS(o NASOptions) (NASResult, error) {
 		}
 		r, runErr := nas.Run(w, nas.Spec{Bench: o.Bench, Class: o.Class})
 		cellFinish(rt, e, seed+int64(i))
+		o.Stats.AddRun(e.Events())
 		// Transport accounting is valid even for a failed run — report
 		// how much recovery work preceded the failure.
 		out.dropped = cl.Fabric.Stats().Drops
@@ -190,6 +211,59 @@ func RunNAS(o NASOptions) (NASResult, error) {
 	return res, nil
 }
 
+// shardableNAS reports whether a cell may attempt the sharded engine:
+// a steady-state multi-node run — no SMIs (so the per-node RNG draws
+// that would couple shards never happen), no faults (no perturber, no
+// reliable transport, no watchdog dependence), and untraced (event
+// timestamps would otherwise interleave nondeterministically on the
+// bus). Everything else falls back to the sequential engine, as does
+// any eligible run whose execution hits an ordering the deterministic
+// cross-shard merge cannot reproduce.
+func shardableNAS(o NASOptions, sched faults.Schedule) bool {
+	return o.Shards > 1 && o.Nodes >= 2 && o.SMM == smm.SMMNone &&
+		sched.Empty() && o.Tracer == nil
+}
+
+// tryShardedNAS runs one repetition on a sharded cluster: nodes
+// partitioned round-robin over min(o.Shards, o.Nodes) engines, windows
+// run concurrently, fabric traffic merged deterministically at window
+// barriers. ok=false means the attempt aborted (its state is fully
+// discarded) and the caller must rerun sequentially; an ok result is
+// byte-identical to the sequential run's.
+func tryShardedNAS(o NASOptions, par mpi.Params, seed int64) (r nas.Result, resid sim.Time, events uint64, ok bool) {
+	shards := o.Shards
+	if shards > o.Nodes {
+		shards = o.Nodes
+	}
+	engs := make([]*sim.Engine, shards)
+	for j := range engs {
+		// Steady-state runs never draw from the engine RNG (the fast
+		// path's certification proves the same property); the seed is
+		// kept for parity, not consumed.
+		engs[j] = sim.New(seed)
+	}
+	cp := cluster.Wyeast(o.Nodes, o.HTT, o.SMM)
+	cp.Node.SMI.DurationScale = o.SMIScale
+	cl, err := cluster.NewSharded(engs, cp)
+	if err != nil {
+		return nas.Result{}, 0, 0, false
+	}
+	cl.StartSMI()
+	w, err := mpi.NewWorld(cl, o.RanksPerNode, par)
+	if err != nil {
+		return nas.Result{}, 0, 0, false
+	}
+	r, err = nas.Run(w, nas.Spec{Bench: o.Bench, Class: o.Class})
+	if err != nil {
+		cl.ShardGroup().Shutdown()
+		return nas.Result{}, 0, 0, false
+	}
+	for _, e := range engs {
+		events += e.Events()
+	}
+	return r, cl.TotalSMMResidency() / sim.Time(len(cl.Nodes)), events, true
+}
+
 func init() {
 	Register(Workload{
 		Name:     "nas",
@@ -208,8 +282,12 @@ func init() {
 			}
 			return Measurement{NAS: &res}, err
 		},
-		Split: splitNASSpec,
-		Merge: mergeNASSpec,
+		Split:     splitNASSpec,
+		Merge:     mergeNASSpec,
+		Replicate: replicateNASSpec,
+		Predict:   predictNASSpec,
+		Seconds:   secondsNAS,
+		Analytic:  analyticNASSpec,
 	})
 }
 
@@ -303,5 +381,97 @@ func nasOptions(sp scenario.Spec, x Exec) (NASOptions, error) {
 		Watchdog:     sim.FromSeconds(sp.WatchdogS),
 		SMIScale:     sp.SMM.SMIScale,
 		Tracer:       x.Tracer,
+		Stats:        x.Stats,
+		Shards:       x.Shards,
 	}, nil
+}
+
+// replicateNASSpec rebuilds the measurement simulating the single-
+// repetition target would produce from a prototype of the same region.
+// Legal only for seed-independent regions (the dispatcher proves that
+// before serving): everything in a steady-state NAS cell except the
+// serialized seed is a pure function of the region shape.
+func replicateNASSpec(target scenario.Spec, proto Measurement) (Measurement, error) {
+	if target.Runs > 1 {
+		return Measurement{}, fmt.Errorf("runner: nas replicate serves single-repetition cells (got runs=%d)", target.Runs)
+	}
+	if proto.NAS == nil || len(proto.NAS.Times) != 1 {
+		return Measurement{}, fmt.Errorf("runner: nas replicate needs a single-run NAS prototype")
+	}
+	o, err := nasOptions(target, Exec{})
+	if err != nil {
+		return Measurement{}, err
+	}
+	res := *proto.NAS
+	res.Options = o
+	res.Times = append([]sim.Time(nil), proto.NAS.Times...)
+	return Measurement{NAS: &res}, nil
+}
+
+// predictNASSpec is the closed-form runtime model behind the fast
+// path's residual gate. Only the embarrassingly-parallel regime is
+// covered — EP without hyper-threading, at most one rank per physical
+// core — where compute divides evenly across ranks at the solo cache
+// profile and communication is three latency-bound all-reduces. Every
+// other shape returns an error, rejecting the region ("no_model").
+func predictNASSpec(sp scenario.Spec) (float64, error) {
+	o, err := nasOptions(sp, Exec{})
+	if err != nil {
+		return 0, err
+	}
+	if o.Bench != nas.EP {
+		return 0, fmt.Errorf("runner: analytic model covers EP only (got %s)", o.Bench)
+	}
+	if o.HTT {
+		return 0, fmt.Errorf("runner: analytic model assumes no hyper-threading")
+	}
+	cp := cluster.Wyeast(o.Nodes, o.HTT, o.SMM)
+	if o.RanksPerNode > cp.Node.CPU.PhysCores {
+		return 0, fmt.Errorf("runner: analytic model needs one rank per physical core (got %d ranks on %d cores)",
+			o.RanksPerNode, cp.Node.CPU.PhysCores)
+	}
+	prof := nas.Profile(o.Bench)
+	cell := analytic.EPCell{
+		TotalOps:    nas.TotalOps(nas.Spec{Bench: o.Bench, Class: o.Class}),
+		Ranks:       o.Nodes * o.RanksPerNode,
+		RatePerRank: cp.Node.CPU.BaseHz / (prof.CPI + prof.MissRate*cp.Node.CPU.MissPenalty),
+		Latency:     cp.Fabric.Latency,
+		Collectives: 3,
+	}
+	return cell.Time()
+}
+
+// secondsNAS extracts the simulated mean seconds the residual gate
+// compares against the prediction.
+func secondsNAS(m Measurement) (float64, bool) {
+	if m.NAS == nil {
+		return 0, false
+	}
+	return m.NAS.Seconds(), true
+}
+
+// analyticNASSpec synthesizes the opt-in "model" tier's measurement:
+// the closed-form predicted runtime in the shape of a measured cell.
+func analyticNASSpec(sp scenario.Spec, predictedSeconds float64) (Measurement, error) {
+	o, err := nasOptions(sp, Exec{})
+	if err != nil {
+		return Measurement{}, err
+	}
+	runs := o.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	t := sim.FromSeconds(predictedSeconds)
+	res := NASResult{
+		Options:  o,
+		Ranks:    o.Nodes * o.RanksPerNode,
+		MeanTime: t,
+		Times:    make([]sim.Time, runs),
+		MOPs:     nas.MOPs(nas.Spec{Bench: o.Bench, Class: o.Class}, predictedSeconds),
+		Verified: true,
+	}
+	for i := range res.Times {
+		res.Times[i] = t
+	}
+	return Measurement{NAS: &res}, nil
 }

@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"smistudy/internal/faults"
+	"smistudy/internal/mpi"
+	"smistudy/internal/nas"
+	"smistudy/internal/obs"
+	"smistudy/internal/sim"
+	"smistudy/internal/smm"
+)
+
+func nasJSON(t *testing.T, o NASOptions) []byte {
+	t.Helper()
+	res, err := RunNAS(o)
+	if err != nil {
+		t.Fatalf("RunNAS(%+v): %v", o, err)
+	}
+	m := Measurement{NAS: &res}
+	data, err := m.JSON()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+// TestShardedEPByteIdentical is the sharding contract: a steady-state
+// EP cell run over 2 or 4 engine shards serializes byte-identically to
+// the sequential engine.
+func TestShardedEPByteIdentical(t *testing.T) {
+	base := NASOptions{Bench: nas.EP, Class: nas.ClassA, Nodes: 4, RanksPerNode: 1, Runs: 2, Seed: 1}
+	want := nasJSON(t, base)
+	for _, shards := range []int{2, 4, 8} {
+		o := base
+		o.Shards = shards
+		if got := nasJSON(t, o); !bytes.Equal(got, want) {
+			t.Errorf("shards=%d: result differs from sequential run:\n%s\nvs\n%s", shards, got, want)
+		}
+	}
+}
+
+// TestShardedEPAttemptServes proves the equivalence test above is not
+// vacuous: the eligible EP shape really runs sharded, not via fallback.
+func TestShardedEPAttemptServes(t *testing.T) {
+	o := NASOptions{Bench: nas.EP, Class: nas.ClassA, Nodes: 4, RanksPerNode: 1, Shards: 4}
+	if !shardableNAS(o, faults.Schedule{}) {
+		t.Fatalf("EP cell unexpectedly ineligible for sharding")
+	}
+	r, _, events, ok := tryShardedNAS(o, mpi.DefaultParams(), 1)
+	if !ok {
+		t.Fatalf("sharded EP attempt aborted; want it to serve")
+	}
+	if r.Ranks != 4 || !r.Verified || r.Time <= 0 {
+		t.Fatalf("sharded EP result implausible: %+v", r)
+	}
+	if events == 0 {
+		t.Fatalf("sharded run reported zero engine events")
+	}
+}
+
+// TestShardedRendezvousFallsBack: BT's face exchanges exceed the eager
+// limit, so the sharded attempt must abort on the rendezvous protocol —
+// and RunNAS must still produce the sequential bytes via the fallback.
+func TestShardedRendezvousFallsBack(t *testing.T) {
+	o := NASOptions{Bench: nas.BT, Class: nas.ClassA, Nodes: 4, RanksPerNode: 1, Shards: 4}
+	if !shardableNAS(o, faults.Schedule{}) {
+		t.Fatalf("BT cell should be eligible (the abort happens at run time)")
+	}
+	if _, _, _, ok := tryShardedNAS(o, mpi.DefaultParams(), 1); ok {
+		t.Fatalf("BT sharded attempt served; want a rendezvous abort")
+	}
+	base := NASOptions{Bench: nas.BT, Class: nas.ClassA, Nodes: 4, RanksPerNode: 1, Runs: 1, Seed: 1}
+	want := nasJSON(t, base)
+	sharded := base
+	sharded.Shards = 4
+	if got := nasJSON(t, sharded); !bytes.Equal(got, want) {
+		t.Errorf("BT fallback result differs from sequential run")
+	}
+}
+
+// TestShardableNASGating enumerates the ineligible shapes.
+func TestShardableNASGating(t *testing.T) {
+	ok := NASOptions{Bench: nas.EP, Class: nas.ClassA, Nodes: 4, RanksPerNode: 1, Shards: 2}
+	cases := []struct {
+		name  string
+		mut   func(*NASOptions)
+		sched faults.Schedule
+	}{
+		{name: "shards_1", mut: func(o *NASOptions) { o.Shards = 1 }},
+		{name: "single_node", mut: func(o *NASOptions) { o.Nodes = 1 }},
+		{name: "smm_active", mut: func(o *NASOptions) { o.SMM = smm.SMMShort }},
+		{name: "traced", mut: func(o *NASOptions) { o.Tracer = obs.NewBus() }},
+		{name: "faulted", mut: func(o *NASOptions) {},
+			sched: FaultPlan{DegradeAt: sim.Second, DegradeFor: sim.Second, DegradeSlow: 2}.Schedule()},
+	}
+	if !shardableNAS(ok, faults.Schedule{}) {
+		t.Fatalf("baseline shape should be shardable")
+	}
+	for _, tc := range cases {
+		o := ok
+		tc.mut(&o)
+		if shardableNAS(o, tc.sched) {
+			t.Errorf("%s: want ineligible", tc.name)
+		}
+	}
+}
+
+// TestShardedWithRanksPerNode covers intra-node (loopback) traffic mixed
+// with cross-shard traffic: 2 ranks per node keeps messages eager and
+// exercises the same-node fast path inside shard windows.
+func TestShardedWithRanksPerNode(t *testing.T) {
+	base := NASOptions{Bench: nas.EP, Class: nas.ClassS, Nodes: 2, RanksPerNode: 2, Runs: 1, Seed: 1}
+	want := nasJSON(t, base)
+	sharded := base
+	sharded.Shards = 2
+	if got := nasJSON(t, sharded); !bytes.Equal(got, want) {
+		t.Errorf("rpn=2 sharded result differs from sequential run")
+	}
+}

@@ -26,6 +26,9 @@ type UnixBenchOptions struct {
 	// Tracer, when non-nil, receives the run's observability events.
 	// Execution-only: excluded from the serialized measurement.
 	Tracer obs.Tracer `json:"-"`
+	// Stats, when non-nil, accumulates simulated-run and engine-event
+	// counts. Execution-only accounting: cannot change a result.
+	Stats *ExecStats `json:"-"`
 }
 
 // UnixBenchResult is one iteration's scores.
@@ -70,6 +73,7 @@ func RunUnixBench(o UnixBenchOptions) (UnixBenchResult, error) {
 	}
 	r := ubench.Run(cl, cfg)
 	cellFinish(rt, e, seed)
+	o.Stats.AddRun(e.Events())
 	return UnixBenchResult{Options: o, Score: r.Score, Tests: r.Tests}, nil
 }
 
@@ -124,5 +128,6 @@ func unixBenchOptions(sp scenario.Spec, x Exec) (UnixBenchOptions, error) {
 		Duration:      sim.FromSeconds(sp.Params.DurationS),
 		SMIScale:      sp.SMM.SMIScale,
 		Tracer:        x.Tracer,
+		Stats:         x.Stats,
 	}, nil
 }

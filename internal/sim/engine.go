@@ -127,13 +127,14 @@ func (h eventHeap) siftDown(i int) bool {
 // concurrent use; model code must only touch it from event callbacks or
 // from the currently-running process.
 type Engine struct {
-	now     Time
-	queue   eventHeap
-	free    []*Event // recycled Event objects, reused by At/After
-	seq     uint64
-	rng     *rand.Rand
-	running bool
-	stopped bool
+	now       Time
+	queue     eventHeap
+	free      []*Event // recycled Event objects, reused by At/After
+	seq       uint64
+	processed uint64 // events fired over the engine's lifetime
+	rng       *rand.Rand
+	running   bool
+	stopped   bool
 
 	yield chan struct{} // process -> engine handoff
 	procs map[*Proc]struct{}
@@ -237,6 +238,25 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Events reports how many events the engine has fired over its
+// lifetime. The counter rides the existing pop in RunUntil, so keeping
+// it costs no allocation and no extra branch on the scheduling path.
+func (e *Engine) Events() uint64 { return e.processed }
+
+// HasPendingAt reports whether any pending event is scheduled at exactly
+// time t. The sharded fabric uses it to detect a cross-shard delivery
+// landing at the same instant as a shard-local event — an ordering the
+// sequential engine resolves by global scheduling order, which a shard
+// cannot reconstruct, so the run must abort instead of guessing.
+func (e *Engine) HasPendingAt(t Time) bool {
+	for _, ev := range e.queue {
+		if ev.at == t {
+			return true
+		}
+	}
+	return false
+}
+
 // PeekTime reports the time of the next pending event, or Forever if the
 // queue is empty.
 func (e *Engine) PeekTime() Time {
@@ -262,6 +282,7 @@ func (e *Engine) RunUntil(limit Time) {
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= limit {
 		ev := e.queue.popMin()
 		e.now = ev.at
+		e.processed++
 		if e.probe != nil {
 			e.probe.EngineEvent(ProbeFire)
 		}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardGroup runs several engines in lockstep windows, the conservative
+// (null-message-free) parallel discrete-event scheme: model state is
+// partitioned so each engine owns a disjoint shard, and a window never
+// extends past the earliest pending event plus the cross-shard lookahead,
+// so no shard can receive an interaction dated inside a window it has
+// already executed. Within a window the engines run on concurrent
+// goroutines; between windows a single-threaded flush callback applies
+// the interactions the shards queued for each other.
+//
+// The group itself knows nothing about what crosses shards — the model
+// layer (netsim's sharded fabric) queues cross-shard work during windows
+// and applies it in the flush. Determinism therefore rests on two
+// obligations the model layer must uphold: shards only touch their own
+// state during windows, and the flush orders queued interactions by a
+// schedule-independent key. When the model cannot keep an interaction
+// order-independent it calls Abort and the whole run is discarded.
+type ShardGroup struct {
+	engs      []*Engine
+	lookahead Time
+
+	aborted atomic.Bool
+	stopped atomic.Bool
+}
+
+// NewShardGroup groups the engines with the given cross-shard lookahead:
+// the minimum model-time distance between an interaction's cause on one
+// shard and its earliest effect on another (for a network fabric, the
+// wire latency).
+func NewShardGroup(engs []*Engine, lookahead Time) *ShardGroup {
+	if len(engs) == 0 {
+		panic("sim: empty shard group")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive shard lookahead %v", lookahead))
+	}
+	return &ShardGroup{engs: engs, lookahead: lookahead}
+}
+
+// Engines returns the grouped engines in shard order.
+func (g *ShardGroup) Engines() []*Engine { return g.engs }
+
+// Abort marks the run unsalvageable: Run returns after the current
+// window and the caller must discard all shard state. Safe from any
+// goroutine.
+func (g *ShardGroup) Abort() { g.aborted.Store(true) }
+
+// Aborted reports whether Abort was called.
+func (g *ShardGroup) Aborted() bool { return g.aborted.Load() }
+
+// Stop makes Run return after the current window, like Engine.Stop.
+// Safe from any goroutine (model completion hooks run inside windows).
+func (g *ShardGroup) Stop() { g.stopped.Store(true) }
+
+// Run executes windows until every engine's queue is empty (after a
+// final flush), or Stop or Abort is called. flush runs single-threaded
+// between windows to apply queued cross-shard interactions; it may
+// schedule events on any engine at or after that engine's current time.
+func (g *ShardGroup) Run(flush func()) {
+	g.stopped.Store(false)
+	for !g.stopped.Load() && !g.aborted.Load() {
+		tmin := Forever
+		for _, e := range g.engs {
+			if t := e.PeekTime(); t < tmin {
+				tmin = t
+			}
+		}
+		if tmin == Forever {
+			return
+		}
+		limit := tmin + g.lookahead
+		if len(g.engs) == 1 {
+			g.engs[0].RunUntil(limit)
+		} else {
+			var wg sync.WaitGroup
+			for _, e := range g.engs {
+				wg.Add(1)
+				go func(e *Engine) {
+					defer wg.Done()
+					e.RunUntil(limit)
+				}(e)
+			}
+			wg.Wait()
+		}
+		flush()
+	}
+}
+
+// Shutdown shuts every engine down (killing parked processes), for
+// discarding an aborted run without leaking goroutines. It reports the
+// total number of processes killed.
+func (g *ShardGroup) Shutdown() int {
+	leaked := 0
+	for _, e := range g.engs {
+		leaked += e.Shutdown()
+	}
+	return leaked
+}

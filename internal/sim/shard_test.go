@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardGroupLockstep checks the window invariant: no engine runs
+// past the earliest pending event plus the lookahead before the barrier,
+// so a flush can always inject interactions dated lookahead past any
+// event without violating causality on the receiving engine.
+func TestShardGroupLockstep(t *testing.T) {
+	a, b := New(1), New(2)
+	g := NewShardGroup([]*Engine{a, b}, 10)
+
+	var mu sync.Mutex
+	var fired []int
+	record := func(id int) func() {
+		return func() {
+			mu.Lock()
+			fired = append(fired, id)
+			mu.Unlock()
+		}
+	}
+	// a's first event at 0, b's far later: window one must cover only
+	// [0, 10], so b's event at 50 cannot fire before the first flush.
+	a.At(0, record(1))
+	b.At(50, record(2))
+	flushes := 0
+	g.Run(func() {
+		flushes++
+		if flushes == 1 {
+			mu.Lock()
+			got := append([]int(nil), fired...)
+			mu.Unlock()
+			if len(got) != 1 || got[0] != 1 {
+				t.Fatalf("after window one, fired = %v; want [1]", got)
+			}
+			// A flush may schedule past the receiving engine's horizon.
+			b.At(60, record(3))
+		}
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v; want all three events", fired)
+	}
+	if a.Now() < 0 || b.Now() < 60 {
+		t.Fatalf("clocks did not advance: a=%v b=%v", a.Now(), b.Now())
+	}
+}
+
+// TestShardGroupAbort: Abort stops the run at the next barrier and
+// Shutdown reaps whatever the shards still hold.
+func TestShardGroupAbort(t *testing.T) {
+	a, b := New(1), New(2)
+	g := NewShardGroup([]*Engine{a, b}, 5)
+	ran := 0
+	a.At(0, func() { ran++ })
+	a.At(100, func() { ran++ })
+	g.Run(func() { g.Abort() })
+	if !g.Aborted() {
+		t.Fatal("Aborted() = false after Abort")
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events; want 1 (abort after first window)", ran)
+	}
+	if leaked := g.Shutdown(); leaked != 0 {
+		t.Fatalf("Shutdown leaked %d procs", leaked)
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("%d events still pending after Shutdown", a.Pending())
+	}
+}
+
+// TestShardGroupStop: Stop ends the run at the next barrier even with
+// work outstanding, mirroring Engine.Stop.
+func TestShardGroupStop(t *testing.T) {
+	a, b := New(1), New(2)
+	g := NewShardGroup([]*Engine{a, b}, 5)
+	a.At(0, func() { g.Stop() })
+	b.At(1000, func() { t.Error("event past Stop fired") })
+	g.Run(func() {})
+	if g.Aborted() {
+		t.Fatal("Stop must not mark the group aborted")
+	}
+}
+
+// TestHasPendingAt exercises the tie-detection helper the sharded
+// fabric relies on.
+func TestHasPendingAt(t *testing.T) {
+	e := New(1)
+	e.At(5, func() {})
+	ev := e.At(9, func() {})
+	if !e.HasPendingAt(5) || !e.HasPendingAt(9) {
+		t.Fatal("scheduled times not reported pending")
+	}
+	if e.HasPendingAt(7) {
+		t.Fatal("unscheduled time reported pending")
+	}
+	e.Cancel(ev)
+	if e.HasPendingAt(9) {
+		t.Fatal("canceled event still reported pending")
+	}
+}
