@@ -1,0 +1,124 @@
+// Command smireport turns run artifacts into reports. It consumes any
+// subset of the files a smisim run leaves behind — the Chrome trace
+// stream (-trace), the metrics snapshot (-metrics), the run manifest
+// (-manifest) and the durable result store (-store) — and produces a
+// self-contained HTML report (-html) and/or a machine-readable JSON
+// document (-json).
+//
+// The report answers three questions the raw artifacts only imply:
+//
+//   - Where did the wall time go? A time-attribution tree decomposes
+//     every CPU's timeline into compute, SMM-stolen, comm-wait,
+//     fault-retransmit and idle — exactly, so the categories sum to the
+//     wall time and any residue is flagged as an invariant violation.
+//   - What did the run look like? A flame/icicle SVG of every timeline
+//     in the trace, embedded inline (no scripts, no external assets).
+//   - Which knobs mattered? Sweep cells from the durable store are
+//     featurized and clustered; each scenario dimension is scored by
+//     how well it explains the clusters, separating causal dimensions
+//     (the SMI interval) from noise (the seed).
+//
+// Exit status: 0 on success, 1 on failure, 2 on usage errors, and 3
+// when -check is set and any attribution invariant is violated — the
+// mode CI uses to turn a silently-wrong trace pipeline into a red
+// build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smistudy/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smireport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tracePath := fs.String("trace", "", "Chrome trace-event stream from a smisim -trace run")
+	metricsPath := fs.String("metrics", "", "metrics snapshot JSON from a smisim -metrics run")
+	manifestPath := fs.String("manifest", "", "run manifest JSON from a smisim -manifest run")
+	storeDir := fs.String("store", "", "durable result store directory from a smisim -store sweep")
+	htmlOut := fs.String("html", "", "write the self-contained HTML report to this file")
+	jsonOut := fs.String("json", "", "write the machine-readable JSON report to this file (- for stdout)")
+	check := fs.Bool("check", false, "exit 3 if any attribution invariant is violated")
+	flameRuns := fs.Int("flame-runs", 4, "render flame timelines for at most this many runs")
+	tol := fs.Float64("tol", 0.01, "attribution invariant tolerance as a fraction of wall time")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "smireport: %v\n", err)
+		return 1
+	}
+	usage := func(err error) int {
+		fmt.Fprintf(stderr, "smireport: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return usage(fmt.Errorf("unexpected argument %q", fs.Arg(0)))
+	}
+	if *htmlOut == "" && *jsonOut == "" && !*check {
+		return usage(fmt.Errorf("nothing to do: give -html, -json or -check"))
+	}
+
+	r, err := report.Build(report.Inputs{
+		TracePath:    *tracePath,
+		MetricsPath:  *metricsPath,
+		ManifestPath: *manifestPath,
+		StoreDir:     *storeDir,
+		FlameRuns:    *flameRuns,
+		Tol:          *tol,
+	})
+	if err != nil {
+		if *tracePath == "" && *metricsPath == "" && *manifestPath == "" && *storeDir == "" {
+			return usage(err)
+		}
+		return fail(err)
+	}
+
+	if *jsonOut != "" {
+		data, err := r.JSON()
+		if err != nil {
+			return fail(err)
+		}
+		if *jsonOut == "-" {
+			if _, err := stdout.Write(data); err != nil {
+				return fail(err)
+			}
+		} else {
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "json → %s\n", *jsonOut)
+		}
+	}
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, r.HTML(), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "html → %s\n", *htmlOut)
+	}
+
+	for _, w := range r.Warnings {
+		fmt.Fprintf(stderr, "smireport: warning: %s\n", w)
+	}
+	if len(r.Violations) > 0 {
+		for _, v := range r.Violations {
+			fmt.Fprintf(stderr, "smireport: violation: %s: %s\n", v.Path, v.Detail)
+		}
+		if *check {
+			fmt.Fprintf(stderr, "smireport: %d attribution invariant(s) violated\n", len(r.Violations))
+			return 3
+		}
+	} else if *check {
+		fmt.Fprintln(stdout, "attribution invariants hold")
+	}
+	return 0
+}

@@ -249,6 +249,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Store flags are excluded: the store is a local cache location, not
 	// part of what the run measures.
 	manifest := obs.Capture("smisim", fs, "trace", "metrics", "manifest", "replay", "store", "resume")
+	// Echo the canonical spec: the manifest then carries the cell's
+	// content-address identity, which is what smireport and the durable
+	// store key on.
+	if data, err := spec.JSON(); err == nil {
+		manifest.Scenario = data
+	}
 	writeManifest := func() int {
 		if *manifestOut == "" {
 			return 0
@@ -304,8 +310,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	finish := func() error {
 		if sink != nil {
-			if err := sink.Close(); err != nil {
-				return err
+			cerr := sink.Close()
+			// Sink accounting lands in the manifest even when the writer
+			// errored — especially then: a lossy trace that looks complete
+			// is the failure mode smireport's warnings exist to catch.
+			st := &obs.SinkStats{TraceEvents: sink.Events()}
+			if werr := sink.Err(); werr != nil {
+				st.TraceError = werr.Error()
+			}
+			manifest.Obs = st
+			if cerr != nil {
+				return cerr
 			}
 			if err := traceFile.Close(); err != nil {
 				return err
@@ -386,8 +401,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  drops       = %d\n", m.NAS.Dropped)
 			fmt.Fprintf(stdout, "  retransmits = %d\n", m.NAS.Retransmits)
 		}
-		if err := finish(); err != nil {
-			return fail(err)
+		ferr := finish()
+		writeManifest()
+		if ferr != nil {
+			return fail(ferr)
 		}
 		return 0
 	}
@@ -397,8 +414,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := printMeasurement(stdout, spec, m); err != nil {
 		return fail(err)
 	}
-	if err := finish(); err != nil {
-		return fail(err)
+	ferr := finish()
+	// The final manifest write carries the sink accounting finish just
+	// recorded; a write failure there still leaves the pre-run manifest.
+	writeManifest()
+	if ferr != nil {
+		return fail(ferr)
 	}
 	return 0
 }

@@ -120,6 +120,15 @@ func RunSpecs(ctx context.Context, specs []scenario.Spec, o Options) ([]runner.M
 			plans[i] = plan{first: -1}
 			continue
 		}
+		if o.Store != nil {
+			// Record the key's canonical spec alongside its objects so a
+			// report can walk the journal back to what each cell measured.
+			// Best-effort: a failed spec write costs report metadata, not
+			// results, so it must not fail the sweep.
+			if data, jerr := sp.JSON(); jerr == nil {
+				_ = o.Store.PutSpec(key, data)
+			}
+		}
 		w, _ := runner.Lookup(sp.Workload)
 		var cells []scenario.Spec
 		if w.Split != nil {

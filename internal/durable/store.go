@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"smistudy/internal/scenario"
 )
@@ -115,6 +116,79 @@ func (s *Store) Get(key string, run int) ([]byte, error) {
 		return nil, fmt.Errorf("durable: object %s run %d fails its checksum", key, run)
 	}
 	return data, nil
+}
+
+// specPath is where a key's canonical spec document lives. The spec is
+// report metadata, not result data: the journal never references it,
+// so stores written before it existed stay fully valid (reports simply
+// lose the spec-dimension analysis for those keys).
+func (s *Store) specPath(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key+".spec.json")
+}
+
+// PutSpec records a key's canonical spec document (idempotent: the
+// content address guarantees identical bytes, so an existing file is
+// left alone). This is the journal → report linkage: with it, a report
+// can enumerate a sweep's cells and recover what each one measured.
+func (s *Store) PutSpec(key string, spec []byte) error {
+	p := s.specPath(key)
+	if _, err := os.Stat(p); err == nil {
+		return nil
+	}
+	// The spec is written at planning time, before any result object
+	// has created the key's shard directory.
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".spec-*")
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := tmp.Write(spec); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("durable: %w", err)
+	}
+	return nil
+}
+
+// SpecJSON loads a key's canonical spec document. A missing spec is
+// not an error in the store's own terms (old stores never wrote one);
+// callers get os.ErrNotExist semantics to branch on.
+func (s *Store) SpecJSON(key string) ([]byte, error) {
+	return os.ReadFile(s.specPath(key))
+}
+
+// Cell identifies one journaled completion.
+type Cell struct {
+	Key string
+	Run int
+}
+
+// Cells enumerates every journaled completion, sorted by (Key, Run) so
+// enumeration order is deterministic regardless of execution order.
+func (s *Store) Cells() []Cell {
+	s.journal.mu.Lock()
+	out := make([]Cell, 0, len(s.journal.done))
+	for id := range s.journal.done {
+		out = append(out, Cell{Key: id.key, Run: id.run})
+	}
+	s.journal.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Run < out[j].Run
+	})
+	return out
 }
 
 // Put persists a finished cell: the object lands via temp-file +

@@ -6,9 +6,11 @@ import (
 	"smistudy/internal/sim"
 )
 
-// Default histogram bucket bounds, in microseconds. Spans the paper's
-// SMM residency range (tens of µs to a few ms) and fabric latencies.
-var defaultUSBounds = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000}
+// Default histogram bucket bounds, in microseconds: fixed log2 buckets
+// from 8 µs to ~131 ms, spanning the paper's SMM residency range (tens
+// of µs to a few ms) and fabric latencies with equal per-decade
+// resolution. The report pipeline renders these distributions directly.
+var defaultUSBounds = Log2Bounds(8, 1<<17)
 
 // Bus is the per-run observability hub: it fans events out to attached
 // sinks and derives registry metrics from them centrally, so emit sites

@@ -37,30 +37,43 @@ type ChromeSink struct {
 	err     error
 	started bool
 	first   bool
+	events  int64
 
-	procNamed   map[int32]bool
-	threadNamed map[int64]bool
-	procNames   map[int32]string // pre-registered display names
+	procNamed   map[int64]bool
+	threadNamed map[trackKey]bool
+	procNames   map[int64]string // pre-registered display names
+}
+
+// trackKey identifies one (process, thread) timeline.
+type trackKey struct {
+	pid int64
+	tid int32
 }
 
 // NewChromeSink returns a sink streaming to w.
 func NewChromeSink(w io.Writer) *ChromeSink {
 	return &ChromeSink{
 		w:           w,
-		procNamed:   map[int32]bool{},
-		threadNamed: map[int64]bool{},
-		procNames:   map[int32]string{},
+		procNamed:   map[int64]bool{},
+		threadNamed: map[trackKey]bool{},
+		procNames:   map[int64]string{},
 	}
 }
 
 // NameProcess pre-registers a display name for the (run, node) process,
 // overriding the default "run R · node N" label.
 func (c *ChromeSink) NameProcess(run, node int32, name string) {
-	c.procNames[pidFor(run, node)] = name
+	c.procNames[PidFor(run, node)] = name
 }
 
-// Err reports the first write error, if any.
+// Err reports the first write error, if any. A trace whose sink
+// reported an error is lossy: downstream consumers (smireport) must
+// treat attribution computed from it as approximate.
 func (c *ChromeSink) Err() error { return c.err }
+
+// Events reports how many trace records (spans, instants, metadata)
+// were written. Manifests record it so a reader can detect truncation.
+func (c *ChromeSink) Events() int64 { return c.events }
 
 // Close terminates the JSON document. The sink must not be used after.
 func (c *ChromeSink) Close() error {
@@ -75,7 +88,18 @@ func (c *ChromeSink) Close() error {
 	return c.err
 }
 
-func pidFor(run, node int32) int32 { return run*1024 + node + 1 }
+// PidFor maps a (run, node) pair onto its trace-process id: runs own
+// disjoint blocks of 1024 pids, node -1 (the run's cluster-scoped
+// events) takes the block's first slot. The result is 64-bit so sweep
+// traces with millions of cells never wrap: pids stay unique for any
+// run index as long as node < 1023, far above the modeled topologies.
+// SplitPid is the inverse.
+func PidFor(run, node int32) int64 { return int64(run)*1024 + int64(node) + 1 }
+
+// SplitPid recovers the (run, node) pair PidFor encoded.
+func SplitPid(pid int64) (run, node int32) {
+	return int32(pid / 1024), int32(pid%1024) - 1
+}
 
 // us renders a sim.Time as Chrome's microsecond timestamps.
 func us(t sim.Time) string {
@@ -108,17 +132,19 @@ func (c *ChromeSink) raw(s string) {
 		}
 	}
 	c.first = false
-	_, c.err = io.WriteString(c.w, s)
+	if _, c.err = io.WriteString(c.w, s); c.err == nil {
+		c.events++
+	}
 }
 
-func (c *ChromeSink) meta(pid, tid int32, kind, name string) {
+func (c *ChromeSink) meta(pid int64, tid int32, kind, name string) {
 	c.raw(fmt.Sprintf(`{"name":%q,"ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
 		kind, pid, tid, jstr(name)))
 }
 
 // ensureTrack lazily emits process_name / thread_name metadata.
-func (c *ChromeSink) ensureTrack(run, node, tid int32, threadName string) int32 {
-	pid := pidFor(run, node)
+func (c *ChromeSink) ensureTrack(run, node, tid int32, threadName string) int64 {
+	pid := PidFor(run, node)
 	if !c.procNamed[pid] {
 		c.procNamed[pid] = true
 		name, ok := c.procNames[pid]
@@ -136,7 +162,7 @@ func (c *ChromeSink) ensureTrack(run, node, tid int32, threadName string) int32 
 		}
 		c.meta(pid, 0, "process_name", name)
 	}
-	key := int64(pid)<<32 | int64(uint32(tid))
+	key := trackKey{pid, tid}
 	if !c.threadNamed[key] {
 		c.threadNamed[key] = true
 		c.meta(pid, tid, "thread_name", threadName)
@@ -145,32 +171,35 @@ func (c *ChromeSink) ensureTrack(run, node, tid int32, threadName string) int32 
 }
 
 // complete writes an "X" span.
-func (c *ChromeSink) complete(pid, tid int32, name, cat string, start, dur sim.Time, a, b int64) {
+func (c *ChromeSink) complete(pid int64, tid int32, name, cat string, start, dur sim.Time, a, b int64) {
 	c.raw(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"a":%d,"b":%d}}`,
 		jstr(name), cat, us(start), us(dur), pid, tid, a, b))
 }
 
 // instant writes an "i" thread-scoped instant.
-func (c *ChromeSink) instant(pid, tid int32, name, cat string, t sim.Time, a, b int64) {
+func (c *ChromeSink) instant(pid int64, tid int32, name, cat string, t sim.Time, a, b int64) {
 	c.raw(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"a":%d,"b":%d}}`,
 		jstr(name), cat, us(t), pid, tid, a, b))
 }
 
 // beginEnd writes a "B" or "E" duration edge.
-func (c *ChromeSink) beginEnd(ph string, pid, tid int32, name, cat string, t sim.Time) {
+func (c *ChromeSink) beginEnd(ph string, pid int64, tid int32, name, cat string, t sim.Time) {
 	c.raw(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":%q,"ts":%s,"pid":%d,"tid":%d}`,
 		jstr(name), cat, ph, us(t), pid, tid))
 }
 
 // Tid constants for fixed per-node tracks (see the type comment).
+// Exported via the Track* constants in stream.go; these aliases keep
+// the emit switch readable.
 const (
-	tidNet       = 900
-	tidFault     = 901
-	tidProf      = 902
-	tidTransport = 903
-	tidTasks     = 998
-	tidSMM       = 1000
-	tidCells     = 1
+	tidNet       = TidNet
+	tidFault     = TidFault
+	tidProf      = TidProf
+	tidTransport = TidTransport
+	tidTasks     = TidTasks
+	tidSMM       = TidSMM
+	tidCells     = TidCells
+	tidFastPath  = TidFastPath
 )
 
 // Emit implements Tracer.
@@ -233,6 +262,23 @@ func (c *ChromeSink) Emit(ev Event) {
 	case EvSweepCellFinish:
 		pid := c.ensureTrack(ev.Run, -1, tidCells, "cells")
 		c.complete(pid, tidCells, "cell", cat, ev.Time-ev.Dur, ev.Dur, ev.A, ev.B)
+	case EvSweepCellCached, EvSweepCellRetry, EvSweepCellTimeout, EvSweepCellFail:
+		pid := c.ensureTrack(ev.Run, -1, tidCells, "cells")
+		name := ev.Type.String()
+		if ev.Name != "" {
+			name += " " + ev.Name
+		}
+		c.instant(pid, tidCells, name, cat, ev.Time, ev.A, ev.B)
+	case EvFastPathHit, EvFastPathMiss, EvFastPathCertify:
+		// Dispatcher decisions land on the run's cluster process so a
+		// report can tell fast-path-served cells (no engine timeline at
+		// all) from simulated ones.
+		pid := c.ensureTrack(ev.Run, -1, tidFastPath, "fastpath")
+		name := ev.Type.String()
+		if ev.Name != "" {
+			name += " " + ev.Name
+		}
+		c.instant(pid, tidFastPath, name, cat, ev.Time, ev.A, ev.B)
 	case EvUserSpan:
 		pid := c.ensureTrack(ev.Run, ev.Node, ev.Track, ev.Name)
 		c.complete(pid, ev.Track, ev.Name, cat, ev.Time-ev.Dur, ev.Dur, ev.A, ev.B)

@@ -19,11 +19,33 @@ import (
 // Serialization is deterministic — Go marshals the flag map with sorted
 // keys and the manifest carries no timestamps — so capture → JSON →
 // Load → JSON is byte-identical, which CI asserts.
+// ManifestSchema is the manifest document revision Capture stamps.
+// Manifests without the field predate versioning and read as schema 1;
+// LoadManifest accepts both (the backward-compat test pins that old
+// documents still load and replay).
+//
+//	1  PR 3: command, flags, versions (+ durable/fastpath blocks later)
+//	2  PR 8: schema field itself, obs sink-loss stats, scenario echo
+const ManifestSchema = 2
+
 type Manifest struct {
+	// Schema is the manifest document revision (see ManifestSchema).
+	// Zero means a pre-versioning document — treat as 1.
+	Schema    int               `json:"schema,omitempty"`
 	Command   string            `json:"command"`
 	Version   string            `json:"version"`    // obs package revision
 	GoVersion string            `json:"go_version"` // toolchain that produced the run
 	Flags     map[string]string `json:"flags"`
+	// Scenario, when present, is the canonical encoding of the scenario
+	// spec the run measured — the content-address identity the durable
+	// store and the report pipeline key on. Raw so obs stays decoupled
+	// from the scenario package.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// Obs, when present, records the run's observability sink
+	// accounting: how many trace records were written, whether the
+	// trace writer errored, and ring retention. A report consumer uses
+	// it to detect lossy traces before trusting attribution.
+	Obs *SinkStats `json:"obs,omitempty"`
 	// Durable, when present, records the durable sweep layer's execution
 	// accounting for the run: attempts, retries, timeouts and store
 	// cache activity. It is attached after the run finishes (or is
@@ -39,6 +61,28 @@ type Manifest struct {
 	// the run dispatched with -fastpath off, keeping legacy manifests
 	// byte-identical.
 	FastPath *FastPathStats `json:"fastpath,omitempty"`
+}
+
+// SinkStats records where the run's observability outputs could have
+// lost data. A truncated or write-errored trace is not an error for the
+// run itself — the measurement is unaffected — but any attribution
+// computed from it is approximate, and the manifest is how that fact
+// survives to the report.
+type SinkStats struct {
+	// TraceEvents counts records the Chrome sink wrote (metadata
+	// included). A reader that parses fewer has a truncated file.
+	TraceEvents int64 `json:"trace_events,omitempty"`
+	// TraceError is the trace sink's first write error, if any.
+	TraceError string `json:"trace_error,omitempty"`
+	// Ring accounting, when an in-memory ring was attached: total
+	// events emitted and how many fell off the ring.
+	RingTotal   int64 `json:"ring_total,omitempty"`
+	RingDropped int64 `json:"ring_dropped,omitempty"`
+}
+
+// Lossy reports whether any sink lost or may have lost events.
+func (s *SinkStats) Lossy() bool {
+	return s != nil && (s.TraceError != "" || s.RingDropped > 0)
 }
 
 // FastPathStats is the analytic fast-path dispatcher's per-run
@@ -116,6 +160,7 @@ func isOutputFlag(name string, exclude []string) bool {
 // excluded (output) flags. Call after fs.Parse.
 func Capture(command string, fs *flag.FlagSet, exclude ...string) Manifest {
 	m := Manifest{
+		Schema:    ManifestSchema,
 		Command:   command,
 		Version:   Version,
 		GoVersion: runtime.Version(),

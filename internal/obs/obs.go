@@ -22,7 +22,7 @@ package obs
 import "smistudy/internal/sim"
 
 // Version identifies the package revision recorded in run manifests.
-const Version = "0.3.0"
+const Version = "0.4.0"
 
 // Category groups event types for filtering and for the Chrome sink's
 // "cat" field.

@@ -120,6 +120,25 @@ func (r *Registry) Gauge(name string, id int) *Gauge {
 	return g
 }
 
+// Log2Bounds builds fixed power-of-two bucket bounds covering [lo, hi]:
+// lo, 2lo, 4lo, ... up to the first bound ≥ hi. Log2 buckets give every
+// decade the same resolution, which is the right shape for the
+// long-tailed distributions the bus records (per-SMI stolen time spans
+// tens of µs to several ms; message latencies likewise), and fixed
+// bounds mean merging and serializing never rebuckets.
+func Log2Bounds(lo, hi float64) []float64 {
+	if lo <= 0 {
+		lo = 1
+	}
+	var out []float64
+	for b := lo; ; b *= 2 {
+		out = append(out, b)
+		if b >= hi {
+			return out
+		}
+	}
+}
+
 // Histogram returns the histogram for (name, id), creating it with the
 // given bucket bounds on first use (bounds must be sorted ascending;
 // later calls reuse the existing buckets and ignore the argument).

@@ -1,0 +1,202 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"smistudy/internal/durable"
+	"smistudy/internal/obs"
+)
+
+// Inputs names the artifacts a report is built from. Every field is
+// optional, but at least one must be set; each present artifact adds
+// its section to the report.
+type Inputs struct {
+	TracePath    string // Chrome trace stream (-trace output)
+	MetricsPath  string // metrics snapshot JSON (-metrics output)
+	ManifestPath string // run manifest JSON (-manifest output)
+	StoreDir     string // durable result store (-store directory)
+
+	// FlameRuns caps how many runs get a flame rendering (default 4;
+	// the cap and what it dropped are reported, never silent).
+	FlameRuns int
+	// Tol is the attribution invariant tolerance as a fraction of the
+	// wall time (default 0.01 = 1%).
+	Tol float64
+	// Flame sizes the renderings.
+	Flame FlameOptions
+}
+
+// TraceSummary carries the trace stream's accounting into the report.
+type TraceSummary struct {
+	Records    int64 `json:"records"`
+	Spans      int   `json:"spans"`
+	Runs       int   `json:"runs"`
+	Truncated  bool  `json:"truncated,omitempty"`
+	Unbalanced int   `json:"unbalanced,omitempty"`
+}
+
+// Report is the assembled document. Its JSON encoding is the machine
+// surface (CI asserts on Violations); the HTML rendering embeds the
+// same data plus the flame SVGs.
+type Report struct {
+	Tool     string        `json:"tool"`
+	Manifest *obs.Manifest `json:"manifest,omitempty"`
+	// Warnings lists trust caveats: lossy traces, torn streams,
+	// record-count mismatches, skipped flame renderings. A warning means
+	// "read the numbers knowing this", not "the report failed".
+	Warnings []string      `json:"warnings,omitempty"`
+	Trace    *TraceSummary `json:"trace,omitempty"`
+	// Runs holds one attribution tree per traced run.
+	Runs []RunAttribution `json:"runs,omitempty"`
+	// Aggregate is the mean attribution tree across the traced runs.
+	Aggregate *Node `json:"aggregate,omitempty"`
+	// Violations collects every failed attribution invariant across all
+	// runs. CI's JSON mode requires this to be empty.
+	Violations []Violation `json:"violations"`
+	// Flames holds the per-run renderings (SVG embedded in HTML only).
+	Flames []FlameResult `json:"flames,omitempty"`
+	// Metrics is the run's metrics snapshot, histograms included.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Similarity is the cross-cell analysis over the durable store.
+	Similarity *Similarity `json:"similarity,omitempty"`
+
+	flameRuns []int32 // run ids parallel to Flames, for HTML headers
+}
+
+// Build assembles a report from whichever artifacts are present.
+func Build(in Inputs) (*Report, error) {
+	if in.TracePath == "" && in.MetricsPath == "" && in.ManifestPath == "" && in.StoreDir == "" {
+		return nil, fmt.Errorf("report: no inputs: need a trace, metrics, manifest or store")
+	}
+	if in.FlameRuns <= 0 {
+		in.FlameRuns = 4
+	}
+	if in.Tol <= 0 {
+		in.Tol = 0.01
+	}
+	r := &Report{Tool: "smireport " + obs.Version, Violations: []Violation{}}
+
+	if in.ManifestPath != "" {
+		data, err := os.ReadFile(in.ManifestPath)
+		if err != nil {
+			return nil, fmt.Errorf("report: manifest: %w", err)
+		}
+		var m obs.Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("report: manifest: %w", err)
+		}
+		r.Manifest = &m
+		if m.Schema > obs.ManifestSchema {
+			r.warn("manifest schema %d is newer than this tool (%d): fields may be missing from the report",
+				m.Schema, obs.ManifestSchema)
+		}
+		if m.Obs.Lossy() {
+			if m.Obs.TraceError != "" {
+				r.warn("trace is lossy: the writer errored (%s) — attribution undercounts everything after the failure",
+					m.Obs.TraceError)
+			}
+			if m.Obs.RingDropped > 0 {
+				r.warn("ring sink dropped %d of %d events: the retained window is partial",
+					m.Obs.RingDropped, m.Obs.RingTotal)
+			}
+		}
+	}
+
+	if in.TracePath != "" {
+		f, err := os.Open(in.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("report: trace: %w", err)
+		}
+		tr, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("report: trace: %w", err)
+		}
+		runIDs := tr.RunIDs()
+		r.Trace = &TraceSummary{
+			Records: tr.Records, Spans: len(tr.Spans), Runs: len(runIDs),
+			Truncated: tr.Truncated, Unbalanced: tr.Unbalanced,
+		}
+		if tr.Truncated {
+			r.warn("trace stream is truncated (producer killed or write-errored mid-run): the tail is missing")
+		}
+		if tr.Unbalanced > 0 {
+			r.warn("trace has %d unbalanced begin/end edges", tr.Unbalanced)
+		}
+		if r.Manifest != nil && r.Manifest.Obs != nil && r.Manifest.Obs.TraceEvents > 0 &&
+			r.Manifest.Obs.TraceEvents != tr.Records {
+			r.warn("manifest records %d trace events but the stream holds %d: trace and manifest are from different runs or the stream is damaged",
+				r.Manifest.Obs.TraceEvents, tr.Records)
+		}
+
+		r.Runs = Attribute(tr)
+		for _, ra := range r.Runs {
+			r.Violations = append(r.Violations, ra.Tree.Check(in.Tol)...)
+		}
+		r.Aggregate = Aggregate(r.Runs)
+
+		for i, run := range runIDs {
+			if i >= in.FlameRuns {
+				r.warn("flame renderings capped at %d runs: %d more traced runs not rendered (raise -flame-runs)",
+					in.FlameRuns, len(runIDs)-in.FlameRuns)
+				break
+			}
+			fl := RenderFlame(tr, run, in.Flame)
+			if fl.Dropped > 0 {
+				r.warn("run %d flame dropped %d spans to stay under the element budget", run, fl.Dropped)
+			}
+			r.Flames = append(r.Flames, fl)
+			r.flameRuns = append(r.flameRuns, run)
+		}
+	}
+
+	if in.MetricsPath != "" {
+		data, err := os.ReadFile(in.MetricsPath)
+		if err != nil {
+			return nil, fmt.Errorf("report: metrics: %w", err)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("report: metrics: %w", err)
+		}
+		r.Metrics = &snap
+	}
+
+	if in.StoreDir != "" {
+		if _, err := os.Stat(in.StoreDir); err != nil {
+			return nil, fmt.Errorf("report: store: %w", err)
+		}
+		st, err := durable.Open(in.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("report: store: %w", err)
+		}
+		cells, err := LoadCells(st)
+		st.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(cells) > 0 {
+			r.Similarity = Analyze(cells)
+		} else {
+			r.warn("store %s holds no readable cells: similarity section omitted", in.StoreDir)
+		}
+	}
+
+	return r, nil
+}
+
+func (r *Report) warn(format string, args ...interface{}) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+// JSON renders the report deterministically (flame SVGs excluded; they
+// are an HTML concern).
+func (r *Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return append(data, '\n'), nil
+}

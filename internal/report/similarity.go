@@ -1,0 +1,293 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"smistudy/internal/durable"
+	"smistudy/internal/runner"
+	"smistudy/internal/stats"
+)
+
+// This file is the cross-run similarity analysis: sweep cells are
+// featurized from their measurements, clustered, and the clustering is
+// compared against the partition each scenario dimension induces. A
+// dimension whose partition agrees with the behavior clusters (Rand
+// index near 1) is one the system responds to — for the paper's
+// Figure 2 sweep, the SMI interval; a dimension that cross-cuts the
+// clusters — the RNG seed — is noise. The analysis turns "here are 40
+// numbers" into "only these knobs mattered".
+
+// CellSample is one sweep cell prepared for similarity analysis.
+type CellSample struct {
+	Key string `json:"key"` // durable content address (may be synthetic)
+	Run int    `json:"run"` // repetition index under the key
+	// Dims holds the cell's scenario dimensions as flattened
+	// path → value strings (e.g. "smm.interval_ms" → "8").
+	Dims map[string]string `json:"dims,omitempty"`
+	// Features is the cell's behavior vector, named.
+	Features map[string]float64 `json:"features"`
+}
+
+// DimRelevance scores one scenario dimension against the behavior
+// clustering.
+type DimRelevance struct {
+	Name string `json:"name"`
+	// Values counts the dimension's distinct values across cells.
+	Values int `json:"values"`
+	// Relevance is the Rand index between the dimension's partition and
+	// the behavior clustering: near 1 means the dimension explains the
+	// clusters, near the chance level means it is noise.
+	Relevance float64 `json:"relevance"`
+}
+
+// Similarity is the full analysis result.
+type Similarity struct {
+	// Cluster holds one cluster id per input cell, parallel to Cells.
+	Cluster []int `json:"cluster"`
+	// Cells echoes key/run per input, parallel to Cluster.
+	Cells []string `json:"cells"`
+	// Clusters counts the distinct behavior clusters found.
+	Clusters int `json:"clusters"`
+	// Threshold is the merge cutoff used (distance units, z-scored).
+	Threshold float64 `json:"threshold"`
+	// FeatureNames lists the feature columns in matrix order.
+	FeatureNames []string `json:"feature_names"`
+	// Dimensions ranks the scenario dimensions by relevance, most
+	// explanatory first. Only dimensions with at least two distinct
+	// values appear (constants can't explain anything).
+	Dimensions []DimRelevance `json:"dimensions,omitempty"`
+}
+
+// Featurize builds a measurement's behavior vector. Known workloads get
+// curated features on comparable scales; anything else falls back to
+// the numeric leaves of the measurement's JSON encoding.
+func Featurize(m runner.Measurement) map[string]float64 {
+	f := map[string]float64{}
+	switch {
+	case m.NAS != nil:
+		f["seconds"] = m.NAS.MeanTime.Seconds()
+		f["mops"] = m.NAS.MOPs
+		f["residency_s"] = m.NAS.Residency.Seconds()
+		f["retransmits"] = float64(m.NAS.Retransmits)
+		f["dropped"] = float64(m.NAS.Dropped)
+	case m.Convolve != nil:
+		f["seconds"] = m.Convolve.MeanTime.Seconds()
+		f["stddev_s"] = m.Convolve.StdDev.Seconds()
+	case m.UnixBench != nil:
+		f["score"] = m.UnixBench.Score
+	default:
+		data, err := json.Marshal(m)
+		if err != nil {
+			return f
+		}
+		flat, err := FlattenJSON(data)
+		if err != nil {
+			return f
+		}
+		for path, val := range flat {
+			var x float64
+			if _, err := fmt.Sscanf(val, "%g", &x); err == nil && !strings.Contains(path, "[") {
+				f[path] = x
+			}
+		}
+	}
+	return f
+}
+
+// FlattenJSON flattens a JSON document into dotted-path → scalar-string
+// pairs; array elements get bracketed indices. Numbers keep their exact
+// textual form (json.Number), so values round-trip as dimension labels.
+func FlattenJSON(data []byte) (map[string]string, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var doc interface{}
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("report: flatten: %w", err)
+	}
+	out := map[string]string{}
+	var walk func(prefix string, v interface{})
+	walk = func(prefix string, v interface{}) {
+		switch t := v.(type) {
+		case map[string]interface{}:
+			keys := make([]string, 0, len(t))
+			for k := range t {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, t[k])
+			}
+		case []interface{}:
+			for i, e := range t {
+				walk(fmt.Sprintf("%s[%d]", prefix, i), e)
+			}
+		case json.Number:
+			out[prefix] = t.String()
+		case string:
+			out[prefix] = t
+		case bool:
+			out[prefix] = fmt.Sprintf("%v", t)
+		case nil:
+			// Absent is not a value.
+		}
+	}
+	walk("", doc)
+	return out, nil
+}
+
+// LoadCells prepares every journaled cell of a durable store for
+// analysis: measurement bytes become features, the key's spec document
+// (when present) becomes dimensions, and the repetition index is added
+// as the "rep" dimension.
+func LoadCells(st *durable.Store) ([]CellSample, error) {
+	var out []CellSample
+	for _, c := range st.Cells() {
+		data, err := st.Get(c.Key, c.Run)
+		if err != nil {
+			// Journaled but unreadable: the sweep would re-run it; the
+			// report simply analyzes without it.
+			continue
+		}
+		var m runner.Measurement
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("report: cell %s run %d: %w", c.Key, c.Run, err)
+		}
+		cs := CellSample{Key: c.Key, Run: c.Run, Features: Featurize(m)}
+		if spec, err := st.SpecJSON(c.Key); err == nil {
+			if dims, err := FlattenJSON(spec); err == nil {
+				cs.Dims = dims
+			}
+		}
+		if cs.Dims == nil {
+			cs.Dims = map[string]string{}
+		}
+		cs.Dims["rep"] = fmt.Sprintf("%d", c.Run)
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// gapThreshold picks a clustering cutoff from the pairwise distances:
+// the largest multiplicative gap in the sorted positive distances
+// separates within-group noise from between-group structure, and the
+// threshold sits inside that gap (geometric mean of its edges). Falls
+// back to the median when no meaningful gap exists.
+func gapThreshold(d [][]float64) float64 {
+	var vals []float64
+	for i := range d {
+		for j := i + 1; j < len(d); j++ {
+			if d[i][j] > 0 {
+				vals = append(vals, d[i][j])
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	bi, best := -1, 2.0 // require at least a 2x jump to call it structure
+	for i := 0; i+1 < len(vals); i++ {
+		if vals[i] <= 0 {
+			continue
+		}
+		if r := vals[i+1] / vals[i]; r > best {
+			best, bi = r, i
+		}
+	}
+	if bi < 0 {
+		return stats.MedianPositive(d)
+	}
+	return math.Sqrt(vals[bi] * vals[bi+1]) // geometric midpoint of the gap
+}
+
+// Analyze clusters the cells by behavior and ranks every scenario
+// dimension by how well it explains the clustering.
+func Analyze(cells []CellSample) *Similarity {
+	sim := &Similarity{}
+	if len(cells) == 0 {
+		return sim
+	}
+
+	// Feature matrix over the union of feature names, missing → 0.
+	nameSet := map[string]bool{}
+	for _, c := range cells {
+		for n := range c.Features {
+			nameSet[n] = true
+		}
+	}
+	for n := range nameSet {
+		sim.FeatureNames = append(sim.FeatureNames, n)
+	}
+	sort.Strings(sim.FeatureNames)
+	rows := make([][]float64, len(cells))
+	for i, c := range cells {
+		rows[i] = make([]float64, len(sim.FeatureNames))
+		for j, n := range sim.FeatureNames {
+			rows[i][j] = c.Features[n]
+		}
+		sim.Cells = append(sim.Cells, fmt.Sprintf("%s/r%d", shortKey(c.Key), c.Run))
+	}
+	stats.ZScoreColumns(rows)
+	d := stats.PairwiseDistances(rows)
+	sim.Threshold = gapThreshold(d)
+	sim.Cluster = stats.ClusterAgglomerative(d, sim.Threshold)
+	for _, c := range sim.Cluster {
+		if c+1 > sim.Clusters {
+			sim.Clusters = c + 1
+		}
+	}
+
+	// Dimension relevance: every dimension present on at least one cell
+	// and taking at least two distinct values across cells.
+	dimNames := map[string]bool{}
+	for _, c := range cells {
+		for n := range c.Dims {
+			dimNames[n] = true
+		}
+	}
+	var names []string
+	for n := range dimNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		vals := make([]string, len(cells))
+		distinct := map[string]bool{}
+		for i, c := range cells {
+			vals[i] = c.Dims[n]
+			distinct[vals[i]] = true
+		}
+		if len(distinct) < 2 {
+			continue
+		}
+		sim.Dimensions = append(sim.Dimensions, DimRelevance{
+			Name:      n,
+			Values:    len(distinct),
+			Relevance: stats.RandIndex(sim.Cluster, stats.PartitionOf(vals)),
+		})
+	}
+	sort.SliceStable(sim.Dimensions, func(i, j int) bool {
+		if sim.Dimensions[i].Relevance != sim.Dimensions[j].Relevance {
+			return sim.Dimensions[i].Relevance > sim.Dimensions[j].Relevance
+		}
+		return sim.Dimensions[i].Name < sim.Dimensions[j].Name
+	})
+	return sim
+}
+
+// shortKey abbreviates a content address for display.
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"testing"
+)
+
+// figure2Cells builds a synthetic Figure 2 sweep: three SMI-interval
+// settings × three seeds. Behavior depends strongly on the interval and
+// only cosmetically on the seed, which is exactly the structure the
+// analysis must recover.
+func figure2Cells() []CellSample {
+	base := map[int]float64{8: 2.2, 64: 1.4, 512: 1.0}
+	var cells []CellSample
+	for _, interval := range []int{8, 64, 512} {
+		for seed := 1; seed <= 3; seed++ {
+			secs := base[interval] + float64(seed)*0.004 // seed jitter ≪ interval effect
+			cells = append(cells, CellSample{
+				Key: fmt.Sprintf("key-i%d-s%d", interval, seed),
+				Run: 0,
+				Dims: map[string]string{
+					"smm.interval_ms": fmt.Sprintf("%d", interval),
+					"seed":            fmt.Sprintf("%d", seed),
+				},
+				Features: map[string]float64{
+					"seconds": secs,
+					"mops":    1000 / secs,
+				},
+			})
+		}
+	}
+	return cells
+}
+
+// TestAnalyzeGroupsByInterval is the acceptance criterion: over a
+// Figure 2-style sweep, cells cluster by SMI frequency and the interval
+// dimension scores as causal while the seed scores as noise.
+func TestAnalyzeGroupsByInterval(t *testing.T) {
+	s := Analyze(figure2Cells())
+	if s.Clusters != 3 {
+		t.Fatalf("clusters = %d (assignment %v), want 3 interval groups", s.Clusters, s.Cluster)
+	}
+	// Cells 0–2, 3–5, 6–8 share an interval each; they must co-cluster.
+	for g := 0; g < 3; g++ {
+		for i := 1; i < 3; i++ {
+			if s.Cluster[3*g+i] != s.Cluster[3*g] {
+				t.Fatalf("interval group %d split: %v", g, s.Cluster)
+			}
+		}
+	}
+	rel := map[string]float64{}
+	for _, d := range s.Dimensions {
+		rel[d.Name] = d.Relevance
+	}
+	if rel["smm.interval_ms"] < 0.99 {
+		t.Errorf("interval relevance = %v, want ≈1 (it drives behavior)", rel["smm.interval_ms"])
+	}
+	if rel["seed"] >= 0.8 {
+		t.Errorf("seed relevance = %v, want < 0.8 (it is noise)", rel["seed"])
+	}
+	if rel["smm.interval_ms"] <= rel["seed"] {
+		t.Errorf("interval (%v) not ranked above seed (%v)", rel["smm.interval_ms"], rel["seed"])
+	}
+	if len(s.Dimensions) > 0 && s.Dimensions[0].Name != "smm.interval_ms" {
+		t.Errorf("dimensions not sorted by relevance: %+v", s.Dimensions)
+	}
+}
+
+func TestAnalyzeDegenerate(t *testing.T) {
+	if s := Analyze(nil); s.Clusters != 0 || len(s.Cluster) != 0 {
+		t.Fatalf("empty analysis = %+v", s)
+	}
+	// Identical cells collapse to one cluster; constant dimensions are
+	// dropped from the relevance table.
+	cells := []CellSample{
+		{Key: "a", Dims: map[string]string{"bench": "EP"}, Features: map[string]float64{"seconds": 1}},
+		{Key: "b", Dims: map[string]string{"bench": "EP"}, Features: map[string]float64{"seconds": 1}},
+	}
+	s := Analyze(cells)
+	if s.Clusters != 1 {
+		t.Fatalf("identical cells form %d clusters", s.Clusters)
+	}
+	if len(s.Dimensions) != 0 {
+		t.Fatalf("constant dimension scored: %+v", s.Dimensions)
+	}
+}
+
+func TestFlattenJSON(t *testing.T) {
+	flat, err := FlattenJSON([]byte(`{
+		"machine": {"nodes": 4, "htt": false},
+		"smm": {"level": "long", "interval_ms": 8},
+		"tags": ["a", "b"],
+		"empty": null
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"machine.nodes":   "4",
+		"machine.htt":     "false",
+		"smm.level":       "long",
+		"smm.interval_ms": "8",
+		"tags[0]":         "a",
+		"tags[1]":         "b",
+	}
+	if len(flat) != len(want) {
+		t.Fatalf("flat = %v, want %v", flat, want)
+	}
+	for k, v := range want {
+		if flat[k] != v {
+			t.Errorf("flat[%q] = %q, want %q", k, flat[k], v)
+		}
+	}
+	if _, err := FlattenJSON([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEuclid(t *testing.T) {
+	if d := Euclid([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Fatalf("Euclid = %v, want 5", d)
+	}
+}
+
+func TestZScoreColumns(t *testing.T) {
+	rows := [][]float64{{1, 10, 7}, {2, 10, 7}, {3, 10, 7}}
+	ZScoreColumns(rows)
+	// Column 0 normalizes to mean 0; constant columns zero out.
+	var sum float64
+	for _, r := range rows {
+		sum += r[0]
+		if r[1] != 0 || r[2] != 0 {
+			t.Fatalf("constant column not zeroed: %v", r)
+		}
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("z-scored column sums to %v, want 0", sum)
+	}
+}
+
+func TestClusterAgglomerative(t *testing.T) {
+	// Two tight groups far apart, one straggler.
+	rows := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, // group A
+		{10, 10}, {10.1, 10}, // group B
+		{100, 100}, // straggler
+	}
+	d := PairwiseDistances(rows)
+	got := ClusterAgglomerative(d, 1.0)
+	want := []int{0, 0, 0, 1, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clusters = %v, want %v", got, want)
+		}
+	}
+	// Threshold below every distance: all singletons, dense ids.
+	got = ClusterAgglomerative(d, 0.01)
+	for i, c := range got {
+		if c != i {
+			t.Fatalf("singleton clustering = %v", got)
+		}
+	}
+	// Threshold above every distance: one cluster.
+	got = ClusterAgglomerative(d, 1e6)
+	for _, c := range got {
+		if c != 0 {
+			t.Fatalf("merged clustering = %v", got)
+		}
+	}
+}
+
+func TestMedianPositive(t *testing.T) {
+	d := PairwiseDistances([][]float64{{0}, {1}, {3}})
+	// Distances: 1, 3, 2 → sorted 1 2 3 → median 2.
+	if m := MedianPositive(d); m != 2 {
+		t.Fatalf("MedianPositive = %v, want 2", m)
+	}
+	if m := MedianPositive([][]float64{{0}}); m != 0 {
+		t.Fatalf("MedianPositive(singleton) = %v, want 0", m)
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	if r := RandIndex(a, []int{1, 1, 0, 0}); r != 1 {
+		t.Fatalf("relabeled identical partitions score %v, want 1", r)
+	}
+	if r := RandIndex(a, []int{0, 1, 0, 1}); r != 2.0/6.0 {
+		t.Fatalf("cross-cutting partition scores %v, want 1/3", r)
+	}
+	if r := RandIndex([]int{0}, []int{5}); r != 1 {
+		t.Fatalf("single point scores %v, want 1", r)
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	got := PartitionOf([]string{"8", "64", "8", "512", "64"})
+	want := []int{0, 1, 0, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PartitionOf = %v, want %v", got, want)
+		}
+	}
+}
