@@ -1,0 +1,380 @@
+// Command smiload drives a running smiserve with a configurable
+// open-loop submission mix and verifies every job end to end: each
+// submission is POSTed, its SSE event stream is read to the terminal
+// event, and its final status document is checked. The report —
+// throughput, dedup rate, per-client fairness spread, latency
+// percentiles — is what CI's serve-load gate asserts against.
+//
+// Usage:
+//
+//	smiload -addr 127.0.0.1:8080 -n 200 -concurrency 32 -dup 0.8
+//	smiload -addr $(cat /tmp/addr) -json > report.json
+//
+// The spec pool is deterministic in -seed: a warm second run with the
+// same flags submits byte-identical cells, so against a persistent
+// store it must execute nothing.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"smistudy/internal/scenario"
+	"smistudy/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the machine-readable outcome CI parses.
+type report struct {
+	Submissions int `json:"submissions"`
+	UniqueSpecs int `json:"unique_specs"`
+	Errors      int `json:"errors"`
+	Rejected429 int `json:"rejected_429"` // admission pushback seen (all retried)
+	Cells       struct {
+		Total     int `json:"total"`
+		Executed  int `json:"executed"`
+		Cached    int `json:"cached"`
+		Coalesced int `json:"coalesced"`
+		Failed    int `json:"failed"`
+	} `json:"cells"`
+	SSE struct {
+		Checked int `json:"checked"`
+		OK      int `json:"ok"`
+	} `json:"sse"`
+	DedupRate  float64 `json:"dedup_rate"`
+	WallS      float64 `json:"wall_s"`
+	Throughput float64 `json:"submissions_per_s"`
+	Latency    struct {
+		P50MS float64 `json:"p50_ms"`
+		P95MS float64 `json:"p95_ms"`
+		MaxMS float64 `json:"max_ms"`
+	} `json:"latency"`
+	Fairness struct {
+		Clients map[string]float64 `json:"client_mean_ms"`
+		Spread  float64            `json:"spread"` // max/min client mean
+	} `json:"fairness"`
+}
+
+// result is one submission's verified outcome.
+type result struct {
+	client  string
+	latency time.Duration
+	status  serve.JobStatus
+	sseOK   bool
+	retried int
+	err     error
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smiload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "server address (host:port, required)")
+	n := fs.Int("n", 200, "submissions to issue")
+	concurrency := fs.Int("concurrency", 32, "concurrent in-flight submissions")
+	dup := fs.Float64("dup", 0.8, "fraction of submissions that duplicate another's spec [0, 1)")
+	clients := fs.Int("clients", 4, "distinct client identities to spread submissions across")
+	seed := fs.Int64("seed", 1, "spec-pool seed; same seed ⇒ byte-identical cells")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "smiload:", err)
+		return 2
+	}
+	if *addr == "" {
+		return usage(fmt.Errorf("-addr is required"))
+	}
+	if *n < 1 || *concurrency < 1 || *clients < 1 {
+		return usage(fmt.Errorf("-n, -concurrency and -clients must be ≥ 1"))
+	}
+	if *dup < 0 || *dup >= 1 {
+		return usage(fmt.Errorf("-dup must be in [0, 1)"))
+	}
+	base := "http://" + *addr
+
+	// Deterministic submission plan: the first `unique` submissions
+	// introduce distinct specs (so every pool entry is used), the rest
+	// resubmit a uniformly chosen earlier spec.
+	unique := int(math.Round(float64(*n) * (1 - *dup)))
+	if unique < 1 {
+		unique = 1
+	}
+	if unique > *n {
+		unique = *n
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	pool := make([]json.RawMessage, unique)
+	for i := range pool {
+		sp := scenario.Spec{
+			Workload: "nas",
+			SMM:      scenario.SMMPlan{Level: "none"},
+			Runs:     1,
+			Seed:     *seed*100000 + int64(i) + 1,
+			Params:   scenario.Params{Bench: "EP", Class: "S"},
+		}
+		data, err := sp.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, "smiload:", err)
+			return 1
+		}
+		pool[i] = data
+	}
+	plan := make([]int, *n)
+	for i := range plan {
+		if i < unique {
+			plan[i] = i
+		} else {
+			plan[i] = rng.Intn(unique)
+		}
+	}
+
+	// One transport sized for the full concurrency: every in-flight
+	// submission holds an SSE stream open on top of its POST.
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * *concurrency,
+		MaxIdleConnsPerHost: 2 * *concurrency,
+	}}
+
+	results := make([]result, *n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				client := fmt.Sprintf("client-%d", i%*clients)
+				results[i] = submitAndVerify(hc, base, client, pool[plan[i]])
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := summarize(results, unique, wall)
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "smiload:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		printReport(stdout, rep)
+	}
+	for i, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(stderr, "smiload: submission %d (%s): %v\n", i, r.client, r.err)
+		}
+	}
+	if rep.Errors > 0 || rep.SSE.OK != rep.SSE.Checked || rep.Cells.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// submitAndVerify drives one submission end to end: POST (retrying 429s
+// per Retry-After), SSE stream to the terminal event, final status.
+func submitAndVerify(hc *http.Client, base, client string, spec json.RawMessage) result {
+	r := result{client: client}
+	start := time.Now()
+
+	body, err := json.Marshal(serve.SubmitRequest{Client: client, Specs: []json.RawMessage{spec}})
+	if err != nil {
+		r.err = err
+		return r
+	}
+	var sub serve.SubmitResponse
+	for attempt := 0; ; attempt++ {
+		resp, err := hc.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.err = err
+			return r
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			r.err = err
+			return r
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			r.retried++
+			if attempt >= 20 {
+				r.err = fmt.Errorf("still overloaded after %d retries", attempt)
+				return r
+			}
+			sec, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if sec < 1 {
+				sec = 1
+			}
+			time.Sleep(time.Duration(sec) * time.Second)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			r.err = fmt.Errorf("submit: %d: %s", resp.StatusCode, data)
+			return r
+		}
+		if err := json.Unmarshal(data, &sub); err != nil {
+			r.err = fmt.Errorf("submit response: %w", err)
+			return r
+		}
+		break
+	}
+
+	r.sseOK, err = watchSSE(hc, base+sub.EventsURL)
+	if err != nil {
+		r.err = err
+		return r
+	}
+
+	resp, err := hc.Get(base + sub.StatusURL)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&r.status); err != nil {
+		r.err = fmt.Errorf("status: %w", err)
+		return r
+	}
+	if r.status.State == "running" {
+		r.err = fmt.Errorf("job %s still running after its SSE stream terminated", sub.ID)
+	}
+	r.latency = time.Since(start)
+	return r
+}
+
+// watchSSE reads a job's event stream and reports whether it delivered
+// a well-formed terminal event.
+func watchSSE(hc *http.Client, url string) (bool, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return false, fmt.Errorf("events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	terminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Kind  string `json:"kind"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return false, fmt.Errorf("events: bad frame %q: %w", line, err)
+		}
+		if ev.Kind == "job" && (ev.State == "done" || ev.State == "failed") {
+			terminal = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return false, fmt.Errorf("events: %w", err)
+	}
+	return terminal, nil
+}
+
+func summarize(results []result, unique int, wall time.Duration) report {
+	var rep report
+	rep.Submissions = len(results)
+	rep.UniqueSpecs = unique
+	rep.WallS = wall.Seconds()
+	rep.Throughput = float64(len(results)) / wall.Seconds()
+	rep.Fairness.Clients = map[string]float64{}
+
+	perClient := map[string][]float64{}
+	var lats []float64
+	for _, r := range results {
+		if r.err != nil {
+			rep.Errors++
+			continue
+		}
+		rep.Rejected429 += r.retried
+		rep.SSE.Checked++
+		if r.sseOK {
+			rep.SSE.OK++
+		}
+		rep.Cells.Total += r.status.Cells.Total
+		rep.Cells.Executed += r.status.Cells.Executed
+		rep.Cells.Cached += r.status.Cells.Cached
+		rep.Cells.Coalesced += r.status.Cells.Coalesced
+		rep.Cells.Failed += r.status.Cells.Failed
+		ms := float64(r.latency) / float64(time.Millisecond)
+		lats = append(lats, ms)
+		perClient[r.client] = append(perClient[r.client], ms)
+	}
+	if rep.Cells.Total > 0 {
+		rep.DedupRate = float64(rep.Cells.Cached+rep.Cells.Coalesced) / float64(rep.Cells.Total)
+	}
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		rep.Latency.P50MS = lats[len(lats)/2]
+		rep.Latency.P95MS = lats[len(lats)*95/100]
+		rep.Latency.MaxMS = lats[len(lats)-1]
+	}
+	minMean, maxMean := math.Inf(1), 0.0
+	for client, ms := range perClient {
+		var sum float64
+		for _, v := range ms {
+			sum += v
+		}
+		mean := sum / float64(len(ms))
+		rep.Fairness.Clients[client] = mean
+		minMean = math.Min(minMean, mean)
+		maxMean = math.Max(maxMean, mean)
+	}
+	if minMean > 0 && !math.IsInf(minMean, 1) {
+		rep.Fairness.Spread = maxMean / minMean
+	}
+	return rep
+}
+
+func printReport(w io.Writer, rep report) {
+	fmt.Fprintf(w, "submissions  %d (%d unique specs, %d errors, %d rejected-then-retried)\n",
+		rep.Submissions, rep.UniqueSpecs, rep.Errors, rep.Rejected429)
+	fmt.Fprintf(w, "cells        %d total: %d executed, %d cached, %d coalesced, %d failed (dedup %.0f%%)\n",
+		rep.Cells.Total, rep.Cells.Executed, rep.Cells.Cached,
+		rep.Cells.Coalesced, rep.Cells.Failed, 100*rep.DedupRate)
+	fmt.Fprintf(w, "sse          %d/%d streams terminated cleanly\n", rep.SSE.OK, rep.SSE.Checked)
+	fmt.Fprintf(w, "throughput   %.1f submissions/s over %.2fs\n", rep.Throughput, rep.WallS)
+	fmt.Fprintf(w, "latency      p50 %.1fms  p95 %.1fms  max %.1fms\n",
+		rep.Latency.P50MS, rep.Latency.P95MS, rep.Latency.MaxMS)
+	clients := make([]string, 0, len(rep.Fairness.Clients))
+	for c := range rep.Fairness.Clients {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	for _, c := range clients {
+		fmt.Fprintf(w, "fairness     %-12s mean %.1fms\n", c, rep.Fairness.Clients[c])
+	}
+	if rep.Fairness.Spread > 0 {
+		fmt.Fprintf(w, "fairness     spread (max/min client mean) %.2f\n", rep.Fairness.Spread)
+	}
+}

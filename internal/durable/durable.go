@@ -109,43 +109,19 @@ func RunSpecs(ctx context.Context, specs []scenario.Spec, o Options) ([]runner.M
 	plans := make([]plan, len(specs))
 	var items []item
 	for i, sp := range specs {
-		if err := runner.Validate(sp); err != nil {
-			errsOut[i] = err
-			plans[i] = plan{first: -1}
-			continue
-		}
-		key, err := Key(sp)
+		sp2, err := PlanSpec(sp, o.Store)
 		if err != nil {
 			errsOut[i] = err
 			plans[i] = plan{first: -1}
 			continue
 		}
-		if o.Store != nil {
-			// Record the key's canonical spec alongside its objects so a
-			// report can walk the journal back to what each cell measured.
-			// Best-effort: a failed spec write costs report metadata, not
-			// results, so it must not fail the sweep.
-			if data, jerr := sp.JSON(); jerr == nil {
-				_ = o.Store.PutSpec(key, data)
-			}
-		}
-		w, _ := runner.Lookup(sp.Workload)
-		var cells []scenario.Spec
-		if w.Split != nil {
-			cells = w.Split(sp)
-		}
-		if len(cells) == 0 {
-			plans[i] = plan{first: len(items), n: 1}
-			items = append(items, item{spec: sp, key: key, specIdx: i, global: len(items)})
-			continue
-		}
-		plans[i] = plan{first: len(items), n: len(cells), merge: w.Merge}
-		for j, c := range cells {
+		plans[i] = plan{first: len(items), n: len(sp2.Cells), merge: sp2.Merge}
+		for j, c := range sp2.Cells {
 			// The parent's run count rides along so the fast-path
 			// dispatcher sees how many sibling repetitions the split
 			// cell's region serves (a Runs=1 cell alone is never worth
 			// certifying; six of them are).
-			items = append(items, item{spec: c, key: key, specIdx: i, cellIdx: j, global: len(items), runs: sp.Runs})
+			items = append(items, item{spec: c, key: sp2.Key, specIdx: i, cellIdx: j, global: len(items), runs: sp2.Runs})
 		}
 	}
 	atomic.AddInt64(&st.Cells, int64(len(items)))

@@ -53,6 +53,12 @@ type Manifest struct {
 	// how far the sweep got. Absent for non-durable runs, keeping legacy
 	// manifests byte-identical.
 	Durable *DurableStats `json:"durable,omitempty"`
+	// Serve, when present, records a sweep server's lifetime accounting:
+	// how many submissions it admitted and how their cells resolved
+	// (executed vs cache replay vs single-flight coalescing). Attached
+	// by cmd/smiserve at shutdown; absent for every other command,
+	// keeping legacy manifests byte-identical.
+	Serve *ServeStats `json:"serve,omitempty"`
 	// FastPath, when present, records the analytic fast-path
 	// dispatcher's accounting for the run: which cells were served
 	// without simulation, why the rest declined, and the residual
@@ -116,6 +122,38 @@ func (f *FastPathStats) HitRate() float64 {
 		return 0
 	}
 	return float64(f.Hits) / float64(f.Hits+f.Misses)
+}
+
+// ServeStats is a sweep server's lifetime accounting, as recorded in
+// its shutdown manifest. Cells = Executed + Cached + Coalesced + Failed
+// once every admitted job has finished; the dedup story is
+// (Cached + Coalesced) / Cells.
+type ServeStats struct {
+	// Submissions counts accepted POST /v1/sweeps requests; Rejected
+	// counts 429 admission-control rejections.
+	Submissions int64 `json:"submissions"`
+	Rejected    int64 `json:"rejected,omitempty"`
+	// Jobs counts jobs that finished clean; JobsFailed those with at
+	// least one permanently-failed spec.
+	Jobs       int64 `json:"jobs"`
+	JobsFailed int64 `json:"jobs_failed,omitempty"`
+	// Cells counts every cell across all submissions; Executed built an
+	// engine, Cached replayed from the store, Coalesced shared another
+	// submission's in-flight execution, Failed failed permanently.
+	Cells     int64 `json:"cells"`
+	Executed  int64 `json:"executed"`
+	Cached    int64 `json:"cached"`
+	Coalesced int64 `json:"coalesced"`
+	Failed    int64 `json:"failed,omitempty"`
+}
+
+// DedupRate reports the fraction of cells served without a fresh
+// execution (cache replays plus coalesced waiters), or 0 when idle.
+func (s *ServeStats) DedupRate() float64 {
+	if s == nil || s.Cells == 0 {
+		return 0
+	}
+	return float64(s.Cached+s.Coalesced) / float64(s.Cells)
 }
 
 // DurableStats is the durable sweep layer's per-run accounting, as

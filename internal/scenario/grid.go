@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Axis is one swept dimension of a Grid: a dotted path into the spec
+// document ("smm.interval_ms", "params.cache", "seed") and the JSON
+// values it takes. Values are raw JSON so an axis can sweep numbers,
+// strings or booleans without per-field plumbing.
+type Axis struct {
+	Path   string            `json:"path"`
+	Values []json.RawMessage `json:"values"`
+}
+
+// Grid is a declarative parameter sweep: a base spec plus axes whose
+// cartesian product it expands into. The expansion goes through the
+// strict canonical parser, so a typo'd path fails loudly exactly like a
+// typo'd field in a scenario file, and every produced cell is a valid,
+// canonically-encodable Spec — which is what makes a grid submission
+// content-addressable cell by cell.
+type Grid struct {
+	Base Spec   `json:"base"`
+	Axes []Axis `json:"axes,omitempty"`
+}
+
+// MaxGridCells bounds one expansion. The sweep server's admission
+// control bounds queued work; this bounds the planning step itself so a
+// hostile or fat-fingered grid cannot allocate unbounded specs.
+const MaxGridCells = 100000
+
+// Expand produces the grid's cells in deterministic row-major order
+// (first axis slowest, last axis fastest). A grid with no axes is the
+// base spec alone.
+func (g Grid) Expand() ([]Spec, error) {
+	if err := g.Base.Validate(); err != nil {
+		return nil, err
+	}
+	total := 1
+	for _, ax := range g.Axes {
+		if ax.Path == "" {
+			return nil, fmt.Errorf("scenario: grid axis with empty path")
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("scenario: grid axis %q has no values", ax.Path)
+		}
+		if total > MaxGridCells/len(ax.Values) {
+			return nil, fmt.Errorf("scenario: grid exceeds %d cells", MaxGridCells)
+		}
+		total *= len(ax.Values)
+	}
+	base, err := g.Base.JSON()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]Spec, 0, total)
+	idx := make([]int, len(g.Axes))
+	for {
+		var doc map[string]any
+		if err := json.Unmarshal(base, &doc); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		for a, ax := range g.Axes {
+			if err := setPath(doc, ax.Path, ax.Values[idx[a]]); err != nil {
+				return nil, fmt.Errorf("scenario: grid axis %q: %w", ax.Path, err)
+			}
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		// Parse is strict: an axis path naming a field no Spec has is
+		// rejected here, before any cell is admitted anywhere.
+		sp, err := Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+		// Odometer increment, last axis fastest.
+		a := len(idx) - 1
+		for ; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(g.Axes[a].Values) {
+				break
+			}
+			idx[a] = 0
+		}
+		if a < 0 {
+			return specs, nil
+		}
+	}
+}
+
+// setPath writes a raw JSON value at a dotted path, creating
+// intermediate objects as needed (the strict re-parse rejects paths
+// that invent fields, so creation cannot smuggle unknowns through).
+func setPath(doc map[string]any, path string, v json.RawMessage) error {
+	parts := strings.Split(path, ".")
+	cur := doc
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := cur[p]
+		if !ok || next == nil {
+			m := map[string]any{}
+			cur[p] = m
+			cur = m
+			continue
+		}
+		m, ok := next.(map[string]any)
+		if !ok {
+			return fmt.Errorf("segment %q is not an object", p)
+		}
+		cur = m
+	}
+	cur[parts[len(parts)-1]] = v
+	return nil
+}

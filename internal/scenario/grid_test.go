@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func rawVals(vs ...string) []json.RawMessage {
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		out[i] = json.RawMessage(v)
+	}
+	return out
+}
+
+func TestGridExpandCartesian(t *testing.T) {
+	g := Grid{
+		Base: Spec{
+			Workload: "convolve",
+			Machine:  Machine{CPUs: 6},
+			Params:   Params{Cache: "friendly"},
+		},
+		Axes: []Axis{
+			{Path: "smm.interval_ms", Values: rawVals("75", "150", "600")},
+			{Path: "params.cache", Values: rawVals(`"friendly"`, `"unfriendly"`)},
+		},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 6 {
+		t.Fatalf("got %d cells, want 6", len(specs))
+	}
+	// Row-major: first axis slowest, second fastest.
+	wantIntervals := []int{75, 75, 150, 150, 600, 600}
+	wantCaches := []string{"friendly", "unfriendly", "friendly", "unfriendly", "friendly", "unfriendly"}
+	for i, sp := range specs {
+		if sp.SMM.IntervalMS != wantIntervals[i] || sp.Params.Cache != wantCaches[i] {
+			t.Errorf("cell %d: interval=%d cache=%q, want %d/%q",
+				i, sp.SMM.IntervalMS, sp.Params.Cache, wantIntervals[i], wantCaches[i])
+		}
+		if sp.Machine.CPUs != 6 {
+			t.Errorf("cell %d lost base field cpus: %d", i, sp.Machine.CPUs)
+		}
+	}
+	// Expanded cells must round-trip canonically like any other spec.
+	data, err := specs[1].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != specs[1] {
+		t.Fatalf("round-trip changed the cell: %+v vs %+v", back, specs[1])
+	}
+}
+
+func TestGridNoAxesIsBase(t *testing.T) {
+	g := Grid{Base: Spec{Workload: "nas", Params: Params{Bench: "EP", Class: "S"}}}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0] != g.Base {
+		t.Fatalf("got %+v, want the base spec alone", specs)
+	}
+}
+
+func TestGridRejects(t *testing.T) {
+	base := Spec{Workload: "nas", Params: Params{Bench: "EP", Class: "S"}}
+	cases := []struct {
+		name string
+		grid Grid
+	}{
+		{"typoed path", Grid{Base: base, Axes: []Axis{{Path: "smm.intervalms", Values: rawVals("75")}}}},
+		{"empty path", Grid{Base: base, Axes: []Axis{{Path: "", Values: rawVals("1")}}}},
+		{"no values", Grid{Base: base, Axes: []Axis{{Path: "seed"}}}},
+		{"scalar segment", Grid{Base: base, Axes: []Axis{{Path: "workload.x", Values: rawVals("1")}}}},
+		{"bad value shape", Grid{Base: base, Axes: []Axis{{Path: "runs", Values: rawVals(`"three"`)}}}},
+		{"invalid base", Grid{Base: Spec{}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.grid.Expand(); err == nil {
+			t.Errorf("%s: expansion succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestGridCellCap(t *testing.T) {
+	vals := make([]json.RawMessage, 400)
+	for i := range vals {
+		vals[i] = json.RawMessage("1")
+	}
+	g := Grid{
+		Base: Spec{Workload: "nas", Params: Params{Bench: "EP", Class: "S"}},
+		Axes: []Axis{{Path: "seed", Values: vals}, {Path: "runs", Values: vals}},
+	}
+	if _, err := g.Expand(); err == nil {
+		t.Fatal("160k-cell grid expanded, want cap error")
+	}
+}

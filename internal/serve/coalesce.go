@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"smistudy/internal/durable"
+)
+
+// cellID is the serve-layer identity of one durable execution unit: the
+// parent spec's content address plus the repetition index — exactly the
+// store's (key, run) coordinate, so coalescing and the persistent cache
+// agree about what "the same cell" means.
+type cellID struct {
+	key string
+	run int
+}
+
+// cellRef points one job's cell at an execution. The first ref on a
+// task is the owner (its job triggered the execution); later refs are
+// coalesced waiters sharing the same result.
+type cellRef struct {
+	j    *job
+	cell int
+}
+
+// cellTask is one scheduled execution: the durable cell request plus
+// every job cell waiting on its result.
+type cellTask struct {
+	id  cellID
+	req durable.CellRequest
+	enq time.Time
+	// refs is guarded by the coalescer's lock until finish() detaches
+	// the task; after that it is owned by the completing worker.
+	refs []cellRef
+}
+
+// coalescer is the single-flight layer: at most one task per cellID is
+// in flight (queued or executing) at any instant, and every submission
+// of that cell while it is in flight attaches as a waiter instead of
+// queueing duplicate work. Two clients submitting the same grid
+// concurrently therefore share one execution per cell — the in-memory
+// half of the dedup story (the durable store is the cross-restart
+// half).
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[cellID]*cellTask
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: map[cellID]*cellTask{}}
+}
+
+// attach registers refs for their cells: cells already in flight gain a
+// waiter, the rest become new tasks (returned for enqueueing) with
+// their ref as owner. admit is consulted with the new-task count while
+// the lock is held, so admission and registration are one atomic step —
+// a rejected submission leaves no waiter behind and no task queued.
+func (c *coalescer) attach(reqs []durable.CellRequest, refs []cellRef, now time.Time, admit func(newTasks []*cellTask) error) (coalesced int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var newTasks []*cellTask
+	staged := map[cellID]*cellTask{}
+	for i, req := range reqs {
+		id := cellID{key: req.Key, run: req.Run}
+		if t, ok := c.inflight[id]; ok {
+			t.refs = append(t.refs, refs[i])
+			coalesced++
+			continue
+		}
+		if t, ok := staged[id]; ok {
+			// Duplicate cell within this same submission.
+			t.refs = append(t.refs, refs[i])
+			coalesced++
+			continue
+		}
+		t := &cellTask{id: id, req: req, enq: now, refs: []cellRef{refs[i]}}
+		staged[id] = t
+		newTasks = append(newTasks, t)
+	}
+	if err := admit(newTasks); err != nil {
+		// Roll back the waiters attached above: the submission was
+		// rejected as a whole, so none of its cells may stay registered.
+		for _, t := range c.inflight {
+			t.refs = dropJob(t.refs, refs)
+		}
+		return 0, err
+	}
+	for id, t := range staged {
+		c.inflight[id] = t
+	}
+	return coalesced, nil
+}
+
+// dropJob removes the refs of a rejected submission from a task's
+// waiter list (identity: same job pointer and cell index).
+func dropJob(have []cellRef, rejected []cellRef) []cellRef {
+	out := have[:0]
+	for _, r := range have {
+		keep := true
+		for _, rj := range rejected {
+			if r.j == rj.j && r.cell == rj.cell {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// finish detaches a completed task, returning its final waiter list.
+// Late duplicates attach right up until this call; afterwards the cell
+// is no longer in flight and a resubmission replays from the store.
+func (c *coalescer) finish(t *cellTask) []cellRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.inflight, t.id)
+	return t.refs
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smistudy/internal/durable"
+)
+
+// gatedServer wires a Server whose executions block until released, so
+// tests control scheduling order exactly. Each exec announces its
+// spec's seed on started, then waits for one token on release before
+// running the real cell.
+type gatedServer struct {
+	srv     *Server
+	ts      *httptest.Server
+	started chan int64
+	release chan struct{}
+	execs   atomic.Int64
+}
+
+func newGated(t *testing.T, cfg Config) *gatedServer {
+	t.Helper()
+	g := &gatedServer{
+		srv:     New(cfg),
+		started: make(chan int64, 256),
+		release: make(chan struct{}),
+	}
+	g.srv.exec = func(req durable.CellRequest, o durable.Options, st *durable.Stats) durable.CellResult {
+		g.started <- req.Spec.Seed
+		<-g.release
+		g.execs.Add(1)
+		return durable.RunCell(context.Background(), req, o, st)
+	}
+	g.ts = httptest.NewServer(g.srv.Handler())
+	t.Cleanup(func() {
+		g.ts.Close()
+		g.srv.Close()
+	})
+	return g
+}
+
+func (g *gatedServer) waitStarted(t *testing.T) int64 {
+	t.Helper()
+	select {
+	case seed := <-g.started:
+		return seed
+	case <-time.After(10 * time.Second):
+		t.Fatal("no execution started")
+		return 0
+	}
+}
+
+func seedSpecs(t *testing.T, seeds ...int64) []json.RawMessage {
+	t.Helper()
+	out := make([]json.RawMessage, len(seeds))
+	for i, seed := range seeds {
+		out[i] = specRaw(t, epSpec(seed, 1))
+	}
+	return out
+}
+
+func TestAdmissionControl429AndRetryAfterHonored(t *testing.T) {
+	g := newGated(t, Config{Workers: 1, MaxQueued: 3})
+
+	// Fill the system: three cells — one executing, two queued.
+	a := submitOK(t, g.ts, SubmitRequest{Client: "heavy", Specs: seedSpecs(t, 1, 2, 3)})
+	g.waitStarted(t)
+
+	// A fourth submission mixing a duplicate of an in-flight cell (free,
+	// coalesces) with one genuinely new cell must be rejected whole: the
+	// new cell does not fit.
+	resp, body := postSweeps(t, g.ts, SubmitRequest{Client: "light", Specs: seedSpecs(t, 1, 9)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	ra := resp.Header.Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil || sec < 1 || sec > 60 {
+		t.Fatalf("Retry-After %q, want an integer in [1, 60]", ra)
+	}
+	var doc errorDoc
+	if err := json.Unmarshal(body, &doc); err != nil || doc.RetryAfter != sec {
+		t.Fatalf("body retry_after_s %d does not match header %d: %s", doc.RetryAfter, sec, body)
+	}
+	if got := g.srv.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	// Honor the Retry-After: drain the system, then resubmit — now it
+	// fits. The earlier rejection must have rolled back completely: job
+	// A still completes exactly, and the rejected duplicate left no
+	// waiter to disturb it.
+	for i := 0; i < 3; i++ {
+		g.release <- struct{}{}
+		if i < 2 {
+			g.waitStarted(t)
+		}
+	}
+	st := waitDone(t, g.ts, a.ID)
+	if st.State != "done" || st.Cells.Done != 3 {
+		t.Fatalf("job A after rejection rollback: %+v", st)
+	}
+
+	b := submitOK(t, g.ts, SubmitRequest{Client: "light", Specs: seedSpecs(t, 1, 9)})
+	g.waitStarted(t)
+	g.release <- struct{}{}
+	g.waitStarted(t)
+	g.release <- struct{}{}
+	if st := waitDone(t, g.ts, b.ID); st.State != "done" {
+		t.Fatalf("resubmission after drain: %+v", st)
+	}
+}
+
+func TestWeightedFairQueueBoundsHeavyTenant(t *testing.T) {
+	// One worker, a heavy tenant with 8 queued cells, then a light
+	// tenant arriving with 1. Start-time fair queueing tags the light
+	// cell just past the heavy cell currently ahead of it, so the light
+	// cell starts after at most one more heavy cell — not after all 8.
+	g := newGated(t, Config{Workers: 1, MaxQueued: 64})
+
+	submitOK(t, g.ts, SubmitRequest{Client: "heavy", Specs: seedSpecs(t, 1, 2, 3, 4, 5, 6, 7, 8)})
+	order := []int64{g.waitStarted(t)} // heavy's first cell is executing
+	submitOK(t, g.ts, SubmitRequest{Client: "light", Specs: seedSpecs(t, 100)})
+
+	for len(order) < 9 {
+		g.release <- struct{}{}
+		order = append(order, g.waitStarted(t))
+	}
+	g.release <- struct{}{}
+
+	lightAt := -1
+	for i, seed := range order {
+		if seed == 100 {
+			lightAt = i
+		}
+	}
+	// order[0] was already running; the light cell may yield to at most
+	// one queued heavy cell beyond it.
+	if lightAt < 0 || lightAt > 2 {
+		t.Fatalf("light tenant's cell started at position %d of %v, want ≤ 2", lightAt, order)
+	}
+}
+
+func TestWeightScalesFairShare(t *testing.T) {
+	// Same shape, but the light tenant declares weight 8: its virtual
+	// finish tag lands well inside the heavy backlog, so it starts
+	// immediately after the in-flight cell.
+	g := newGated(t, Config{Workers: 1, MaxQueued: 64})
+
+	submitOK(t, g.ts, SubmitRequest{Client: "heavy", Specs: seedSpecs(t, 1, 2, 3, 4, 5, 6, 7, 8)})
+	order := []int64{g.waitStarted(t)}
+	submitOK(t, g.ts, SubmitRequest{Client: "vip", Weight: 8, Specs: seedSpecs(t, 100)})
+
+	for len(order) < 9 {
+		g.release <- struct{}{}
+		order = append(order, g.waitStarted(t))
+	}
+	g.release <- struct{}{}
+
+	if order[1] != 100 {
+		t.Fatalf("weight-8 tenant started at %v, want position 1", order)
+	}
+}
+
+func TestCoalescingSharesOneExecutionByteIdentically(t *testing.T) {
+	// Memory-only server (no store): the only dedup in play is
+	// single-flight coalescing.
+	g := newGated(t, Config{Workers: 1, MaxQueued: 64})
+
+	a := submitOK(t, g.ts, SubmitRequest{Client: "a", Specs: seedSpecs(t, 5)})
+	g.waitStarted(t)
+	// While A's cell executes, B submits the identical spec: it must
+	// attach to the in-flight execution, not queue a duplicate.
+	b := submitOK(t, g.ts, SubmitRequest{Client: "b", Specs: seedSpecs(t, 5)})
+	if b.Cells != 1 || b.Coalesced != 1 {
+		t.Fatalf("B: cells=%d coalesced=%d, want 1/1", b.Cells, b.Coalesced)
+	}
+	g.release <- struct{}{}
+
+	sa := waitDone(t, g.ts, a.ID)
+	sb := waitDone(t, g.ts, b.ID)
+	if g.execs.Load() != 1 {
+		t.Fatalf("%d executions for two submissions of one cell, want 1", g.execs.Load())
+	}
+	if sa.Cells.Executed != 1 || sb.Cells.Coalesced != 1 {
+		t.Fatalf("via accounting: A=%+v B=%+v", sa.Cells, sb.Cells)
+	}
+	if len(sa.Specs[0].Measurement) == 0 ||
+		!bytes.Equal(sa.Specs[0].Measurement, sb.Specs[0].Measurement) {
+		t.Fatalf("coalesced result is not byte-identical:\n%s\nvs\n%s",
+			sa.Specs[0].Measurement, sb.Specs[0].Measurement)
+	}
+}
+
+func TestDuplicateCellsWithinOneSubmissionCoalesce(t *testing.T) {
+	g := newGated(t, Config{Workers: 1, MaxQueued: 64})
+
+	j := submitOK(t, g.ts, SubmitRequest{Specs: seedSpecs(t, 5, 5)})
+	if j.Cells != 2 || j.Coalesced != 1 {
+		t.Fatalf("cells=%d coalesced=%d, want 2/1", j.Cells, j.Coalesced)
+	}
+	g.waitStarted(t)
+	g.release <- struct{}{}
+	st := waitDone(t, g.ts, j.ID)
+	if g.execs.Load() != 1 {
+		t.Fatalf("%d executions, want 1", g.execs.Load())
+	}
+	if st.State != "done" || st.Cells.Executed != 1 || st.Cells.Coalesced != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+	if !bytes.Equal(st.Specs[0].Measurement, st.Specs[1].Measurement) {
+		t.Fatal("intra-submission duplicate specs differ")
+	}
+}
+
+func TestFailedExecutionPropagatesToEveryWaiter(t *testing.T) {
+	g := newGated(t, Config{Workers: 1, MaxQueued: 64})
+	g.srv.exec = func(req durable.CellRequest, o durable.Options, st *durable.Stats) durable.CellResult {
+		g.started <- req.Spec.Seed
+		<-g.release
+		return durable.CellResult{Err: fmt.Errorf("engine exploded")}
+	}
+
+	a := submitOK(t, g.ts, SubmitRequest{Client: "a", Specs: seedSpecs(t, 5)})
+	g.waitStarted(t)
+	b := submitOK(t, g.ts, SubmitRequest{Client: "b", Specs: seedSpecs(t, 5)})
+	g.release <- struct{}{}
+
+	sa := waitDone(t, g.ts, a.ID)
+	sb := waitDone(t, g.ts, b.ID)
+	for name, st := range map[string]JobStatus{"A": sa, "B": sb} {
+		if st.State != "failed" || st.Cells.Failed != 1 {
+			t.Errorf("%s: %+v", name, st)
+		}
+		if st.Specs[0].Error == "" {
+			t.Errorf("%s: spec error not propagated", name)
+		}
+	}
+	if got := g.srv.Stats(); got.Failed != 2 || got.JobsFailed != 2 {
+		t.Fatalf("failure accounting: %+v", got)
+	}
+}

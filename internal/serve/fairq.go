@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// fairQueue is a weighted start-time fair queue over tenants. Every
+// cell has unit cost; a tenant's next cell is tagged with a virtual
+// finish time max(V, lastTag) + 1/weight, and dispatch always picks the
+// smallest tag (ties broken by enqueue order). With uniform costs this
+// interleaves tenants in weight proportion regardless of backlog shape:
+// a tenant holding ten thousand queued cells advances the virtual clock
+// with every dispatch, so a newly arriving single-cell tenant is tagged
+// at most one slot behind the heavy tenant's next cell — the "heavy
+// tenant never delays light tenant by more than one cell slot" bound
+// the fairness tests pin.
+//
+// The queue also enforces admission: inSystem counts every admitted,
+// unfinished cell (queued or executing; coalesced waiters are free), and
+// an enqueue that would push it past max is rejected atomically — all of
+// a submission's cells are admitted or none are.
+type fairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	max    int
+	closed bool
+
+	inSystem int
+	queued   int
+	vtime    float64
+	seq      int64
+	tenants  map[string]*tenant
+}
+
+type tenant struct {
+	weight  float64
+	lastTag float64
+	fifo    []queuedCell
+}
+
+type queuedCell struct {
+	task *cellTask
+	tag  float64
+	seq  int64
+}
+
+// errOverloaded is the admission-control rejection; the HTTP layer maps
+// it to 429 with a Retry-After derived from the queue's state.
+type errOverloaded struct {
+	inSystem int
+	max      int
+}
+
+func (e *errOverloaded) Error() string {
+	return fmt.Sprintf("serve: queue full (%d cells in flight, limit %d)", e.inSystem, e.max)
+}
+
+func newFairQueue(max int) *fairQueue {
+	q := &fairQueue{max: max, tenants: map[string]*tenant{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// enqueue admits tasks for one tenant atomically: either every task is
+// queued or none is and an *errOverloaded is returned. weight ≤ 0 keeps
+// the tenant's current weight (1 for a new tenant).
+func (q *fairQueue) enqueue(client string, weight float64, tasks []*cellTask) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("serve: server is shutting down")
+	}
+	if q.inSystem+len(tasks) > q.max {
+		return &errOverloaded{inSystem: q.inSystem, max: q.max}
+	}
+	t := q.tenants[client]
+	if t == nil {
+		t = &tenant{weight: 1}
+		q.tenants[client] = t
+	}
+	if weight > 0 {
+		if weight > 1000 {
+			weight = 1000
+		}
+		t.weight = weight
+	}
+	for _, task := range tasks {
+		tag := q.vtime
+		if t.lastTag > tag {
+			tag = t.lastTag
+		}
+		tag += 1 / t.weight
+		t.lastTag = tag
+		t.fifo = append(t.fifo, queuedCell{task: task, tag: tag, seq: q.seq})
+		q.seq++
+	}
+	q.inSystem += len(tasks)
+	q.queued += len(tasks)
+	q.cond.Broadcast()
+	return nil
+}
+
+// dequeue blocks until a cell is available and returns the one with the
+// smallest virtual finish tag; ok is false once the queue is closed.
+func (q *fairQueue) dequeue() (*cellTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, false
+		}
+		var best *tenant
+		for _, t := range q.tenants {
+			if len(t.fifo) == 0 {
+				continue
+			}
+			if best == nil || less(t.fifo[0], best.fifo[0]) {
+				best = t
+			}
+		}
+		if best != nil {
+			head := best.fifo[0]
+			best.fifo = best.fifo[1:]
+			q.queued--
+			if head.tag > q.vtime {
+				q.vtime = head.tag
+			}
+			return head.task, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// less orders queued cells by tag, ties by arrival.
+func less(a, b queuedCell) bool {
+	if a.tag != b.tag {
+		return a.tag < b.tag
+	}
+	return a.seq < b.seq
+}
+
+// release returns n admission slots once their cells finish executing.
+func (q *fairQueue) release(n int) {
+	q.mu.Lock()
+	q.inSystem -= n
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// depth reports (queued, in-system) cell counts.
+func (q *fairQueue) depth() (int, int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued, q.inSystem
+}
+
+// close wakes every waiting worker; dequeue then reports done. Cells
+// still queued are abandoned (their jobs never complete) — close is a
+// process-shutdown operation, not a drain.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smistudy/internal/durable"
+)
+
+// A store that cannot open must degrade the server, not crash it: the
+// process stays up, /healthz answers, and /readyz plus every
+// store-backed endpoint report 503 so an orchestrator holds traffic.
+func TestStoreOpenFailureDegradesNotCrashes(t *testing.T) {
+	// A regular file where the store directory should be makes
+	// durable.Open fail deterministically.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "store")
+	if err := os.WriteFile(blocked, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(Config{StoreDir: blocked, Workers: 1})
+	defer srv.Close()
+	if srv.Ready() == nil {
+		t.Fatal("Ready() = nil for an unopenable store")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz: %d, want 200 (process is alive)", code)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz: %d, want 503", code)
+	}
+	if code := get("/v1/results/" + "ab"); code != http.StatusServiceUnavailable {
+		t.Errorf("results: %d, want 503", code)
+	}
+	resp, body := postSweeps(t, ts, SubmitRequest{Specs: seedSpecs(t, 1)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit: %d, want 503: %s", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close on a degraded server: %v", err)
+	}
+}
+
+// A torn journal tail — the crash signature the durable store is built
+// to survive — must not impair the server path: the store opens, the
+// torn record is dropped, and intact cells still replay byte-identically.
+func TestTornJournalTailUnderServerPath(t *testing.T) {
+	dir := t.TempDir()
+
+	// Populate the store through the CLI path.
+	sp := epSpec(9, 2)
+	store, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := durable.RunSpec(context.Background(), sp, durable.Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the journal: a partial record with no trailing newline, as a
+	// kill mid-append leaves it.
+	jpath := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"dead`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(Config{StoreDir: dir, Workers: 2})
+	defer srv.Close()
+	if err := srv.Ready(); err != nil {
+		t.Fatalf("torn tail failed readiness: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sr := submitOK(t, ts, SubmitRequest{Specs: []json.RawMessage{specRaw(t, sp)}})
+	st := waitDone(t, ts, sr.ID)
+	if st.State != "done" {
+		t.Fatalf("job: %+v", st)
+	}
+	if st.Cells.Cached != 2 || st.Cells.Executed != 0 {
+		t.Fatalf("after torn tail: executed=%d cached=%d, want 0/2 (recovery kept the intact cells)",
+			st.Cells.Executed, st.Cells.Cached)
+	}
+	if !bytes.Equal(compactJSON(t, st.Specs[0].Measurement), compactJSON(t, wantJSON)) {
+		t.Fatal("replayed measurement differs from the pre-crash run")
+	}
+}

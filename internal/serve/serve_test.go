@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"smistudy/internal/durable"
+	"smistudy/internal/scenario"
+)
+
+// epSpec is the cheap test cell: NAS EP class S on one node simulates
+// in a few milliseconds.
+func epSpec(seed int64, runs int) scenario.Spec {
+	return scenario.Spec{
+		Workload: "nas",
+		SMM:      scenario.SMMPlan{Level: "none"},
+		Runs:     runs,
+		Seed:     seed,
+		Params:   scenario.Params{Bench: "EP", Class: "S"},
+	}
+}
+
+func specRaw(t *testing.T, sp scenario.Spec) json.RawMessage {
+	t.Helper()
+	data, err := sp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func postSweeps(t *testing.T, ts *httptest.Server, req SubmitRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// compactJSON normalizes whitespace: the status encoder re-indents
+// embedded measurement bytes, so cross-path identity is checked on the
+// compact form.
+func compactJSON(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, data); err != nil {
+		t.Fatalf("compact %q: %v", data, err)
+	}
+	return buf.Bytes()
+}
+
+func submitOK(t *testing.T, ts *httptest.Server, req SubmitRequest) SubmitResponse {
+	t.Helper()
+	resp, body := postSweeps(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var sr SubmitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("submit response: %v: %s", err, body)
+	}
+	return sr
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "running" {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+func TestSubmitExecutesAndWarmPassIsAllCached(t *testing.T) {
+	srv := New(Config{StoreDir: t.TempDir(), Workers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sp := epSpec(7, 2)
+	sr := submitOK(t, ts, SubmitRequest{Client: "alice", Specs: []json.RawMessage{specRaw(t, sp)}})
+	if sr.Cells != 2 {
+		t.Fatalf("cells = %d, want 2 (runs split)", sr.Cells)
+	}
+	st := waitDone(t, ts, sr.ID)
+	if st.State != "done" {
+		t.Fatalf("state %q: %+v", st.State, st)
+	}
+	if st.Cells.Executed != 2 || st.Cells.Cached != 0 {
+		t.Fatalf("cold pass: executed=%d cached=%d, want 2/0", st.Cells.Executed, st.Cells.Cached)
+	}
+
+	// The served measurement must be byte-identical to the direct
+	// durable path measuring the same spec.
+	want, _, err := durable.RunSpec(context.Background(), sp, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compactJSON(t, st.Specs[0].Measurement), compactJSON(t, wantJSON)) {
+		t.Fatalf("served measurement differs from direct run:\n%s\nvs\n%s",
+			st.Specs[0].Measurement, wantJSON)
+	}
+
+	// Warm pass: same spec resubmitted — every cell replays from the
+	// store, nothing simulates, bytes identical.
+	sr2 := submitOK(t, ts, SubmitRequest{Client: "bob", Specs: []json.RawMessage{specRaw(t, sp)}})
+	st2 := waitDone(t, ts, sr2.ID)
+	if st2.Cells.Cached != 2 || st2.Cells.Executed != 0 {
+		t.Fatalf("warm pass: executed=%d cached=%d, want 0/2", st2.Cells.Executed, st2.Cells.Cached)
+	}
+	// Served cold and warm passes go through the same encoder, so those
+	// bytes are identical verbatim.
+	if !bytes.Equal(st2.Specs[0].Measurement, st.Specs[0].Measurement) {
+		t.Fatal("warm measurement is not byte-identical to the cold pass")
+	}
+	if !bytes.Equal(compactJSON(t, st2.Specs[0].Measurement), compactJSON(t, wantJSON)) {
+		t.Fatal("warm measurement differs from the direct run")
+	}
+
+	// The content-addressed result endpoint serves both journaled runs
+	// plus the canonical spec document.
+	resp, err := http.Get(ts.URL + "/v1/results/" + sr.Specs[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Key   string          `json:"key"`
+		Spec  json.RawMessage `json:"spec"`
+		Cells []struct {
+			Run int `json:"run"`
+		} `json:"cells"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cells) != 2 {
+		t.Fatalf("results: %d cells, want 2", len(doc.Cells))
+	}
+	spJSON, _ := sp.JSON()
+	if !bytes.Equal(compactJSON(t, doc.Spec), compactJSON(t, spJSON)) {
+		t.Fatalf("results spec differs from canonical encoding")
+	}
+
+	stats := srv.Stats()
+	if stats.Submissions != 2 || stats.Executed != 2 || stats.Cached != 2 {
+		t.Fatalf("server stats: %+v", stats)
+	}
+}
+
+func TestGridSubmission(t *testing.T) {
+	srv := New(Config{StoreDir: t.TempDir(), Workers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sr := submitOK(t, ts, SubmitRequest{
+		Grid: &scenario.Grid{
+			Base: epSpec(1, 1),
+			Axes: []scenario.Axis{{Path: "seed", Values: rawVals(t, "1", "2", "3")}},
+		},
+	})
+	if sr.Cells != 3 || len(sr.Specs) != 3 {
+		t.Fatalf("grid: cells=%d specs=%d, want 3/3", sr.Cells, len(sr.Specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range sr.Specs {
+		seen[s.Key] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("grid cells share keys: %v", seen)
+	}
+	st := waitDone(t, ts, sr.ID)
+	if st.State != "done" || st.Cells.Executed != 3 {
+		t.Fatalf("grid job: %+v", st)
+	}
+}
+
+func rawVals(t *testing.T, vs ...string) []json.RawMessage {
+	t.Helper()
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		out[i] = json.RawMessage(v)
+	}
+	return out
+}
+
+func TestSSEStreamsEveryCellToTermination(t *testing.T) {
+	srv := New(Config{StoreDir: t.TempDir(), Workers: 1})
+	defer srv.Close()
+	// Gate execution so the SSE subscription provably attaches while
+	// the job is still running — the live-stream path, not just replay.
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	srv.exec = func(req durable.CellRequest, o durable.Options, st *durable.Stats) durable.CellResult {
+		started <- struct{}{}
+		<-release
+		return durable.RunCell(context.Background(), req, o, st)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sr := submitOK(t, ts, SubmitRequest{Specs: []json.RawMessage{specRaw(t, epSpec(3, 2))}})
+	<-started
+
+	resp, err := http.Get(ts.URL + sr.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	go func() {
+		close(release) // let both cells finish
+	}()
+	events := readSSE(t, resp.Body)
+	var cellEvents, jobEvents int
+	var last Event
+	for _, ev := range events {
+		switch ev.Kind {
+		case "cell":
+			cellEvents++
+		case "job":
+			jobEvents++
+		}
+		last = ev
+	}
+	if cellEvents != 2 {
+		t.Fatalf("saw %d cell events, want 2: %+v", cellEvents, events)
+	}
+	if !last.terminal() || last.State != "done" {
+		t.Fatalf("stream did not end with a terminal job event: %+v", last)
+	}
+	if last.Done != 2 || last.Total != 2 {
+		t.Fatalf("terminal progress %d/%d, want 2/2", last.Done, last.Total)
+	}
+
+	// A subscriber arriving after completion replays the full history.
+	resp2, err := http.Get(ts.URL + sr.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	replay := readSSE(t, resp2.Body)
+	if len(replay) != len(events) {
+		t.Fatalf("late subscriber got %d events, live got %d", len(replay), len(events))
+	}
+}
+
+// readSSE parses an SSE stream until it closes, returning the decoded
+// events.
+func readSSE(t *testing.T, r interface{ Read([]byte) (int, error) }) []Event {
+	t.Helper()
+	var events []Event
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func TestSubmitRejections(t *testing.T) {
+	srv := New(Config{StoreDir: t.TempDir(), Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", `{`, http.StatusBadRequest},
+		{"unknown top-level field", `{"spex": []}`, http.StatusBadRequest},
+		{"no specs", `{"client": "x"}`, http.StatusBadRequest},
+		{"spec typo", `{"specs": [{"workload": "nas", "machine": {}, "smm": {}, "params": {"bensch": "EP"}, "obs": {}}]}`, http.StatusBadRequest},
+		{"unknown workload", `{"specs": [{"workload": "nope", "machine": {}, "smm": {}, "params": {}, "obs": {}}]}`, http.StatusBadRequest},
+		{"grid typo path", `{"grid": {"base": {"workload": "nas", "machine": {}, "smm": {}, "params": {"bench": "EP", "class": "S"}, "obs": {}}, "axes": [{"path": "sed", "values": [1]}]}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/sweeps/job-999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/results/" + strings.Repeat("ab", 32)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown result: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(Config{StoreDir: t.TempDir(), Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sr := submitOK(t, ts, SubmitRequest{Specs: []json.RawMessage{specRaw(t, epSpec(11, 1))}})
+	waitDone(t, ts, sr.ID)
+
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Histograms []struct {
+			Name string `json:"name"`
+			N    int64  `json:"n"`
+		} `json:"histograms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	for _, name := range []string{"serve_submissions", "serve_cells_total", "serve_cells_executed", "serve_jobs_done"} {
+		if counters[name] < 1 {
+			t.Errorf("counter %s = %d, want ≥ 1 (have %v)", name, counters[name], counters)
+		}
+	}
+	hists := map[string]int64{}
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h.N
+	}
+	for _, name := range []string{"serve_cell_latency_ms", "serve_queue_wait_ms"} {
+		if hists[name] < 1 {
+			t.Errorf("histogram %s has no observations", name)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestJobIDFormat(t *testing.T) {
+	if got := jobID(7); got != "job-000007" {
+		t.Fatalf("jobID(7) = %q", got)
+	}
+	if fmt.Sprintf("%s", jobID(1234567)) != "job-1234567" {
+		t.Fatalf("jobID overflow handling: %q", jobID(1234567))
+	}
+}

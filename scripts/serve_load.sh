@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Load-proof harness for the sweep server (cmd/smiserve).
+#
+# Starts a server on an ephemeral port with a fresh persistent store,
+# fires a cold pass of concurrent submissions with a heavy duplicate
+# mix through cmd/smiload, then a warm pass with the identical spec
+# pool, and asserts the dedup contract:
+#
+#   cold pass:  executions ≤ unique specs (+ small slack) — in-flight
+#               duplicates coalesced, repeat submissions hit the store;
+#               every submission's SSE stream terminated cleanly;
+#               nothing failed.
+#   warm pass:  0 executions — every cell replayed from the store.
+#
+# Finally the server is shut down with SIGINT and its manifest must
+# carry the serve accounting block.
+#
+# Usage:
+#   scripts/serve_load.sh
+#
+# Environment:
+#   SERVE_DIR    working directory (default: mktemp -d; kept when set
+#                explicitly, so CI can upload the report artifacts)
+#   N            submissions per pass        (default 200)
+#   DUP          duplicate fraction          (default 0.8)
+#   CONCURRENCY  in-flight submissions       (default 32)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=${N:-200}
+DUP=${DUP:-0.8}
+CONCURRENCY=${CONCURRENCY:-32}
+
+if [ -n "${SERVE_DIR:-}" ]; then
+  WORK=$SERVE_DIR
+  mkdir -p "$WORK"
+else
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+fi
+
+go build -o "$WORK/smiserve" ./cmd/smiserve
+go build -o "$WORK/smiload" ./cmd/smiload
+
+echo "== start server (ephemeral port, fresh store) =="
+"$WORK/smiserve" \
+  -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+  -store "$WORK/store" -max-queued 512 \
+  -manifest "$WORK/manifest.json" 2> "$WORK/server.log" &
+SERVER_PID=$!
+
+ADDR=
+for _ in $(seq 1 100); do
+  if [ -s "$WORK/addr" ]; then
+    ADDR=$(cat "$WORK/addr")
+    if curl -fsS "http://$ADDR/readyz" > /dev/null 2>&1; then
+      break
+    fi
+  fi
+  sleep 0.1
+done
+if [ -z "$ADDR" ] || ! curl -fsS "http://$ADDR/readyz" > /dev/null; then
+  echo "server never became ready; log:" >&2
+  cat "$WORK/server.log" >&2
+  kill "$SERVER_PID" 2> /dev/null || true
+  exit 1
+fi
+echo "   ready at $ADDR"
+
+echo "== cold pass: $N submissions, ${DUP} duplicate mix, $CONCURRENCY concurrent =="
+"$WORK/smiload" -addr "$ADDR" -n "$N" -dup "$DUP" -concurrency "$CONCURRENCY" \
+  -json > "$WORK/cold.json"
+
+echo "== warm pass: identical spec pool =="
+"$WORK/smiload" -addr "$ADDR" -n "$N" -dup "$DUP" -concurrency "$CONCURRENCY" \
+  -json > "$WORK/warm.json"
+
+echo "== shut down server (SIGINT) =="
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+
+echo "== assert the dedup contract =="
+python3 - "$WORK/cold.json" "$WORK/warm.json" "$WORK/manifest.json" << 'EOF'
+import json, sys
+
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+manifest = json.load(open(sys.argv[3]))
+failures = []
+
+def check(ok, msg):
+    print(("  ok   " if ok else "  FAIL ") + msg)
+    if not ok:
+        failures.append(msg)
+
+unique = cold["unique_specs"]
+executed = cold["cells"]["executed"]
+# In-flight duplicates coalesce and repeats replay from the store, so
+# executions may not exceed the unique pool (tiny slack for the race
+# where a duplicate arrives after its twin completed but before the
+# checkpoint... there is none — the store checkpoint happens inside the
+# execution — so the bound is exact; keep 5% + 1 headroom anyway so the
+# gate fails on regressions, not on future semantic tweaks).
+bound = unique * 1.05 + 1
+check(executed <= bound, f"cold executed {executed} ≤ {bound:.0f} (unique {unique})")
+check(cold["errors"] == 0, f"cold errors == 0 (got {cold['errors']})")
+check(cold["cells"]["failed"] == 0, f"cold failed cells == 0 (got {cold['cells']['failed']})")
+check(
+    cold["sse"]["checked"] == cold["submissions"] and cold["sse"]["ok"] == cold["sse"]["checked"],
+    f"cold SSE {cold['sse']['ok']}/{cold['sse']['checked']} of {cold['submissions']} submissions",
+)
+check(warm["cells"]["executed"] == 0, f"warm executed == 0 (got {warm['cells']['executed']})")
+check(warm["errors"] == 0 and warm["cells"]["failed"] == 0, "warm pass clean")
+check(
+    warm["sse"]["ok"] == warm["submissions"],
+    f"warm SSE {warm['sse']['ok']}/{warm['submissions']}",
+)
+
+srv = manifest.get("serve") or {}
+check(srv.get("submissions", 0) >= cold["submissions"] + warm["submissions"],
+      f"manifest serve block counted {srv.get('submissions', 0)} submissions")
+check(srv.get("cells", 0) > 0 and srv.get("executed", 0) <= bound,
+      f"manifest: {srv.get('executed', 0)} executed of {srv.get('cells', 0)} cells")
+
+if failures:
+    sys.exit(1)
+EOF
+
+echo "== load proof passed; artifacts in $WORK =="
