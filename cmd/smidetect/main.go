@@ -25,6 +25,9 @@ func main() {
 	level := flag.String("level", "long", "SMI level to inject: none, short, long")
 	interval := flag.Int("interval", 1000, "SMI interval in ms (jiffies)")
 	duration := flag.Float64("duration", 10, "detector spin duration in seconds")
+	jitterPeriod := flag.Float64("jitter-period", 0, "also inject OS jitter with this tick period in ms (0 disables)")
+	jitterDur := flag.Float64("jitter-dur", 200, "OS-jitter steal duration per tick in µs")
+	jitterFrac := flag.Float64("jitter-frac", 0.2, "OS-jitter period randomization fraction [0,1)")
 	attribution := flag.Bool("attribution", false, "show the misattribution report instead")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of a workload under SMIs to this file")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -42,6 +45,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smidetect: -interval must be ≥ 1 ms and -duration > 0 s (got %d, %g)\n",
 			*interval, *duration)
 		os.Exit(2)
+	}
+	var jitter []smistudy.JitterConfig
+	if *jitterPeriod > 0 {
+		jc := smistudy.JitterConfig{
+			Period:   sim.FromSeconds(*jitterPeriod / 1e3),
+			Duration: sim.FromSeconds(*jitterDur / 1e6),
+			Jitter:   *jitterFrac,
+			Seed:     *seed,
+		}
+		if err := jc.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "smidetect:", err)
+			os.Exit(2)
+		}
+		jitter = append(jitter, jc)
 	}
 
 	if *traceOut != "" {
@@ -80,12 +97,17 @@ func main() {
 		SMIIntervalMS: *interval,
 		Duration:      sim.FromSeconds(*duration),
 		Seed:          *seed,
+		Jitter:        jitter,
 		Tracer:        bus,
 	})
 	fmt.Printf("spin-loop detector: %d detections over %.1fs\n", len(rep.Detections), *duration)
 	fmt.Printf("  ground truth matched: %d   missed: %d   false positives: %d\n",
 		rep.Matched, rep.Missed, rep.FalsePositives)
 	fmt.Printf("  precision: %.2f   recall: %.2f\n", rep.Precision(), rep.Recall())
+	for _, f := range rep.Families {
+		fmt.Printf("  family %-9s ground truth: %d   matched: %d   missed: %d   recall: %.2f\n",
+			f.Family, f.GroundTruth, f.Matched, f.Missed, f.Recall())
+	}
 	fmt.Printf("  max latency gap: %v\n", rep.MaxLatency)
 	for i, d := range rep.Detections {
 		if i >= 10 {

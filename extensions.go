@@ -1,6 +1,7 @@
 package smistudy
 
 import (
+	"smistudy/internal/perturb"
 	"smistudy/internal/proftool"
 	"smistudy/internal/runner"
 )
@@ -11,6 +12,11 @@ import (
 // (Delgado & Karavanic, IISWC'13), and the profiler-skew demonstration
 // aimed at tool developers. Like the main facade, every entry point
 // delegates to internal/runner's single provisioning path.
+
+// JitterConfig re-exports the perturbation layer's OS-jitter source
+// configuration, so callers can provision osjitter noise through the
+// typed entry points (NASOptions.Jitter, ConvolveOptions.Jitter, ...).
+type JitterConfig = perturb.JitterConfig
 
 // RIMOptions configures an integrity-measurement interference run.
 type RIMOptions = runner.RIMOptions

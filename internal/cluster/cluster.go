@@ -15,6 +15,7 @@ import (
 	"smistudy/internal/kernel"
 	"smistudy/internal/netsim"
 	"smistudy/internal/obs"
+	"smistudy/internal/perturb"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -29,6 +30,11 @@ type NodeParams struct {
 	// PerCPURendezvous is the extra SMM residency per online logical
 	// CPU per SMI (context save/restore rendezvous cost).
 	PerCPURendezvous sim.Time
+	// Jitter lists OS-jitter sources provisioned on every node
+	// alongside the SMI driver. Each node mixes its index into the
+	// configured seed, so multi-node clusters never tick in lockstep
+	// (the core-scoped analog of the SMI driver's PhaseJitter).
+	Jitter []perturb.JitterConfig
 }
 
 // Params configures a whole cluster.
@@ -46,6 +52,20 @@ type Node struct {
 	Kernel *kernel.Kernel
 	SMM    *smm.Controller
 	SMI    *smm.Driver
+	Jitter []*perturb.Jitter
+}
+
+// Sources returns every perturbation source provisioned on the node —
+// the SMI driver first, then the jitter sources — through the generic
+// noise-source interface. Detectors score against the union of these
+// sources' ground truth.
+func (n *Node) Sources() []perturb.Source {
+	out := make([]perturb.Source, 0, 1+len(n.Jitter))
+	out = append(out, n.SMI)
+	for _, j := range n.Jitter {
+		out = append(out, j)
+	}
+	return out
 }
 
 // Cluster is a set of nodes over a fabric, sharing one engine — or,
@@ -72,6 +92,9 @@ func (c *Cluster) SetTracer(tr obs.Tracer) {
 	for _, n := range c.Nodes {
 		n.SMM.SetTracer(tr, n.Index)
 		n.Kernel.SetTracer(tr, n.Index)
+		for _, j := range n.Jitter {
+			j.SetTracer(tr, n.Index)
+		}
 	}
 }
 
@@ -107,9 +130,18 @@ func (c *Cluster) addNode(e *sim.Engine, i int, np NodeParams) error {
 	ctrl := smm.NewController(e, cpum, clk)
 	ctrl.SetPerCPURendezvous(np.PerCPURendezvous)
 	drv := smm.NewDriver(e, ctrl, clk, np.SMI)
-	c.Nodes = append(c.Nodes, &Node{
+	node := &Node{
 		Index: i, CPU: cpum, Clock: clk, Kernel: kern, SMM: ctrl, SMI: drv,
-	})
+	}
+	for _, jc := range np.Jitter {
+		jc.Seed = perturb.DeriveSeed(jc.Seed, uint64(i))
+		j, err := perturb.NewJitter(e, cpum, jc)
+		if err != nil {
+			return err
+		}
+		node.Jitter = append(node.Jitter, j)
+	}
+	c.Nodes = append(c.Nodes, node)
 	return nil
 }
 
@@ -189,17 +221,29 @@ func (c *Cluster) Inject(sched faults.Schedule) (*faults.Injector, error) {
 	return in, nil
 }
 
-// StartSMI arms the SMI driver on every node.
-func (c *Cluster) StartSMI() {
+// StartSMI arms every perturbation source on every node: the SMI
+// driver plus any provisioned jitter sources. (The name predates the
+// noise-family abstraction; StartNoise is the family-neutral alias.)
+func (c *Cluster) StartSMI() { c.StartNoise() }
+
+// StopSMI disarms every perturbation source on every node.
+func (c *Cluster) StopSMI() { c.StopNoise() }
+
+// StartNoise arms every perturbation source on every node.
+func (c *Cluster) StartNoise() {
 	for _, n := range c.Nodes {
-		n.SMI.Start()
+		for _, s := range n.Sources() {
+			s.Start()
+		}
 	}
 }
 
-// StopSMI disarms every node's SMI driver.
-func (c *Cluster) StopSMI() {
+// StopNoise disarms every perturbation source on every node.
+func (c *Cluster) StopNoise() {
 	for _, n := range c.Nodes {
-		n.SMI.Stop()
+		for _, s := range n.Sources() {
+			s.Stop()
+		}
 	}
 }
 
@@ -208,6 +252,20 @@ func (c *Cluster) TotalSMMResidency() sim.Time {
 	var total sim.Time
 	for _, n := range c.Nodes {
 		total += n.SMM.Stats().TotalResidency
+	}
+	return total
+}
+
+// TotalStolen sums the residency the given noise family has stolen
+// across all nodes.
+func (c *Cluster) TotalStolen(family string) sim.Time {
+	var total sim.Time
+	for _, n := range c.Nodes {
+		for _, s := range n.Sources() {
+			if s.Meta().Family == family {
+				total += s.Stolen()
+			}
+		}
 	}
 	return total
 }

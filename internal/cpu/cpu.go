@@ -41,6 +41,13 @@ type Params struct {
 	// siblings are busy (front-end sharing losses). 1 means ideal
 	// slot-filling; Nehalem-class parts are around 0.9.
 	SMTEfficiency float64
+	// SMTShares sets, per physical core, the issue-slot share the
+	// sibling-0 logical CPU keeps of the overlap when both
+	// hyper-threaded siblings are busy (SYNPA-style asymmetric SMT
+	// partitioning); sibling 1 gets the complement. Entries must be in
+	// (0,1); an empty or short slice means the symmetric 0.5 split for
+	// the remaining cores, which is the classic fixed HTT behavior.
+	SMTShares []float64
 }
 
 // Validate reports whether the parameters describe a usable processor.
@@ -56,6 +63,14 @@ func (p Params) Validate() error {
 	}
 	if p.SMTEfficiency <= 0 || p.SMTEfficiency > 1 {
 		return fmt.Errorf("cpu: SMTEfficiency = %v, need (0,1]", p.SMTEfficiency)
+	}
+	if len(p.SMTShares) > p.PhysCores {
+		return fmt.Errorf("cpu: %d SMTShares for %d physical cores", len(p.SMTShares), p.PhysCores)
+	}
+	for i, s := range p.SMTShares {
+		if s <= 0 || s >= 1 {
+			return fmt.Errorf("cpu: SMTShares[%d] = %v, need (0,1)", i, s)
+		}
 	}
 	return nil
 }
@@ -103,6 +118,12 @@ type Logical struct {
 
 	threads []*Thread // runnable threads currently assigned here
 	busy    sim.Time  // accumulated busy time (≥1 thread assigned, not stalled)
+
+	// stallDepth counts nested per-CPU stalls (core-scoped noise
+	// sources stealing just this logical CPU), independent of the
+	// node-global SMM stall; stolen accumulates the time lost to them.
+	stallDepth int
+	stolen     sim.Time
 }
 
 // Online reports whether the logical CPU is schedulable.
@@ -355,6 +376,27 @@ func (m *Model) Unstall() {
 // Stalled reports whether the processor is currently in SMM.
 func (m *Model) Stalled() bool { return m.stalled }
 
+// StallCPU freezes one logical CPU: a core-scoped perturbation source
+// (an OS daemon tick, say) owns it until the matching UnstallCPU.
+// Unlike the invisible node-global Stall, the kernel sees this
+// preemption — the frozen thread is neither progressing nor charged.
+// Per-CPU stalls nest and compose with the global stall.
+func (m *Model) StallCPU(id int) {
+	m.reconfigure(func() { m.logical[id].stallDepth++ })
+}
+
+// UnstallCPU releases one StallCPU on logical CPU id.
+func (m *Model) UnstallCPU(id int) {
+	m.reconfigure(func() {
+		if m.logical[id].stallDepth > 0 {
+			m.logical[id].stallDepth--
+		}
+	})
+}
+
+// CPUStalled reports whether logical CPU id is per-CPU stalled.
+func (m *Model) CPUStalled(id int) bool { return m.logical[id].stallDepth > 0 }
+
 // TotalStallTime reports accumulated all-core stall time.
 func (m *Model) TotalStallTime() sim.Time { return m.stallTime }
 
@@ -373,6 +415,11 @@ func (t *Thread) Name() string { return t.name }
 
 // Busy reports logical CPU l's accumulated non-idle, non-stalled time.
 func (l *Logical) Busy() sim.Time { return l.busy }
+
+// Stolen reports the time core-scoped noise sources have stolen from l
+// (per-CPU stalls while work was assigned; node-global SMM residency is
+// accounted separately via Model.TotalStallTime).
+func (l *Logical) Stolen() sim.Time { return l.stolen }
 
 // Threads returns the runnable threads currently assigned to l (valid
 // until the next reschedule; callers that need an up-to-date view should
@@ -463,9 +510,14 @@ func (m *Model) advance() {
 	}
 	if !m.stalled {
 		for _, l := range m.logical {
-			if l.online && len(l.threads) > 0 {
-				l.busy += dt
+			if !l.online || len(l.threads) == 0 {
+				continue
 			}
+			if l.stallDepth > 0 {
+				l.stolen += dt
+				continue
+			}
+			l.busy += dt
 		}
 	}
 }
@@ -556,7 +608,13 @@ func (m *Model) rates() {
 		for _, t := range m.runnable {
 			t.rate = 0
 			if t.cpu != nil {
-				t.osShare = 1 / float64(len(t.cpu.threads))
+				if t.cpu.stallDepth > 0 {
+					// A daemon holds the CPU under the SMM stall: the
+					// kernel charges the daemon, not this thread.
+					t.osShare = 0
+				} else {
+					t.osShare = 1 / float64(len(t.cpu.threads))
+				}
 			}
 		}
 		return
@@ -567,6 +625,14 @@ func (m *Model) rates() {
 			continue
 		}
 		l := t.cpu
+		if l.stallDepth > 0 {
+			// Core-scoped steal: the thread neither progresses nor is
+			// charged — the preemption is visible, the kernel accounts
+			// the stealing daemon instead.
+			t.rate = 0
+			t.osShare = 0
+			continue
+		}
 		sib := m.sibling(l)
 		sibBusy := sib != nil && sib.online && len(sib.threads) > 0
 		miss := t.prof.MissRate
@@ -586,7 +652,20 @@ func (m *Model) rates() {
 		// efficiency, and cannot exceed its solo rate.
 		u := soloOpsPerCycle(t.prof.CPI, miss, m.par.MissPenalty)
 		us := m.avgOpsPerCycle(sib)
-		opsPerCycle := m.par.SMTEfficiency * u * (1 - us/2)
+		// The thread concedes its configured slice of the overlap: the
+		// symmetric default concedes half (0.5 is exact in binary, so
+		// this is bit-identical to the historic us/2 formula); with an
+		// asymmetric SMTShares entry, sibling 0 keeps share s of the
+		// contested slots and concedes 1-s, sibling 1 the reverse.
+		conceded := 0.5
+		if l.Phys < len(m.par.SMTShares) {
+			if s := m.par.SMTShares[l.Phys]; l.Sib == 0 {
+				conceded = 1 - s
+			} else {
+				conceded = s
+			}
+		}
+		opsPerCycle := m.par.SMTEfficiency * u * (1 - us*conceded)
 		if opsPerCycle > u {
 			opsPerCycle = u
 		}

@@ -1,0 +1,164 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"smistudy/internal/sim"
+)
+
+// TestStallCPUFreezesOnlyThatCPU pins the per-CPU stall semantics: a
+// core-scoped steal freezes exactly the stalled logical CPU's thread —
+// a visible preemption, so the frozen time is charged to the stealing
+// daemon (no OS-time accrual), while threads elsewhere are untouched.
+func TestStallCPUFreezesOnlyThatCPU(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	a := m.NewThread("a", cpuProfile)
+	b := m.NewThread("b", cpuProfile)
+	if err := m.Pin(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pin(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	var doneA, doneB sim.Time
+	m.StartCompute(a, 1e9, func() { doneA = e.Now() })
+	m.StartCompute(b, 1e9, func() { doneB = e.Now() })
+	e.At(500*sim.Millisecond, func() { m.StallCPU(0) })
+	e.At(600*sim.Millisecond, func() { m.UnstallCPU(0) })
+	e.Run()
+	if math.Abs(doneA.Seconds()-1.1) > 1e-6 {
+		t.Fatalf("stalled-CPU thread finished at %v, want 1.1s", doneA)
+	}
+	if math.Abs(doneB.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("unrelated thread finished at %v, want 1.0s", doneB)
+	}
+	if got := m.Logical(0).Stolen(); got != 100*sim.Millisecond {
+		t.Fatalf("cpu0 stolen = %v, want 100ms", got)
+	}
+	if got := m.Logical(1).Stolen(); got != 0 {
+		t.Fatalf("cpu1 stolen = %v, want 0", got)
+	}
+	// Visible preemption: the kernel does not charge the victim for the
+	// stolen window, so OS time and true time agree at 1.0 s.
+	if math.Abs(a.OSTime().Seconds()-1.0) > 1e-6 {
+		t.Fatalf("OS-accounted time = %v, want 1.0s (steal is visible)", a.OSTime())
+	}
+}
+
+func TestStallCPUNesting(t *testing.T) {
+	e := sim.New(1)
+	m := MustNew(e, testParams())
+	th := m.NewThread("t", cpuProfile)
+	if err := m.Pin(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	var done sim.Time
+	m.StartCompute(th, 1e9, func() { done = e.Now() })
+	e.At(100*sim.Millisecond, func() { m.StallCPU(0) })
+	e.At(150*sim.Millisecond, func() { m.StallCPU(0) })
+	e.At(200*sim.Millisecond, func() { m.UnstallCPU(0) })
+	e.At(300*sim.Millisecond, func() {
+		if !m.CPUStalled(0) {
+			t.Errorf("cpu0 not stalled at depth 1")
+		}
+		m.UnstallCPU(0)
+	})
+	e.Run()
+	if math.Abs(done.Seconds()-1.2) > 1e-6 {
+		t.Fatalf("nested per-CPU stall finished at %v, want 1.2s", done)
+	}
+	if got := m.Logical(0).Stolen(); got != 200*sim.Millisecond {
+		t.Fatalf("cpu0 stolen = %v, want 200ms", got)
+	}
+}
+
+// TestSMTSharesDefaultBitIdentical pins the refactor contract: an
+// explicit symmetric 0.5 share is bit-identical to the historic fixed
+// split (0.5 is exact in binary, so us*0.5 == us/2 in IEEE754).
+func TestSMTSharesDefaultBitIdentical(t *testing.T) {
+	run := func(shares []float64) []sim.Time {
+		e := sim.New(1)
+		par := testParams()
+		par.SMTShares = shares
+		m := MustNew(e, par)
+		var done []sim.Time
+		// 8 threads saturate all 4 physical cores' sibling pairs.
+		for i := 0; i < 8; i++ {
+			th := m.NewThread("t", Profile{CPI: 1, MissRate: 0.002})
+			m.StartCompute(th, 1e9, func() { done = append(done, e.Now()) })
+		}
+		e.Run()
+		return done
+	}
+	base := run(nil)
+	explicit := run([]float64{0.5, 0.5, 0.5, 0.5})
+	if len(base) != len(explicit) {
+		t.Fatalf("completion counts differ: %d vs %d", len(base), len(explicit))
+	}
+	for i := range base {
+		if base[i] != explicit[i] {
+			t.Fatalf("completion %d: default %v, explicit 0.5 share %v (must be bit-identical)", i, base[i], explicit[i])
+		}
+	}
+}
+
+// TestSMTSharesAsymmetry: a SYNPA-style asymmetric share speeds up the
+// favored sibling and slows the conceding one. Rates are compared
+// mid-contention (total completion times would not show it: once the
+// favored sibling finishes, the other runs the tail uncontended).
+func TestSMTSharesAsymmetry(t *testing.T) {
+	run := func(shares []float64) (ops0, ops1 float64) {
+		e := sim.New(1)
+		par := testParams()
+		par.SMTShares = shares
+		m := MustNew(e, par)
+		a := m.NewThread("a", cpuProfile)
+		b := m.NewThread("b", cpuProfile)
+		// Pin both siblings of physical core 0 (logical 0 and 4).
+		if err := m.Pin(a, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Pin(b, 4); err != nil {
+			t.Fatal(err)
+		}
+		m.StartCompute(a, 1e9, nil)
+		m.StartCompute(b, 1e9, nil)
+		e.At(sim.Second, func() {
+			m.Sync()
+			ops0, ops1 = a.OpsDone(), b.OpsDone()
+			e.Stop()
+		})
+		e.Run()
+		return
+	}
+	s0, s1 := run(nil)
+	if s0 != s1 {
+		t.Fatalf("symmetric split progressed unevenly: %v vs %v ops", s0, s1)
+	}
+	f0, f1 := run([]float64{0.8, 0.5, 0.5, 0.5})
+	if f0 <= s0 {
+		t.Fatalf("favored sibling 0 did not speed up: %v vs symmetric %v ops", f0, s0)
+	}
+	if f1 >= s1 {
+		t.Fatalf("conceding sibling 1 did not slow down: %v vs symmetric %v ops", f1, s1)
+	}
+}
+
+func TestSMTSharesValidate(t *testing.T) {
+	for i, shares := range [][]float64{
+		{0}, {1}, {-0.2}, {1.3}, {0.5, 0.5, 0.5, 0.5, 0.5},
+	} {
+		par := testParams()
+		par.SMTShares = shares
+		if err := par.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted smt shares %v", i, shares)
+		}
+	}
+	par := testParams()
+	par.SMTShares = []float64{0.7, 0.3}
+	if err := par.Validate(); err != nil {
+		t.Errorf("valid partial shares rejected: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"smistudy/internal/cpu"
 	"smistudy/internal/kernel"
 	"smistudy/internal/obs"
+	"smistudy/internal/perturb"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 )
@@ -53,6 +54,33 @@ func (c *DetectorConfig) defaults() {
 	}
 }
 
+// TaggedEpisode is one ground-truth steal window labeled with the
+// noise family that produced it, so a detector run under several
+// concurrent sources can be scored per family.
+type TaggedEpisode struct {
+	Family   string
+	CPU      int // perturb.AllCPUs when the episode stalls every CPU
+	Start    sim.Time
+	Duration sim.Time
+}
+
+// FamilyScore is one noise family's slice of a union scoring.
+type FamilyScore struct {
+	Family      string
+	GroundTruth int
+	Matched     int
+	Missed      int
+}
+
+// Recall reports the fraction of this family's episodes detected; 1
+// when the family injected nothing.
+func (f FamilyScore) Recall() float64 {
+	if f.GroundTruth == 0 {
+		return 1
+	}
+	return float64(f.Matched) / float64(f.GroundTruth)
+}
+
 // DetectorReport summarizes a detector run against ground truth.
 type DetectorReport struct {
 	Detections []Detection
@@ -65,6 +93,10 @@ type DetectorReport struct {
 	FalsePositives int
 	// MaxLatency is the largest gap observed.
 	MaxLatency sim.Time
+	// Families breaks GroundTruth/Matched/Missed down per noise family,
+	// in sorted family order. A detector cannot attribute a gap to a
+	// family — precision is global — but recall is per family.
+	Families []FamilyScore
 }
 
 // Precision reports the fraction of detections that matched a real
@@ -160,7 +192,21 @@ func RunDetector(cl *cluster.Cluster, cfg DetectorConfig) DetectorReport {
 	if !done {
 		panic("noise: detector never finished")
 	}
-	return Score(dets, node.SMM.Episodes())
+	// Ground truth is the union of every noise source on the node. The
+	// spin task runs alone on an otherwise idle machine, so it lands on
+	// logical CPU 0; core-scoped episodes elsewhere cannot have touched
+	// it and are excluded from the score.
+	var eps []TaggedEpisode
+	for _, s := range node.Sources() {
+		fam := s.Meta().Family
+		for _, ep := range s.Episodes() {
+			if ep.CPU != perturb.AllCPUs && ep.CPU != 0 {
+				continue
+			}
+			eps = append(eps, TaggedEpisode{Family: fam, CPU: ep.CPU, Start: ep.Start, Duration: ep.Duration})
+		}
+	}
+	return ScoreUnion(dets, eps)
 }
 
 // EpisodesFromEvents reconstructs a node's SMM episode log from
@@ -178,14 +224,46 @@ func EpisodesFromEvents(evs []obs.Event, node int32) []smm.Episode {
 	return eps
 }
 
-// Score matches detections to ground-truth episodes: each episode
+// Score matches detections to ground-truth SMM episodes: each episode
 // consumes at most one detection landing at or shortly after it, leftover
-// detections are false positives.
+// detections are false positives. It is the single-family (SMM) special
+// case of ScoreUnion.
 func Score(dets []Detection, eps []smm.Episode) DetectorReport {
+	tagged := make([]TaggedEpisode, len(eps))
+	for i, ep := range eps {
+		tagged[i] = TaggedEpisode{Family: smm.Family, CPU: perturb.AllCPUs, Start: ep.Start, Duration: ep.Duration}
+	}
+	return ScoreUnion(dets, tagged)
+}
+
+// ScoreUnion matches detections against the union of several noise
+// families' ground truth: episodes are merged in time order and each
+// consumes at most one detection landing at or shortly after it.
+// Leftover detections are false positives; matches and misses are also
+// tallied per family.
+func ScoreUnion(dets []Detection, eps []TaggedEpisode) DetectorReport {
+	eps = append([]TaggedEpisode(nil), eps...)
+	sort.SliceStable(eps, func(i, j int) bool {
+		if eps[i].Start != eps[j].Start {
+			return eps[i].Start < eps[j].Start
+		}
+		return eps[i].Family < eps[j].Family
+	})
 	rep := DetectorReport{Detections: dets, GroundTruth: len(eps)}
+	byFam := map[string]*FamilyScore{}
+	famOf := func(name string) *FamilyScore {
+		f, ok := byFam[name]
+		if !ok {
+			f = &FamilyScore{Family: name}
+			byFam[name] = f
+		}
+		return f
+	}
 	used := make([]bool, len(dets))
 	const slack = 2 * sim.Millisecond
 	for _, ep := range eps {
+		f := famOf(ep.Family)
+		f.GroundTruth++
 		found := false
 		for i, d := range dets {
 			if used[i] {
@@ -201,8 +279,10 @@ func Score(dets []Detection, eps []smm.Episode) DetectorReport {
 		}
 		if found {
 			rep.Matched++
+			f.Matched++
 		} else {
 			rep.Missed++
+			f.Missed++
 		}
 	}
 	for i := range dets {
@@ -212,6 +292,14 @@ func Score(dets []Detection, eps []smm.Episode) DetectorReport {
 		if dets[i].Latency > rep.MaxLatency {
 			rep.MaxLatency = dets[i].Latency
 		}
+	}
+	fams := make([]string, 0, len(byFam))
+	for name := range byFam {
+		fams = append(fams, name)
+	}
+	sort.Strings(fams)
+	for _, name := range fams {
+		rep.Families = append(rep.Families, *byFam[name])
 	}
 	return rep
 }

@@ -77,6 +77,9 @@ func (b *Bus) record(ev Event) {
 	case EvSMMExit:
 		b.reg.Counter("smm_episodes", node).Add(1)
 		b.reg.Histogram("smm_residency_us", node, defaultUSBounds).Observe(float64(ev.Dur) / float64(sim.Microsecond))
+	case EvStealExit:
+		b.reg.Counter("steal_episodes", node).Add(1)
+		b.reg.Histogram("steal_residency_us", node, defaultUSBounds).Observe(float64(ev.Dur) / float64(sim.Microsecond))
 	case EvSchedMigrate:
 		b.reg.Counter("sched_migrations", node).Add(1)
 	case EvTaskSpawn:

@@ -198,6 +198,7 @@ const (
 	tidTransport = TidTransport
 	tidTasks     = TidTasks
 	tidSMM       = TidSMM
+	tidSteal0    = TidSteal0
 	tidCells     = TidCells
 	tidFastPath  = TidFastPath
 )
@@ -212,6 +213,13 @@ func (c *ChromeSink) Emit(ev Event) {
 	case EvSMMExit:
 		pid := c.ensureTrack(ev.Run, ev.Node, tidSMM, "smm")
 		c.complete(pid, tidSMM, "smm", cat, ev.Time-ev.Dur, ev.Dur, ev.A, ev.B)
+	case EvStealEnter:
+		// As with SMM, the residency span written at exit covers the
+		// whole episode.
+	case EvStealExit:
+		tid := tidSteal0 + ev.Track
+		pid := c.ensureTrack(ev.Run, ev.Node, tid, "steal"+strconv.Itoa(int(ev.Track)))
+		c.complete(pid, tid, ev.Name, cat, ev.Time-ev.Dur, ev.Dur, ev.A, ev.B)
 	case EvSchedRun, EvSchedPreempt, EvSchedMigrate:
 		tid := 1 + ev.Track
 		pid := c.ensureTrack(ev.Run, ev.Node, tid, "cpu"+strconv.Itoa(int(ev.Track)))

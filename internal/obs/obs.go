@@ -39,6 +39,7 @@ const (
 	CatSweep
 	CatProf
 	CatTask
+	CatNoise
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +61,8 @@ func (c Category) String() string {
 		return "prof"
 	case CatTask:
 		return "task"
+	case CatNoise:
+		return "noise"
 	default:
 		return "none"
 	}
@@ -100,6 +103,8 @@ type Type uint8
 //	FastPathMiss    Name = decline reason (workload, smm, faults, runs, ...)
 //	FastPathCertify Name = certified | rejected:<reason>, A = residual log-error (ppm), B = tolerance (ppm)
 //	UserSpan        Track, Name, Dur           caller-defined span [Time-Dur, Time]
+//	StealEnter      Node, Track = CPU, Name = family    core-scoped steal begins
+//	StealExit       Node, Track = CPU, Name = family, Dur = stolen; span [Time-Dur, Time]
 const (
 	EvNone Type = iota
 	EvSMMEnter
@@ -132,29 +137,31 @@ const (
 	EvFastPathMiss
 	EvFastPathCertify
 	EvUserSpan
+	EvStealEnter
+	EvStealExit
 
 	numTypes // sentinel
 )
 
 var typeNames = [numTypes]string{
-	EvNone:            "none",
-	EvSMMEnter:        "smm_enter",
-	EvSMMExit:         "smm",
-	EvSchedRun:        "run",
-	EvSchedPreempt:    "preempt",
-	EvSchedMigrate:    "migrate",
-	EvTaskSpawn:       "spawn",
-	EvTaskExit:        "exit",
-	EvMPISend:         "send",
-	EvMPIRecv:         "recv",
-	EvMPIRetransmit:   "retransmit",
-	EvCollBegin:       "coll",
-	EvCollEnd:         "coll",
-	EvNetDeliver:      "deliver",
-	EvNetDrop:         "drop",
-	EvNetDelay:        "delay",
-	EvFaultStart:      "fault",
-	EvFaultEnd:        "fault_end",
+	EvNone:             "none",
+	EvSMMEnter:         "smm_enter",
+	EvSMMExit:          "smm",
+	EvSchedRun:         "run",
+	EvSchedPreempt:     "preempt",
+	EvSchedMigrate:     "migrate",
+	EvTaskSpawn:        "spawn",
+	EvTaskExit:         "exit",
+	EvMPISend:          "send",
+	EvMPIRecv:          "recv",
+	EvMPIRetransmit:    "retransmit",
+	EvCollBegin:        "coll",
+	EvCollEnd:          "coll",
+	EvNetDeliver:       "deliver",
+	EvNetDrop:          "drop",
+	EvNetDelay:         "delay",
+	EvFaultStart:       "fault",
+	EvFaultEnd:         "fault_end",
 	EvSweepCellStart:   "cell",
 	EvSweepCellFinish:  "cell",
 	EvSweepCellCached:  "cell_cached",
@@ -162,32 +169,34 @@ var typeNames = [numTypes]string{
 	EvSweepCellTimeout: "cell_timeout",
 	EvSweepCellFail:    "cell_fail",
 	EvProfSample:       "sample",
-	EvProfDrop:        "sample_lost",
-	EvProfDefer:       "sample_deferred",
-	EvFastPathHit:     "fastpath_hit",
-	EvFastPathMiss:    "fastpath_miss",
-	EvFastPathCertify: "fastpath_certify",
-	EvUserSpan:        "span",
+	EvProfDrop:         "sample_lost",
+	EvProfDefer:        "sample_deferred",
+	EvFastPathHit:      "fastpath_hit",
+	EvFastPathMiss:     "fastpath_miss",
+	EvFastPathCertify:  "fastpath_certify",
+	EvUserSpan:         "span",
+	EvStealEnter:       "steal_enter",
+	EvStealExit:        "steal",
 }
 
 var typeCats = [numTypes]Category{
-	EvSMMEnter:        CatSMM,
-	EvSMMExit:         CatSMM,
-	EvSchedRun:        CatSched,
-	EvSchedPreempt:    CatSched,
-	EvSchedMigrate:    CatSched,
-	EvTaskSpawn:       CatSched,
-	EvTaskExit:        CatSched,
-	EvMPISend:         CatMPI,
-	EvMPIRecv:         CatMPI,
-	EvMPIRetransmit:   CatMPI,
-	EvCollBegin:       CatMPI,
-	EvCollEnd:         CatMPI,
-	EvNetDeliver:      CatNet,
-	EvNetDrop:         CatNet,
-	EvNetDelay:        CatNet,
-	EvFaultStart:      CatFault,
-	EvFaultEnd:        CatFault,
+	EvSMMEnter:         CatSMM,
+	EvSMMExit:          CatSMM,
+	EvSchedRun:         CatSched,
+	EvSchedPreempt:     CatSched,
+	EvSchedMigrate:     CatSched,
+	EvTaskSpawn:        CatSched,
+	EvTaskExit:         CatSched,
+	EvMPISend:          CatMPI,
+	EvMPIRecv:          CatMPI,
+	EvMPIRetransmit:    CatMPI,
+	EvCollBegin:        CatMPI,
+	EvCollEnd:          CatMPI,
+	EvNetDeliver:       CatNet,
+	EvNetDrop:          CatNet,
+	EvNetDelay:         CatNet,
+	EvFaultStart:       CatFault,
+	EvFaultEnd:         CatFault,
 	EvSweepCellStart:   CatSweep,
 	EvSweepCellFinish:  CatSweep,
 	EvSweepCellCached:  CatSweep,
@@ -195,12 +204,14 @@ var typeCats = [numTypes]Category{
 	EvSweepCellTimeout: CatSweep,
 	EvSweepCellFail:    CatSweep,
 	EvProfSample:       CatProf,
-	EvProfDrop:        CatProf,
-	EvProfDefer:       CatProf,
-	EvFastPathHit:     CatSweep,
-	EvFastPathMiss:    CatSweep,
-	EvFastPathCertify: CatSweep,
-	EvUserSpan:        CatTask,
+	EvProfDrop:         CatProf,
+	EvProfDefer:        CatProf,
+	EvFastPathHit:      CatSweep,
+	EvFastPathMiss:     CatSweep,
+	EvFastPathCertify:  CatSweep,
+	EvUserSpan:         CatTask,
+	EvStealEnter:       CatNoise,
+	EvStealExit:        CatNoise,
 }
 
 // String implements fmt.Stringer.

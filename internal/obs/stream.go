@@ -21,14 +21,15 @@ import (
 // Exported per-node track ids (the ChromeSink "tid" layout). CPU tracks
 // occupy [TidCPU0, TidCPU0+cpus), rank tracks [TidRank0, TidNet).
 const (
-	TidCPU0      int32 = 1   // scheduling instants for logical CPU c land on TidCPU0+c
-	TidRank0     int32 = 100 // MPI traffic for rank r lands on TidRank0+r
-	TidNet       int32 = 900 // fabric deliveries, drops, delays
-	TidFault     int32 = 901 // fault activations
-	TidProf      int32 = 902 // profiler sample decisions
-	TidTransport int32 = 903 // reliable-transport retransmissions
-	TidTasks     int32 = 998 // kernel task spawn/exit
+	TidCPU0      int32 = 1    // scheduling instants for logical CPU c land on TidCPU0+c
+	TidRank0     int32 = 100  // MPI traffic for rank r lands on TidRank0+r
+	TidNet       int32 = 900  // fabric deliveries, drops, delays
+	TidFault     int32 = 901  // fault activations
+	TidProf      int32 = 902  // profiler sample decisions
+	TidTransport int32 = 903  // reliable-transport retransmissions
+	TidTasks     int32 = 998  // kernel task spawn/exit
 	TidSMM       int32 = 1000 // ground-truth SMM residency spans
+	TidSteal0    int32 = 1100 // core-scoped steal spans for CPU c land on TidSteal0+c
 
 	// Cluster-process tracks (node = -1): the sweep-cell timeline and
 	// the fast-path dispatcher's decision stream.
@@ -41,17 +42,18 @@ type TrackKind uint8
 
 // Track kinds, in the order a flame rendering stacks them.
 const (
-	TrackUnknown TrackKind = iota
-	TrackCells             // cluster: sweep-cell spans
-	TrackFastPath          // cluster: dispatcher decisions
-	TrackCPU               // per-node: one logical CPU's scheduling
-	TrackRank              // per-node: one MPI rank's traffic
-	TrackNet               // per-node: fabric activity
-	TrackFault             // per-node: fault activations
-	TrackProf              // per-node: profiler decisions
-	TrackTransport         // per-node: retransmissions
-	TrackTasks             // per-node: kernel task lifecycle
-	TrackSMM               // per-node: SMM residency ground truth
+	TrackUnknown   TrackKind = iota
+	TrackCells               // cluster: sweep-cell spans
+	TrackFastPath            // cluster: dispatcher decisions
+	TrackCPU                 // per-node: one logical CPU's scheduling
+	TrackRank                // per-node: one MPI rank's traffic
+	TrackNet                 // per-node: fabric activity
+	TrackFault               // per-node: fault activations
+	TrackProf                // per-node: profiler decisions
+	TrackTransport           // per-node: retransmissions
+	TrackTasks               // per-node: kernel task lifecycle
+	TrackSMM                 // per-node: SMM residency ground truth
+	TrackSteal               // per-node: one CPU's core-scoped steal ground truth
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +79,8 @@ func (k TrackKind) String() string {
 		return "tasks"
 	case TrackSMM:
 		return "smm"
+	case TrackSteal:
+		return "steal"
 	default:
 		return "unknown"
 	}
@@ -112,6 +116,8 @@ func TrackOf(node, tid int32) (TrackKind, int) {
 		return TrackTasks, 0
 	case tid == TidSMM:
 		return TrackSMM, 0
+	case tid >= TidSteal0 && tid < TidSteal0+99:
+		return TrackSteal, int(tid - TidSteal0)
 	}
 	return TrackUnknown, 0
 }

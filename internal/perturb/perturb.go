@@ -1,0 +1,112 @@
+// Package perturb defines the noise-source abstraction the simulator's
+// perturbation families plug into. A Source produces a schedule of
+// steal episodes — intervals during which one or more logical CPUs
+// make no forward progress — plus metadata describing what kind of
+// noise it is. SMM (internal/smm) is the first family: a global,
+// OS-invisible source. OS/daemon jitter (Jitter, in this package) is
+// the second: core-scoped and OS-visible. Detectors score against the
+// union of all sources' ground truth, and the report layer attributes
+// stolen time per family, so new families compose without re-threading
+// the stack.
+package perturb
+
+import "smistudy/internal/sim"
+
+// Scope describes how much of a node one of a source's episodes
+// freezes at a time.
+type Scope int
+
+const (
+	// ScopeCore episodes steal a single logical CPU (daemon ticks,
+	// per-core kernel housekeeping).
+	ScopeCore Scope = iota
+	// ScopeSocket episodes steal every logical CPU of one socket.
+	ScopeSocket
+	// ScopeGlobal episodes steal every logical CPU of the node (SMM:
+	// all CPUs rendezvous in the handler).
+	ScopeGlobal
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeCore:
+		return "core"
+	case ScopeSocket:
+		return "socket"
+	case ScopeGlobal:
+		return "global"
+	}
+	return "unknown"
+}
+
+// Meta identifies a noise family and its steal semantics.
+type Meta struct {
+	// Family is the short name used for attribution categories
+	// ("<family>-stolen"), detector scoring, and scenario configs:
+	// "smm", "osjitter".
+	Family string
+	// Scope is how much of the node one episode freezes.
+	Scope Scope
+	// Visible reports whether the OS can observe and account the
+	// stolen time. SMM is invisible (the kernel keeps charging the
+	// interrupted thread); a daemon tick is visible (the kernel
+	// charges the daemon, not the preempted thread).
+	Visible bool
+}
+
+// AllCPUs marks an episode that froze every logical CPU of the node.
+const AllCPUs = -1
+
+// Episode is one completed steal interval: ground truth for detectors
+// and the per-family attribution in reports.
+type Episode struct {
+	// CPU is the logical CPU the episode stole, or AllCPUs for a
+	// node-global episode.
+	CPU      int
+	Start    sim.Time
+	Duration sim.Time
+}
+
+// End is the episode's end time.
+func (e Episode) End() sim.Time { return e.Start + e.Duration }
+
+// Source is one provisioned noise source on a node. Both the SMM
+// driver and the jitter source implement it; cluster provisioning,
+// detectors, and reports consume sources through this interface only.
+type Source interface {
+	Meta() Meta
+	// Start arms the source; Stop disarms it (an in-flight episode
+	// still completes so no CPU is left stalled).
+	Start()
+	Stop()
+	Running() bool
+	// Episodes returns the completed-steal ground-truth log.
+	Episodes() []Episode
+	// Stolen is the total residency stolen so far.
+	Stolen() sim.Time
+}
+
+// CPUStaller is the processor-side hook core-scoped sources drive.
+// cpu.Model satisfies it.
+type CPUStaller interface {
+	// StallCPU freezes one logical CPU; UnstallCPU releases it.
+	// Stalls nest per CPU and independently of the node-global stall.
+	StallCPU(id int)
+	UnstallCPU(id int)
+	NumLogical() int
+}
+
+// DeriveSeed deterministically derives an independent stream seed from
+// a base seed and a salt (splitmix64 finalizer). Related sources — per
+// node, per run, per CPU — mix distinct salts so they never share an
+// RNG stream, while the same (base, salt) always replays the same
+// schedule.
+func DeriveSeed(base int64, salt uint64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(salt+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

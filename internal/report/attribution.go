@@ -8,10 +8,11 @@
 //
 // The attribution tree answers the paper's core question — where did
 // the wall time go? — from bus events alone: every logical CPU's
-// timeline is partitioned exactly into compute, SMM-stolen,
-// communication-wait, fault-retransmit wait and idle, so the
-// categories sum to the wall time by construction and any residue is a
-// processing bug the invariant checker surfaces.
+// timeline is partitioned exactly into compute, SMM-stolen, per-family
+// stolen time (one <family>-stolen category per perturbation source,
+// e.g. osjitter-stolen), communication-wait, fault-retransmit wait and
+// idle, so the categories sum to the wall time by construction and any
+// residue is a processing bug the invariant checker surfaces.
 package report
 
 import (
@@ -24,6 +25,8 @@ import (
 )
 
 // Attribution categories. They partition a CPU's timeline exactly.
+// Per-CPU perturbation sources additionally contribute one
+// "<family>-stolen" category each (e.g. "osjitter-stolen").
 const (
 	CatCompute    = "compute"          // on-CPU, outside SMM
 	CatSMMStolen  = "smm-stolen"       // stalled in System Management Mode
@@ -362,6 +365,7 @@ func attributeNode(node int32, spans []obs.Span, wall sim.Time) (*Node, []RankSt
 	var retrans []sim.Time
 	taskNames := map[int64]string{}
 	cpuEvents := map[int][]obs.Span{}
+	steals := map[int]map[string][]iv{} // cpu → noise family → steal windows
 	rankStats := map[int]*RankStats{}
 	hasRanks := false
 
@@ -370,6 +374,15 @@ func attributeNode(node int32, spans []obs.Span, wall sim.Time) (*Node, []RankSt
 		case obs.TrackSMM:
 			if !s.Instant {
 				smm = append(smm, iv{s.Start, s.End()})
+			}
+		case obs.TrackSteal:
+			if !s.Instant {
+				fams := steals[s.Index]
+				if fams == nil {
+					fams = map[string][]iv{}
+					steals[s.Index] = fams
+				}
+				fams[s.Name] = append(fams[s.Name], iv{s.Start, s.End()})
 			}
 		case obs.TrackTransport:
 			if s.Instant {
@@ -401,14 +414,21 @@ func attributeNode(node int32, spans []obs.Span, wall sim.Time) (*Node, []RankSt
 	}
 	smm = clipMerge(smm, wall)
 
+	// CPUs appear from scheduling events or from steal windows — a core
+	// that only ever got stolen from still owns a timeline.
 	var cpus []int
 	for c := range cpuEvents {
 		cpus = append(cpus, c)
 	}
+	for c := range steals {
+		if _, ok := cpuEvents[c]; !ok {
+			cpus = append(cpus, c)
+		}
+	}
 	sort.Ints(cpus)
 	for _, c := range cpus {
 		nn.Children = append(nn.Children,
-			attributeCPU(c, cpuEvents[c], smm, retrans, wall, hasRanks, taskNames))
+			attributeCPU(c, cpuEvents[c], smm, steals[c], retrans, wall, hasRanks, taskNames))
 	}
 
 	var ranks []RankStats
@@ -425,17 +445,21 @@ func attributeNode(node int32, spans []obs.Span, wall sim.Time) (*Node, []RankSt
 
 // attributeCPU partitions one logical CPU's [0, wall] exactly:
 //
-//	on-CPU  ∖ SMM          → compute
-//	SMM residency          → smm-stolen (stalled whether running or waiting)
-//	off-CPU ∖ SMM, marked  → fault-retransmit (a retransmission fired inside)
-//	off-CPU ∖ SMM, rest    → comm-wait (MPI node) or idle
+//	on-CPU  ∖ claimed          → compute
+//	SMM residency              → smm-stolen (stalled whether running or waiting)
+//	family steal windows       → <family>-stolen (per-CPU steals, e.g. osjitter)
+//	off-CPU ∖ claimed, marked  → fault-retransmit (a retransmission fired inside)
+//	off-CPU ∖ claimed, rest    → comm-wait (MPI node) or idle
 //
-// The partition is exhaustive and disjoint, so the category leaves sum
-// to the wall time exactly; clamping never occurs by construction, and
-// unmatched scheduling edges are surfaced as anomalies instead of
-// silently skewing a bucket.
-func attributeCPU(cpu int, events []obs.Span, smm []iv, retrans []sim.Time,
-	wall sim.Time, hasRanks bool, taskNames map[int64]string) *Node {
+// where claimed is the union of the SMM windows and every family's
+// steal windows. Overlaps are resolved deterministically — SMM claims
+// first, then families in sorted name order — so the partition stays
+// exhaustive and disjoint and the category leaves sum to the wall time
+// exactly; clamping never occurs by construction, and unmatched
+// scheduling edges are surfaced as anomalies instead of silently
+// skewing a bucket.
+func attributeCPU(cpu int, events []obs.Span, smm []iv, steals map[string][]iv,
+	retrans []sim.Time, wall sim.Time, hasRanks bool, taskNames map[int64]string) *Node {
 
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
 	var busy []iv
@@ -467,9 +491,29 @@ func attributeCPU(cpu int, events []obs.Span, smm []iv, retrans []sim.Time,
 	}
 	busy = clipMerge(busy, wall)
 
-	computeIv := subtract(busy, smm)
+	// Resolve overlapping claims deterministically: SMM first, then each
+	// family's per-CPU steal windows in sorted name order, each family
+	// keeping only what no earlier claimant took.
+	var fams []string
+	for f := range steals {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	claimed := smm
+	type famPart struct {
+		name string
+		ivs  []iv
+	}
+	var famParts []famPart
+	for _, f := range fams {
+		st := subtract(clipMerge(steals[f], wall), claimed)
+		famParts = append(famParts, famPart{f, st})
+		claimed = clipMerge(append(append([]iv(nil), claimed...), st...), wall)
+	}
+
+	computeIv := subtract(busy, claimed)
 	off := complement(busy, wall)
-	offAwake := subtract(off, smm)
+	offAwake := subtract(off, claimed)
 	waitRetrans, waitPlain := splitBy(offAwake, retrans)
 
 	label := fmt.Sprintf("cpu%d", cpu)
@@ -492,9 +536,22 @@ func attributeCPU(cpu int, events []obs.Span, smm []iv, retrans []sim.Time,
 	}{
 		{CatCompute, total(computeIv).Seconds(), 0},
 		{CatSMMStolen, total(smm).Seconds(), int64(len(smm))},
+	}
+	for _, fp := range famParts {
+		cats = append(cats, struct {
+			label string
+			secs  float64
+			count int64
+		}{fp.name + "-stolen", total(fp.ivs).Seconds(), int64(len(fp.ivs))})
+	}
+	cats = append(cats, []struct {
+		label string
+		secs  float64
+		count int64
+	}{
 		{waitCat, total(waitPlain).Seconds(), 0},
 		{CatRetransmit, total(waitRetrans).Seconds(), int64(len(waitRetrans))},
-	}
+	}...)
 	for _, c := range cats {
 		if c.secs == 0 && c.count == 0 {
 			continue

@@ -58,6 +58,7 @@ var catColors = map[string]string{
 	"sweep": "#7f7f7f",
 	"prof":  "#9467bd",
 	"task":  "#8c564b",
+	"noise": "#e377c2",
 }
 
 func colorOf(cat string) string {

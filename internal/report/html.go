@@ -14,12 +14,26 @@ import (
 // in ten years, so nothing in it depends on anything outside the file.
 
 var catCSS = map[string]string{
-	CatCompute:    "#2ca02c",
-	CatSMMStolen:  "#d62728",
-	CatCommWait:   "#1f77b4",
-	CatRetransmit: "#ff7f0e",
-	CatIdle:       "#c7c7c7",
-	CatFastPath:   "#9467bd",
+	CatCompute:        "#2ca02c",
+	CatSMMStolen:      "#d62728",
+	"osjitter-stolen": "#e377c2",
+	CatCommWait:       "#1f77b4",
+	CatRetransmit:     "#ff7f0e",
+	CatIdle:           "#c7c7c7",
+	CatFastPath:       "#9467bd",
+}
+
+// catColor resolves a category's color. Unknown "<family>-stolen"
+// categories (noise families landed after this table) share the SMM
+// red's darker cousin so stolen time is always visually stolen.
+func catColor(label string) string {
+	if c, ok := catCSS[label]; ok {
+		return c
+	}
+	if strings.HasSuffix(label, "-stolen") {
+		return "#a83232"
+	}
+	return "#aaaaaa"
 }
 
 // HTML renders the report as a self-contained document.
@@ -148,8 +162,8 @@ svg { border: 1px solid #eee; margin: 0.5em 0; }
 
 func legendHTML() string {
 	var b strings.Builder
-	for _, c := range []string{CatCompute, CatSMMStolen, CatCommWait, CatRetransmit, CatIdle, CatFastPath} {
-		fmt.Fprintf(&b, `<span class="bar" style="width:0.8em;background:%s"></span> %s&nbsp; `, catCSS[c], esc(c))
+	for _, c := range []string{CatCompute, CatSMMStolen, "osjitter-stolen", CatCommWait, CatRetransmit, CatIdle, CatFastPath} {
+		fmt.Fprintf(&b, `<span class="bar" style="width:0.8em;background:%s"></span> %s&nbsp; `, catColor(c), esc(c))
 	}
 	return b.String()
 }
@@ -168,7 +182,7 @@ func writeTree(b *strings.Builder, n *Node, wall float64) {
 				width = n.Seconds / wall * 240
 			}
 			fmt.Fprintf(b, `<span class="bar" style="width:%.1fpx;background:%s"></span> `,
-				width, catCSS[n.Label])
+				width, catColor(n.Label))
 		}
 		pct := ""
 		if wall > 0 && n.Kind == "category" {

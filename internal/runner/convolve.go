@@ -9,6 +9,7 @@ import (
 	"smistudy/internal/metrics"
 	"smistudy/internal/obs"
 	"smistudy/internal/parsweep"
+	"smistudy/internal/perturb"
 	"smistudy/internal/scenario"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
@@ -49,6 +50,12 @@ type ConvolveOptions struct {
 	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
 	// NASOptions.SMIScale).
 	SMIScale float64
+	// Jitter provisions OS-jitter noise sources on the node (see
+	// NASOptions.Jitter).
+	Jitter []perturb.JitterConfig `json:",omitempty"`
+	// SMTShares sets per-physical-core asymmetric SMT slot shares
+	// (empty = the symmetric split; see cpu.Params.SMTShares).
+	SMTShares []float64 `json:",omitempty"`
 	// Tracer, when non-nil, receives every run's observability events,
 	// stamped with the run index. Must be concurrency-safe (an
 	// *obs.Bus is) when Workers > 1. Execution-only: excluded from the
@@ -110,7 +117,10 @@ func RunConvolve(o ConvolveOptions) (ConvolveResult, error) {
 	}
 	outs, err := parsweep.Run(context.Background(), idx, o.Workers, func(i int) (runOut, error) {
 		e := sim.New(seed + int64(i))
-		cl, err := cluster.New(e, cluster.R410(smi))
+		cp := cluster.R410(smi)
+		cp.Node.CPU.SMTShares = o.SMTShares
+		cp.Node.Jitter = jitterForRun(o.Jitter, seed+int64(i))
+		cl, err := cluster.New(e, cp)
 		if err != nil {
 			return runOut{}, err
 		}
@@ -206,24 +216,31 @@ func convolveOptions(sp scenario.Spec, x Exec) (ConvolveOptions, error) {
 	}
 	// Convolve's injection is always long SMIs (the paper varies only
 	// their interval); a level in the spec must agree.
-	switch sp.SMM.Level {
+	eff := sp.EffectiveSMM()
+	switch eff.Level {
 	case "", "long":
 	case "none":
-		if sp.SMM.IntervalMS > 0 {
-			return ConvolveOptions{}, fmt.Errorf("smm.level none contradicts smm.interval_ms=%d", sp.SMM.IntervalMS)
+		if eff.IntervalMS > 0 {
+			return ConvolveOptions{}, fmt.Errorf("smm.level none contradicts smm.interval_ms=%d", eff.IntervalMS)
 		}
 	default:
-		return ConvolveOptions{}, fmt.Errorf("convolve injects long SMIs only (got smm.level %q)", sp.SMM.Level)
+		return ConvolveOptions{}, fmt.Errorf("convolve injects long SMIs only (got smm.level %q)", eff.Level)
+	}
+	shares, err := specSMTShares(sp)
+	if err != nil {
+		return ConvolveOptions{}, err
 	}
 	return ConvolveOptions{
 		Behavior:      beh,
 		CPUs:          specCPUs(sp),
-		SMIIntervalMS: sp.SMM.IntervalMS,
+		SMIIntervalMS: eff.IntervalMS,
 		Runs:          sp.Runs,
 		Seed:          sp.Seed,
 		Passes:        sp.Params.Passes,
 		Workers:       x.Workers,
-		SMIScale:      sp.SMM.SMIScale,
+		SMIScale:      eff.SMIScale,
+		Jitter:        LowerJitter(sp),
+		SMTShares:     shares,
 		Tracer:        x.Tracer,
 		Stats:         x.Stats,
 	}, nil

@@ -8,6 +8,7 @@ import (
 	"smistudy/internal/nas"
 	"smistudy/internal/noise"
 	"smistudy/internal/obs"
+	"smistudy/internal/perturb"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
 	"smistudy/internal/trace"
@@ -19,6 +20,10 @@ type DetectOptions struct {
 	SMIIntervalMS int
 	Duration      sim.Time
 	Seed          int64
+	// Jitter provisions OS-jitter noise sources alongside (or instead
+	// of) the SMI driver, so the detector can be scored against a
+	// multi-family ground truth.
+	Jitter []perturb.JitterConfig
 	// Tracer, when non-nil, receives the run's observability events —
 	// notably the ground-truth SMM episodes, which cmd/smidetect
 	// overlays against the detector's findings.
@@ -41,7 +46,9 @@ func DetectSMIs(o DetectOptions) noise.DetectorReport {
 		smi = smm.DriverConfig{Level: o.Level, PeriodJiffies: uint64(interval), PhaseJitter: true}
 	}
 	e := sim.New(seed)
-	cl := cluster.MustNew(e, cluster.R410(smi))
+	cp := cluster.R410(smi)
+	cp.Node.Jitter = jitterForRun(o.Jitter, seed)
+	cl := cluster.MustNew(e, cp)
 	wireRun(o.Tracer, 0, e, cl)
 	cl.StartSMI()
 	return noise.RunDetector(cl, noise.DetectorConfig{Duration: o.Duration})

@@ -211,8 +211,11 @@ func eligible(sp scenario.Spec, x Exec, w Workload) (bool, string) {
 	if w.Replicate == nil || w.Predict == nil || w.Seconds == nil {
 		return false, "workload"
 	}
-	if !(sp.SMM.Level == "" || sp.SMM.Level == "none") || sp.SMM.IntervalMS != 0 {
+	if eff := sp.EffectiveSMM(); !(eff.Level == "" || eff.Level == "none") || eff.IntervalMS != 0 {
 		return false, "smm"
+	}
+	if len(sp.JitterSources()) > 0 {
+		return false, "noise"
 	}
 	if sp.Faults.Active() {
 		return false, "faults"

@@ -353,7 +353,7 @@ func init() {
 			if err != nil {
 				return Measurement{}, err
 			}
-			res, err := MeasureClockDrift(level, sp.SMM.IntervalMS, sp.Params.DurationS, sp.Seed)
+			res, err := MeasureClockDrift(level, sp.EffectiveSMM().IntervalMS, sp.Params.DurationS, sp.Seed)
 			if err != nil {
 				return Measurement{}, err
 			}
@@ -387,7 +387,10 @@ func rimOptions(sp scenario.Spec) (RIMOptions, error) {
 	if err := singleNode(sp); err != nil {
 		return RIMOptions{}, err
 	}
-	if sp.SMM.Level != "" || sp.SMM.IntervalMS != 0 {
+	if err := fixedMachine(sp); err != nil {
+		return RIMOptions{}, err
+	}
+	if eff := sp.EffectiveSMM(); eff.Level != "" || eff.IntervalMS != 0 {
 		return RIMOptions{}, fmt.Errorf("the RIM agent drives its own SMIs (set params.period_ms, not an smm plan)")
 	}
 	if sp.Params.ChunkKB < 0 {
@@ -413,13 +416,17 @@ func energyLevel(sp scenario.Spec) (smm.Level, error) {
 	if err := singleNode(sp); err != nil {
 		return 0, err
 	}
-	if sp.SMM.IntervalMS != 0 && sp.SMM.IntervalMS != 1000 {
-		return 0, fmt.Errorf("the energy study injects at a fixed 1000 ms (got smm.interval_ms=%d)", sp.SMM.IntervalMS)
+	if err := fixedMachine(sp); err != nil {
+		return 0, err
 	}
-	if sp.SMM.Level == "" {
+	eff := sp.EffectiveSMM()
+	if eff.IntervalMS != 0 && eff.IntervalMS != 1000 {
+		return 0, fmt.Errorf("the energy study injects at a fixed 1000 ms (got smm.interval_ms=%d)", eff.IntervalMS)
+	}
+	if eff.Level == "" {
 		return smm.SMMLong, nil
 	}
-	return parseLevel(sp.SMM.Level)
+	return parseLevel(eff.Level)
 }
 
 func validateDriftSpec(sp scenario.Spec) error {
@@ -433,10 +440,13 @@ func driftLevel(sp scenario.Spec) (smm.Level, error) {
 	if err := singleNode(sp); err != nil {
 		return 0, err
 	}
-	if sp.SMM.Level == "" {
-		return smm.SMMLong, nil
+	if err := fixedMachine(sp); err != nil {
+		return 0, err
 	}
-	return parseLevel(sp.SMM.Level)
+	if eff := sp.EffectiveSMM(); eff.Level != "" {
+		return parseLevel(eff.Level)
+	}
+	return smm.SMMLong, nil
 }
 
 func validateProfilerSpec(sp scenario.Spec) error {
@@ -447,6 +457,9 @@ func validateProfilerSpec(sp scenario.Spec) error {
 // profilerMode lowers the spec's params.mode for the profiler study.
 func profilerMode(sp scenario.Spec) (proftool.Mode, error) {
 	if err := singleNode(sp); err != nil {
+		return 0, err
+	}
+	if err := fixedMachine(sp); err != nil {
 		return 0, err
 	}
 	switch sp.Params.Mode {

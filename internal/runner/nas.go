@@ -12,6 +12,7 @@ import (
 	"smistudy/internal/nas"
 	"smistudy/internal/obs"
 	"smistudy/internal/parsweep"
+	"smistudy/internal/perturb"
 	"smistudy/internal/scenario"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
@@ -49,6 +50,14 @@ type NASOptions struct {
 	// the fidelity harness's negative tests. Zero leaves the paper's
 	// calibrated durations untouched.
 	SMIScale float64
+	// Jitter provisions OS-jitter noise sources on every node (the
+	// second noise family after SMM). Seeds are spec-level: each run
+	// mixes its run seed, each node its index, so repetitions and
+	// nodes decorrelate replayably. Empty means no jitter.
+	Jitter []perturb.JitterConfig `json:",omitempty"`
+	// SMTShares sets per-physical-core asymmetric SMT slot shares
+	// (empty = the symmetric split; see cpu.Params.SMTShares).
+	SMTShares []float64 `json:",omitempty"`
 	// Tracer, when non-nil, receives every observability event from
 	// every run (SMM episodes, scheduling, MPI traffic, network drops,
 	// fault activations), each stamped with its run index. Safe with
@@ -146,6 +155,8 @@ func RunNAS(o NASOptions) (NASResult, error) {
 		e := sim.New(seed + int64(i))
 		cp := cluster.Wyeast(o.Nodes, o.HTT, o.SMM)
 		cp.Node.SMI.DurationScale = o.SMIScale
+		cp.Node.CPU.SMTShares = o.SMTShares
+		cp.Node.Jitter = jitterForRun(o.Jitter, seed+int64(i))
 		cl, err := cluster.New(e, cp)
 		if err != nil {
 			out.setupErr = err
@@ -213,7 +224,8 @@ func RunNAS(o NASOptions) (NASResult, error) {
 
 // shardableNAS reports whether a cell may attempt the sharded engine:
 // a steady-state multi-node run — no SMIs (so the per-node RNG draws
-// that would couple shards never happen), no faults (no perturber, no
+// that would couple shards never happen), no jitter (steal episodes
+// would perturb the lockstep windows), no faults (no perturber, no
 // reliable transport, no watchdog dependence), and untraced (event
 // timestamps would otherwise interleave nondeterministically on the
 // bus). Everything else falls back to the sequential engine, as does
@@ -221,7 +233,7 @@ func RunNAS(o NASOptions) (NASResult, error) {
 // cross-shard merge cannot reproduce.
 func shardableNAS(o NASOptions, sched faults.Schedule) bool {
 	return o.Shards > 1 && o.Nodes >= 2 && o.SMM == smm.SMMNone &&
-		sched.Empty() && o.Tracer == nil
+		len(o.Jitter) == 0 && sched.Empty() && o.Tracer == nil
 }
 
 // tryShardedNAS runs one repetition on a sharded cluster: nodes
@@ -244,6 +256,7 @@ func tryShardedNAS(o NASOptions, par mpi.Params, seed int64) (r nas.Result, resi
 	}
 	cp := cluster.Wyeast(o.Nodes, o.HTT, o.SMM)
 	cp.Node.SMI.DurationScale = o.SMIScale
+	cp.Node.CPU.SMTShares = o.SMTShares
 	cl, err := cluster.NewSharded(engs, cp)
 	if err != nil {
 		return nas.Result{}, 0, 0, false
@@ -347,17 +360,22 @@ func nasOptions(sp scenario.Spec, x Exec) (NASOptions, error) {
 	if err != nil {
 		return NASOptions{}, err
 	}
-	level, err := parseLevel(sp.SMM.Level)
+	eff := sp.EffectiveSMM()
+	level, err := parseLevel(eff.Level)
 	if err != nil {
 		return NASOptions{}, err
 	}
 	// The MPI study machine fires its SMIs at the paper's fixed 1/s; a
 	// different interval in the spec would be silently ignored.
-	if sp.SMM.IntervalMS != 0 && sp.SMM.IntervalMS != 1000 {
-		return NASOptions{}, fmt.Errorf("the MPI study injects at a fixed 1000 ms (got smm.interval_ms=%d)", sp.SMM.IntervalMS)
+	if eff.IntervalMS != 0 && eff.IntervalMS != 1000 {
+		return NASOptions{}, fmt.Errorf("the MPI study injects at a fixed 1000 ms (got smm.interval_ms=%d)", eff.IntervalMS)
 	}
 	if sp.Machine.CPUs != 0 {
 		return NASOptions{}, fmt.Errorf("machine.cpus applies to single-node workloads (use machine.ranks_per_node and htt)")
+	}
+	shares, err := specSMTShares(sp)
+	if err != nil {
+		return NASOptions{}, err
 	}
 	nodes := sp.Machine.Nodes
 	if nodes == 0 {
@@ -379,7 +397,9 @@ func nasOptions(sp scenario.Spec, x Exec) (NASOptions, error) {
 		Workers:      x.Workers,
 		Faults:       LowerFaults(sp.Faults),
 		Watchdog:     sim.FromSeconds(sp.WatchdogS),
-		SMIScale:     sp.SMM.SMIScale,
+		SMIScale:     eff.SMIScale,
+		Jitter:       LowerJitter(sp),
+		SMTShares:    shares,
 		Tracer:       x.Tracer,
 		Stats:        x.Stats,
 		Shards:       x.Shards,
@@ -424,6 +444,9 @@ func predictNASSpec(sp scenario.Spec) (float64, error) {
 	}
 	if o.HTT {
 		return 0, fmt.Errorf("runner: analytic model assumes no hyper-threading")
+	}
+	if len(o.Jitter) > 0 {
+		return 0, fmt.Errorf("runner: analytic model does not cover jitter noise")
 	}
 	cp := cluster.Wyeast(o.Nodes, o.HTT, o.SMM)
 	if o.RanksPerNode > cp.Node.CPU.PhysCores {

@@ -23,6 +23,7 @@ import (
 
 	"smistudy/internal/nas"
 	"smistudy/internal/obs"
+	"smistudy/internal/perturb"
 	"smistudy/internal/scenario"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
@@ -179,6 +180,80 @@ func LowerFaults(p *scenario.FaultPlan) *FaultPlan {
 		DegradeFor: sim.FromSeconds(p.DegradeForS), DegradeSlow: p.DegradeSlow,
 		DegradeLatency: sim.FromSeconds(p.DegradeLatencyS),
 	}
+}
+
+// LowerJitter converts a spec's osjitter noise entries to the
+// perturbation layer's jitter configs (milliseconds/microseconds to
+// sim.Time). The returned configs carry the spec-level seed; per-run
+// and per-node stream derivation happens at provisioning time so
+// serialized options stay free of per-run state.
+func LowerJitter(sp scenario.Spec) []perturb.JitterConfig {
+	js := sp.JitterSources()
+	if len(js) == 0 {
+		return nil
+	}
+	out := make([]perturb.JitterConfig, len(js))
+	for i, j := range js {
+		out[i] = perturb.JitterConfig{
+			Period:   sim.FromSeconds(j.PeriodMS / 1e3),
+			Duration: sim.FromSeconds(j.DurationUS / 1e6),
+			Jitter:   j.JitterFrac,
+			Seed:     j.Seed,
+			CPUs:     append([]int(nil), j.CPUs...),
+		}
+	}
+	return out
+}
+
+// jitterForRun rebinds jitter configs to one repetition: each source
+// mixes the run seed and its list position into its stream seed, so
+// repetitions decorrelate the way SMI phase jitter does while staying
+// fully replayable.
+func jitterForRun(cfgs []perturb.JitterConfig, runSeed int64) []perturb.JitterConfig {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	out := make([]perturb.JitterConfig, len(cfgs))
+	for i, c := range cfgs {
+		c.Seed = perturb.DeriveSeed(c.Seed^runSeed, uint64(i))
+		out[i] = c
+	}
+	return out
+}
+
+// noJitter rejects specs that arm osjitter sources for workloads whose
+// entry points model SMM noise only (rim, energy, drift, profiler).
+func noJitter(sp scenario.Spec) error {
+	if len(sp.JitterSources()) > 0 {
+		return fmt.Errorf("does not support osjitter noise sources")
+	}
+	return nil
+}
+
+// fixedMachine rejects both osjitter sources and asymmetric SMT shares
+// for workloads whose entry points build a fixed machine shape (rim,
+// energy, drift, profiler) — silently ignoring either would misreport
+// what was measured.
+func fixedMachine(sp scenario.Spec) error {
+	if err := noJitter(sp); err != nil {
+		return err
+	}
+	if len(sp.Machine.SMTShares) > 0 {
+		return fmt.Errorf("does not support machine.smt_shares")
+	}
+	return nil
+}
+
+// specSMTShares validates and copies the machine's asymmetric SMT
+// shares (both modeled platforms have four physical cores).
+func specSMTShares(sp scenario.Spec) ([]float64, error) {
+	if len(sp.Machine.SMTShares) > 4 {
+		return nil, fmt.Errorf("machine.smt_shares has %d entries; the modeled machines have 4 physical cores", len(sp.Machine.SMTShares))
+	}
+	if len(sp.Machine.SMTShares) == 0 {
+		return nil, nil
+	}
+	return append([]float64(nil), sp.Machine.SMTShares...), nil
 }
 
 // singleNode rejects spec shapes that make no sense for the R410

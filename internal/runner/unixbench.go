@@ -5,6 +5,7 @@ import (
 
 	"smistudy/internal/cluster"
 	"smistudy/internal/obs"
+	"smistudy/internal/perturb"
 	"smistudy/internal/scenario"
 	"smistudy/internal/sim"
 	"smistudy/internal/smm"
@@ -23,6 +24,12 @@ type UnixBenchOptions struct {
 	// SMIScale multiplies the SMI duration range when > 0 and ≠ 1 (see
 	// NASOptions.SMIScale).
 	SMIScale float64
+	// Jitter provisions OS-jitter noise sources on the node (see
+	// NASOptions.Jitter).
+	Jitter []perturb.JitterConfig `json:",omitempty"`
+	// SMTShares sets per-physical-core asymmetric SMT slot shares
+	// (empty = the symmetric split; see cpu.Params.SMTShares).
+	SMTShares []float64 `json:",omitempty"`
 	// Tracer, when non-nil, receives the run's observability events.
 	// Execution-only: excluded from the serialized measurement.
 	Tracer obs.Tracer `json:"-"`
@@ -57,7 +64,10 @@ func RunUnixBench(o UnixBenchOptions) (UnixBenchResult, error) {
 		}
 	}
 	e := sim.New(seed)
-	cl, err := cluster.New(e, cluster.R410(smi))
+	cp := cluster.R410(smi)
+	cp.Node.CPU.SMTShares = o.SMTShares
+	cp.Node.Jitter = jitterForRun(o.Jitter, seed)
+	cl, err := cluster.New(e, cp)
 	if err != nil {
 		return UnixBenchResult{}, err
 	}
@@ -111,22 +121,29 @@ func unixBenchOptions(sp scenario.Spec, x Exec) (UnixBenchOptions, error) {
 	if sp.Runs > 1 {
 		return UnixBenchOptions{}, fmt.Errorf("a UnixBench iteration is one run (got runs=%d); sweep seeds instead", sp.Runs)
 	}
-	level, err := parseLevel(sp.SMM.Level)
+	eff := sp.EffectiveSMM()
+	level, err := parseLevel(eff.Level)
 	if err != nil {
 		return UnixBenchOptions{}, err
 	}
 	// The paper's Figure 2 injects long SMIs; an unstated level with an
 	// interval set means exactly that.
-	if sp.SMM.Level == "" && sp.SMM.IntervalMS > 0 {
+	if eff.Level == "" && eff.IntervalMS > 0 {
 		level = smm.SMMLong
+	}
+	shares, err := specSMTShares(sp)
+	if err != nil {
+		return UnixBenchOptions{}, err
 	}
 	return UnixBenchOptions{
 		CPUs:          specCPUs(sp),
-		SMIIntervalMS: sp.SMM.IntervalMS,
+		SMIIntervalMS: eff.IntervalMS,
 		Level:         level,
 		Seed:          sp.Seed,
 		Duration:      sim.FromSeconds(sp.Params.DurationS),
-		SMIScale:      sp.SMM.SMIScale,
+		SMIScale:      eff.SMIScale,
+		Jitter:        LowerJitter(sp),
+		SMTShares:     shares,
 		Tracer:        x.Tracer,
 		Stats:         x.Stats,
 	}, nil

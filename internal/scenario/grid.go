@@ -3,13 +3,16 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
 // Axis is one swept dimension of a Grid: a dotted path into the spec
 // document ("smm.interval_ms", "params.cache", "seed") and the JSON
-// values it takes. Values are raw JSON so an axis can sweep numbers,
-// strings or booleans without per-field plumbing.
+// values it takes. A segment may index into an array the base spec
+// declares — "noise[1].period_ms" sweeps the second noise entry's
+// period. Values are raw JSON so an axis can sweep numbers, strings or
+// booleans without per-field plumbing.
 type Axis struct {
 	Path   string            `json:"path"`
 	Values []json.RawMessage `json:"values"`
@@ -96,23 +99,74 @@ func (g Grid) Expand() ([]Spec, error) {
 // setPath writes a raw JSON value at a dotted path, creating
 // intermediate objects as needed (the strict re-parse rejects paths
 // that invent fields, so creation cannot smuggle unknowns through).
+// "name[idx]" segments step into array elements the base spec already
+// declares; arrays are never created or extended — an axis can vary an
+// entry but not invent one.
 func setPath(doc map[string]any, path string, v json.RawMessage) error {
 	parts := strings.Split(path, ".")
 	cur := doc
-	for _, p := range parts[:len(parts)-1] {
-		next, ok := cur[p]
-		if !ok || next == nil {
-			m := map[string]any{}
-			cur[p] = m
+	for i, p := range parts {
+		name, idx, hasIdx, err := splitSegment(p)
+		if err != nil {
+			return err
+		}
+		last := i == len(parts)-1
+		if !hasIdx {
+			if last {
+				cur[name] = v
+				return nil
+			}
+			next, ok := cur[name]
+			if !ok || next == nil {
+				m := map[string]any{}
+				cur[name] = m
+				cur = m
+				continue
+			}
+			m, ok := next.(map[string]any)
+			if !ok {
+				return fmt.Errorf("segment %q is not an object", p)
+			}
 			cur = m
 			continue
 		}
-		m, ok := next.(map[string]any)
+		next, ok := cur[name]
+		if !ok || next == nil {
+			return fmt.Errorf("segment %q: base spec has no %q array", p, name)
+		}
+		arr, ok := next.([]any)
 		if !ok {
-			return fmt.Errorf("segment %q is not an object", p)
+			return fmt.Errorf("segment %q: %q is not an array", p, name)
+		}
+		if idx >= len(arr) {
+			return fmt.Errorf("segment %q: index %d out of range (array has %d entries)", p, idx, len(arr))
+		}
+		if last {
+			arr[idx] = v
+			return nil
+		}
+		m, ok := arr[idx].(map[string]any)
+		if !ok {
+			return fmt.Errorf("segment %q: element is not an object", p)
 		}
 		cur = m
 	}
-	cur[parts[len(parts)-1]] = v
 	return nil
+}
+
+// splitSegment parses one path segment, recognizing a trailing
+// "[idx]" array index.
+func splitSegment(p string) (name string, idx int, hasIdx bool, err error) {
+	open := strings.IndexByte(p, '[')
+	if open < 0 {
+		return p, 0, false, nil
+	}
+	if open == 0 || !strings.HasSuffix(p, "]") {
+		return "", 0, false, fmt.Errorf("segment %q: malformed array index", p)
+	}
+	n, aerr := strconv.Atoi(p[open+1 : len(p)-1])
+	if aerr != nil || n < 0 {
+		return "", 0, false, fmt.Errorf("segment %q: malformed array index", p)
+	}
+	return p[:open], n, true, nil
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 )
 
@@ -53,7 +54,7 @@ func TestGridExpandCartesian(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back != specs[1] {
+	if !reflect.DeepEqual(back, specs[1]) {
 		t.Fatalf("round-trip changed the cell: %+v vs %+v", back, specs[1])
 	}
 }
@@ -64,7 +65,7 @@ func TestGridNoAxesIsBase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) != 1 || specs[0] != g.Base {
+	if len(specs) != 1 || !reflect.DeepEqual(specs[0], g.Base) {
 		t.Fatalf("got %+v, want the base spec alone", specs)
 	}
 }

@@ -1,0 +1,255 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func jitterEntry() NoiseSource {
+	return NoiseSource{Family: NoiseOSJitter, PeriodMS: 10, DurationUS: 200, JitterFrac: 0.2}
+}
+
+// TestNoiseRoundTripByteStable extends the canonical-form contract to
+// specs carrying noise blocks.
+func TestNoiseRoundTripByteStable(t *testing.T) {
+	for name, sp := range map[string]Spec{
+		"jitter only": {
+			Workload: "nas",
+			Noise:    []NoiseSource{jitterEntry()},
+			Params:   Params{Bench: "BT", Class: "A"},
+		},
+		"mixed": {
+			Workload: "nas",
+			Noise: []NoiseSource{
+				{Family: NoiseSMM, Level: "long", IntervalMS: 600},
+				{Family: NoiseOSJitter, PeriodMS: 20, DurationUS: 500, Seed: 9, CPUs: []int{0, 2}},
+			},
+			Params: Params{Bench: "EP", Class: "A"},
+		},
+	} {
+		doc, err := sp.JSON()
+		if err != nil {
+			t.Fatalf("%s: JSON: %v", name, err)
+		}
+		got, err := Parse(doc)
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, sp) {
+			t.Fatalf("%s: parse changed the spec: %+v vs %+v", name, got, sp)
+		}
+		doc2, err := got.JSON()
+		if err != nil {
+			t.Fatalf("%s: re-JSON: %v", name, err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Errorf("%s: round trip not byte-stable:\n%s\nvs\n%s", name, doc, doc2)
+		}
+	}
+}
+
+// TestNoiseStrictParse pins that typos inside noise entries are errors,
+// same as everywhere else in the spec tree.
+func TestNoiseStrictParse(t *testing.T) {
+	doc := `{"workload": "nas", "noise": [{"family": "osjitter", "period_msx": 10}], "params": {"bench": "EP", "class": "A"}}`
+	if _, err := Parse([]byte(doc)); err == nil {
+		t.Fatal("typoed noise field accepted")
+	}
+}
+
+func TestEffectiveSMMResolution(t *testing.T) {
+	legacy := Spec{Workload: "nas", SMM: SMMPlan{Level: "long", IntervalMS: 600}}
+	if got := legacy.EffectiveSMM(); got != legacy.SMM {
+		t.Fatalf("legacy block not passed through: %+v", got)
+	}
+	viaNoise := Spec{
+		Workload: "nas",
+		Noise: []NoiseSource{
+			jitterEntry(),
+			{Family: NoiseSMM, Level: "long", IntervalMS: 600, SMIScale: 1.5},
+		},
+	}
+	want := SMMPlan{Level: "long", IntervalMS: 600, SMIScale: 1.5}
+	if got := viaNoise.EffectiveSMM(); got != want {
+		t.Fatalf("smm noise entry resolved to %+v, want %+v", got, want)
+	}
+	if got := (Spec{Workload: "nas"}).EffectiveSMM(); got != (SMMPlan{}) {
+		t.Fatalf("quiet spec resolved to %+v", got)
+	}
+	js := viaNoise.JitterSources()
+	if len(js) != 1 || js[0].Family != NoiseOSJitter {
+		t.Fatalf("JitterSources = %+v", js)
+	}
+}
+
+// TestNoiseValidateRejections pins family/field-group separation and
+// the legacy-block exclusivity rule.
+func TestNoiseValidateRejections(t *testing.T) {
+	mk := func(noise []NoiseSource, smm SMMPlan) Spec {
+		return Spec{Workload: "nas", SMM: smm, Noise: noise, Params: Params{Bench: "EP", Class: "A"}}
+	}
+	cases := map[string]struct {
+		sp   Spec
+		want string
+	}{
+		"unknown family": {
+			mk([]NoiseSource{{Family: "cosmic"}}, SMMPlan{}),
+			"unknown noise family",
+		},
+		"two smm entries": {
+			mk([]NoiseSource{{Family: NoiseSMM, Level: "short"}, {Family: NoiseSMM, Level: "long"}}, SMMPlan{}),
+			"at most one smm noise entry",
+		},
+		"jitter field on smm entry": {
+			mk([]NoiseSource{{Family: NoiseSMM, Level: "long", PeriodMS: 10}}, SMMPlan{}),
+			"jitter fields are not valid",
+		},
+		"smm field on jitter entry": {
+			mk([]NoiseSource{{Family: NoiseOSJitter, Level: "long", PeriodMS: 10, DurationUS: 100}}, SMMPlan{}),
+			"smm fields are not valid",
+		},
+		"legacy block and smm entry": {
+			mk([]NoiseSource{{Family: NoiseSMM, Level: "long"}}, SMMPlan{Level: "short"}),
+			"mutually exclusive",
+		},
+		"bad level via noise": {
+			mk([]NoiseSource{{Family: NoiseSMM, Level: "loud"}}, SMMPlan{}),
+			"level",
+		},
+		"zero period": {
+			mk([]NoiseSource{{Family: NoiseOSJitter, DurationUS: 100}}, SMMPlan{}),
+			"period_ms",
+		},
+		"zero duration": {
+			mk([]NoiseSource{{Family: NoiseOSJitter, PeriodMS: 10}}, SMMPlan{}),
+			"duration_us",
+		},
+		"duration >= period": {
+			mk([]NoiseSource{{Family: NoiseOSJitter, PeriodMS: 1, DurationUS: 1000}}, SMMPlan{}),
+			"shorter than",
+		},
+		"jitter frac 1": {
+			mk([]NoiseSource{{Family: NoiseOSJitter, PeriodMS: 10, DurationUS: 100, JitterFrac: 1}}, SMMPlan{}),
+			"jitter_frac",
+		},
+		"negative cpu": {
+			mk([]NoiseSource{{Family: NoiseOSJitter, PeriodMS: 10, DurationUS: 100, CPUs: []int{-2}}}, SMMPlan{}),
+			"cpus",
+		},
+	}
+	for name, tc := range cases {
+		err := tc.sp.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+	ok := mk([]NoiseSource{
+		{Family: NoiseSMM, Level: "long", IntervalMS: 600},
+		jitterEntry(),
+	}, SMMPlan{})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid mixed-noise spec rejected: %v", err)
+	}
+}
+
+// TestGridNoiseAxes pins dotted-path sweeps into noise entries: indexed
+// paths address existing entries, and typos or out-of-range indexes
+// fail loudly instead of creating elements.
+func TestGridNoiseAxes(t *testing.T) {
+	base := Spec{
+		Workload: "nas",
+		Noise:    []NoiseSource{jitterEntry()},
+		Params:   Params{Bench: "BT", Class: "A"},
+	}
+	g := Grid{
+		Base: base,
+		Axes: []Axis{{Path: "noise[0].period_ms", Values: rawVals("5", "10", "20")}},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d cells, want 3", len(specs))
+	}
+	for i, want := range []float64{5, 10, 20} {
+		if got := specs[i].Noise[0].PeriodMS; got != want {
+			t.Errorf("cell %d: period_ms = %g, want %g", i, got, want)
+		}
+		if specs[i].Noise[0].DurationUS != 200 {
+			t.Errorf("cell %d lost sibling field duration_us", i)
+		}
+	}
+
+	bad := []struct {
+		name string
+		axis Axis
+	}{
+		{"typoed leaf", Axis{Path: "noise[0].period_msx", Values: rawVals("5")}},
+		{"index out of range", Axis{Path: "noise[5].period_ms", Values: rawVals("5")}},
+		{"negative index", Axis{Path: "noise[-1].period_ms", Values: rawVals("5")}},
+		{"missing array", Axis{Path: "faults[0].loss_prob", Values: rawVals("0.1")}},
+		{"non-array name", Axis{Path: "machine[0].nodes", Values: rawVals("4")}},
+	}
+	for _, tc := range bad {
+		g := Grid{Base: base, Axes: []Axis{tc.axis}}
+		if _, err := g.Expand(); err == nil {
+			t.Errorf("%s: expansion succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestGridNoiseAxisCellsValidate pins that every expanded cell passes
+// the same validation a hand-written spec would.
+func TestGridNoiseAxisCellsValidate(t *testing.T) {
+	g := Grid{
+		Base: Spec{
+			Workload: "nas",
+			Noise:    []NoiseSource{{Family: NoiseSMM, Level: "long"}, jitterEntry()},
+			Params:   Params{Bench: "EP", Class: "A"},
+		},
+		Axes: []Axis{
+			{Path: "noise[0].interval_ms", Values: rawVals("300", "600")},
+			{Path: "noise[1].duration_us", Values: rawVals("100", "400")},
+		},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("got %d cells, want 4", len(specs))
+	}
+	for i, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("cell %d invalid: %v", i, err)
+		}
+	}
+	if specs[3].Noise[0].IntervalMS != 600 || specs[3].Noise[1].DurationUS != 400 {
+		t.Fatalf("last cell = %+v", specs[3].Noise)
+	}
+}
+
+// TestNoiseOmittedFromQuietSpec pins encoding hygiene: a spec with no
+// noise block never emits a "noise" key, so pre-noise goldens and
+// manifests stay byte-identical.
+func TestNoiseOmittedFromQuietSpec(t *testing.T) {
+	doc, err := (Spec{Workload: "nas", Params: Params{Bench: "EP", Class: "A"}}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["noise"]; ok {
+		t.Fatalf("quiet spec emitted a noise key:\n%s", doc)
+	}
+}

@@ -38,6 +38,12 @@ type Spec struct {
 	Machine Machine `json:"machine"`
 	// SMM describes the SMI injection plan.
 	SMM SMMPlan `json:"smm"`
+	// Noise lists perturbation sources by family. It generalizes the
+	// smm block: at most one "smm" entry — equivalent to, and mutually
+	// exclusive with, a non-zero smm block above — plus any number of
+	// "osjitter" entries (per-core daemon-tick jitter). Absent means
+	// the smm block alone drives injection.
+	Noise []NoiseSource `json:"noise,omitempty"`
 	// Faults, when non-nil and active, arms a fault scenario.
 	Faults *FaultPlan `json:"faults,omitempty"`
 	// Runs averages this many repetitions with derived seeds (0 = 1).
@@ -65,6 +71,12 @@ type Machine struct {
 	// CPUs is the online logical CPU count for single-node workloads
 	// (convolve/unixbench, 1–8; 0 = 4, the paper's physical core count).
 	CPUs int `json:"cpus,omitempty"`
+	// SMTShares sets per-physical-core asymmetric SMT slot shares
+	// (SYNPA-style): the fraction of contested issue slots the
+	// sibling-0 logical CPU keeps when both hyper-threaded siblings
+	// are busy. Entries in (0,1); empty or short means the symmetric
+	// 0.5 split for the remaining cores.
+	SMTShares []float64 `json:"smt_shares,omitempty"`
 }
 
 // SMMPlan is the SMI injection plan.
@@ -80,6 +92,69 @@ type SMMPlan struct {
 	// deliberate physics perturbation used by sensitivity studies and
 	// the fidelity harness's negative tests.
 	SMIScale float64 `json:"smi_scale,omitempty"`
+}
+
+// Noise-family names a NoiseSource entry may use.
+const (
+	// NoiseSMM is the SMM family: node-global, OS-invisible SMIs.
+	NoiseSMM = "smm"
+	// NoiseOSJitter is the OS/daemon-jitter family: per-core,
+	// OS-visible periodic steals.
+	NoiseOSJitter = "osjitter"
+)
+
+// NoiseSource configures one perturbation source. Family selects which
+// of the field groups applies: "smm" entries use the SMMPlan-shaped
+// fields (level/interval_ms/smi_scale), "osjitter" entries use the
+// jitter fields (period_ms/duration_us/jitter_frac/seed/cpus).
+type NoiseSource struct {
+	// Family is the source family: "smm" or "osjitter".
+	Family string `json:"family"`
+
+	// SMM-family fields, with SMMPlan semantics.
+	Level      string  `json:"level,omitempty"`
+	IntervalMS int     `json:"interval_ms,omitempty"`
+	SMIScale   float64 `json:"smi_scale,omitempty"`
+
+	// OS-jitter-family fields.
+	//
+	// PeriodMS is the mean gap between daemon ticks on each target CPU
+	// in milliseconds; DurationUS the mean tick length in microseconds;
+	// JitterFrac the uniform fractional spread in [0,1) applied to
+	// every period and duration draw. Seed offsets the per-CPU steal
+	// schedule (mixed with the node index and run seed at provisioning,
+	// so repetitions vary like SMI phases do). CPUs lists target
+	// logical CPUs (empty = all).
+	PeriodMS   float64 `json:"period_ms,omitempty"`
+	DurationUS float64 `json:"duration_us,omitempty"`
+	JitterFrac float64 `json:"jitter_frac,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	CPUs       []int   `json:"cpus,omitempty"`
+}
+
+// EffectiveSMM resolves the spec's SMI injection plan: the "smm" noise
+// entry when one exists, the legacy smm block otherwise (validation
+// guarantees they are never both set). Every consumer of the SMM plan
+// goes through this, which is what lets the legacy block lower into
+// the noise list without behavior changes.
+func (s Spec) EffectiveSMM() SMMPlan {
+	for _, n := range s.Noise {
+		if n.Family == NoiseSMM {
+			return SMMPlan{Level: n.Level, IntervalMS: n.IntervalMS, SMIScale: n.SMIScale}
+		}
+	}
+	return s.SMM
+}
+
+// JitterSources returns the spec's osjitter noise entries.
+func (s Spec) JitterSources() []NoiseSource {
+	var out []NoiseSource
+	for _, n := range s.Noise {
+		if n.Family == NoiseOSJitter {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // FaultPlan describes a fault scenario in wall-clock seconds. It is
@@ -217,16 +292,16 @@ func (s Spec) Validate() error {
 	if s.Runs < 0 {
 		return fmt.Errorf("scenario: runs must be ≥ 0 (got %d)", s.Runs)
 	}
-	if s.SMM.IntervalMS < 0 {
-		return fmt.Errorf("scenario: smm.interval_ms must be ≥ 0 (got %d)", s.SMM.IntervalMS)
+	if err := s.SMM.validate("smm"); err != nil {
+		return err
 	}
-	if s.SMM.SMIScale < 0 {
-		return fmt.Errorf("scenario: smm.smi_scale must be ≥ 0 (got %g)", s.SMM.SMIScale)
+	for i, sh := range s.Machine.SMTShares {
+		if sh <= 0 || sh >= 1 {
+			return fmt.Errorf("scenario: machine.smt_shares[%d] must be in (0,1) (got %g)", i, sh)
+		}
 	}
-	switch s.SMM.Level {
-	case "", "none", "short", "long":
-	default:
-		return fmt.Errorf("scenario: unknown smm.level %q (want none, short or long)", s.SMM.Level)
+	if err := s.validateNoise(); err != nil {
+		return err
 	}
 	if f := s.Faults; f != nil {
 		if f.LossProb < 0 || f.LossProb > 1 {
@@ -244,6 +319,73 @@ func (s Spec) Validate() error {
 			if t.v < 0 {
 				return fmt.Errorf("scenario: faults.%s must be ≥ 0 (got %g)", t.name, t.v)
 			}
+		}
+	}
+	return nil
+}
+
+// validate checks an SMM plan's fields; where names the plan in errors
+// ("smm" for the legacy block, "noise[i]" for a noise entry).
+func (p SMMPlan) validate(where string) error {
+	if p.IntervalMS < 0 {
+		return fmt.Errorf("scenario: %s.interval_ms must be ≥ 0 (got %d)", where, p.IntervalMS)
+	}
+	if p.SMIScale < 0 {
+		return fmt.Errorf("scenario: %s.smi_scale must be ≥ 0 (got %g)", where, p.SMIScale)
+	}
+	switch p.Level {
+	case "", "none", "short", "long":
+	default:
+		return fmt.Errorf("scenario: unknown %s.level %q (want none, short or long)", where, p.Level)
+	}
+	return nil
+}
+
+// validateNoise checks the noise list: known families, each entry
+// using only its family's field group, at most one smm entry, and that
+// entry mutually exclusive with a non-zero legacy smm block.
+func (s Spec) validateNoise() error {
+	smmEntries := 0
+	for i, n := range s.Noise {
+		where := fmt.Sprintf("noise[%d]", i)
+		switch n.Family {
+		case NoiseSMM:
+			smmEntries++
+			if smmEntries > 1 {
+				return fmt.Errorf("scenario: %s: at most one smm noise entry is allowed", where)
+			}
+			if n.PeriodMS != 0 || n.DurationUS != 0 || n.JitterFrac != 0 || n.Seed != 0 || len(n.CPUs) > 0 {
+				return fmt.Errorf("scenario: %s: jitter fields are not valid on an smm entry", where)
+			}
+			if s.SMM != (SMMPlan{}) {
+				return fmt.Errorf("scenario: %s: the smm block and an smm noise entry are mutually exclusive", where)
+			}
+			if err := (SMMPlan{Level: n.Level, IntervalMS: n.IntervalMS, SMIScale: n.SMIScale}).validate(where); err != nil {
+				return err
+			}
+		case NoiseOSJitter:
+			if n.Level != "" || n.IntervalMS != 0 || n.SMIScale != 0 {
+				return fmt.Errorf("scenario: %s: smm fields are not valid on an osjitter entry", where)
+			}
+			if n.PeriodMS <= 0 {
+				return fmt.Errorf("scenario: %s.period_ms must be > 0 (got %g)", where, n.PeriodMS)
+			}
+			if n.DurationUS <= 0 {
+				return fmt.Errorf("scenario: %s.duration_us must be > 0 (got %g)", where, n.DurationUS)
+			}
+			if n.DurationUS/1000 >= n.PeriodMS {
+				return fmt.Errorf("scenario: %s: duration_us %g must be shorter than period_ms %g", where, n.DurationUS, n.PeriodMS)
+			}
+			if n.JitterFrac < 0 || n.JitterFrac >= 1 {
+				return fmt.Errorf("scenario: %s.jitter_frac must be in [0,1) (got %g)", where, n.JitterFrac)
+			}
+			for _, c := range n.CPUs {
+				if c < 0 {
+					return fmt.Errorf("scenario: %s.cpus entries must be ≥ 0 (got %d)", where, c)
+				}
+			}
+		default:
+			return fmt.Errorf("scenario: %s: unknown noise family %q (want %s or %s)", where, n.Family, NoiseSMM, NoiseOSJitter)
 		}
 	}
 	return nil

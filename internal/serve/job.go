@@ -13,8 +13,8 @@ import (
 // Event is one entry in a job's progress log, delivered over the SSE
 // stream and retained so late subscribers replay the full history.
 type Event struct {
-	Seq  int    `json:"seq"`
-	Kind string `json:"kind"`  // "job" or "cell"
+	Seq   int    `json:"seq"`
+	Kind  string `json:"kind"`  // "job" or "cell"
 	State string `json:"state"` // job: running|done|failed; cell: done|failed
 	// Cell coordinates, for Kind == "cell".
 	Cell int    `json:"cell,omitempty"`

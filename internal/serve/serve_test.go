@@ -215,6 +215,42 @@ func TestGridSubmission(t *testing.T) {
 	}
 }
 
+// TestGridNoiseAxisSweep pins the serve-layer sweep surface of the
+// noise block: dotted paths into noise entries expand into distinct
+// cells that all execute.
+func TestGridNoiseAxisSweep(t *testing.T) {
+	srv := New(Config{StoreDir: t.TempDir(), Workers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	base := epSpec(1, 1)
+	base.SMM = scenario.SMMPlan{}
+	base.Noise = []scenario.NoiseSource{{
+		Family: scenario.NoiseOSJitter, PeriodMS: 10, DurationUS: 200,
+	}}
+	sr := submitOK(t, ts, SubmitRequest{
+		Grid: &scenario.Grid{
+			Base: base,
+			Axes: []scenario.Axis{{Path: "noise[0].period_ms", Values: rawVals(t, "5", "10", "20")}},
+		},
+	})
+	if sr.Cells != 3 || len(sr.Specs) != 3 {
+		t.Fatalf("noise sweep: cells=%d specs=%d, want 3/3", sr.Cells, len(sr.Specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range sr.Specs {
+		seen[s.Key] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("noise sweep cells share content keys: %v", seen)
+	}
+	st := waitDone(t, ts, sr.ID)
+	if st.State != "done" || st.Cells.Executed != 3 {
+		t.Fatalf("noise sweep job: %+v", st)
+	}
+}
+
 func rawVals(t *testing.T, vs ...string) []json.RawMessage {
 	t.Helper()
 	out := make([]json.RawMessage, len(vs))
@@ -324,6 +360,8 @@ func TestSubmitRejections(t *testing.T) {
 		{"spec typo", `{"specs": [{"workload": "nas", "machine": {}, "smm": {}, "params": {"bensch": "EP"}, "obs": {}}]}`, http.StatusBadRequest},
 		{"unknown workload", `{"specs": [{"workload": "nope", "machine": {}, "smm": {}, "params": {}, "obs": {}}]}`, http.StatusBadRequest},
 		{"grid typo path", `{"grid": {"base": {"workload": "nas", "machine": {}, "smm": {}, "params": {"bench": "EP", "class": "S"}, "obs": {}}, "axes": [{"path": "sed", "values": [1]}]}}`, http.StatusBadRequest},
+		{"noise axis typo leaf", `{"grid": {"base": {"workload": "nas", "machine": {}, "smm": {}, "noise": [{"family": "osjitter", "period_ms": 10, "duration_us": 200}], "params": {"bench": "EP", "class": "S"}, "obs": {}}, "axes": [{"path": "noise[0].period_msx", "values": [5]}]}}`, http.StatusBadRequest},
+		{"noise axis out of range", `{"grid": {"base": {"workload": "nas", "machine": {}, "smm": {}, "noise": [{"family": "osjitter", "period_ms": 10, "duration_us": 200}], "params": {"bench": "EP", "class": "S"}, "obs": {}}, "axes": [{"path": "noise[5].period_ms", "values": [5]}]}}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(tc.body))

@@ -15,6 +15,7 @@ import (
 
 	"smistudy/internal/clock"
 	"smistudy/internal/obs"
+	"smistudy/internal/perturb"
 	"smistudy/internal/sim"
 )
 
@@ -341,3 +342,31 @@ func (d *Driver) fire() {
 		d.next = d.eng.After(period, d.fire)
 	})
 }
+
+// Family is the SMM noise-family name used in attribution categories,
+// scenario noise blocks, and detector scoring.
+const Family = "smm"
+
+// The driver is the SMM implementation of the generic noise-source
+// contract: node-global, OS-invisible steal episodes.
+var _ perturb.Source = (*Driver)(nil)
+
+// Meta identifies the family: every logical CPU rendezvouses in the
+// handler (global scope) and the OS cannot see the residency.
+func (d *Driver) Meta() perturb.Meta {
+	return perturb.Meta{Family: Family, Scope: perturb.ScopeGlobal, Visible: false}
+}
+
+// Episodes returns the controller's ground-truth log in the generic
+// form; every episode stole all CPUs.
+func (d *Driver) Episodes() []perturb.Episode {
+	eps := d.ctrl.Episodes()
+	out := make([]perturb.Episode, len(eps))
+	for i, e := range eps {
+		out[i] = perturb.Episode{CPU: perturb.AllCPUs, Start: e.Start, Duration: e.Duration}
+	}
+	return out
+}
+
+// Stolen is the total SMM residency so far.
+func (d *Driver) Stolen() sim.Time { return d.ctrl.Stats().TotalResidency }
